@@ -1,0 +1,215 @@
+(** The `rustudy` command-line tool.
+
+    - [rustudy check FILE]     parse/lower a RustLite file and run all detectors
+    - [rustudy mir FILE]       dump the MIR of a RustLite file
+    - [rustudy unsafe FILE]    scan a file for unsafe usages
+    - [rustudy detect --eval]  run the §7 detector evaluation
+    - [rustudy study ...]      regenerate the paper's tables and figures *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let exit_of_findings findings =
+  if findings = [] then 0 else 1
+
+(* ---------------- check ------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"RustLite source file")
+
+let statement_tmp =
+  Arg.(
+    value & flag
+    & info [ "statement-temporaries" ]
+        ~doc:
+          "Ablation: drop match/if scrutinee temporaries at the end of \
+           their own statement instead of Rust's extended rule.")
+
+let config_of_flag statement_tmp =
+  if statement_tmp then
+    { Ir.Lower.tmp_lifetime = Ir.Lower.Statement_local }
+  else Ir.Lower.default_config
+
+let check_cmd =
+  let run file statement_tmp =
+    let source = read_file file in
+    match Rustudy.check ~config:(config_of_flag statement_tmp) ~file source with
+    | [] ->
+        print_endline "no issues found";
+        0
+    | findings ->
+        List.iter
+          (fun f -> print_endline (Rustudy.Finding.to_string f))
+          findings;
+        exit_of_findings findings
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Run all bug detectors on a RustLite file")
+    Term.(const run $ file_arg $ statement_tmp)
+
+(* ---------------- mir --------------------------------------------- *)
+
+let mir_cmd =
+  let run file statement_tmp =
+    let source = read_file file in
+    let program =
+      Rustudy.load ~config:(config_of_flag statement_tmp) ~file source
+    in
+    List.iter
+      (fun b -> print_string (Rustudy.Mir.body_to_string b))
+      (Rustudy.Mir.body_list program);
+    0
+  in
+  Cmd.v (Cmd.info "mir" ~doc:"Dump the MIR lowering of a RustLite file")
+    Term.(const run $ file_arg $ statement_tmp)
+
+(* ---------------- unsafe ------------------------------------------ *)
+
+let unsafe_cmd =
+  let run file =
+    let source = read_file file in
+    let crate = Rustudy.parse ~file source in
+    let s = Rustudy.scan_unsafe crate in
+    Printf.printf
+      "unsafe blocks: %d\nunsafe fns: %d\nunsafe traits: %d\nunsafe impls: %d\n\
+       interior-unsafe fns: %d\nmemory ops: %d\nunsafe calls: %d\nstatic accesses: %d\n"
+      s.Rustudy.Unsafe_scan.unsafe_blocks s.Rustudy.Unsafe_scan.unsafe_fns
+      s.Rustudy.Unsafe_scan.unsafe_traits s.Rustudy.Unsafe_scan.unsafe_impls
+      s.Rustudy.Unsafe_scan.interior_unsafe_fns s.Rustudy.Unsafe_scan.op_memory
+      s.Rustudy.Unsafe_scan.op_unsafe_call s.Rustudy.Unsafe_scan.op_static;
+    0
+  in
+  Cmd.v (Cmd.info "unsafe" ~doc:"Scan a RustLite file for unsafe usages")
+    Term.(const run $ file_arg)
+
+(* ---------------- detect ------------------------------------------ *)
+
+let detect_cmd =
+  let eval_flag =
+    Arg.(value & flag & info [ "eval" ] ~doc:"Run the §7 detector evaluation")
+  in
+  let run eval =
+    if eval then begin
+      print_endline (Rustudy.Detector_eval.render (Rustudy.Detector_eval.run ()));
+      0
+    end
+    else begin
+      prerr_endline "detect: pass --eval, or use `rustudy check FILE`";
+      2
+    end
+  in
+  Cmd.v
+    (Cmd.info "detect" ~doc:"Run the detector evaluation over the target corpus")
+    Term.(const run $ eval_flag)
+
+(* ---------------- lock-scopes -------------------------------------- *)
+
+let lock_scopes_cmd =
+  let run file =
+    let source = read_file file in
+    let program = Rustudy.load ~file source in
+    print_string (Rustudy.Lock_scope.render (Rustudy.Lock_scope.sections program));
+    0
+  in
+  Cmd.v
+    (Cmd.info "lock-scopes"
+       ~doc:
+         "Visualize critical sections: where each lock is acquired, where           the implicit unlock happens, and blocking operations inside           (the paper's Suggestion 6)")
+    Term.(const run $ file_arg)
+
+(* ---------------- audit-encapsulation ------------------------------ *)
+
+let audit_cmd =
+  let run file =
+    let source = read_file file in
+    let program = Rustudy.load ~file source in
+    let verdicts = Rustudy.Encapsulation.audit program in
+    print_string (Rustudy.Encapsulation.render verdicts);
+    if verdicts = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "audit-encapsulation"
+       ~doc:
+         "Audit interior-unsafe functions for improper encapsulation           (the paper's Suggestion 3)")
+    Term.(const run $ file_arg)
+
+(* ---------------- lifetimes ---------------------------------------- *)
+
+let lifetimes_cmd =
+  let run file =
+    let source = read_file file in
+    let program = Rustudy.load ~file source in
+    print_string (Rustudy.Lifetimes.render (Rustudy.Lifetimes.report program));
+    0
+  in
+  Cmd.v
+    (Cmd.info "lifetimes"
+       ~doc:
+         "Visualize every variable's lifetime: birth, drop/move site, and           the pointers that alias it (the paper's §7.1 IDE suggestion)")
+    Term.(const run $ file_arg)
+
+(* ---------------- study ------------------------------------------- *)
+
+let study_cmd =
+  let table =
+    Arg.(value & opt (some int) None & info [ "table" ] ~docv:"N" ~doc:"Print table N (1-4)")
+  in
+  let figure =
+    Arg.(value & opt (some int) None & info [ "figure" ] ~docv:"N" ~doc:"Print figure N (1-2)")
+  in
+  let fixes = Arg.(value & flag & info [ "fixes" ] ~doc:"Print fix-strategy tables") in
+  let unsafe_ = Arg.(value & flag & info [ "unsafe" ] ~doc:"Print §4 unsafe-usage statistics") in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit figures as CSV") in
+  let run table figure fixes unsafe_ csv =
+    let analyses_needed =
+      match (table, figure, fixes, unsafe_) with
+      | None, None, false, false -> true (* full report *)
+      | Some _, _, _, _ | _, _, true, _ -> true
+      | _ -> false
+    in
+    let analyses = if analyses_needed then Rustudy.analyze_corpus () else [] in
+    (match (table, figure, fixes, unsafe_) with
+    | None, None, false, false -> print_endline (Rustudy.study_report ())
+    | _ ->
+        Option.iter
+          (fun n ->
+            print_endline
+              (match n with
+              | 1 -> Rustudy.Tables.table1 analyses
+              | 2 -> Rustudy.Tables.table2 analyses
+              | 3 -> Rustudy.Tables.table3 analyses
+              | 4 -> Rustudy.Tables.table4 analyses
+              | _ -> "unknown table"))
+          table;
+        Option.iter
+          (fun n ->
+            print_endline
+              (match (n, csv) with
+              | 1, false -> Rustudy.Figures.figure1 ()
+              | 1, true -> Rustudy.Figures.figure1_csv ()
+              | 2, false -> Rustudy.Figures.figure2 ()
+              | 2, true -> Rustudy.Figures.figure2_csv ()
+              | _ -> "unknown figure"))
+          figure;
+        if fixes then print_endline (Rustudy.Tables.fix_strategies analyses);
+        if unsafe_ then print_endline (Rustudy.Tables.unsafe_stats ()));
+    0
+  in
+  Cmd.v
+    (Cmd.info "study" ~doc:"Regenerate the paper's tables and figures from the corpus")
+    Term.(const run $ table $ figure $ fixes $ unsafe_ $ csv)
+
+let main =
+  let doc =
+    "static analysis and empirical-study toolkit reproducing the PLDI'20 \
+     study of memory and thread safety in real-world Rust programs"
+  in
+  Cmd.group (Cmd.info "rustudy" ~version:"1.0.0" ~doc)
+    [ check_cmd; mir_cmd; unsafe_cmd; detect_cmd; study_cmd; lock_scopes_cmd; audit_cmd; lifetimes_cmd ]
+
+let () = exit (Cmd.eval' main)

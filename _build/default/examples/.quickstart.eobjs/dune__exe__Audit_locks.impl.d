@@ -1,0 +1,1 @@
+examples/audit_locks.ml: List Printf Rustudy

@@ -1,0 +1,1 @@
+examples/find_use_after_free.mli:

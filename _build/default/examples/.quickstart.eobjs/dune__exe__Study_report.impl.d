@@ -1,0 +1,1 @@
+examples/study_report.ml: Rustudy

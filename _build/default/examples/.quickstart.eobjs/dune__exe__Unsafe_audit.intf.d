@@ -1,0 +1,1 @@
+examples/unsafe_audit.mli:

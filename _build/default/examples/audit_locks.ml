@@ -1,0 +1,33 @@
+(* Audit a multi-threaded module for every blocking hazard the paper
+   studies: double locks, conflicting lock orders, lost condvar
+   wakeups, and channel deadlocks.
+
+   Run with: dune exec examples/audit_locks.exe *)
+
+let source =
+  {|
+struct Ledger { total: u64 }
+
+fn main() {
+    let ledger = Arc::new(Mutex::new(Ledger { total: 0 }));
+    let audit = Arc::new(Mutex::new(0u64));
+
+    let l2 = ledger.clone();
+    let a2 = audit.clone();
+    // worker: audit -> ledger
+    let worker = thread::spawn(move || {
+        let a = a2.lock().unwrap();
+        let l = l2.lock().unwrap();
+    });
+
+    // main: ledger -> audit  (opposite order: ABBA deadlock)
+    let l = ledger.lock().unwrap();
+    let a = audit.lock().unwrap();
+}
+|}
+
+let () =
+  let program = Rustudy.load ~file:"audit.rs" source in
+  let findings = Rustudy.Detect.blocking program in
+  Printf.printf "blocking audit: %d finding(s)\n" (List.length findings);
+  List.iter (fun f -> print_endline ("  " ^ Rustudy.Finding.to_string f)) findings

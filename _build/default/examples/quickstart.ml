@@ -1,0 +1,46 @@
+(* Quickstart: parse a RustLite program, run every detector, print the
+   findings.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+struct Account { balance: u64 }
+
+fn withdraw(acct: Arc<Mutex<Account>>, amount: u64) {
+    // BUG: the guard from the if condition is still alive inside the
+    // branch (Rust's temporary-lifetime rule), so the second lock()
+    // self-deadlocks.
+    if acct.lock().unwrap().balance >= amount {
+        let mut a = acct.lock().unwrap();
+        a.balance = a.balance - amount;
+    }
+}
+|}
+
+let () =
+  let findings = Rustudy.check ~file:"quickstart.rs" source in
+  Printf.printf "quickstart: %d finding(s)\n" (List.length findings);
+  List.iter (fun f -> print_endline ("  " ^ Rustudy.Finding.to_string f)) findings;
+  (* The fix: bind the comparison result so the guard dies first. *)
+  let fixed =
+    {|
+struct Account { balance: u64 }
+
+fn withdraw(acct: Arc<Mutex<Account>>, amount: u64) {
+    let enough = acct.lock().unwrap().balance >= amount;
+    if enough {
+        let mut a = acct.lock().unwrap();
+        a.balance = a.balance - amount;
+    }
+}
+|}
+  in
+  let fixed_findings =
+    List.filter
+      (fun (f : Rustudy.Finding.finding) ->
+        f.Rustudy.Finding.kind = Rustudy.Finding.Double_lock)
+      (Rustudy.check ~file:"quickstart-fixed.rs" fixed)
+  in
+  Printf.printf "after the fix: %d double-lock finding(s)\n"
+    (List.length fixed_findings)

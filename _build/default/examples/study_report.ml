@@ -1,0 +1,7 @@
+(* Regenerate the paper's entire evaluation — Tables 1-4, the fix
+   strategy breakdowns, the §4 unsafe statistics, Figures 1-2, and the
+   §7 detector evaluation — from the bundled corpus.
+
+   Run with: dune exec examples/study_report.exe *)
+
+let () = print_endline (Rustudy.study_report ())

@@ -1,0 +1,52 @@
+(* Reproduce the paper's §4 methodology on a single crate: count unsafe
+   regions/functions/traits and classify the operations they perform.
+
+   Run with: dune exec examples/unsafe_audit.exe *)
+
+let crate_source =
+  {|
+struct RingBuffer { data: Vec<u8>, head: usize, tail: usize }
+
+static mut INSTANCES: u32 = 0;
+
+impl RingBuffer {
+    pub fn new(cap: usize) -> RingBuffer {
+        unsafe { INSTANCES = INSTANCES + 1; }
+        RingBuffer { data: vec![0u8; 16], head: 0, tail: 0 }
+    }
+
+    // interior unsafe: a safe API over an unchecked access
+    pub fn get(&self, i: usize) -> u8 {
+        if i < self.data.len() {
+            unsafe { *self.data.get_unchecked(i) }
+        } else {
+            0u8
+        }
+    }
+}
+
+pub unsafe fn raw_copy(src: *const u8, dst: *mut u8, n: usize) {
+    ptr::copy_nonoverlapping(src, dst, n);
+}
+
+unsafe trait DirectIo {
+    fn sector_size(&self) -> usize;
+}
+|}
+
+let () =
+  let crate_ = Rustudy.parse ~file:"ringbuffer.rs" crate_source in
+  let s = Rustudy.scan_unsafe crate_ in
+  Printf.printf
+    "unsafe audit of ringbuffer.rs:\n\
+    \  unsafe blocks:        %d\n\
+    \  unsafe functions:     %d\n\
+    \  unsafe traits:        %d\n\
+    \  interior-unsafe fns:  %d\n\
+    \  memory operations:    %d\n\
+    \  unsafe calls:         %d\n\
+    \  static mut accesses:  %d\n"
+    s.Rustudy.Unsafe_scan.unsafe_blocks s.Rustudy.Unsafe_scan.unsafe_fns
+    s.Rustudy.Unsafe_scan.unsafe_traits s.Rustudy.Unsafe_scan.interior_unsafe_fns
+    s.Rustudy.Unsafe_scan.op_memory s.Rustudy.Unsafe_scan.op_unsafe_call
+    s.Rustudy.Unsafe_scan.op_static

@@ -1,0 +1,42 @@
+(* The paper's Suggestion 6 as a tool: visualize every critical section
+   of a module — where each lock is acquired, where Rust's implicit
+   unlock lands, and which blocking operations run while the lock is
+   held (prime deadlock suspects).
+
+   Run with: dune exec examples/visualize_critical_sections.exe *)
+
+let source =
+  {|
+struct JobQueue { pending: usize }
+struct Stats { processed: u64 }
+
+fn worker(jobs: Arc<Mutex<JobQueue>>, stats: Arc<Mutex<Stats>>, rx: Receiver<u64>) {
+    // section 1: well-scoped
+    let mut q = jobs.lock().unwrap();
+    q.pending = q.pending - 1;
+    drop(q);
+
+    // section 2: blocks on a channel while holding the stats lock
+    let mut s = stats.lock().unwrap();
+    let result = rx.recv().unwrap();
+    s.processed = s.processed + result;
+}
+|}
+
+let () =
+  let program = Rustudy.load ~file:"worker.rs" source in
+  print_string (Rustudy.Lock_scope.render (Rustudy.Lock_scope.sections program));
+  print_newline ();
+  (* and the encapsulation audit from Suggestion 3, on an API sample *)
+  let api =
+    {|
+struct Slab { slots: Vec<u64> }
+impl Slab {
+    pub fn get_fast(&self, i: usize) -> u64 {
+        unsafe { *self.slots.get_unchecked(i) }
+    }
+}
+|}
+  in
+  let audited = Rustudy.load ~file:"slab.rs" api in
+  print_string (Rustudy.Encapsulation.render (Rustudy.Encapsulation.audit audited))

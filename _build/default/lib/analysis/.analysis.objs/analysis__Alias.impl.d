@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Array Ir List Mir Printf String

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Alias Array Hashtbl Ir List Mir Option String Support

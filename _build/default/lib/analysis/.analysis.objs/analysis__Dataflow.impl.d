@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Array Int Ir List Mir Queue Set

@@ -1,0 +1,1 @@
+lib/analysis/pointsto.ml: Array Ir List Mir Sema Set

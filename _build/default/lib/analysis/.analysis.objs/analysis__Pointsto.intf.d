@@ -1,0 +1,1 @@
+lib/analysis/pointsto.mli: Ir Mir Set

@@ -1,0 +1,1 @@
+lib/analysis/storage.ml: Dataflow Ir Mir

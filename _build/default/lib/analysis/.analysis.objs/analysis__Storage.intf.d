@@ -1,0 +1,1 @@
+lib/analysis/storage.mli: Dataflow Ir Mir

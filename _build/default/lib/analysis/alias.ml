@@ -1,0 +1,151 @@
+(** Access-path alias analysis: resolve each local to a symbolic root.
+
+    Locks, condvars, channels and atomics are identified by *where they
+    live* — a parameter field, a static, or a local allocation site.
+    This flow-insensitive resolution follows copies, moves, borrows,
+    smart-pointer derefs and [clone()] calls, which is how the paper's
+    double-lock detector matches the two acquisitions of Fig. 8 ("the
+    same lock is acquired before the guard's lifetime ends"). *)
+
+open Ir
+
+type base =
+  | Param of int  (** function parameter index *)
+  | Static of string
+  | Site of int  (** local allocation/creation site (block * 10000 + idx) *)
+  | Unknown_base
+
+type t = { root : base; fields : string list }
+(** An access path: base plus field names (derefs and smart-pointer
+    layers are transparent — they do not change identity). *)
+
+let unknown = { root = Unknown_base; fields = [] }
+
+let equal a b =
+  a.root = b.root
+  && List.length a.fields = List.length b.fields
+  && List.for_all2 String.equal a.fields b.fields
+
+let to_string r =
+  let base =
+    match r.root with
+    | Param i -> Printf.sprintf "param%d" i
+    | Static s -> "static:" ^ s
+    | Site i -> Printf.sprintf "site%d" i
+    | Unknown_base -> "?"
+  in
+  String.concat "." (base :: r.fields)
+
+(** Substitute a closure-body root through the capture mapping: closure
+    parameter [i] was built from access path [actuals.(i)] in the
+    spawning function. *)
+let substitute (r : t) (actuals : t array) : t =
+  match r.root with
+  | Param i when i < Array.length actuals ->
+      let a = actuals.(i) in
+      { root = a.root; fields = a.fields @ r.fields }
+  | _ -> r
+
+type resolution = { paths : t option array }
+
+let proj_fields projs =
+  List.filter_map
+    (function
+      | Mir.Field f -> Some f
+      | Mir.Index -> Some "[]"
+      | Mir.Deref | Mir.Downcast _ -> None)
+    projs
+
+(** Resolve every local of [body] to an access path (fixpoint over the
+    body's statements; order-independent). *)
+let resolve (body : Mir.body) : resolution =
+  let n = Array.length body.Mir.locals in
+  let paths : t option array = Array.make n None in
+  (* parameters and statics seed the resolution *)
+  for i = 0 to body.Mir.arg_count - 1 do
+    paths.(i) <- Some { root = Param i; fields = [] }
+  done;
+  Array.iteri
+    (fun i (info : Mir.local_info) ->
+      match info.Mir.l_name with
+      | Some name when String.length name > 7 && String.sub name 0 7 = "static:"
+        ->
+          paths.(i) <-
+            Some
+              {
+                root = Static (String.sub name 7 (String.length name - 7));
+                fields = [];
+              }
+      | _ -> ignore i)
+    body.Mir.locals;
+  let path_of_place (p : Mir.place) : t option =
+    match paths.(p.Mir.base) with
+    | Some base -> Some { base with fields = base.fields @ proj_fields p.Mir.proj }
+    | None -> None
+  in
+  let changed = ref true in
+  let set l v =
+    match (paths.(l), v) with
+    | None, Some _ ->
+        paths.(l) <- v;
+        changed := true
+    | _ -> ()
+  in
+  let site_counter block idx = (block * 10000) + idx in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun bi (blk : Mir.block) ->
+        List.iteri
+          (fun si (s : Mir.stmt) ->
+            match s.Mir.kind with
+            | Mir.Assign (dest, rv) when Mir.place_is_local dest -> (
+                let l = dest.Mir.base in
+                match rv with
+                | Mir.Use (Mir.Copy p | Mir.Move p) -> set l (path_of_place p)
+                | Mir.Cast ((Mir.Copy p | Mir.Move p), _) ->
+                    set l (path_of_place p)
+                | Mir.Ref (_, p) | Mir.AddrOf (_, p) -> set l (path_of_place p)
+                | Mir.Aggregate (_, _) | Mir.Alloc _ ->
+                    set l (Some { root = Site (site_counter bi si); fields = [] })
+                | _ -> ())
+            | _ -> ())
+          blk.Mir.stmts;
+        (* calls: constructors create sites; clone/unwrap/borrow keep identity *)
+        match blk.Mir.term with
+        | Mir.Call (c, _) when Mir.place_is_local c.Mir.dest -> (
+            let l = c.Mir.dest.Mir.base in
+            let arg0_path () =
+              match c.Mir.args with
+              | (Mir.Copy p | Mir.Move p) :: _ -> path_of_place p
+              | _ -> None
+            in
+            match c.Mir.callee with
+            | Mir.Builtin
+                ( Mir.CtorNew _ | Mir.ChannelNew | Mir.SyncChannelNew
+                | Mir.HeapAlloc | Mir.VecFromRawParts ) ->
+                set l (Some { root = Site (site_counter bi 9999); fields = [] })
+            | Mir.Builtin
+                ( Mir.CloneFn | Mir.ResultUnwrap | Mir.OptionUnwrap
+                | Mir.RefCellBorrow | Mir.RefCellBorrowMut | Mir.IntoRaw
+                | Mir.FromRaw | Mir.PtrOffset ) ->
+                set l (arg0_path ())
+            | Mir.Builtin
+                (Mir.MutexLock | Mir.MutexTryLock | Mir.RwRead | Mir.RwTryRead
+                | Mir.RwWrite | Mir.RwTryWrite) ->
+                (* a guard aliases its lock *)
+                set l (arg0_path ())
+            | _ -> ())
+        | _ -> ())
+      body.Mir.blocks
+  done;
+  { paths }
+
+let path_of (r : resolution) (l : Mir.local) : t =
+  match r.paths.(l) with Some p -> p | None -> unknown
+
+(** Access path of a full place (fields appended, derefs transparent). *)
+let path_of_place (r : resolution) (p : Mir.place) : t =
+  let base = path_of r p.Mir.base in
+  if base.root = Unknown_base then unknown
+  else { base with fields = base.fields @ proj_fields p.Mir.proj }

@@ -1,0 +1,34 @@
+(** Access-path alias analysis: resolves each local to a symbolic root —
+    a parameter field, a static, or a local creation site — following
+    copies, moves, borrows, smart-pointer derefs and [clone()]. Lock,
+    condvar, channel and atomic identities in the detectors are these
+    access paths. *)
+
+open Ir
+
+type base =
+  | Param of int
+  | Static of string
+  | Site of int  (** local allocation/creation site *)
+  | Unknown_base
+
+type t = { root : base; fields : string list }
+(** Base plus field names; dereferences and smart-pointer layers are
+    transparent (they do not change identity). *)
+
+val unknown : t
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val substitute : t -> t array -> t
+(** [substitute r actuals] rewrites a closure-body root through the
+    capture mapping: closure parameter [i] was built from access path
+    [actuals.(i)] in the spawning function. *)
+
+type resolution
+
+val resolve : Mir.body -> resolution
+(** Flow-insensitive fixpoint resolution of every local. *)
+
+val path_of : resolution -> Mir.local -> t
+val path_of_place : resolution -> Mir.place -> t

@@ -1,0 +1,131 @@
+(** Call graph over a MIR program, including thread-spawn edges.
+
+    Closure values are resolved by scanning for [Agg_closure]
+    assignments, so [thread::spawn(move || ...)] produces a spawn edge
+    to the closure body together with the access paths of its captured
+    actuals (used by the deadlock detectors to unify lock identities
+    across threads). *)
+
+open Ir
+
+type edge_kind = Direct | Spawned | Once_closure
+
+type edge = {
+  caller : string;
+  target : string;
+  kind : edge_kind;
+  site : Support.Span.t;
+  capture_paths : Alias.t array;
+      (** for closures: access path of each captured actual in the
+          caller, in closure-parameter order *)
+}
+
+type t = {
+  edges : edge list;
+  by_caller : (string, edge list) Hashtbl.t;
+}
+
+(* Map closure-valued locals to (closure id, capture operands). *)
+let closure_values (body : Mir.body) : (Mir.local * (string * Mir.operand list)) list
+    =
+  Array.fold_left
+    (fun acc (blk : Mir.block) ->
+      List.fold_left
+        (fun acc (s : Mir.stmt) ->
+          match s.Mir.kind with
+          | Mir.Assign (dest, Mir.Aggregate (Mir.Agg_closure id, caps))
+            when Mir.place_is_local dest ->
+              (dest.Mir.base, (id, caps)) :: acc
+          | _ -> acc)
+        acc blk.Mir.stmts)
+    [] body.Mir.blocks
+
+let operand_local = function
+  | Mir.Copy p | Mir.Move p when Mir.place_is_local p -> Some p.Mir.base
+  | _ -> None
+
+let build (program : Mir.program) : t =
+  let edges = ref [] in
+  List.iter
+    (fun (body : Mir.body) ->
+      let closures = closure_values body in
+      let aliases = Alias.resolve body in
+      let capture_paths_of caps =
+        Array.of_list (List.map
+          (fun op ->
+            match op with
+            | Mir.Copy p | Mir.Move p -> Alias.path_of_place aliases p
+            | Mir.Const _ -> Alias.unknown)
+          caps)
+      in
+      Array.iter
+        (fun (blk : Mir.block) ->
+          match blk.Mir.term with
+          | Mir.Call (c, _) -> (
+              let add target kind capture_paths =
+                edges :=
+                  {
+                    caller = body.Mir.fn_id;
+                    target;
+                    kind;
+                    site = c.Mir.call_span;
+                    capture_paths;
+                  }
+                  :: !edges
+              in
+              let closure_of_arg i =
+                match List.nth_opt c.Mir.args i with
+                | Some op -> (
+                    match operand_local op with
+                    | Some l -> List.assoc_opt l closures
+                    | None -> None)
+                | None -> None
+              in
+              match c.Mir.callee with
+              | Mir.Fn f -> add f Direct [||]
+              | Mir.Method (head, m) -> add (head ^ "::" ^ m) Direct [||]
+              | Mir.ClosureCall id -> (
+                  match closure_of_arg 0 with
+                  | Some (cid, caps) when String.equal cid id ->
+                      add id Direct (capture_paths_of caps)
+                  | _ -> add id Direct [||])
+              | Mir.Builtin Mir.ThreadSpawn -> (
+                  match closure_of_arg 0 with
+                  | Some (id, caps) -> add id Spawned (capture_paths_of caps)
+                  | None -> ())
+              | Mir.Builtin Mir.OnceCallOnce -> (
+                  (* receiver is arg 0; the closure is arg 1 *)
+                  match closure_of_arg 1 with
+                  | Some (id, caps) -> add id Once_closure (capture_paths_of caps)
+                  | None -> ())
+              | Mir.Builtin _ -> ())
+          | _ -> ())
+        body.Mir.blocks)
+    (Mir.body_list program);
+  let by_caller = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cur = Option.value (Hashtbl.find_opt by_caller e.caller) ~default:[] in
+      Hashtbl.replace by_caller e.caller (e :: cur))
+    !edges;
+  { edges = !edges; by_caller }
+
+let callees (t : t) caller =
+  Option.value (Hashtbl.find_opt t.by_caller caller) ~default:[]
+
+(** All edges with [Spawned] kind: the program's thread entry points. *)
+let spawn_edges (t : t) = List.filter (fun e -> e.kind = Spawned) t.edges
+
+(** Functions reachable from [root] through direct edges. *)
+let reachable (t : t) root =
+  let seen = Hashtbl.create 16 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      List.iter
+        (fun e -> if e.kind = Direct then go e.target)
+        (callees t f)
+    end
+  in
+  go root;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen []

@@ -1,0 +1,27 @@
+(** Call graph over a MIR program, including [thread::spawn] edges with
+    the access paths of the spawned closure's captured actuals (used to
+    unify lock identities across threads). *)
+
+open Ir
+
+type edge_kind = Direct | Spawned | Once_closure
+
+type edge = {
+  caller : string;
+  target : string;
+  kind : edge_kind;
+  site : Support.Span.t;
+  capture_paths : Alias.t array;
+      (** closure captures' access paths in the caller, parameter order *)
+}
+
+type t = {
+  edges : edge list;
+  by_caller : (string, edge list) Hashtbl.t;
+}
+
+val build : Mir.program -> t
+val callees : t -> string -> edge list
+val spawn_edges : t -> edge list
+val reachable : t -> string -> string list
+(** Functions reachable from a root through [Direct] edges. *)

@@ -1,0 +1,112 @@
+(** Generic monotone forward dataflow over MIR bodies.
+
+    A worklist fixpoint over basic blocks; the per-statement transfer
+    function lets clients observe the state at every program point by
+    re-running the transfer inside a block once entry states have
+    stabilized. *)
+
+open Ir
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val bottom : t
+end
+
+module Make (D : DOMAIN) = struct
+  type result = {
+    entry : D.t array;  (** state at block entry *)
+    exit_ : D.t array;  (** state at block exit *)
+  }
+
+  let transfer_block ~transfer_stmt ~transfer_term (blk : Mir.block) state =
+    let state = List.fold_left transfer_stmt state blk.Mir.stmts in
+    transfer_term state blk.Mir.term
+
+  (** Run to fixpoint. [init] is the state at the function entry. *)
+  let run (body : Mir.body) ~(init : D.t)
+      ~(transfer_stmt : D.t -> Mir.stmt -> D.t)
+      ~(transfer_term : D.t -> Mir.terminator -> D.t) : result =
+    let n = Array.length body.Mir.blocks in
+    let entry = Array.make n D.bottom in
+    let exit_ = Array.make n D.bottom in
+    if n = 0 then { entry; exit_ }
+    else begin
+      entry.(0) <- init;
+      let preds = Array.make n [] in
+      Array.iteri
+        (fun i blk ->
+          List.iter
+            (fun s -> if s < n then preds.(s) <- i :: preds.(s))
+            (Mir.successors blk.Mir.term))
+        body.Mir.blocks;
+      let in_worklist = Array.make n true in
+      let worklist = Queue.create () in
+      for i = 0 to n - 1 do
+        Queue.add i worklist
+      done;
+      while not (Queue.is_empty worklist) do
+        let i = Queue.pop worklist in
+        in_worklist.(i) <- false;
+        let input =
+          if i = 0 then
+            List.fold_left
+              (fun acc p -> D.join acc exit_.(p))
+              init preds.(i)
+          else
+            match preds.(i) with
+            | [] -> D.bottom
+            | ps -> List.fold_left (fun acc p -> D.join acc exit_.(p)) D.bottom ps
+        in
+        entry.(i) <- input;
+        let out =
+          transfer_block ~transfer_stmt ~transfer_term body.Mir.blocks.(i) input
+        in
+        if not (D.equal out exit_.(i)) then begin
+          exit_.(i) <- out;
+          List.iter
+            (fun s ->
+              if s < n && not in_worklist.(s) then begin
+                in_worklist.(s) <- true;
+                Queue.add s worklist
+              end)
+            (Mir.successors body.Mir.blocks.(i).Mir.term)
+        end
+      done;
+      { entry; exit_ }
+    end
+
+  (** Visit every statement (and terminator) of [body] with the dataflow
+      state holding *before* it. [f] sees [`Stmt] and [`Term] events. *)
+  let iter_with_state (body : Mir.body) (r : result)
+      ~(transfer_stmt : D.t -> Mir.stmt -> D.t)
+      ~(f :
+         block:int -> D.t -> [ `Stmt of Mir.stmt | `Term of Mir.terminator ] -> unit)
+      =
+    Array.iteri
+      (fun i blk ->
+        let state = ref r.entry.(i) in
+        List.iter
+          (fun s ->
+            f ~block:i !state (`Stmt s);
+            state := transfer_stmt !state s)
+          blk.Mir.stmts;
+        f ~block:i !state (`Term blk.Mir.term))
+      body.Mir.blocks
+end
+
+(** Integer-set domain used by most analyses (sets of locals or
+    acquisition ids). *)
+module IntSet = Set.Make (Int)
+
+module IntSetDomain = struct
+  type t = IntSet.t
+
+  let equal = IntSet.equal
+  let join = IntSet.union
+  let bottom = IntSet.empty
+end
+
+module IntSetFlow = Make (IntSetDomain)

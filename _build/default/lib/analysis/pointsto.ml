@@ -1,0 +1,101 @@
+(** Flow-insensitive may-points-to analysis for raw pointers and
+    references within one MIR body.
+
+    Memory locations are local slots, statics and heap allocation
+    sites. The use-after-free detector asks, at each dereference,
+    whether any location a pointer may point to is storage-dead or
+    value-dropped at that point. *)
+
+open Ir
+
+module Loc = struct
+  type t =
+    | LLocal of Mir.local  (** the storage of a local *)
+    | LStatic of string
+    | LHeap of int  (** allocation site id *)
+    | LUnknown
+
+  let compare = compare
+end
+
+module LocSet = Set.Make (Loc)
+
+type t = {
+  points_to : LocSet.t array;  (** per local *)
+}
+
+let empty_sets n = Array.init n (fun _ -> LocSet.empty)
+
+(* Pointee locations denoted by a place used as a borrow/addr-of source:
+   [&x] -> LLocal x; [&x.f] -> LLocal x (field-insensitive); borrowing
+   through a deref of p -> pts(p). *)
+let pointee_of_place (pts : LocSet.t array) (p : Mir.place) : LocSet.t =
+  if List.mem Mir.Deref p.Mir.proj then pts.(p.Mir.base)
+  else LocSet.singleton (Loc.LLocal p.Mir.base)
+
+let is_pointer_ty ty = Sema.Ty.is_raw_ptr ty || Sema.Ty.is_ref ty
+
+(** Compute points-to sets for [body] (iterated to fixpoint). *)
+let analyze (body : Mir.body) : t =
+  let n = Array.length body.Mir.locals in
+  let pts = empty_sets n in
+  let heap_site bi si = (bi * 10000) + si in
+  let changed = ref true in
+  let union l s =
+    if not (LocSet.subset s pts.(l)) then begin
+      pts.(l) <- LocSet.union pts.(l) s;
+      changed := true
+    end
+  in
+  let operand_pts = function
+    | Mir.Copy p | Mir.Move p ->
+        if Mir.place_is_local p then pts.(p.Mir.base)
+        else if List.mem Mir.Deref p.Mir.proj then
+          (* reading a pointer through a pointer: unknown *)
+          LocSet.singleton Loc.LUnknown
+        else pts.(p.Mir.base)
+    | Mir.Const _ -> LocSet.empty
+  in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun bi (blk : Mir.block) ->
+        List.iteri
+          (fun si (s : Mir.stmt) ->
+            match s.Mir.kind with
+            | Mir.Assign (dest, rv) when Mir.place_is_local dest -> (
+                let l = dest.Mir.base in
+                match rv with
+                | Mir.Ref (_, p) | Mir.AddrOf (_, p) ->
+                    union l (pointee_of_place pts p)
+                | Mir.Use op | Mir.Cast (op, _) -> union l (operand_pts op)
+                | Mir.Alloc _ ->
+                    union l (LocSet.singleton (Loc.LHeap (heap_site bi si)))
+                | Mir.Aggregate (_, ops) ->
+                    (* an aggregate containing pointers: approximate the
+                       aggregate local as pointing wherever they do *)
+                    List.iter (fun op -> union l (operand_pts op)) ops
+                | Mir.BinaryOp _ | Mir.UnaryOp _ | Mir.Discriminant _ -> ())
+            | _ -> ())
+          blk.Mir.stmts;
+        match blk.Mir.term with
+        | Mir.Call (c, _) when Mir.place_is_local c.Mir.dest -> (
+            let l = c.Mir.dest.Mir.base in
+            let arg0 () =
+              match c.Mir.args with a :: _ -> operand_pts a | [] -> LocSet.empty
+            in
+            match c.Mir.callee with
+            | Mir.Builtin (Mir.PtrOffset | Mir.IntoRaw | Mir.FromRaw) ->
+                union l (arg0 ())
+            | Mir.Builtin (Mir.HeapAlloc | Mir.CtorNew _) ->
+                union l (LocSet.singleton (Loc.LHeap (heap_site bi 9999)))
+            | Mir.Builtin Mir.PtrNull -> ()
+            | Mir.Builtin (Mir.Extern _) when is_pointer_ty c.Mir.dest_ty ->
+                union l (LocSet.singleton Loc.LUnknown)
+            | _ -> ())
+        | _ -> ())
+      body.Mir.blocks
+  done;
+  { points_to = pts }
+
+let of_local (t : t) (l : Mir.local) = t.points_to.(l)

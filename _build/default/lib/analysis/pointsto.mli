@@ -1,0 +1,23 @@
+(** Flow-insensitive may-points-to analysis for raw pointers and
+    references within one MIR body. The use-after-free detector asks,
+    at each dereference, whether any location the pointer may target is
+    storage-dead or value-dropped. *)
+
+open Ir
+
+module Loc : sig
+  type t =
+    | LLocal of Mir.local  (** the storage of a local *)
+    | LStatic of string
+    | LHeap of int  (** allocation site id *)
+    | LUnknown
+
+  val compare : t -> t -> int
+end
+
+module LocSet : Set.S with type elt = Loc.t
+
+type t
+
+val analyze : Mir.body -> t
+val of_local : t -> Mir.local -> LocSet.t

@@ -1,0 +1,36 @@
+(** Storage invalidation analysis: at each program point, which locals'
+    memory must no longer be accessed — either their storage ended
+    ([StorageDead]) or their value was dropped ([Drop]).
+
+    This is the direct analogue of the paper's use-after-free detector
+    foundation: "maintain the state of each variable (alive or dead) by
+    monitoring when MIR calls StorageLive or StorageDead on it". *)
+
+open Ir
+module IntSet = Dataflow.IntSet
+module Flow = Dataflow.IntSetFlow
+
+(** May-analysis transfer: a local becomes invalid at [StorageDead] or
+    [Drop] of the whole local, valid again at [StorageLive] or a whole
+    re-assignment. *)
+let transfer_stmt (state : IntSet.t) (s : Mir.stmt) : IntSet.t =
+  match s.Mir.kind with
+  | Mir.StorageDead l -> IntSet.add l state
+  | Mir.Drop p when Mir.place_is_local p -> IntSet.add p.Mir.base state
+  | Mir.StorageLive l -> IntSet.remove l state
+  | Mir.Assign (p, _) when Mir.place_is_local p -> IntSet.remove p.Mir.base state
+  | _ -> state
+
+let transfer_term (state : IntSet.t) (t : Mir.terminator) : IntSet.t =
+  match t with
+  | Mir.Call (c, _) when Mir.place_is_local c.Mir.dest ->
+      IntSet.remove c.Mir.dest.Mir.base state
+  | _ -> state
+
+let analyze (body : Mir.body) : Flow.result =
+  Flow.run body ~init:IntSet.empty ~transfer_stmt ~transfer_term
+
+(** Iterate all statements/terminators with the invalid-set before each. *)
+let iter (body : Mir.body) (r : Flow.result)
+    ~(f : block:int -> IntSet.t -> [ `Stmt of Mir.stmt | `Term of Mir.terminator ] -> unit) =
+  Flow.iter_with_state body r ~transfer_stmt ~f

@@ -1,0 +1,24 @@
+(** Storage invalidation: at each program point, the set of locals
+    whose memory must no longer be accessed — storage ended
+    ([StorageDead]) or value dropped ([Drop]). The foundation of the
+    paper's use-after-free detector. *)
+
+open Ir
+module IntSet = Dataflow.IntSet
+
+val transfer_stmt : IntSet.t -> Mir.stmt -> IntSet.t
+val transfer_term : IntSet.t -> Mir.terminator -> IntSet.t
+
+val analyze : Mir.body -> Dataflow.IntSetFlow.result
+
+val iter :
+  Mir.body ->
+  Dataflow.IntSetFlow.result ->
+  f:
+    (block:int ->
+    IntSet.t ->
+    [ `Stmt of Mir.stmt | `Term of Mir.terminator ] ->
+    unit) ->
+  unit
+(** Visit every statement/terminator with the invalid-set holding just
+    before it. *)

@@ -1,0 +1,89 @@
+(** Rustudy: reproduction of "Understanding Memory and Thread Safety
+    Practices and Issues in Real-World Rust Programs" (PLDI 2020).
+
+    This facade is the library's public API. The typical flow:
+
+    {[
+      let program = Rustudy.load ~file:"queue.rs" source in
+      let findings = Rustudy.detect program in
+      List.iter (fun f -> print_endline (Rustudy.Finding.to_string f)) findings
+    ]}
+
+    or, for the full empirical study over the bundled corpus:
+
+    {[
+      print_endline (Rustudy.study_report ())
+    ]} *)
+
+module Span = Support.Span
+module Diag = Support.Diag
+module Ast = Syntax.Ast
+module Parser = Syntax.Parser
+module Lexer = Syntax.Lexer
+module Token = Syntax.Token
+module Ty = Sema.Ty
+module Env = Sema.Env
+module Typeck = Sema.Typeck
+module Mir = Ir.Mir
+module Lower = Ir.Lower
+module Finding = Detectors.Report
+module Detect = Detectors.All
+module Unsafe_scan = Detectors.Unsafe_scan
+module Lock_scope = Detectors.Lock_scope
+module Encapsulation = Detectors.Encapsulation
+module Lifetimes = Detectors.Lifetimes
+module Corpus = Corpus
+module Classify = Study.Classify
+module Tables = Study.Tables
+module Figures = Study.Figures
+module Detector_eval = Study.Detector_eval
+
+exception Parse_error = Support.Diag.Parse_error
+
+(** Parse RustLite source text into an AST. *)
+let parse ~file source : Ast.crate = Parser.parse_crate ~file source
+
+(** Parse and lower source text to a MIR program, ready for analysis.
+    [tmp_lifetime] selects Rust's extended temporary-lifetime rule
+    (default) or the statement-local ablation. *)
+let load ?config ~file source : Mir.program =
+  Ir.Lower.program_of_source ?config ~file source
+
+(** Run every bug detector (memory, blocking, non-blocking). *)
+let detect (program : Mir.program) : Finding.finding list =
+  Detectors.All.bugs program
+
+(** Run only the paper's two headline detectors. *)
+let detect_use_after_free = Detectors.Uaf.run
+let detect_double_lock = Detectors.Double_lock.run
+
+(** Model of what the Rust compiler statically rejects
+    (use-after-move, conflicting borrows). *)
+let compiler_checks = Detectors.All.compiler_checks
+
+(** Scan a crate for unsafe usages (section 4 of the paper). *)
+let scan_unsafe (crate : Ast.crate) : Unsafe_scan.stats =
+  Unsafe_scan.scan crate
+
+(** One-call pipeline: parse, lower, detect. *)
+let check ?config ~file source : Finding.finding list =
+  detect (load ?config ~file source)
+
+(** Analyze the bundled corpus once. *)
+let analyze_corpus () : Classify.analysis list = Study.Classify.analyze_all ()
+
+(** The full study report: every table and figure of the paper. *)
+let study_report () : string =
+  let analyses = analyze_corpus () in
+  String.concat "\n"
+    [
+      Study.Tables.table1 analyses;
+      Study.Tables.table2 analyses;
+      Study.Tables.table3 analyses;
+      Study.Tables.table4 analyses;
+      Study.Tables.fix_strategies analyses;
+      Study.Tables.unsafe_stats ();
+      Study.Figures.figure1 ();
+      Study.Figures.figure2 ();
+      Study.Detector_eval.render (Study.Detector_eval.run ());
+    ]

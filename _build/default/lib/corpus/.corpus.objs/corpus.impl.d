@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: Blocking_bugs Defs Detector_targets Mem_bugs Nonblocking_bugs Projects Releases Unsafe_usages

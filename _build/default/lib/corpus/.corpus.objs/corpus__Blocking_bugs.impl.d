@@ -1,0 +1,1 @@
+lib/corpus/blocking_bugs.ml: Defs Detectors

@@ -1,0 +1,1 @@
+lib/corpus/detector_targets.ml: Detectors

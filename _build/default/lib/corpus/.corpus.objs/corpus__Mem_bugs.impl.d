@@ -1,0 +1,1 @@
+lib/corpus/mem_bugs.ml: Defs Detectors

@@ -1,0 +1,1 @@
+lib/corpus/nonblocking_bugs.ml: Defs Detectors

@@ -1,0 +1,1 @@
+lib/corpus/unsafe_usages.ml:

@@ -1,0 +1,1055 @@
+(** The 59 blocking bugs of the study (Table 3), one RustLite program
+    each. Primitive totals match the paper: Mutex&RwLock 38 (30 double
+    locks, 7 conflicting orders, 1 forgotten unlock in a hand-rolled
+    mutex), Condvar 10, Channel 6, Once 1, Other 4. Per-project rows
+    match Table 3 (Servo 13, Ethereum 34, TiKV 4, Redox 2, libraries 6).
+    Within the double locks, six have the first lock in a match
+    condition and five in an if condition, as in §6.1. *)
+
+open Defs
+
+let dl ~id ~project ~year ~month ?fixed_source ~description src =
+  blocking ~id ~project ~year ~month ~primitive:Mutex_rwlock ?fixed_source
+    ~expected:[ Detectors.Report.Double_lock ]
+    ~description src
+
+let clo ~id ~project ~year ~month ~description ?fixed_source src =
+  blocking ~id ~project ~year ~month ~primitive:Mutex_rwlock ?fixed_source
+    ~expected:[ Detectors.Report.Conflicting_lock_order ]
+    ~description src
+
+(* ---------------------------------------------------------------- *)
+(* Double locks with the first lock in a match condition (6)          *)
+(* ---------------------------------------------------------------- *)
+
+let match_cond_double_locks =
+  [
+    dl ~id:"blk-dl-match-request" ~project:TiKV ~year:2017 ~month:6
+      ~description:
+        "Fig.8: read guard from the match condition lives to the end of the \
+         match; the Ok arm write-locks the same RwLock"
+      ~fixed_source:
+        {|
+struct Inner { m: i32 }
+fn connect(x: i32) -> Result<i32, i32> { Ok(x) }
+fn do_request(client: Arc<RwLock<Inner>>) {
+    let result = connect(client.read().unwrap().m);
+    match result {
+        Ok(_) => {
+            let mut inner = client.write().unwrap();
+            inner.m = 1;
+        }
+        Err(_) => {}
+    };
+}
+|}
+      {|
+struct Inner { m: i32 }
+fn connect(x: i32) -> Result<i32, i32> { Ok(x) }
+fn do_request(client: Arc<RwLock<Inner>>) {
+    match connect(client.read().unwrap().m) {
+        Ok(_) => {
+            let mut inner = client.write().unwrap();
+            inner.m = 1;
+        }
+        Err(_) => {}
+    };
+}
+|};
+    dl ~id:"blk-dl-match-peer-state" ~project:Ethereum ~year:2017 ~month:9
+      ~description:
+        "peer table scanned under the match scrutinee's lock; the arm \
+         re-locks to update the peer"
+      {|
+struct Peers { best: u64 }
+fn classify(x: u64) -> Option<u64> { Some(x) }
+fn on_new_block(peers: Arc<Mutex<Peers>>) {
+    match classify(peers.lock().unwrap().best) {
+        Some(n) => {
+            let mut p = peers.lock().unwrap();
+            p.best = n;
+        }
+        None => {}
+    };
+}
+|};
+    dl ~id:"blk-dl-match-tx-pool" ~project:Ethereum ~year:2018 ~month:1
+      ~description:
+        "transaction-pool status matched while its guard is alive; the \
+         insertion arm locks the pool again"
+      {|
+struct Pool { pending: usize }
+fn room_for(p: usize) -> Result<usize, ()> { Ok(p) }
+fn import_tx(pool: Arc<RwLock<Pool>>) {
+    match room_for(pool.read().unwrap().pending) {
+        Ok(_) => {
+            let mut w = pool.write().unwrap();
+            w.pending = w.pending + 1;
+        }
+        Err(_) => {}
+    };
+}
+|};
+    dl ~id:"blk-dl-match-snapshot" ~project:Ethereum ~year:2018 ~month:4
+      ~description:
+        "snapshot service matches on the manifest under a read guard and \
+         write-locks in the restore arm"
+      {|
+struct Manifest { blocks: u64 }
+fn validate(b: u64) -> Result<u64, u64> { Ok(b) }
+fn restore(svc: Arc<RwLock<Manifest>>) {
+    match validate(svc.read().unwrap().blocks) {
+        Ok(n) => {
+            let mut m = svc.write().unwrap();
+            m.blocks = n;
+        }
+        Err(_) => {}
+    };
+}
+|};
+    dl ~id:"blk-dl-match-header-chain" ~project:Ethereum ~year:2018 ~month:8
+      ~description:
+        "light-client header chain: best-header match arm locks the chain a \
+         second time"
+      {|
+struct Chain { height: u64 }
+fn need_sync(h: u64) -> Option<u64> { Some(h) }
+fn sync_step(chain: Arc<Mutex<Chain>>) {
+    match need_sync(chain.lock().unwrap().height) {
+        Some(target) => {
+            let mut c = chain.lock().unwrap();
+            c.height = target;
+        }
+        None => {}
+    };
+}
+|};
+    dl ~id:"blk-dl-match-constraint" ~project:Servo ~year:2016 ~month:3
+      ~description:
+        "layout constraint solver matches a cached measure under lock and \
+         re-enters the cache lock in the miss arm"
+      {|
+struct Cache { entries: usize }
+fn lookup(n: usize) -> Option<usize> { Some(n) }
+fn measure(cache: Arc<Mutex<Cache>>) {
+    match lookup(cache.lock().unwrap().entries) {
+        Some(_) => {}
+        None => {
+            let mut c = cache.lock().unwrap();
+            c.entries = c.entries + 1;
+        }
+    };
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Double locks with the first lock in an if condition (5)            *)
+(* ---------------------------------------------------------------- *)
+
+let if_cond_double_locks =
+  [
+    dl ~id:"blk-dl-if-queue-depth" ~project:Ethereum ~year:2017 ~month:5
+      ~description:
+        "verification queue: depth checked in the if condition, drained \
+         under a second lock in the body"
+      {|
+struct Queue { depth: usize }
+fn drain_if_full(q: Arc<Mutex<Queue>>) {
+    if q.lock().unwrap().depth > 100 {
+        let mut g = q.lock().unwrap();
+        g.depth = 0;
+    }
+}
+|}
+      ~fixed_source:
+        {|
+struct Queue { depth: usize }
+fn drain_if_full(q: Arc<Mutex<Queue>>) {
+    let full = q.lock().unwrap().depth > 100;
+    if full {
+        let mut g = q.lock().unwrap();
+        g.depth = 0;
+    }
+}
+|};
+    dl ~id:"blk-dl-if-miner-sealing" ~project:Ethereum ~year:2017 ~month:11
+      ~description:
+        "miner re-locks the sealing work queue inside the branch guarded by \
+         its own lock"
+      {|
+struct Sealing { enabled: bool }
+fn update_sealing(work: Arc<Mutex<Sealing>>) {
+    if work.lock().unwrap().enabled {
+        let mut s = work.lock().unwrap();
+        s.enabled = false;
+    }
+}
+|};
+    dl ~id:"blk-dl-if-session-count" ~project:Ethereum ~year:2018 ~month:2
+      ~description:
+        "network sessions counted in the condition; eviction path locks the \
+         session map again"
+      {|
+struct Sessions { active: usize }
+fn evict(map: Arc<RwLock<Sessions>>) {
+    if map.read().unwrap().active > 50 {
+        let mut m = map.write().unwrap();
+        m.active = m.active - 1;
+    }
+}
+|};
+    dl ~id:"blk-dl-if-paint-order" ~project:Servo ~year:2016 ~month:9
+      ~description:
+        "compositor checks the pending-paint flag and re-locks the frame \
+         tree to clear it"
+      {|
+struct FrameTree { dirty: bool }
+fn repaint(tree: Arc<Mutex<FrameTree>>) {
+    if tree.lock().unwrap().dirty {
+        let mut t = tree.lock().unwrap();
+        t.dirty = false;
+    }
+}
+|};
+    dl ~id:"blk-dl-if-raft-apply" ~project:TiKV ~year:2017 ~month:12
+      ~description:
+        "raft apply worker checks the committed index under lock and locks \
+         again to advance it"
+      {|
+struct RaftState { applied: u64, committed: u64 }
+fn advance(store: Arc<Mutex<RaftState>>) {
+    if store.lock().unwrap().applied < store.lock().unwrap().committed {
+        let mut s = store.lock().unwrap();
+        s.applied = s.applied + 1;
+    }
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Other double locks: sequential, interprocedural, nested (19)       *)
+(* ---------------------------------------------------------------- *)
+
+let other_double_locks =
+  [
+    dl ~id:"blk-dl-seq-client-report" ~project:Ethereum ~year:2017 ~month:2
+      ~fixed_source:{|
+struct Report { imported: u64 }
+fn bump(report: Arc<Mutex<Report>>) {
+    let mut r = report.lock().unwrap();
+    r.imported = r.imported + 1;
+}
+|}
+      ~description:"client report helper takes the state lock twice in a row"
+      {|
+struct Report { imported: u64 }
+fn bump(report: Arc<Mutex<Report>>) {
+    let r = report.lock().unwrap();
+    let total = r.imported;
+    let mut again = report.lock().unwrap();
+    again.imported = total + 1;
+}
+|};
+    dl ~id:"blk-dl-seq-sync-status" ~project:Ethereum ~year:2017 ~month:7
+      ~description:
+        "sync-status snapshot still borrowed when the updater locks the \
+         status struct again"
+      {|
+struct Status { highest: u64 }
+fn refresh(status: Arc<RwLock<Status>>) {
+    let snapshot = status.read().unwrap();
+    let h = snapshot.highest;
+    let mut w = status.write().unwrap();
+    w.highest = h + 1;
+}
+|};
+    dl ~id:"blk-dl-seq-engine-step" ~project:Ethereum ~year:2018 ~month:6
+      ~description:"consensus engine step keeps the step guard across re-lock"
+      {|
+struct Step { inner: u64 }
+fn step(engine: Arc<Mutex<Step>>) {
+    let cur = engine.lock().unwrap();
+    let base = cur.inner;
+    let mut next = engine.lock().unwrap();
+    next.inner = base + 1;
+}
+|};
+    dl ~id:"blk-dl-interproc-flush" ~project:Ethereum ~year:2017 ~month:10
+      ~fixed_source:{|
+struct WriteQueue { buffered: usize }
+struct Db { queue: Mutex<WriteQueue> }
+impl Db {
+    fn flush(&self) {
+        let q = self.queue.lock().unwrap();
+    }
+    fn push(&self) {
+        let q = self.queue.lock().unwrap();
+        drop(q);
+        self.flush();
+    }
+}
+|}
+      ~description:
+        "push() holds the queue lock and calls flush(), which locks the \
+         same queue (cross-function double lock)"
+      {|
+struct WriteQueue { buffered: usize }
+impl WriteQueue {}
+struct Db { queue: Mutex<WriteQueue> }
+impl Db {
+    fn flush(&self) {
+        let q = self.queue.lock().unwrap();
+    }
+    fn push(&self) {
+        let q = self.queue.lock().unwrap();
+        self.flush();
+    }
+}
+|};
+    dl ~id:"blk-dl-interproc-gc" ~project:Ethereum ~year:2018 ~month:3
+      ~description:
+        "journal GC helper re-acquires the journal lock taken by its caller"
+      {|
+struct Journal { era: u64 }
+struct JournalDb { journal: Mutex<Journal> }
+impl JournalDb {
+    fn mark_canonical(&self) {
+        let j = self.journal.lock().unwrap();
+    }
+    fn commit(&self) {
+        let j = self.journal.lock().unwrap();
+        let era = j.era;
+        self.mark_canonical();
+    }
+}
+|};
+    dl ~id:"blk-dl-interproc-metrics" ~project:Ethereum ~year:2018 ~month:9
+      ~description:
+        "metrics recorder called with the informant lock held locks the \
+         informant itself"
+      {|
+struct Informant { reports: u64 }
+struct Node { informant: Mutex<Informant> }
+impl Node {
+    fn record(&self) {
+        let i = self.informant.lock().unwrap();
+    }
+    fn tick(&self) {
+        let i = self.informant.lock().unwrap();
+        let n = i.reports;
+        self.record();
+    }
+}
+|};
+    dl ~id:"blk-dl-interproc-peers" ~project:Ethereum ~year:2018 ~month:11
+      ~description:
+        "peer disconnect path reaches the handshake table lock already held \
+         two frames up"
+      {|
+struct Handshakes { count: usize }
+struct Host { table: Mutex<Handshakes> }
+impl Host {
+    fn kill_connection(&self) {
+        let t = self.table.lock().unwrap();
+    }
+    fn disconnect(&self) {
+        self.kill_connection();
+    }
+    fn on_error(&self) {
+        let t = self.table.lock().unwrap();
+        self.disconnect();
+    }
+}
+|};
+    dl ~id:"blk-dl-rw-upgrade" ~project:Ethereum ~year:2017 ~month:4
+      ~description:
+        "read guard 'upgraded' by calling write() while still held"
+      {|
+struct Cache { size: usize }
+fn upgrade(cache: Arc<RwLock<Cache>>) {
+    let r = cache.read().unwrap();
+    if r.size > 0 {
+        let mut w = cache.write().unwrap();
+        w.size = 0;
+    }
+}
+|};
+    dl ~id:"blk-dl-ww-reorg" ~project:Ethereum ~year:2018 ~month:7
+      ~description:"chain reorg takes the write lock twice on the same chain"
+      {|
+struct ChainHead { number: u64 }
+fn reorg(head: Arc<RwLock<ChainHead>>) {
+    let mut a = head.write().unwrap();
+    a.number = 0;
+    let mut b = head.write().unwrap();
+    b.number = 1;
+}
+|};
+    dl ~id:"blk-dl-loop-retry" ~project:Ethereum ~year:2018 ~month:10
+      ~description:
+        "retry loop acquires the nonce lock while the previous iteration's \
+         guard is bound outside the loop"
+      {|
+struct NonceCache { next: u64 }
+fn reserve_two(nonces: Arc<Mutex<NonceCache>>) {
+    let first = nonces.lock().unwrap();
+    let start = first.next;
+    let mut i = 0;
+    while i < 2 {
+        let mut g = nonces.lock().unwrap();
+        g.next = start + 1;
+        i = i + 1;
+    }
+}
+|};
+    dl ~id:"blk-dl-seq-dispatch" ~project:Ethereum ~year:2019 ~month:1
+      ~description:"RPC dispatcher double-locks its subscriber registry"
+      {|
+struct Subs { n: usize }
+fn publish(subs: Arc<Mutex<Subs>>) {
+    let s = subs.lock().unwrap();
+    let n = s.n;
+    let t = subs.lock().unwrap();
+}
+|};
+    dl ~id:"blk-dl-seq-price-oracle" ~project:Ethereum ~year:2019 ~month:2
+      ~description:"gas-price oracle recomputes under a second overlapping lock"
+      {|
+struct Oracle { median: u64 }
+fn recompute(oracle: Arc<RwLock<Oracle>>) {
+    let cur = oracle.read().unwrap();
+    let old = cur.median;
+    let mut w = oracle.write().unwrap();
+    w.median = old;
+}
+|};
+    dl ~id:"blk-dl-seq-wallet" ~project:Ethereum ~year:2017 ~month:8
+      ~description:"wallet refresh holds the keystore guard across re-lock"
+      {|
+struct KeyStore { keys: usize }
+fn refresh(store: Arc<Mutex<KeyStore>>) {
+    let ks = store.lock().unwrap();
+    let n = ks.keys;
+    let again = store.lock().unwrap();
+}
+|};
+    dl ~id:"blk-dl-seq-trace-db" ~project:Ethereum ~year:2018 ~month:12
+      ~description:"trace database import path re-enters its bloom lock"
+      {|
+struct Blooms { groups: u64 }
+fn import(db: Arc<Mutex<Blooms>>) {
+    let b = db.lock().unwrap();
+    let g = b.groups;
+    let c = db.lock().unwrap();
+}
+|};
+    dl ~id:"blk-dl-seq-state-diff" ~project:Ethereum ~year:2019 ~month:5
+      ~description:"state-diff builder keeps the checkpoint guard while re-locking"
+      {|
+struct Checkpoints { depth: usize }
+fn diff(cp: Arc<Mutex<Checkpoints>>) {
+    let a = cp.lock().unwrap();
+    let d = a.depth;
+    let b = cp.lock().unwrap();
+}
+|};
+    dl ~id:"blk-dl-script-timer" ~project:Servo ~year:2017 ~month:2
+      ~description:"script timer scheduler double-locks its timer list"
+      {|
+struct Timers { active: usize }
+fn schedule(timers: Arc<Mutex<Timers>>) {
+    let t = timers.lock().unwrap();
+    let n = t.active;
+    let u = timers.lock().unwrap();
+}
+|};
+    dl ~id:"blk-dl-canvas-state" ~project:Servo ~year:2017 ~month:6
+      ~description:
+        "canvas paint thread re-locks the canvas state it is iterating"
+      {|
+struct CanvasState { ops: usize }
+fn flush_ops(state: Arc<Mutex<CanvasState>>) {
+    let s = state.lock().unwrap();
+    let n = s.ops;
+    let again = state.lock().unwrap();
+}
+|};
+    dl ~id:"blk-dl-font-cache" ~project:Servo ~year:2018 ~month:5
+      ~description:"font cache miss path re-enters the cache lock via helper"
+      {|
+struct FontCache { glyphs: usize }
+struct FontContext { cache: Mutex<FontCache> }
+impl FontContext {
+    fn insert(&self) {
+        let c = self.cache.lock().unwrap();
+    }
+    fn get_or_insert(&self) {
+        let c = self.cache.lock().unwrap();
+        let g = c.glyphs;
+        self.insert();
+    }
+}
+|};
+    dl ~id:"blk-dl-scheme-registry" ~project:Redox ~year:2017 ~month:3
+      ~description:"scheme registry double-locks while registering a scheme"
+      {|
+struct Registry { schemes: usize }
+fn register(reg: Arc<RwLock<Registry>>) {
+    let r = reg.read().unwrap();
+    let n = r.schemes;
+    let mut w = reg.write().unwrap();
+    w.schemes = n + 1;
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Conflicting lock order (7)                                         *)
+(* ---------------------------------------------------------------- *)
+
+let lock_orders =
+  [
+    clo ~id:"blk-clo-chain-import" ~project:Ethereum ~year:2017 ~month:3
+      ~fixed_source:{|
+fn main() {
+    let chain = Arc::new(Mutex::new(0u64));
+    let queue = Arc::new(Mutex::new(0u64));
+    let c2 = chain.clone();
+    let q2 = queue.clone();
+    let miner = thread::spawn(move || {
+        let c = c2.lock().unwrap();
+        let q = q2.lock().unwrap();
+    });
+    let c = chain.lock().unwrap();
+    let q = queue.lock().unwrap();
+}
+|}
+      ~description:
+        "import thread locks chain then queue; miner thread locks queue then \
+         chain"
+      {|
+fn main() {
+    let chain = Arc::new(Mutex::new(0u64));
+    let queue = Arc::new(Mutex::new(0u64));
+    let c2 = chain.clone();
+    let q2 = queue.clone();
+    let miner = thread::spawn(move || {
+        let q = q2.lock().unwrap();
+        let c = c2.lock().unwrap();
+    });
+    let c = chain.lock().unwrap();
+    let q = queue.lock().unwrap();
+}
+|};
+    clo ~id:"blk-clo-sync-peers" ~project:Ethereum ~year:2017 ~month:12
+      ~description:"sync handler and peer reaper take peers/state in opposite order"
+      {|
+fn main() {
+    let peers = Arc::new(Mutex::new(0u32));
+    let state = Arc::new(Mutex::new(0u32));
+    let p2 = peers.clone();
+    let s2 = state.clone();
+    let reaper = thread::spawn(move || {
+        let s = s2.lock().unwrap();
+        let p = p2.lock().unwrap();
+    });
+    let p = peers.lock().unwrap();
+    let s = state.lock().unwrap();
+}
+|};
+    clo ~id:"blk-clo-miner-work" ~project:Ethereum ~year:2018 ~month:5
+      ~description:"sealing work and transaction queue locked in opposite orders"
+      {|
+fn main() {
+    let work = Arc::new(Mutex::new(1u8));
+    let txq = Arc::new(Mutex::new(2u8));
+    let w2 = work.clone();
+    let t2 = txq.clone();
+    let sealer = thread::spawn(move || {
+        let t = t2.lock().unwrap();
+        let w = w2.lock().unwrap();
+    });
+    let w = work.lock().unwrap();
+    let t = txq.lock().unwrap();
+}
+|};
+    clo ~id:"blk-clo-snapshot-service" ~project:Ethereum ~year:2018 ~month:10
+      ~description:"snapshot reader and pruner disagree on manifest/io lock order"
+      {|
+fn main() {
+    let manifest = Arc::new(Mutex::new(0u64));
+    let io = Arc::new(Mutex::new(0u64));
+    let m2 = manifest.clone();
+    let i2 = io.clone();
+    let pruner = thread::spawn(move || {
+        let i = i2.lock().unwrap();
+        let m = m2.lock().unwrap();
+    });
+    let m = manifest.lock().unwrap();
+    let i = io.lock().unwrap();
+}
+|};
+    clo ~id:"blk-clo-rpc-signer" ~project:Ethereum ~year:2019 ~month:6
+      ~description:"signer queue and account store locked in opposite orders"
+      {|
+fn main() {
+    let signer = Arc::new(Mutex::new(0u16));
+    let accounts = Arc::new(Mutex::new(0u16));
+    let sg = signer.clone();
+    let ac = accounts.clone();
+    let ui = thread::spawn(move || {
+        let a = ac.lock().unwrap();
+        let s = sg.lock().unwrap();
+    });
+    let s = signer.lock().unwrap();
+    let a = accounts.lock().unwrap();
+}
+|};
+    clo ~id:"blk-clo-constellation" ~project:Servo ~year:2016 ~month:6
+      ~description:
+        "constellation and compositor exchange pipeline/frame locks in \
+         opposite orders"
+      {|
+fn main() {
+    let pipelines = Arc::new(Mutex::new(0u32));
+    let frames = Arc::new(Mutex::new(0u32));
+    let pp = pipelines.clone();
+    let ff = frames.clone();
+    let compositor = thread::spawn(move || {
+        let f = ff.lock().unwrap();
+        let p = pp.lock().unwrap();
+    });
+    let p = pipelines.lock().unwrap();
+    let f = frames.lock().unwrap();
+}
+|};
+    clo ~id:"blk-clo-scheduler" ~project:TiKV ~year:2018 ~month:8
+      ~description:"scheduler latches and store meta taken in opposite orders"
+      {|
+fn main() {
+    let latches = Arc::new(Mutex::new(0u64));
+    let meta = Arc::new(Mutex::new(0u64));
+    let l2 = latches.clone();
+    let m2 = meta.clone();
+    let worker = thread::spawn(move || {
+        let m = m2.lock().unwrap();
+        let l = l2.lock().unwrap();
+    });
+    let l = latches.lock().unwrap();
+    let m = meta.lock().unwrap();
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Forgotten unlock in a hand-rolled mutex (1)                        *)
+(* ---------------------------------------------------------------- *)
+
+let forgot_unlock =
+  [
+    blocking ~id:"blk-forgot-unlock-spin" ~project:Redox ~year:2016 ~month:11
+      ~primitive:Mutex_rwlock ~fix:Other_blocking_fix ~expected:[]
+      ~description:
+        "hand-rolled spinlock: the early-return path never stores false, so \
+         every later acquire spins forever (not detectable by the \
+         double-lock analysis — it models std guards only)"
+      {|
+fn acquire_and_leak(flag: Arc<Mutex<bool>>, early: bool) {
+    let mut held = flag.lock().unwrap();
+    if early {
+        return;
+    }
+    *held = false;
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Condvar (10): 8 missed/misrouted notifications, 2 undetected       *)
+(* ---------------------------------------------------------------- *)
+
+let condvars =
+  let wait ~id ~project ~year ~month ~description
+      ?(expected = [ Detectors.Report.Condvar_lost_wakeup ])
+      ?(fix = Adjust_sync) ?fixed_source src =
+    blocking ~id ~project ~year ~month ~primitive:Condvar ~fix ?fixed_source
+      ~expected ~description src
+  in
+  [
+    wait ~id:"blk-cv-io-shutdown" ~project:Ethereum ~year:2017 ~month:1
+      ~fixed_source:{|
+struct IoShared { lock: Mutex<bool>, done: Condvar }
+fn wait_shutdown(shared: Arc<IoShared>) {
+    let mut stopped = shared.lock.lock().unwrap();
+    while !*stopped {
+        stopped = shared.done.wait(stopped).unwrap();
+    }
+}
+fn worker_exit(shared: Arc<IoShared>) {
+    let mut stopped = shared.lock.lock().unwrap();
+    *stopped = true;
+    shared.done.notify_all();
+}
+|}
+      ~description:
+        "IO service shutdown waits on its condvar but no worker ever \
+         notifies it"
+      {|
+struct IoShared { lock: Mutex<bool>, done: Condvar }
+fn wait_shutdown(shared: Arc<IoShared>) {
+    let mut stopped = shared.lock.lock().unwrap();
+    while !*stopped {
+        stopped = shared.done.wait(stopped).unwrap();
+    }
+}
+|};
+    wait ~id:"blk-cv-verifier-idle" ~project:Ethereum ~year:2017 ~month:6
+      ~description:
+        "verifier threads wait for work on `more_work` but the producer \
+         notifies the unrelated `idle` condvar"
+      {|
+struct VerifierShared { lock: Mutex<usize>, more_work: Condvar, idle: Condvar }
+fn verifier_loop(shared: Arc<VerifierShared>) {
+    let mut jobs = shared.lock.lock().unwrap();
+    while *jobs == 0 {
+        jobs = shared.more_work.wait(jobs).unwrap();
+    }
+}
+fn producer(shared: Arc<VerifierShared>) {
+    let mut jobs = shared.lock.lock().unwrap();
+    *jobs = *jobs + 1;
+    shared.idle.notify_all();
+}
+|};
+    wait ~id:"blk-cv-price-fetch" ~project:Ethereum ~year:2018 ~month:2
+      ~description:"price fetcher waits for a fill that is never signalled"
+      {|
+struct Fetch { lock: Mutex<bool>, filled: Condvar }
+fn await_price(f: Arc<Fetch>) {
+    let mut ready = f.lock.lock().unwrap();
+    while !*ready {
+        ready = f.filled.wait(ready).unwrap();
+    }
+}
+fn fill(f: Arc<Fetch>) {
+    let mut ready = f.lock.lock().unwrap();
+    *ready = true;
+}
+|};
+    wait ~id:"blk-cv-client-service" ~project:Ethereum ~year:2018 ~month:6
+      ~description:"client service start gate never receives its wakeup"
+      {|
+struct Gate { lock: Mutex<bool>, open: Condvar }
+fn wait_open(gate: Arc<Gate>) {
+    let mut is_open = gate.lock.lock().unwrap();
+    while !*is_open {
+        is_open = gate.open.wait(is_open).unwrap();
+    }
+}
+|};
+    wait ~id:"blk-cv-worker-park" ~project:Ethereum ~year:2018 ~month:9
+      ~description:
+        "parked deal worker is woken via the stats condvar, not the park one"
+      {|
+struct Park { lock: Mutex<usize>, unpark: Condvar, stats: Condvar }
+fn park_worker(p: Arc<Park>) {
+    let mut pending = p.lock.lock().unwrap();
+    while *pending == 0 {
+        pending = p.unpark.wait(pending).unwrap();
+    }
+}
+fn submit(p: Arc<Park>) {
+    let mut pending = p.lock.lock().unwrap();
+    *pending = *pending + 1;
+    p.stats.notify_one();
+}
+|};
+    wait ~id:"blk-cv-timer-thread" ~project:Ethereum ~year:2019 ~month:1
+      ~description:"timer thread sleeps on a condvar nobody signals at shutdown"
+      {|
+struct TimerShared { lock: Mutex<bool>, tick: Condvar }
+fn timer_loop(t: Arc<TimerShared>) {
+    let mut stop = t.lock.lock().unwrap();
+    while !*stop {
+        stop = t.tick.wait(stop).unwrap();
+    }
+}
+|};
+    wait ~id:"blk-cv-pool-drain" ~project:Libraries ~year:2017 ~month:4
+      ~fixed_source:{|
+struct PoolShared { lock: Mutex<usize>, drained: Condvar }
+fn join_pool(pool: Arc<PoolShared>) {
+    let mut active = pool.lock.lock().unwrap();
+    while *active > 0 {
+        active = pool.drained.wait(active).unwrap();
+    }
+}
+fn worker_done(pool: Arc<PoolShared>) {
+    let mut active = pool.lock.lock().unwrap();
+    *active = *active - 1;
+    pool.drained.notify_one();
+}
+|}
+      ~description:
+        "threadpool join waits for the drained signal; workers decrement the \
+         count but never notify"
+      {|
+struct PoolShared { lock: Mutex<usize>, drained: Condvar }
+fn join_pool(pool: Arc<PoolShared>) {
+    let mut active = pool.lock.lock().unwrap();
+    while *active > 0 {
+        active = pool.drained.wait(active).unwrap();
+    }
+}
+fn worker_done(pool: Arc<PoolShared>) {
+    let mut active = pool.lock.lock().unwrap();
+    *active = *active - 1;
+}
+|};
+    wait ~id:"blk-cv-scoped-join" ~project:Libraries ~year:2018 ~month:1
+      ~description:"scoped-thread join gate misses its notification"
+      {|
+struct ScopeGate { lock: Mutex<bool>, finished: Condvar }
+fn scope_join(g: Arc<ScopeGate>) {
+    let mut done = g.lock.lock().unwrap();
+    while !*done {
+        done = g.finished.wait(done).unwrap();
+    }
+}
+|};
+    (* the two bugs our detector does not model: a notify exists and is
+       reachable, but ordering makes it land before the wait *)
+    wait ~id:"blk-cv-lost-prenotify" ~project:TiKV ~year:2018 ~month:7
+      ~expected:[] ~fix:Other_blocking_fix
+      ~description:
+        "notify_one runs before the waiter reaches wait(); the wakeup is \
+         lost (needs happens-before reasoning, undetected)"
+      {|
+struct Ready { lock: Mutex<bool>, cv: Condvar }
+fn notifier(r: Arc<Ready>) {
+    let mut ok = r.lock.lock().unwrap();
+    *ok = true;
+    r.cv.notify_one();
+}
+fn waiter(r: Arc<Ready>) {
+    let mut ok = r.lock.lock().unwrap();
+    while !*ok {
+        ok = r.cv.wait(ok).unwrap();
+    }
+}
+|};
+    wait ~id:"blk-cv-two-stage" ~project:Libraries ~year:2019 ~month:2
+      ~expected:[] ~fix:Other_blocking_fix
+      ~description:
+        "thread A waits for B's lock release, B waits for A's notify_all: a \
+         wait/lock cycle (undetected)"
+      {|
+struct Stage { lock: Mutex<usize>, go: Condvar }
+fn stage_a(s: Arc<Stage>) {
+    let mut phase = s.lock.lock().unwrap();
+    while *phase < 1 {
+        phase = s.go.wait(phase).unwrap();
+    }
+}
+fn stage_b(s: Arc<Stage>) {
+    let mut phase = s.lock.lock().unwrap();
+    *phase = 1;
+    s.go.notify_all();
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Channel (6)                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let channels =
+  let chan ~id ~project ~year ~month ~description ?(expected = [])
+      ?(fix = Adjust_sync) ?fixed_source src =
+    blocking ~id ~project ~year ~month ~primitive:Channel ~fix ?fixed_source
+      ~expected ~description src
+  in
+  [
+    chan ~id:"blk-ch-paint-worker" ~project:Servo ~year:2016 ~month:2
+      ~fixed_source:{|
+fn main() {
+    let (tx, rx) = channel::<u32>();
+    let worker = thread::spawn(move || {
+        let job = rx.recv().unwrap();
+    });
+    tx.send(42u32);
+}
+|}
+      ~expected:[ Detectors.Report.Channel_deadlock ]
+      ~description:
+        "paint worker blocks on recv but every sender was dropped before \
+         sending"
+      {|
+fn main() {
+    let (tx, rx) = channel::<u32>();
+    let worker = thread::spawn(move || {
+        let job = rx.recv().unwrap();
+    });
+    drop(tx);
+}
+|};
+    chan ~id:"blk-ch-image-cache" ~project:Servo ~year:2016 ~month:8
+      ~expected:[ Detectors.Report.Channel_deadlock ]
+      ~description:
+        "image cache thread waits for decoder results that are never produced"
+      {|
+fn main() {
+    let (result_tx, result_rx) = channel::<u8>();
+    let cache = thread::spawn(move || {
+        let decoded = result_rx.recv().unwrap();
+    });
+}
+|};
+    chan ~id:"blk-ch-mutual-wait" ~project:Servo ~year:2017 ~month:4
+      ~description:
+        "script and layout each wait for the other's message before sending \
+         their own (undetected: sends exist, ordering kills them)"
+      {|
+fn main() {
+    let (to_layout, from_script) = channel::<u8>();
+    let (to_script, from_layout) = channel::<u8>();
+    let layout = thread::spawn(move || {
+        let msg = from_script.recv().unwrap();
+        to_script.send(1u8);
+    });
+    let reply = from_layout.recv().unwrap();
+    to_layout.send(0u8);
+}
+|};
+    chan ~id:"blk-ch-three-way" ~project:Servo ~year:2017 ~month:10
+      ~description:
+        "three threads form a message cycle; each recv blocks before any send \
+         (undetected)"
+      {|
+fn main() {
+    let (ta, ra) = channel::<u8>();
+    let (tb, rb) = channel::<u8>();
+    let t1 = thread::spawn(move || {
+        let x = rb.recv().unwrap();
+        ta.send(x);
+    });
+    let y = ra.recv().unwrap();
+    tb.send(y);
+}
+|};
+    chan ~id:"blk-ch-lock-held" ~project:Servo ~year:2018 ~month:3
+      ~description:
+        "receiver holds a lock while blocking in recv; the sender needs that \
+         lock to send (undetected)"
+      {|
+struct Shared { seq: u64 }
+fn main() {
+    let state = Arc::new(Mutex::new(0u64));
+    let (tx, rx) = channel::<u64>();
+    let s2 = state.clone();
+    let sender = thread::spawn(move || {
+        let guard = s2.lock().unwrap();
+        tx.send(*guard);
+    });
+    let held = state.lock().unwrap();
+    let v = rx.recv().unwrap();
+}
+|};
+    chan ~id:"blk-ch-bounded-full" ~project:Libraries ~year:2018 ~month:5
+      ~fix:Other_blocking_fix
+      ~description:
+        "send blocks on a full bounded channel whose receiver is gone \
+         (undetected: needs buffer-size reasoning)"
+      {|
+fn main() {
+    let (tx, rx) = sync_channel::<u8>();
+    drop(rx);
+    tx.send(1u8);
+    tx.send(2u8);
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Once (1)                                                           *)
+(* ---------------------------------------------------------------- *)
+
+let onces =
+  [
+    blocking ~id:"blk-once-recursive-init" ~project:Libraries ~year:2017
+      ~month:9 ~primitive:Once
+      ~expected:[ Detectors.Report.Double_lock ]
+      ~description:
+        "lazy_static-style initializer recursively enters call_once on the \
+         same Once"
+      {|
+static INIT: Once = Once::new();
+fn init_all() {
+    INIT.call_once(|| {
+        init_logging();
+    });
+}
+fn init_logging() {
+    INIT.call_once(|| {
+        let x = 1;
+    });
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Other blocking (4)                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let others =
+  let other ~id ~project ~year ~month ~description src =
+    blocking ~id ~project ~year ~month ~primitive:Other_blk
+      ~fix:Other_blocking_fix ~expected:[] ~description src
+  in
+  [
+    other ~id:"blk-other-win-api" ~project:Servo ~year:2017 ~month:7
+      ~description:
+        "platform event-loop API blocks forever on Windows when no window \
+         exists (fixed by a non-blocking call)"
+      {|
+fn pump_events() {
+    let code = GetMessageW();
+}
+|};
+    other ~id:"blk-other-busy-flag" ~project:Servo ~year:2018 ~month:9
+      ~description:"busy loop on a plain bool the other thread's write never reaches"
+      {|
+fn spin_until(done: bool) {
+    while !done {
+        let x = 1;
+    }
+}
+|};
+    other ~id:"blk-other-busy-poll" ~project:Ethereum ~year:2018 ~month:4
+      ~description:"poll loop spins on an import counter that stalls"
+      {|
+fn wait_import(imported: u64, target: u64) {
+    while imported < target {
+        thread::sleep(10);
+    }
+}
+|};
+    other ~id:"blk-other-join-self" ~project:Libraries ~year:2018 ~month:12
+      ~description:
+        "pool shutdown joins a worker that is itself waiting for the pool \
+         queue to close"
+      {|
+fn shutdown() {
+    let worker = thread::spawn(move || {
+        let x = 1;
+    });
+    let r = worker.join();
+}
+|};
+  ]
+
+(** All 59 blocking bugs. *)
+let all =
+  match_cond_double_locks @ if_cond_double_locks @ other_double_locks
+  @ lock_orders @ forgot_unlock @ condvars @ channels @ onces @ others

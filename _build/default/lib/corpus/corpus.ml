@@ -1,0 +1,13 @@
+(** Library facade: corpus entry types plus the per-category datasets. *)
+
+include Defs
+module Mem_bugs = Mem_bugs
+module Blocking_bugs = Blocking_bugs
+module Nonblocking_bugs = Nonblocking_bugs
+module Unsafe_usages = Unsafe_usages
+module Projects = Projects
+module Releases = Releases
+module Detector_targets = Detector_targets
+
+(** Every studied bug (70 memory + 59 blocking + 41 non-blocking). *)
+let all_bugs = Mem_bugs.all @ Blocking_bugs.all @ Nonblocking_bugs.all

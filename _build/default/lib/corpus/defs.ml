@@ -1,0 +1,140 @@
+(** The study corpus: one RustLite program per studied bug, plus the
+    metadata the paper's tables need.
+
+    This corpus substitutes for the paper's raw data (GitHub commits of
+    Servo/Tock/Ethereum/TiKV/Redox, five libraries and the CVE/RustSec
+    databases, which we cannot redistribute or re-crawl): every studied
+    bug is encoded as a self-contained program exhibiting the same
+    pattern, with the survey-style metadata (project, patch date, fix
+    strategy, usage purpose) carried alongside. Classifications that
+    the paper derived from code — bug category, effect-in-unsafe,
+    synchronization primitive, sharing mechanism — are *recomputed*
+    from the programs by the study layer, not read from metadata. *)
+
+type project = Servo | Tock | Ethereum | TiKV | Redox | Libraries | Cve
+
+let project_name = function
+  | Servo -> "Servo"
+  | Tock -> "Tock"
+  | Ethereum -> "Ethereum"
+  | TiKV -> "TiKV"
+  | Redox -> "Redox"
+  | Libraries -> "libraries"
+  | Cve -> "CVE"
+
+let all_projects = [ Servo; Tock; Ethereum; TiKV; Redox; Libraries; Cve ]
+
+(** Memory-bug effect categories (Table 2 columns). *)
+type mem_effect =
+  | Buffer
+  | Null
+  | Uninitialized
+  | Invalid
+  | UAF
+  | DoubleFree
+
+let mem_effect_name = function
+  | Buffer -> "Buffer"
+  | Null -> "Null"
+  | Uninitialized -> "Uninitialized"
+  | Invalid -> "Invalid"
+  | UAF -> "UAF"
+  | DoubleFree -> "Double free"
+
+(** Memory-bug fixing strategies (§5.2). *)
+type mem_fix = Cond_skip | Adjust_lifetime | Change_operands | Other_fix
+
+let mem_fix_name = function
+  | Cond_skip -> "conditionally skip code"
+  | Adjust_lifetime -> "adjust lifetime"
+  | Change_operands -> "change unsafe operands"
+  | Other_fix -> "other"
+
+(** Blocking-bug synchronization primitives (Table 3 columns). *)
+type blocking_primitive = Mutex_rwlock | Condvar | Channel | Once | Other_blk
+
+let blocking_primitive_name = function
+  | Mutex_rwlock -> "Mutex&RwLock"
+  | Condvar -> "Condvar"
+  | Channel -> "Channel"
+  | Once -> "Once"
+  | Other_blk -> "Other"
+
+(** Blocking-bug fix strategies (§6.1). *)
+type blocking_fix = Adjust_sync | Other_blocking_fix
+
+(** Data-sharing mechanisms of non-blocking bugs (Table 4 columns). *)
+type sharing =
+  | Sh_global  (** static mut *)
+  | Sh_pointer  (** raw pointer across threads *)
+  | Sh_sync  (** unsafe impl Sync *)
+  | Sh_os  (** OS / hardware resource *)
+  | Sh_atomic
+  | Sh_mutex
+  | Sh_msg  (** message passing *)
+
+let sharing_name = function
+  | Sh_global -> "Global"
+  | Sh_pointer -> "Pointer"
+  | Sh_sync -> "Sync"
+  | Sh_os -> "O.H."
+  | Sh_atomic -> "Atomic"
+  | Sh_mutex -> "Mutex"
+  | Sh_msg -> "MSG"
+
+(** Non-blocking fix strategies (§6.2). *)
+type nb_fix = Fix_atomic | Fix_order | Fix_avoid_share | Fix_copy | Fix_logic
+
+let nb_fix_name = function
+  | Fix_atomic -> "enforce atomicity"
+  | Fix_order -> "enforce ordering"
+  | Fix_avoid_share -> "avoid sharing"
+  | Fix_copy -> "local copy"
+  | Fix_logic -> "change logic"
+
+type bug_class =
+  | Mem of {
+      effect : mem_effect;
+      cause_unsafe : bool;
+          (** is the patch site (root cause) in unsafe code — survey
+              metadata, matching Table 2's cause dimension *)
+      fix : mem_fix;
+    }
+  | Blocking of { primitive : blocking_primitive; fix : blocking_fix }
+  | NonBlocking of { sharing : sharing; fix : nb_fix }
+
+type entry = {
+  id : string;
+  project : project;
+  year : int;
+  month : int;  (** patch date, for Figure 2 *)
+  class_ : bug_class;
+  source : string;  (** the buggy program *)
+  fixed_source : string option;  (** the patched program, when encoded *)
+  expected : Detectors.Report.kind list;
+      (** detector kinds that must fire on [source] *)
+  description : string;
+}
+
+let entry ~id ~project ~year ~month ~class_ ?fixed_source ~expected
+    ~description source =
+  { id; project; year; month; class_; source; fixed_source; expected; description }
+
+(* Convenience constructors used by the per-category corpus modules. *)
+let mem ~id ~project ~year ~month ~effect ~cause_unsafe ~fix ?fixed_source
+    ~expected ~description source =
+  entry ~id ~project ~year ~month
+    ~class_:(Mem { effect; cause_unsafe; fix })
+    ?fixed_source ~expected ~description source
+
+let blocking ~id ~project ~year ~month ~primitive ?(fix = Adjust_sync)
+    ?fixed_source ~expected ~description source =
+  entry ~id ~project ~year ~month
+    ~class_:(Blocking { primitive; fix })
+    ?fixed_source ~expected ~description source
+
+let non_blocking ~id ~project ~year ~month ~sharing ~fix ?fixed_source
+    ~expected ~description source =
+  entry ~id ~project ~year ~month
+    ~class_:(NonBlocking { sharing; fix })
+    ?fixed_source ~expected ~description source

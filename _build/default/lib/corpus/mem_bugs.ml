@@ -1,0 +1,1209 @@
+(** The 70 memory-safety bugs of the study (Table 2), one RustLite
+    program each. The joint distribution over (error-propagation row ×
+    effect category × interior-unsafe effect) matches Table 2 exactly:
+
+    - safe -> safe: 1 UAF
+    - unsafe -> unsafe: Buffer 4 (1), Null 12 (4), Invalid 5 (3), UAF 2 (2)
+    - safe -> unsafe: Buffer 17 (10), Invalid 1, UAF 11 (4), Double free 2 (2)
+    - unsafe -> safe: Uninitialized 7, Invalid 4, Double free 4
+
+    (parenthesized counts: effect inside an interior-unsafe function).
+    Fix strategies are distributed 30/22/9/9 per §5.2, and per-project
+    counts follow Table 1 (with the CVE/RustSec remainder attributed to
+    the [Cve] pseudo-project). *)
+
+open Defs
+
+(* ---------------------------------------------------------------- *)
+(* safe -> safe (1): the Fig. 5 peek/pop interior-mutability UAF,
+   entirely in safe code (accepted by an early Rust version).        *)
+(* ---------------------------------------------------------------- *)
+
+let safe_safe =
+  [
+    mem ~id:"mem-uaf-peek-pop" ~project:Servo ~year:2013 ~month:4 ~effect:UAF
+      ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "Fig.5: a queue's peek() hands out a reference while pop() drops the \
+         element; the saved reference is then read"
+      {|
+struct Item { v: i32 }
+fn main() {
+    let e = {
+        let head = Item { v: 1 };
+        &head
+    };
+    println!("{}", e.v);
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* unsafe -> unsafe: Buffer x4 (1 interior)                           *)
+(* ---------------------------------------------------------------- *)
+
+let unsafe_buffer =
+  [
+    mem ~id:"mem-buf-sector" ~project:Redox ~year:2017 ~month:2 ~effect:Buffer
+      ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:"disk driver reads one sector past the request size"
+      {|
+pub unsafe fn read_sector(buf: Vec<u8>, count: usize) -> u8 {
+    let base = buf.as_ptr();
+    let last = base.offset(count as isize);
+    *last
+}
+|}
+      ~fixed_source:
+        {|
+pub unsafe fn read_sector(buf: Vec<u8>, count: usize) -> u8 {
+    if count < buf.len() {
+        let base = buf.as_ptr();
+        let last = base.offset(count as isize);
+        return *last;
+    }
+    0u8
+}
+|};
+    mem ~id:"mem-buf-dma-descriptor" ~project:Tock ~year:2017 ~month:9
+      ~effect:Buffer ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:"DMA ring descriptor index wraps one slot too late"
+      {|
+pub unsafe fn next_descriptor(ring: Vec<u32>, head: usize) -> u32 {
+    let slot = head + 1;
+    *ring.get_unchecked(slot)
+}
+|};
+    mem ~id:"mem-buf-mmio-stride" ~project:Tock ~year:2018 ~month:3
+      ~effect:Buffer ~cause_unsafe:true ~fix:Change_operands
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "register window stride multiplies by the wrong element size"
+      {|
+pub unsafe fn read_reg(window: Vec<u32>, bank: usize, reg: usize) -> u32 {
+    let stride = 8;
+    let idx = bank * stride + reg;
+    let p = window.as_ptr().offset(idx as isize);
+    *p
+}
+|};
+    (* interior: unsafe block inside a safe function *)
+    mem ~id:"mem-buf-scheme-copy" ~project:Redox ~year:2017 ~month:11
+      ~effect:Buffer ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "scheme handler memcpy sizes the copy from the source, not the \
+         destination"
+      {|
+fn scheme_copy(dst: Vec<u8>, src: Vec<u8>, n: usize) {
+    unsafe {
+        ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr(), n);
+    }
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* unsafe -> unsafe: Null x12 (4 interior)                            *)
+(* ---------------------------------------------------------------- *)
+
+let unsafe_null =
+  [
+    mem ~id:"mem-null-fontlist" ~project:Servo ~year:2016 ~month:5 ~effect:Null
+      ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:"font enumeration handle starts null and is read directly"
+      {|
+struct FontList { count: i32 }
+pub unsafe fn first_font() -> i32 {
+    let list = ptr::null_mut::<FontList>();
+    (*list).count
+}
+|}
+      ~fixed_source:
+        {|
+struct FontList { count: i32 }
+pub unsafe fn first_font() -> i32 {
+    let list = ptr::null_mut::<FontList>();
+    if !list.is_null() {
+        return (*list).count;
+    }
+    0
+}
+|};
+    mem ~id:"mem-null-gl-context" ~project:Servo ~year:2017 ~month:1
+      ~effect:Null ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:"GL context pointer defaults to null before initialization"
+      {|
+struct GlCtx { id: u32 }
+pub unsafe fn swap_buffers(ready: bool) -> u32 {
+    let mut ctx = ptr::null_mut::<GlCtx>();
+    if ready {
+        ctx = make_context();
+    }
+    (*ctx).id
+}
+pub unsafe fn make_context() -> *mut GlCtx { alloc(16) as *mut GlCtx }
+|};
+    mem ~id:"mem-null-dirent" ~project:Redox ~year:2018 ~month:6 ~effect:Null
+      ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:"readdir result used without checking the end-of-stream null"
+      {|
+struct Dirent { ino: u64 }
+pub unsafe fn next_entry(last: bool) -> u64 {
+    let ent = if last { ptr::null::<Dirent>() } else { read_entry() };
+    (*ent).ino
+}
+pub unsafe fn read_entry() -> *const Dirent { alloc(8) as *const Dirent }
+|};
+    mem ~id:"mem-null-tls-slot" ~project:Redox ~year:2017 ~month:8 ~effect:Null
+      ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:"TLS slot pointer is null on the first thread"
+      {|
+pub unsafe fn tls_get(init: bool) -> u32 {
+    let slot: *mut u32 = if init { alloc(4) as *mut u32 } else { ptr::null_mut() };
+    *slot
+}
+|};
+    mem ~id:"mem-null-pci-bar" ~project:Redox ~year:2018 ~month:1 ~effect:Null
+      ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:"unmapped PCI BAR yields a null MMIO base that is stored"
+      {|
+pub unsafe fn probe_bar() -> u32 {
+    let base = ptr::null_mut::<u32>();
+    let regs = base;
+    *regs
+}
+|};
+    mem ~id:"mem-null-hashmap-probe" ~project:Cve ~year:2018 ~month:9
+      ~effect:Null ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:"raw-table probe returns null bucket on resize race"
+      {|
+struct Bucket { key: u64 }
+pub unsafe fn probe(found: bool) -> u64 {
+    let b = if found { bucket_at() } else { ptr::null_mut::<Bucket>() };
+    (*b).key
+}
+pub unsafe fn bucket_at() -> *mut Bucket { alloc(8) as *mut Bucket }
+|};
+    mem ~id:"mem-null-cstr-env" ~project:Cve ~year:2019 ~month:2 ~effect:Null
+      ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:"getenv-style lookup dereferences the missing-variable null"
+      {|
+pub unsafe fn env_first_byte(present: bool) -> u8 {
+    let v: *const u8 = if present { alloc(1) } else { ptr::null() };
+    *v
+}
+|};
+    mem ~id:"mem-null-frame-parent" ~project:Servo ~year:2016 ~month:10
+      ~effect:Null ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:"root frame has a null parent pointer that layout follows"
+      {|
+struct Frame { depth: i32 }
+pub unsafe fn parent_depth() -> i32 {
+    let parent = ptr::null::<Frame>();
+    (*parent).depth
+}
+|};
+    (* interior: unsafe block inside a safe function *)
+    mem ~id:"mem-null-codec-priv" ~project:Cve ~year:2018 ~month:12
+      ~effect:Null ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:
+        "codec private-data pointer is null until configure() and the \
+         interior-unsafe getter does not check"
+      {|
+struct Codec { rate: u32 }
+fn sample_rate(configured: bool) -> u32 {
+    let priv_: *mut Codec = if configured { new_codec() } else { ptr::null_mut() };
+    unsafe { (*priv_).rate }
+}
+fn new_codec() -> *mut Codec {
+    unsafe { alloc(4) as *mut Codec }
+}
+|};
+    mem ~id:"mem-null-socket-peer" ~project:Libraries ~year:2018 ~month:4
+      ~effect:Null ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:
+        "peer-address accessor dereferences the unbound-socket null inside its \
+         interior unsafe block"
+      {|
+struct SockAddr { port: u16 }
+fn peer_port(bound: bool) -> u16 {
+    let addr: *const SockAddr = if bound { resolve() } else { ptr::null() };
+    unsafe { (*addr).port }
+}
+fn resolve() -> *const SockAddr {
+    unsafe { alloc(2) as *const SockAddr }
+}
+|};
+    mem ~id:"mem-null-window-handle" ~project:Libraries ~year:2019 ~month:3
+      ~effect:Null ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:
+        "headless windows carry a null native handle; the interior-unsafe \
+         getter trusts it"
+      {|
+struct NativeWin { w: u32 }
+fn width(headless: bool) -> u32 {
+    let h: *mut NativeWin = if headless { ptr::null_mut() } else { open_win() };
+    unsafe { (*h).w }
+}
+fn open_win() -> *mut NativeWin {
+    unsafe { alloc(4) as *mut NativeWin }
+}
+|};
+    mem ~id:"mem-null-plugin-vtable" ~project:Ethereum ~year:2018 ~month:7
+      ~effect:Null ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Null_deref ]
+      ~description:
+        "plugin vtable pointer is null when the module fails to load; the \
+         interior-unsafe dispatcher dereferences it"
+      {|
+struct VTable { version: u32 }
+fn plugin_version(loaded: bool) -> u32 {
+    let vt: *const VTable = if loaded { load_vtable() } else { ptr::null() };
+    unsafe { (*vt).version }
+}
+fn load_vtable() -> *const VTable {
+    unsafe { alloc(4) as *const VTable }
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* unsafe -> unsafe: Invalid x5 (3 interior)                          *)
+(* ---------------------------------------------------------------- *)
+
+let unsafe_invalid =
+  [
+    mem ~id:"mem-invalid-fdopen" ~project:Redox ~year:2017 ~month:6
+      ~effect:Invalid ~cause_unsafe:true ~fix:Change_operands
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:
+        "Fig.6: assigning a struct through a raw pointer into fresh \
+         allocation drops the garbage previous value"
+      {|
+pub struct FILE { buf: Vec<u8> }
+pub unsafe fn _fdopen(fd: i32) -> *mut FILE {
+    let f = alloc(size_of::<FILE>()) as *mut FILE;
+    *f = FILE { buf: vec![0u8; 100] };
+    f
+}
+|}
+      ~fixed_source:
+        {|
+pub struct FILE { buf: Vec<u8> }
+pub unsafe fn _fdopen(fd: i32) -> *mut FILE {
+    let f = alloc(size_of::<FILE>()) as *mut FILE;
+    ptr::write(f, FILE { buf: vec![0u8; 100] });
+    f
+}
+|};
+    mem ~id:"mem-invalid-socket-table" ~project:Redox ~year:2017 ~month:10
+      ~effect:Invalid ~cause_unsafe:true ~fix:Change_operands
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:"socket slab slot initialized by assignment, not ptr::write"
+      {|
+pub struct Socket { backlog: Vec<u32> }
+pub unsafe fn new_socket_slot() -> *mut Socket {
+    let slot = alloc(size_of::<Socket>()) as *mut Socket;
+    *slot = Socket { backlog: Vec::new() };
+    slot
+}
+|};
+    (* interior: unsafe block inside a safe function *)
+    mem ~id:"mem-invalid-arena-node" ~project:Servo ~year:2017 ~month:3
+      ~effect:Invalid ~cause_unsafe:true ~fix:Change_operands
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:"arena node constructor assigns into raw arena memory"
+      {|
+struct Node { children: Vec<u32> }
+fn arena_alloc_node() -> *mut Node {
+    unsafe {
+        let n = alloc(size_of::<Node>()) as *mut Node;
+        *n = Node { children: Vec::new() };
+        n
+    }
+}
+|};
+    mem ~id:"mem-invalid-packet-pool" ~project:Cve ~year:2018 ~month:5
+      ~effect:Invalid ~cause_unsafe:true ~fix:Change_operands
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:"packet pool refill writes headers with plain assignment"
+      {|
+struct Packet { payload: Vec<u8> }
+fn refill_one() -> *mut Packet {
+    unsafe {
+        let p = alloc(size_of::<Packet>()) as *mut Packet;
+        *p = Packet { payload: vec![0u8; 1500] };
+        p
+    }
+}
+|};
+    mem ~id:"mem-invalid-timer-wheel" ~project:Cve ~year:2019 ~month:1
+      ~effect:Invalid ~cause_unsafe:true ~fix:Change_operands
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:"timer wheel entry overwritten in place on registration"
+      {|
+struct TimerEnt { callbacks: Vec<u64> }
+fn register_timer() -> *mut TimerEnt {
+    unsafe {
+        let e = alloc(size_of::<TimerEnt>()) as *mut TimerEnt;
+        *e = TimerEnt { callbacks: Vec::new() };
+        e
+    }
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* unsafe -> unsafe: UAF x2 (2 interior)                              *)
+(* ---------------------------------------------------------------- *)
+
+let unsafe_uaf =
+  [
+    mem ~id:"mem-uaf-myvec-shrink" ~project:Cve ~year:2018 ~month:2
+      ~effect:UAF ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "self-implemented vector frees its storage on (buggy) shrink \
+         condition and then reads an element"
+      {|
+fn shrink_and_get() -> u8 {
+    let storage = vec![1u8, 2u8, 3u8];
+    let p = storage.as_ptr();
+    drop(storage);
+    unsafe { *p }
+}
+|};
+    mem ~id:"mem-uaf-myvec-truncate" ~project:Cve ~year:2018 ~month:2
+      ~effect:UAF ~cause_unsafe:true ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "truncate drops the buffer under a wrong emptiness check; the \
+         interior-unsafe getter still dereferences it"
+      {|
+struct RawBuf { data: Vec<u8> }
+fn truncate_then_peek(want_clear: bool) -> u8 {
+    let buf = RawBuf { data: vec![7u8] };
+    let p = &buf as *const RawBuf;
+    if want_clear {
+        drop(buf);
+    }
+    unsafe { (*p).data.len() as u8 }
+}
+|};
+  ]
+
+let part1 = safe_safe @ unsafe_buffer @ unsafe_null @ unsafe_invalid @ unsafe_uaf
+
+(* ---------------------------------------------------------------- *)
+(* safe -> unsafe: Buffer x17 (10 interior)                           *)
+(* ---------------------------------------------------------------- *)
+
+let safe_unsafe_buffer =
+  [
+    mem ~id:"mem-buf-glyph-cache" ~project:Servo ~year:2016 ~month:8
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "glyph index computed from a font table in safe code overruns the \
+         cache in the interior-unsafe fast path"
+      {|
+fn glyph_advance(cache: Vec<u16>, code_point: usize, table_base: usize) -> u16 {
+    let slot = code_point - table_base;
+    unsafe { *cache.get_unchecked(slot) }
+}
+|}
+      ~fixed_source:
+        {|
+fn glyph_advance(cache: Vec<u16>, code_point: usize, table_base: usize) -> u16 {
+    let slot = code_point - table_base;
+    if slot < cache.len() {
+        unsafe { *cache.get_unchecked(slot) }
+    } else {
+        0u16
+    }
+}
+|};
+    mem ~id:"mem-buf-text-run" ~project:Servo ~year:2017 ~month:5
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "text-run byte range end is the char count, not the byte count"
+      {|
+fn run_last_byte(bytes: Vec<u8>, char_count: usize) -> u8 {
+    let end = char_count;
+    unsafe { *bytes.get_unchecked(end) }
+}
+|};
+    mem ~id:"mem-buf-flow-offset" ~project:Servo ~year:2018 ~month:4
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "layout flow child offset adds the fragment count twice"
+      {|
+fn child_flow(flows: Vec<u64>, base: usize, fragments: usize) -> u64 {
+    let at = base + fragments + fragments;
+    unsafe {
+        let p = flows.as_ptr().offset(at as isize);
+        *p
+    }
+}
+|};
+    mem ~id:"mem-buf-canvas-pixel" ~project:Servo ~year:2017 ~month:12
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "canvas pixel address uses the CSS width, not the device width"
+      {|
+pub unsafe fn pixel_at(fb: Vec<u32>, css_width: usize, x: usize, y: usize) -> u32 {
+    let at = y * css_width + x;
+    let p = fb.as_ptr().offset(at as isize);
+    *p
+}
+|};
+    mem ~id:"mem-buf-spi-fifo" ~project:Tock ~year:2018 ~month:10
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:"SPI FIFO drain loop trusts the device-reported count"
+      {|
+pub unsafe fn drain_fifo(fifo: Vec<u8>, reported: usize) -> u8 {
+    let mut last = 0u8;
+    for i in 0..reported {
+        last = *fifo.get_unchecked(i);
+    }
+    last
+}
+|};
+    mem ~id:"mem-buf-radio-frame" ~project:Tock ~year:2019 ~month:1
+      ~effect:Buffer ~cause_unsafe:false ~fix:Change_operands
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "802.15.4 frame copy length comes from the (attacker-controlled) \
+         header field"
+      {|
+fn copy_frame(rxbuf: Vec<u8>, frame: Vec<u8>, hdr_len: usize) {
+    let body = hdr_len + 2;
+    unsafe {
+        ptr::copy_nonoverlapping(rxbuf.as_ptr(), frame.as_mut_ptr(), body);
+    }
+}
+|};
+    mem ~id:"mem-buf-uart-ring" ~project:Tock ~year:2017 ~month:7
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:"UART ring tail index is advanced before the bounds wrap"
+      {|
+pub unsafe fn pop_byte(ring: Vec<u8>, tail: usize) -> u8 {
+    let next = tail + 1;
+    *ring.get_unchecked(next)
+}
+|};
+    mem ~id:"mem-buf-ext2-block" ~project:Redox ~year:2017 ~month:4
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "ext2 indirect-block index multiplies by bytes instead of entries"
+      {|
+fn indirect_entry(table: Vec<u32>, block: usize) -> u32 {
+    let idx = block * 4;
+    unsafe {
+        let p = table.as_ptr().offset(idx as isize);
+        *p
+    }
+}
+|};
+    mem ~id:"mem-buf-path-component" ~project:Redox ~year:2018 ~month:8
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "path parser's component end can pass the buffer end on trailing '/'"
+      {|
+fn component_last(path: Vec<u8>, start: usize, sep: usize) -> u8 {
+    let end = sep;
+    unsafe { *path.get_unchecked(end) }
+}
+|};
+    mem ~id:"mem-buf-ioctl-copy" ~project:Redox ~year:2019 ~month:3
+      ~effect:Buffer ~cause_unsafe:false ~fix:Change_operands
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:"ioctl copies the full struct into a caller-sized buffer"
+      {|
+struct WinSize { rows: u16, cols: u16 }
+fn ioctl_winsize(user_buf: Vec<u8>, ws: Vec<u8>, user_len: usize) {
+    let n = ws.len() + 0;
+    let m = n;
+    unsafe {
+        ptr::copy_nonoverlapping(ws.as_ptr(), user_buf.as_mut_ptr(), m + user_len);
+    }
+}
+|};
+    mem ~id:"mem-buf-elf-section" ~project:Redox ~year:2016 ~month:12
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "ELF loader section offset comes straight from the (untrusted) header"
+      {|
+pub unsafe fn section_byte(image: Vec<u8>, sh_offset: usize) -> u8 {
+    let p = image.as_ptr().offset(sh_offset as isize);
+    *p
+}
+|};
+    mem ~id:"mem-buf-ahci-prdt" ~project:Redox ~year:2017 ~month:9
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:"AHCI PRDT entry count is taken modulo the wrong constant"
+      {|
+pub unsafe fn prdt_entry(prdt: Vec<u64>, requested: usize) -> u64 {
+    let slot = requested % 64;
+    *prdt.get_unchecked(slot)
+}
+|};
+    mem ~id:"mem-buf-console-cell" ~project:Redox ~year:2018 ~month:2
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:"console scrollback row is computed against the old height"
+      {|
+fn cell_at(grid: Vec<u16>, width: usize, row: usize, col: usize) -> u16 {
+    let at = row * width + col;
+    unsafe { *grid.get_unchecked(at) }
+}
+|};
+    mem ~id:"mem-buf-b64-decode" ~project:Libraries ~year:2017 ~month:6
+      ~effect:Buffer ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "base64 decoder output index rounds the input length up, not down"
+      {|
+fn decode_quantum(input: Vec<u8>, quantum: usize) -> u8 {
+    let at = (quantum + 3) / 4 * 4;
+    unsafe { *input.get_unchecked(at) }
+}
+|};
+    mem ~id:"mem-buf-smallvec-spill" ~project:Libraries ~year:2018 ~month:6
+      ~effect:Buffer ~cause_unsafe:false ~fix:Change_operands
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "small-vector spill copies the new length, not the old, into the \
+         heap buffer (RustSec-style)"
+      {|
+fn spill(inline_buf: Vec<u8>, heap: Vec<u8>, new_len: usize) {
+    unsafe {
+        ptr::copy_nonoverlapping(inline_buf.as_ptr(), heap.as_mut_ptr(), new_len);
+    }
+}
+|};
+    mem ~id:"mem-buf-varint" ~project:Cve ~year:2018 ~month:11 ~effect:Buffer
+      ~cause_unsafe:false ~fix:Other_fix
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:
+        "varint decoder advances past the end on a truncated input"
+      {|
+pub unsafe fn decode_varint(buf: Vec<u8>, pos: usize) -> u8 {
+    let cont = pos + 1;
+    *buf.get_unchecked(cont)
+}
+|};
+    mem ~id:"mem-buf-linebuf" ~project:Cve ~year:2019 ~month:5 ~effect:Buffer
+      ~cause_unsafe:false ~fix:Cond_skip
+      ~expected:[ Detectors.Report.Buffer_overflow ]
+      ~description:"editor line buffer gap math is off by the gap width"
+      {|
+pub unsafe fn gap_char(text: Vec<u8>, cursor: usize, gap: usize) -> u8 {
+    let at = cursor + gap;
+    let p = text.as_ptr().offset(at as isize);
+    *p
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* safe -> unsafe: Invalid x1 (0 interior)                            *)
+(* ---------------------------------------------------------------- *)
+
+let safe_unsafe_invalid =
+  [
+    mem ~id:"mem-invalid-mmap-region" ~project:Redox ~year:2018 ~month:9
+      ~effect:Invalid ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:
+        "region descriptor written by assignment into a fresh mmap page; the \
+         size that made it look initialized was computed wrong in safe code"
+      {|
+struct Region { pages: Vec<u64> }
+pub unsafe fn map_region() -> *mut Region {
+    let r = alloc(size_of::<Region>()) as *mut Region;
+    *r = Region { pages: Vec::new() };
+    r
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* safe -> unsafe: UAF x11 (4 interior)                               *)
+(* ---------------------------------------------------------------- *)
+
+let safe_unsafe_uaf =
+  [
+    mem ~id:"mem-uaf-cms-sign" ~project:Cve ~year:2018 ~month:7 ~effect:UAF
+      ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "Fig.7 (rust-openssl): BioSlice temporary dies at the end of the \
+         match arm; its pointer is passed to CMS_sign"
+      {|
+struct BioSlice { len: i32 }
+impl BioSlice {
+    fn new(data: i32) -> BioSlice { BioSlice { len: data } }
+}
+fn sign(data: Option<i32>) {
+    let p = match data {
+        Some(data) => BioSlice::new(data).as_ptr(),
+        None => ptr::null_mut(),
+    };
+    unsafe {
+        CMS_sign(p);
+    }
+}
+|}
+      ~fixed_source:
+        {|
+struct BioSlice { len: i32 }
+impl BioSlice {
+    fn new(data: i32) -> BioSlice { BioSlice { len: data } }
+}
+fn sign(data: Option<i32>) {
+    let bio = match data {
+        Some(data) => Some(BioSlice::new(data)),
+        None => None,
+    };
+    let p = match bio {
+        Some(ref b) => b.as_ptr(),
+        None => ptr::null_mut(),
+    };
+    unsafe {
+        CMS_sign(p);
+    }
+}
+|};
+    mem ~id:"mem-uaf-cstring-arg" ~project:Cve ~year:2017 ~month:3 ~effect:UAF
+      ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "the classic CString::new(..).as_ptr() temporary: the C string is \
+         freed before the FFI call runs"
+      {|
+struct CString { bytes: Vec<u8> }
+impl CString {
+    fn new(s: i32) -> CString { CString { bytes: vec![0u8; 8] } }
+}
+fn set_title(name: i32) {
+    let p = {
+        let c = CString::new(name);
+        c.as_ptr()
+    };
+    unsafe {
+        gtk_window_set_title(p);
+    }
+}
+|};
+    mem ~id:"mem-uaf-json-scratch" ~project:Cve ~year:2019 ~month:4
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "scratch buffer for number formatting is scoped to the if-branch but \
+         its pointer is used after"
+      {|
+fn format_number(small: bool) -> u8 {
+    let mut p = ptr::null::<u8>();
+    if small {
+        let scratch = vec![48u8; 32];
+        p = scratch.as_ptr();
+    }
+    unsafe {
+        if !p.is_null() { *p } else { 0u8 }
+    }
+}
+|};
+    mem ~id:"mem-uaf-style-ctx" ~project:Servo ~year:2016 ~month:11
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "style context borrowed for the traversal, dropped when the traversal \
+         struct is, then read through a stored pointer"
+      {|
+struct StyleCtx { generation: u32 }
+fn traverse(depth: u32) -> u32 {
+    let ctx_ptr = {
+        let ctx = StyleCtx { generation: depth };
+        &ctx as *const StyleCtx
+    };
+    unsafe { (*ctx_ptr).generation }
+}
+|};
+    mem ~id:"mem-uaf-display-item" ~project:Servo ~year:2017 ~month:8
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "display-list item pointer survives the list rebuild that drops the \
+         backing store"
+      {|
+struct DisplayItem { bounds: u64 }
+pub unsafe fn repaint(dirty: bool) -> u64 {
+    let store = DisplayItem { bounds: 42u64 };
+    let item = &store as *const DisplayItem;
+    drop(store);
+    (*item).bounds
+}
+|};
+    mem ~id:"mem-uaf-script-heap" ~project:Servo ~year:2018 ~month:1
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "JS reflector pointer cached across a GC that drops the DOM object"
+      {|
+struct DomObject { refcount: u32 }
+pub unsafe fn reflect(gc_now: bool) -> u32 {
+    let obj = DomObject { refcount: 1 };
+    let reflector = &obj as *const DomObject;
+    if gc_now {
+        drop(obj);
+    }
+    (*reflector).refcount
+}
+|};
+    mem ~id:"mem-uaf-scheme-buf" ~project:Redox ~year:2017 ~month:1
+      ~fixed_source:{|
+pub unsafe fn reply_byte() -> u8 {
+    let reply = vec![0u8; 64];
+    let addr = reply.as_ptr();
+    let byte = *addr;
+    drop(reply);
+    byte
+}
+|}
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "scheme reply buffer freed by the kernel path while the driver still \
+         holds its address"
+      {|
+pub unsafe fn reply_byte() -> u8 {
+    let reply = vec![0u8; 64];
+    let addr = reply.as_ptr();
+    drop(reply);
+    *addr
+}
+|};
+    mem ~id:"mem-uaf-ptable-entry" ~project:Redox ~year:2018 ~month:5
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "page-table walk keeps an entry pointer across the table teardown"
+      {|
+struct PageTable { entries: Vec<u64> }
+pub unsafe fn walk(teardown: bool) -> u64 {
+    let table = PageTable { entries: vec![0u64; 512] };
+    let entry0 = &table as *const PageTable;
+    if teardown {
+        drop(table);
+    }
+    (*entry0).entries.len() as u64
+}
+|};
+    mem ~id:"mem-uaf-grant-region" ~project:Redox ~year:2019 ~month:2
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "grant region pointer outlives the process struct it was carved from"
+      {|
+struct Grant { base: u64 }
+pub unsafe fn enter_grant() -> u64 {
+    let g = Grant { base: 4096u64 };
+    let raw = &g as *const Grant;
+    drop(g);
+    (*raw).base
+}
+|};
+    mem ~id:"mem-uaf-rlp-view" ~project:Ethereum ~year:2017 ~month:11
+      ~fixed_source:{|
+pub unsafe fn decode_item(backtrack: bool) -> u8 {
+    let scratch = vec![0xC0u8; 16];
+    let view = scratch.as_ptr();
+    let item = *view;
+    if backtrack {
+        drop(scratch);
+    }
+    item
+}
+|}
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "RLP decoder view points into a scratch Vec that is dropped when \
+         decoding backtracks"
+      {|
+pub unsafe fn decode_item(backtrack: bool) -> u8 {
+    let scratch = vec![0xC0u8; 16];
+    let view = scratch.as_ptr();
+    if backtrack {
+        drop(scratch);
+    }
+    *view
+}
+|};
+    mem ~id:"mem-uaf-iter-snapshot" ~project:Cve ~year:2016 ~month:9
+      ~effect:UAF ~cause_unsafe:false ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Use_after_free ]
+      ~description:
+        "iterator snapshot keeps a pointer to a collection the loop replaces"
+      {|
+pub unsafe fn sum_snapshot() -> u8 {
+    let snapshot = vec![1u8, 2u8];
+    let cur = snapshot.as_ptr();
+    drop(snapshot);
+    *cur
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* safe -> unsafe: Double free x2 (2 interior)                        *)
+(* ---------------------------------------------------------------- *)
+
+let safe_unsafe_double_free =
+  [
+    mem ~id:"mem-df-ffi-handle" ~project:Cve ~year:2018 ~month:3
+      ~effect:DoubleFree ~cause_unsafe:false ~fix:Other_fix
+      ~expected:[ Detectors.Report.Double_free ]
+      ~description:
+        "FFI handle reconstructed with Box::from_raw on both the success and \
+         the cleanup paths"
+      {|
+fn close_handle() {
+    let handle = Box::new(17u32);
+    let raw = Box::into_raw(handle);
+    unsafe {
+        let first = Box::from_raw(raw);
+        drop(first);
+        let second = Box::from_raw(raw);
+    }
+}
+|};
+    mem ~id:"mem-df-arc-refcount" ~project:Cve ~year:2019 ~month:6
+      ~effect:DoubleFree ~cause_unsafe:false ~fix:Other_fix
+      ~expected:[ Detectors.Report.Double_free ]
+      ~description:
+        "Arc::from_raw called twice on a pointer that was only into_raw'd once"
+      {|
+fn rebuild_twice() {
+    let shared = Arc::new(5u64);
+    let raw = Arc::into_raw(shared);
+    unsafe {
+        let a = Arc::from_raw(raw);
+        drop(a);
+        let b = Arc::from_raw(raw);
+    }
+}
+|};
+  ]
+
+let part2 =
+  safe_unsafe_buffer @ safe_unsafe_invalid @ safe_unsafe_uaf
+  @ safe_unsafe_double_free
+
+(* ---------------------------------------------------------------- *)
+(* unsafe -> safe: Uninitialized x7                                   *)
+(* ---------------------------------------------------------------- *)
+
+let unsafe_safe_uninit =
+  [
+    mem ~id:"mem-uninit-readbuf" ~project:Redox ~year:2017 ~month:5
+      ~effect:Uninitialized ~cause_unsafe:true ~fix:Other_fix
+      ~expected:[ Detectors.Report.Uninit_read ]
+      ~description:
+        "read() preallocates with set_len and returns the garbage bytes when \
+         the device returns short"
+      {|
+fn read_short() -> u8 {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    unsafe {
+        buf.set_len(512);
+    }
+    buf[0]
+}
+|}
+      ~fixed_source:
+        {|
+fn read_short() -> u8 {
+    let mut buf: Vec<u8> = vec![0u8; 512];
+    buf[0]
+}
+|};
+    mem ~id:"mem-uninit-sector-cache" ~project:Redox ~year:2018 ~month:4
+      ~effect:Uninitialized ~cause_unsafe:true ~fix:Other_fix
+      ~expected:[ Detectors.Report.Uninit_read ]
+      ~description:"sector cache warms itself with capacity-only entries"
+      {|
+fn warm_cache(sectors: usize) -> u8 {
+    let mut cache: Vec<u8> = Vec::with_capacity(sectors);
+    unsafe {
+        cache.set_len(sectors);
+    }
+    let probe = cache[sectors - 1];
+    probe
+}
+|};
+    mem ~id:"mem-uninit-recv-buf" ~project:Cve ~year:2018 ~month:10
+      ~effect:Uninitialized ~cause_unsafe:true ~fix:Other_fix
+      ~expected:[ Detectors.Report.Uninit_read ]
+      ~description:
+        "network receive buffer exposes uninitialized tail bytes to the parser"
+      {|
+fn recv_parse(want: usize) -> u8 {
+    let mut rx: Vec<u8> = Vec::with_capacity(want);
+    unsafe {
+        rx.set_len(want);
+    }
+    let first = rx[0];
+    first
+}
+|};
+    mem ~id:"mem-uninit-pixel-scratch" ~project:Servo ~year:2016 ~month:7
+      ~effect:Uninitialized ~cause_unsafe:true ~fix:Other_fix
+      ~expected:[ Detectors.Report.Uninit_read ]
+      ~description:
+        "image decoder scratch rows are sized but never cleared before \
+         compositing reads them"
+      {|
+fn composite_row(stride: usize) -> u8 {
+    let mut row: Vec<u8> = Vec::with_capacity(stride);
+    unsafe {
+        row.set_len(stride);
+    }
+    row[stride / 2]
+}
+|};
+    mem ~id:"mem-uninit-decode-scratch" ~project:Cve ~year:2019 ~month:1
+      ~effect:Uninitialized ~cause_unsafe:true ~fix:Other_fix
+      ~expected:[ Detectors.Report.Uninit_read ]
+      ~description:
+        "decoder working set allocated with capacity-then-set_len and read by \
+         the checksum pass"
+      {|
+fn checksum(window: usize) -> u8 {
+    let mut work: Vec<u8> = Vec::with_capacity(window);
+    unsafe {
+        work.set_len(window);
+    }
+    let mut acc = 0u8;
+    acc = acc + work[0];
+    acc
+}
+|};
+    mem ~id:"mem-uninit-stat-struct" ~project:Redox ~year:2017 ~month:12
+      ~fixed_source:{|
+struct Stat { size: u64 }
+fn fstat_size() -> u64 {
+    let st = Stat { size: 0u64 };
+    st.size
+}
+|}
+      ~effect:Uninitialized ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Uninit_read ]
+      ~description:
+        "stat struct created with mem::uninitialized and read when the \
+         syscall fails before filling it"
+      {|
+struct Stat { size: u64 }
+fn fstat_size() -> u64 {
+    let st: Stat = unsafe { mem::uninitialized() };
+    st.size
+}
+|};
+    mem ~id:"mem-uninit-header" ~project:Cve ~year:2016 ~month:6
+      ~effect:Uninitialized ~cause_unsafe:true ~fix:Other_fix
+      ~expected:[ Detectors.Report.Uninit_read ]
+      ~description:
+        "packet header built with mem::uninitialized and serialized before \
+         every field is written (the memcpy had the wrong source)"
+      {|
+struct Header { magic: u32, len: u32 }
+fn serialize_magic() -> u32 {
+    let hdr: Header = unsafe { mem::uninitialized() };
+    hdr.magic
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* unsafe -> safe: Invalid x4                                         *)
+(* ---------------------------------------------------------------- *)
+
+let unsafe_safe_invalid =
+  [
+    mem ~id:"mem-invalid-stat-early" ~project:Servo ~year:2017 ~month:2
+      ~fixed_source:{|
+struct FontHandle { table: Vec<u8> }
+fn load_font(bad: bool) -> u32 {
+    let handle = FontHandle { table: Vec::new() };
+    if bad {
+        return 0u32;
+    }
+    1u32
+}
+|}
+      ~effect:Invalid ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:
+        "uninitialized platform font handle dropped by the early-error return \
+         in safe code"
+      {|
+struct FontHandle { table: Vec<u8> }
+fn load_font(bad: bool) -> u32 {
+    let handle: FontHandle = unsafe { mem::uninitialized() };
+    if bad {
+        return 0u32;
+    }
+    1u32
+}
+|};
+    mem ~id:"mem-invalid-ioctl-abort" ~project:Libraries ~year:2018 ~month:8
+      ~effect:Invalid ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:
+        "termios struct from mem::uninitialized is dropped when the ioctl is \
+         aborted, freeing its garbage buffer field"
+      {|
+struct Termios { flags: Vec<u32> }
+fn tcgetattr(abort: bool) -> bool {
+    let tio: Termios = unsafe { mem::uninitialized() };
+    if abort {
+        return false;
+    }
+    true
+}
+|};
+    mem ~id:"mem-invalid-parse-bail" ~project:Libraries ~year:2019 ~month:4
+      ~effect:Invalid ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:
+        "parser node placeholder is uninitialized and the bail-out path drops \
+         it in safe code"
+      {|
+struct AstNode { children: Vec<u64> }
+fn parse_node(eof: bool) -> u32 {
+    let node: AstNode = unsafe { mem::uninitialized() };
+    if eof {
+        return 0u32;
+    }
+    7u32
+}
+|};
+    mem ~id:"mem-invalid-try-from" ~project:Cve ~year:2018 ~month:12
+      ~effect:Invalid ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Invalid_free ]
+      ~description:
+        "TryFrom conversion leaves the out-param uninitialized on the Err \
+         path and Rust drops it"
+      {|
+struct Decoded { fields: Vec<u8> }
+fn try_decode(malformed: bool) -> u32 {
+    let out: Decoded = unsafe { mem::uninitialized() };
+    if malformed {
+        return 0u32;
+    }
+    out.fields.len() as u32
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* unsafe -> safe: Double free x4                                     *)
+(* ---------------------------------------------------------------- *)
+
+let unsafe_safe_double_free =
+  [
+    mem ~id:"mem-df-queue-steal" ~project:TiKV ~year:2018 ~month:11
+      ~effect:DoubleFree ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Double_free ]
+      ~description:
+        "work-stealing deque reads the task with ptr::read without moving it; \
+         both queues drop the task at scope end (safe code)"
+      {|
+fn steal_task() {
+    let task = vec![1u8, 2u8, 3u8];
+    let stolen = unsafe { ptr::read(&task) };
+}
+|}
+      ~fixed_source:
+        {|
+fn steal_task() {
+    let task = vec![1u8, 2u8, 3u8];
+    let stolen = task;
+}
+|};
+    mem ~id:"mem-df-slot-take" ~project:Cve ~year:2017 ~month:7
+      ~fixed_source:{|
+struct Slot { name: String }
+fn take_slot() {
+    let slot = Slot { name: String::from("x") };
+    let taken = slot;
+}
+|}
+      ~effect:DoubleFree ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Double_free ]
+      ~description:
+        "slab take() duplicates the slot value with ptr::read; the implicit \
+         drops in safe code free the String twice"
+      {|
+struct Slot { name: String }
+fn take_slot() {
+    let slot = Slot { name: String::from("x") };
+    let taken = unsafe { ptr::read(&slot) };
+}
+|};
+    mem ~id:"mem-df-swap-impl" ~project:Libraries ~year:2016 ~month:4
+      ~effect:DoubleFree ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Double_free ]
+      ~description:
+        "hand-rolled swap reads one side with ptr::read and forgets to write \
+         it back; scope-end drops free the same buffer twice"
+      {|
+fn broken_swap() {
+    let left = vec![9u8];
+    let dup = unsafe { ptr::read(&left) };
+}
+|};
+    mem ~id:"mem-df-cache-evict" ~project:Cve ~year:2019 ~month:5
+      ~effect:DoubleFree ~cause_unsafe:true ~fix:Adjust_lifetime
+      ~expected:[ Detectors.Report.Double_free ]
+      ~description:
+        "cache eviction copies the entry out by ptr::read but leaves the \
+         original in the map; both are dropped"
+      {|
+struct Entry { payload: Vec<u64> }
+fn evict() {
+    let entry = Entry { payload: vec![0u64; 4] };
+    let evicted = unsafe { ptr::read(&entry) };
+}
+|};
+  ]
+
+let part3 = unsafe_safe_uninit @ unsafe_safe_invalid @ unsafe_safe_double_free
+
+(** All 70 memory bugs. *)
+let all = part1 @ part2 @ part3

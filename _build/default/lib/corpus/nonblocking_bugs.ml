@@ -1,0 +1,759 @@
+(** The 41 non-blocking bugs of the study (Table 4), one RustLite
+    program each. Data-sharing mechanisms match Table 4's rows exactly:
+
+    - Servo:     Global 1, Pointer 7, Sync 1, Mutex 7, MSG 2
+    - Tock:      O.H. 2
+    - Ethereum:  Atomic 1, Mutex 2, MSG 1
+    - TiKV:      O.H. 1, Atomic 1, Mutex 1
+    - Redox:     Global 1, O.H. 2
+    - libraries: Global 1, Pointer 5, Sync 2, Atomic 3
+
+    (23 share with unsafe/interior-unsafe code, 15 with safe code, 3 by
+    message passing.) Fix strategies follow §6.2: 20 enforce atomicity,
+    10 enforce ordering, 5 avoid sharing, 1 local copy, 2 change logic. *)
+
+open Defs
+
+(* ---------------------------------------------------------------- *)
+(* Atomic (5): the Fig. 9 check-then-act on an atomic                 *)
+(* ---------------------------------------------------------------- *)
+
+let atomics =
+  let atomic ~id ~project ~year ~month ~description ?fixed_source src =
+    non_blocking ~id ~project ~year ~month ~sharing:Sh_atomic ~fix:Fix_atomic
+      ?fixed_source
+      ~expected:[ Detectors.Report.Atomicity_violation ]
+      ~description src
+  in
+  [
+    atomic ~id:"nb-atomic-generate-seal" ~project:Ethereum ~year:2017 ~month:10
+      ~description:
+        "Fig.9: generate_seal loads `proposed`, branches, then stores — two \
+         threads can both see false and both produce a seal"
+      ~fixed_source:
+        {|
+struct AuthorityRound { proposed: AtomicBool }
+impl AuthorityRound {
+    fn generate_seal(&self) -> u32 {
+        if !self.proposed.compare_and_swap(false, true) {
+            return 1u32;
+        }
+        0u32
+    }
+}
+|}
+      {|
+struct AuthorityRound { proposed: AtomicBool }
+impl AuthorityRound {
+    fn generate_seal(&self) -> u32 {
+        if self.proposed.load() {
+            return 0u32;
+        }
+        self.proposed.store(true);
+        1u32
+    }
+}
+|};
+    atomic ~id:"nb-atomic-region-peer" ~project:TiKV ~year:2018 ~month:3
+      ~description:
+        "pending-peers flag read and re-stored around a heartbeat branch"
+      {|
+struct Heartbeat { pending: AtomicBool }
+impl Heartbeat {
+    fn tick(&self) -> u32 {
+        if self.pending.load() {
+            return 0u32;
+        }
+        self.pending.store(true);
+        2u32
+    }
+}
+|};
+    atomic ~id:"nb-atomic-rand-reseed" ~project:Libraries ~year:2017 ~month:2
+      ~description:
+        "reseeding flag checked then set non-atomically; two threads reseed \
+         concurrently"
+      {|
+struct ReseedingRng { reseeding: AtomicBool }
+impl ReseedingRng {
+    fn maybe_reseed(&self) -> u32 {
+        if self.reseeding.load() {
+            return 0u32;
+        }
+        self.reseeding.store(true);
+        1u32
+    }
+}
+|};
+    atomic ~id:"nb-atomic-epoch-advance" ~project:Libraries ~year:2017 ~month:8
+      ~description:
+        "epoch advancement reads the global epoch, checks quiescence, then \
+         stores epoch+1 non-atomically"
+      {|
+struct Epoch { current: AtomicUsize }
+impl Epoch {
+    fn advance(&self) -> usize {
+        let e = self.current.load();
+        if e > 0 {
+            self.current.store(e + 1);
+        }
+        e
+    }
+}
+|};
+    atomic ~id:"nb-atomic-pool-count" ~project:Libraries ~year:2018 ~month:2
+      ~fixed_source:{|
+struct Pool { active: AtomicUsize }
+impl Pool {
+    fn try_spawn(&self) -> usize {
+        let n = self.active.fetch_add(1);
+        n
+    }
+}
+|}
+      ~description:
+        "threadpool active-count is loaded, compared with max, then stored; \
+         the gap admits more workers than the pool size"
+      {|
+struct Pool { active: AtomicUsize }
+impl Pool {
+    fn try_spawn(&self) -> usize {
+        let n = self.active.load();
+        if n < 8 {
+            self.active.store(n + 1);
+        }
+        n
+    }
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Sync (3): unsafe impl Sync + unsynchronized interior mutability    *)
+(* ---------------------------------------------------------------- *)
+
+let syncs =
+  let sync_bug ~id ~project ~year ~month ~description ?fixed_source src =
+    non_blocking ~id ~project ~year ~month ~sharing:Sh_sync ~fix:Fix_atomic
+      ?fixed_source
+      ~expected:[ Detectors.Report.Sync_unsync_write ]
+      ~description src
+  in
+  [
+    sync_bug ~id:"nb-sync-testcell" ~project:Libraries ~year:2016 ~month:10
+      ~fixed_source:{|
+struct TestCell { value: Mutex<i32> }
+unsafe impl Sync for TestCell {}
+impl TestCell {
+    fn set(&self, i: i32) {
+        let mut v = self.value.lock().unwrap();
+        *v = i;
+    }
+}
+|}
+      ~description:
+        "Fig.4: a Sync struct whose &self setter writes through a raw \
+         pointer cast of &self.value"
+      {|
+struct TestCell { value: i32 }
+unsafe impl Sync for TestCell {}
+impl TestCell {
+    fn set(&self, i: i32) {
+        let p = &self.value as *const i32 as *mut i32;
+        unsafe { *p = i; }
+    }
+}
+|};
+    sync_bug ~id:"nb-sync-lazy-cell" ~project:Libraries ~year:2017 ~month:11
+      ~description:
+        "lazily-initialized Sync cell fills its slot without any \
+         synchronization; two threads race the initialization"
+      {|
+struct LazySlot { slot: u64 }
+unsafe impl Sync for LazySlot {}
+impl LazySlot {
+    fn fill(&self, v: u64) {
+        let raw = &self.slot as *const u64 as *mut u64;
+        unsafe { *raw = v; }
+    }
+}
+|};
+    sync_bug ~id:"nb-sync-style-sharing" ~project:Servo ~year:2017 ~month:3
+      ~description:
+        "style sharing cache is declared Sync but its &self insert mutates \
+         the bucket through a pointer"
+      {|
+struct ShareCache { hits: usize }
+unsafe impl Sync for ShareCache {}
+impl ShareCache {
+    fn record_hit(&self) {
+        let h = &self.hits as *const usize as *mut usize;
+        unsafe { *h = *h + 1; }
+    }
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Mutex (10): stale check across two critical sections               *)
+(* ---------------------------------------------------------------- *)
+
+let mutexes =
+  let mutex_bug ~id ~project ~year ~month ~description ?fixed_source src =
+    non_blocking ~id ~project ~year ~month ~sharing:Sh_mutex ~fix:Fix_atomic
+      ?fixed_source
+      ~expected:[ Detectors.Report.Atomicity_violation ]
+      ~description src
+  in
+  [
+    mutex_bug ~id:"nb-mutex-image-state" ~project:Servo ~year:2016 ~month:4
+      ~description:
+        "image load state checked under one lock, updated under another; a \
+         second decoder starts in between"
+      ~fixed_source:
+        {|
+struct LoadState { loading: bool }
+fn start_decode(state: Arc<Mutex<LoadState>>) {
+    let mut g = state.lock().unwrap();
+    if !g.loading {
+        g.loading = true;
+    }
+}
+|}
+      {|
+struct LoadState { loading: bool }
+fn start_decode(state: Arc<Mutex<LoadState>>) {
+    let busy = state.lock().unwrap().loading;
+    if !busy {
+        let mut g = state.lock().unwrap();
+        g.loading = true;
+    }
+}
+|};
+    mutex_bug ~id:"nb-mutex-pipeline-ids" ~project:Servo ~year:2016 ~month:12
+      ~description:
+        "next pipeline id read in one critical section and written back in a \
+         later one"
+      {|
+struct IdGen { next: u64 }
+fn fresh_id(gen: Arc<Mutex<IdGen>>) -> u64 {
+    let cur = gen.lock().unwrap().next;
+    let mut g = gen.lock().unwrap();
+    g.next = cur + 1;
+    cur
+}
+|};
+    mutex_bug ~id:"nb-mutex-worker-queue" ~project:Servo ~year:2017 ~month:5
+      ~description:"worker queue emptiness test and pop are separate sessions"
+      {|
+struct WorkQueue { len: usize }
+fn try_pop(q: Arc<Mutex<WorkQueue>>) -> usize {
+    let n = q.lock().unwrap().len;
+    if n > 0 {
+        let mut g = q.lock().unwrap();
+        g.len = g.len - 1;
+    }
+    n
+}
+|};
+    mutex_bug ~id:"nb-mutex-session-history" ~project:Servo ~year:2017 ~month:9
+      ~description:"history length validated, then truncated under a new lock"
+      {|
+struct History { entries: usize }
+fn go_back(hist: Arc<Mutex<History>>) {
+    let n = hist.lock().unwrap().entries;
+    if n > 1 {
+        let mut h = hist.lock().unwrap();
+        h.entries = n - 1;
+    }
+}
+|};
+    mutex_bug ~id:"nb-mutex-resource-count" ~project:Servo ~year:2018 ~month:1
+      ~description:
+        "resource budget check and charge are two critical sections; \
+         concurrent loads overcommit"
+      {|
+struct Budget { used: usize }
+fn charge(b: Arc<Mutex<Budget>>, amount: usize) {
+    let used = b.lock().unwrap().used;
+    if used + amount < 1000 {
+        let mut g = b.lock().unwrap();
+        g.used = used + amount;
+    }
+}
+|};
+    mutex_bug ~id:"nb-mutex-webgl-sender" ~project:Servo ~year:2018 ~month:7
+      ~description:"WebGL context generation is read then bumped separately"
+      {|
+struct CtxGen { generation: u64 }
+fn bump(genv: Arc<Mutex<CtxGen>>) -> u64 {
+    let g0 = genv.lock().unwrap().generation;
+    let mut w = genv.lock().unwrap();
+    w.generation = g0 + 1;
+    g0
+}
+|};
+    mutex_bug ~id:"nb-mutex-event-mask" ~project:Servo ~year:2019 ~month:2
+      ~description:"event mask read in one session, or'd back in another"
+      {|
+struct Mask { bits: u32 }
+fn enable(mask: Arc<Mutex<Mask>>, bit: u32) {
+    let old = mask.lock().unwrap().bits;
+    let mut m = mask.lock().unwrap();
+    m.bits = old | bit;
+}
+|};
+    mutex_bug ~id:"nb-mutex-gas-estimate" ~project:Ethereum ~year:2018 ~month:5
+      ~description:"gas estimate cache check and insert are distinct sessions"
+      {|
+struct GasCache { estimate: u64 }
+fn estimate(cache: Arc<Mutex<GasCache>>, fresh: u64) -> u64 {
+    let cached = cache.lock().unwrap().estimate;
+    if cached == 0 {
+        let mut c = cache.lock().unwrap();
+        c.estimate = fresh;
+    }
+    cached
+}
+|};
+    mutex_bug ~id:"nb-mutex-peer-best" ~project:Ethereum ~year:2018 ~month:11
+      ~description:
+        "best-block race: compared under one lock, stored under another"
+      {|
+struct Best { number: u64 }
+fn maybe_update(best: Arc<Mutex<Best>>, candidate: u64) {
+    let cur = best.lock().unwrap().number;
+    if candidate > cur {
+        let mut b = best.lock().unwrap();
+        b.number = candidate;
+    }
+}
+|};
+    mutex_bug ~id:"nb-mutex-ts-oracle" ~project:TiKV ~year:2017 ~month:4
+      ~fixed_source:{|
+struct Tso { high: u64 }
+fn next_ts(tso: Arc<Mutex<Tso>>) -> u64 {
+    let mut g = tso.lock().unwrap();
+    let h = g.high;
+    g.high = h + 1;
+    h
+}
+|}
+      ~description:
+        "timestamp oracle reads the high watermark and writes it back in a \
+         second session; two clients get the same timestamp"
+      {|
+struct Tso { high: u64 }
+fn next_ts(tso: Arc<Mutex<Tso>>) -> u64 {
+    let h = tso.lock().unwrap().high;
+    let mut g = tso.lock().unwrap();
+    g.high = h + 1;
+    h
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Pointer (12): raw pointers shared across threads                   *)
+(* ---------------------------------------------------------------- *)
+
+let pointers =
+  let ptr_bug ~id ~project ~year ~month ~fix ~description src =
+    non_blocking ~id ~project ~year ~month ~sharing:Sh_pointer ~fix
+      ~expected:[] ~description src
+  in
+  [
+    ptr_bug ~id:"nb-ptr-layout-root" ~project:Servo ~year:2016 ~month:1
+      ~fix:Fix_atomic
+      ~description:
+        "layout worker receives the flow-tree root as *mut and races the \
+         script thread's mutation"
+      {|
+fn main() {
+    let mut root = 0u64;
+    let p = &mut root as *mut u64;
+    let layout = thread::spawn(move || {
+        unsafe { *p = 1u64; }
+    });
+    unsafe { *p = 2u64; }
+}
+|};
+    ptr_bug ~id:"nb-ptr-font-atlas" ~project:Servo ~year:2016 ~month:6
+      ~fix:Fix_order
+      ~description:
+        "glyph atlas pointer handed to the raster thread while the main \
+         thread still appends"
+      {|
+fn main() {
+    let mut atlas = vec![0u8; 1024];
+    let base = atlas.as_mut_ptr();
+    let raster = thread::spawn(move || {
+        unsafe { ptr::write(base, 255u8); }
+    });
+    atlas.push(1u8);
+}
+|};
+    ptr_bug ~id:"nb-ptr-dom-node" ~project:Servo ~year:2017 ~month:1
+      ~fix:Fix_order
+      ~description:
+        "DOM node pointer crosses into the layout thread; both sides touch \
+         the same node fields"
+      {|
+struct Node { flags: u32 }
+fn main() {
+    let mut node = Node { flags: 0 };
+    let np = &mut node as *mut Node;
+    let layout = thread::spawn(move || {
+        unsafe { (*np).flags = 1; }
+    });
+    unsafe { (*np).flags = 2; }
+}
+|};
+    ptr_bug ~id:"nb-ptr-canvas-data" ~project:Servo ~year:2017 ~month:6
+      ~fix:Fix_order
+      ~description:
+        "canvas backing store pointer shared with the paint thread during \
+         resize"
+      {|
+fn main() {
+    let mut pixels = vec![0u32; 64];
+    let buf = pixels.as_mut_ptr();
+    let painter = thread::spawn(move || {
+        unsafe { ptr::write(buf, 7u32); }
+    });
+    pixels.clear();
+}
+|};
+    ptr_bug ~id:"nb-ptr-tile-buffer" ~project:Servo ~year:2017 ~month:12
+      ~fix:Fix_avoid_share
+      ~description:
+        "tile buffer pointer kept by the compositor after handing the tile \
+         to the renderer"
+      {|
+fn main() {
+    let mut tile = vec![0u8; 256];
+    let tp = tile.as_mut_ptr();
+    let renderer = thread::spawn(move || {
+        unsafe { ptr::write(tp, 9u8); }
+    });
+    unsafe { ptr::write(tp, 4u8); }
+}
+|};
+    ptr_bug ~id:"nb-ptr-timer-cb" ~project:Servo ~year:2018 ~month:4
+      ~fix:Fix_avoid_share
+      ~description:
+        "timer callback captures a raw pointer to scheduler state freed on \
+         the main thread"
+      {|
+struct Sched { pending: u32 }
+fn main() {
+    let mut sched = Sched { pending: 3 };
+    let sp = &mut sched as *mut Sched;
+    let timer = thread::spawn(move || {
+        unsafe { (*sp).pending = 0; }
+    });
+    sched.pending = 9;
+}
+|};
+    ptr_bug ~id:"nb-ptr-audio-ring" ~project:Servo ~year:2018 ~month:10
+      ~fix:Fix_copy
+      ~description:
+        "audio render thread and control thread share the ring-buffer \
+         cursor by pointer"
+      {|
+fn main() {
+    let mut cursor = 0usize;
+    let cp = &mut cursor as *mut usize;
+    let render = thread::spawn(move || {
+        unsafe { *cp = *cp + 128; }
+    });
+    unsafe { *cp = 0; }
+}
+|};
+    ptr_bug ~id:"nb-ptr-arena-bump" ~project:Libraries ~year:2016 ~month:8
+      ~fix:Fix_atomic
+      ~description:
+        "bump allocator's head pointer shared across worker threads without \
+         synchronization"
+      {|
+fn main() {
+    let mut head = 0usize;
+    let hp = &mut head as *mut usize;
+    let w = thread::spawn(move || {
+        unsafe { *hp = *hp + 64; }
+    });
+    unsafe { *hp = *hp + 32; }
+}
+|};
+    ptr_bug ~id:"nb-ptr-deque-slots" ~project:Libraries ~year:2017 ~month:5
+      ~fix:Fix_order
+      ~description:
+        "work-stealing deque slot pointer read by the stealer while the \
+         owner writes it"
+      {|
+fn main() {
+    let mut slots = vec![0u64; 32];
+    let sp = slots.as_mut_ptr();
+    let stealer = thread::spawn(move || {
+        unsafe { ptr::write(sp, 11u64); }
+    });
+    unsafe { ptr::write(sp, 22u64); }
+}
+|};
+    ptr_bug ~id:"nb-ptr-scope-spawn" ~project:Libraries ~year:2017 ~month:10
+      ~fix:Fix_order
+      ~description:
+        "scoped spawn leaks the stack frame pointer into a thread that can \
+         outlive the scope"
+      {|
+fn main() {
+    let mut local = 5u32;
+    let lp = &mut local as *mut u32;
+    let t = thread::spawn(move || {
+        unsafe { *lp = 6u32; }
+    });
+    local = 7u32;
+}
+|};
+    ptr_bug ~id:"nb-ptr-channel-node" ~project:Libraries ~year:2018 ~month:6
+      ~fix:Fix_avoid_share
+      ~description:
+        "lock-free channel node pointer touched by sender and receiver \
+         without the needed ordering"
+      {|
+struct ChanNode { seq: u64 }
+fn main() {
+    let mut node = ChanNode { seq: 0 };
+    let np = &mut node as *mut ChanNode;
+    let rx = thread::spawn(move || {
+        unsafe { (*np).seq = 1; }
+    });
+    unsafe { (*np).seq = 2; }
+}
+|};
+    ptr_bug ~id:"nb-ptr-iter-split" ~project:Libraries ~year:2018 ~month:9
+      ~fix:Fix_logic
+      ~description:
+        "parallel iterator splits hand both halves a pointer to the same \
+         length field"
+      {|
+fn main() {
+    let mut len = 100usize;
+    let lp = &mut len as *mut usize;
+    let half = thread::spawn(move || {
+        unsafe { *lp = *lp / 2; }
+    });
+    unsafe { *lp = *lp - 1; }
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Global (3): static mut                                             *)
+(* ---------------------------------------------------------------- *)
+
+let globals =
+  let global_bug ~id ~project ~year ~month ~fix ~description src =
+    non_blocking ~id ~project ~year ~month ~sharing:Sh_global ~fix
+      ~expected:[] ~description src
+  in
+  [
+    global_bug ~id:"nb-global-pipeline-count" ~project:Servo ~year:2015
+      ~month:11 ~fix:Fix_order
+      ~description:"global pipeline counter incremented from two threads"
+      {|
+static mut PIPELINES: u32 = 0;
+fn main() {
+    let t = thread::spawn(move || {
+        unsafe { PIPELINES = PIPELINES + 1; }
+    });
+    unsafe { PIPELINES = PIPELINES + 1; }
+}
+|};
+    global_bug ~id:"nb-global-ticks" ~project:Redox ~year:2017 ~month:7
+      ~fix:Fix_avoid_share
+      ~description:
+        "kernel tick counter is a static mut touched by the timer interrupt \
+         and the scheduler"
+      {|
+static mut TICKS: u64 = 0;
+fn timer_irq() {
+    unsafe { TICKS = TICKS + 1; }
+}
+fn scheduler_poll() -> u64 {
+    unsafe { TICKS }
+}
+fn main() {
+    let irq = thread::spawn(move || { timer_irq(); });
+    let t = scheduler_poll();
+}
+|};
+    global_bug ~id:"nb-global-log-level" ~project:Libraries ~year:2016
+      ~month:12 ~fix:Fix_logic
+      ~description:
+        "logger max-level static written by init while another thread reads \
+         it mid-write"
+      {|
+static mut MAX_LEVEL: u32 = 0;
+fn set_level(l: u32) {
+    unsafe { MAX_LEVEL = l; }
+}
+fn enabled(l: u32) -> bool {
+    unsafe { l <= MAX_LEVEL }
+}
+fn main() {
+    let init = thread::spawn(move || { set_level(3); });
+    let e = enabled(2);
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* O.H. (5): OS / hardware resources                                  *)
+(* ---------------------------------------------------------------- *)
+
+let os_hw =
+  let oh_bug ~id ~project ~year ~month ~fix ~description src =
+    non_blocking ~id ~project ~year ~month ~sharing:Sh_os ~fix ~expected:[]
+      ~description src
+  in
+  [
+    oh_bug ~id:"nb-oh-getmntent" ~project:TiKV ~year:2018 ~month:1
+      ~fix:Fix_order
+      ~description:
+        "two threads share the getmntent() static result; the second call \
+         overwrites the struct the first is reading"
+      {|
+fn disk_stats() -> u64 {
+    let ent = getmntent();
+    ent
+}
+fn main() {
+    let a = thread::spawn(move || { disk_stats(); });
+    let b = disk_stats();
+}
+|};
+    oh_bug ~id:"nb-oh-gpio-bank" ~project:Tock ~year:2017 ~month:3
+      ~fix:Fix_order
+      ~description:
+        "two capsules toggle pins in the same GPIO bank register without a \
+         read-modify-write barrier"
+      {|
+fn led_on() {
+    gpio_set(4);
+}
+fn button_irq() {
+    gpio_clear(4);
+}
+fn main() {
+    led_on();
+    button_irq();
+}
+|};
+    oh_bug ~id:"nb-oh-dma-busy" ~project:Tock ~year:2018 ~month:8
+      ~fix:Fix_avoid_share
+      ~description:
+        "DMA busy bit polled by one capsule while another starts a transfer \
+         on the same channel"
+      {|
+fn start_transfer() {
+    dma_start(1);
+}
+fn poll_done() -> u64 {
+    dma_status(1)
+}
+fn main() {
+    start_transfer();
+    let s = poll_done();
+}
+|};
+    oh_bug ~id:"nb-oh-fb-map" ~project:Redox ~year:2018 ~month:2
+      ~fix:Fix_order
+      ~description:
+        "display server and compositor both mmap the framebuffer and scribble \
+         without fencing"
+      {|
+fn map_fb() -> u64 {
+    physmap(0xB8000)
+}
+fn main() {
+    let comp = thread::spawn(move || { map_fb(); });
+    let fb = map_fb();
+}
+|};
+    oh_bug ~id:"nb-oh-rtc-read" ~project:Redox ~year:2019 ~month:3
+      ~fix:Fix_order
+      ~description:
+        "RTC CMOS index/data port pair accessed by two drivers; interleaved \
+         index writes corrupt both reads"
+      {|
+fn read_rtc(reg: u64) -> u64 {
+    outb(0x70, reg);
+    inb(0x71)
+}
+fn main() {
+    let clock = thread::spawn(move || { read_rtc(0); });
+    let date = read_rtc(7);
+}
+|};
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* MSG (3): message-passing order violations                          *)
+(* ---------------------------------------------------------------- *)
+
+let msgs =
+  let msg_bug ~id ~project ~year ~month ~description src =
+    non_blocking ~id ~project ~year ~month ~sharing:Sh_msg ~fix:Fix_order
+      ~expected:[] ~description src
+  in
+  [
+    msg_bug ~id:"nb-msg-exit-order" ~project:Servo ~year:2016 ~month:5
+      ~description:
+        "constellation handles the exit message before the last paint \
+         message; messages from two senders interleave unexpectedly"
+      {|
+fn main() {
+    let (tx, rx) = channel::<u8>();
+    let tx2 = tx.clone();
+    let painter = thread::spawn(move || {
+        tx2.send(1u8);
+    });
+    tx.send(0u8);
+    let first = rx.recv().unwrap();
+    let second = rx.recv().unwrap();
+}
+|};
+    msg_bug ~id:"nb-msg-resize-race" ~project:Servo ~year:2017 ~month:8
+      ~description:
+        "resize notification can arrive after the repaint it should precede"
+      {|
+fn main() {
+    let (events, ev_rx) = channel::<u32>();
+    let resizer = events.clone();
+    let win = thread::spawn(move || {
+        resizer.send(100u32);
+    });
+    events.send(200u32);
+    let e1 = ev_rx.recv().unwrap();
+}
+|};
+    msg_bug ~id:"nb-msg-shutdown-flush" ~project:Ethereum ~year:2018 ~month:4
+      ~description:
+        "shutdown message races the final flush message; the DB closes with \
+         writes still queued"
+      {|
+fn main() {
+    let (ctl, ctl_rx) = channel::<u8>();
+    let flusher = ctl.clone();
+    let io = thread::spawn(move || {
+        flusher.send(1u8);
+    });
+    ctl.send(255u8);
+    let cmd = ctl_rx.recv().unwrap();
+}
+|};
+  ]
+
+(** All 41 non-blocking bugs. *)
+let all = atomics @ syncs @ mutexes @ pointers @ globals @ os_hw @ msgs

@@ -1,0 +1,85 @@
+(** Table 1's descriptive project metadata. Stars/commits/LOC are
+    external facts about the studied repositories (as of the paper's
+    crawl), recorded as data; the Mem/Blk/NBlk bug counts are computed
+    from the corpus by the study layer and cross-checked against these
+    reference values in the tests. *)
+
+type info = {
+  project : Defs.project;
+  start_time : string;
+  stars : int;
+  commits : int;
+  kloc : int;
+  ref_mem : int;  (** Table 1 reference values *)
+  ref_blk : int;
+  ref_nblk : int;
+}
+
+let table1 : info list =
+  [
+    {
+      project = Defs.Servo;
+      start_time = "2012/02";
+      stars = 14574;
+      commits = 38096;
+      kloc = 271;
+      ref_mem = 14;
+      ref_blk = 13;
+      ref_nblk = 18;
+    };
+    {
+      project = Defs.Tock;
+      start_time = "2015/05";
+      stars = 1343;
+      commits = 4621;
+      kloc = 60;
+      ref_mem = 5;
+      ref_blk = 0;
+      ref_nblk = 2;
+    };
+    {
+      project = Defs.Ethereum;
+      start_time = "2015/11";
+      stars = 5565;
+      commits = 12121;
+      kloc = 145;
+      ref_mem = 2;
+      ref_blk = 34;
+      ref_nblk = 4;
+    };
+    {
+      project = Defs.TiKV;
+      start_time = "2016/01";
+      stars = 5717;
+      commits = 3897;
+      kloc = 149;
+      ref_mem = 1;
+      ref_blk = 4;
+      ref_nblk = 3;
+    };
+    {
+      project = Defs.Redox;
+      start_time = "2016/08";
+      stars = 11450;
+      commits = 2129;
+      kloc = 199;
+      ref_mem = 20;
+      ref_blk = 2;
+      ref_nblk = 3;
+    };
+    {
+      project = Defs.Libraries;
+      start_time = "2010/07";
+      stars = 3106;
+      commits = 2402;
+      kloc = 25;
+      ref_mem = 7;
+      ref_blk = 6;
+      ref_nblk = 10;
+    };
+  ]
+
+(** Bugs collected from the CVE/RustSec databases, not attributed to a
+    Table 1 project (the paper: "There are 22 bugs collected from the
+    two CVE databases"). *)
+let cve_reference_count = 22

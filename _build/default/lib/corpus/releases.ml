@@ -1,0 +1,46 @@
+(** Figure 1's Rust release history: feature changes and total KLOC per
+    release. External facts about the rustc repository (release notes
+    and checkout sizes), recorded as data and rendered by the study
+    layer's figure generator. Values follow the figure's shape: heavy
+    churn in 2012–2015, stabilizing after v1.6.0 (Jan 2016). *)
+
+type release = {
+  version : string;
+  year : int;
+  month : int;
+  feature_changes : int;
+  kloc : int;
+}
+
+let history : release list =
+  [
+    { version = "0.1"; year = 2012; month = 1; feature_changes = 1000; kloc = 100 };
+    { version = "0.2"; year = 2012; month = 3; feature_changes = 1500; kloc = 120 };
+    { version = "0.3"; year = 2012; month = 7; feature_changes = 1800; kloc = 150 };
+    { version = "0.4"; year = 2012; month = 10; feature_changes = 2200; kloc = 170 };
+    { version = "0.5"; year = 2012; month = 12; feature_changes = 1700; kloc = 200 };
+    { version = "0.6"; year = 2013; month = 4; feature_changes = 2100; kloc = 240 };
+    { version = "0.7"; year = 2013; month = 7; feature_changes = 2500; kloc = 280 };
+    { version = "0.8"; year = 2013; month = 9; feature_changes = 2300; kloc = 310 };
+    { version = "0.9"; year = 2014; month = 1; feature_changes = 2100; kloc = 340 };
+    { version = "0.10"; year = 2014; month = 4; feature_changes = 1900; kloc = 370 };
+    { version = "0.11"; year = 2014; month = 7; feature_changes = 1600; kloc = 400 };
+    { version = "0.12"; year = 2014; month = 10; feature_changes = 1400; kloc = 430 };
+    { version = "1.0"; year = 2015; month = 5; feature_changes = 1200; kloc = 470 };
+    { version = "1.3"; year = 2015; month = 9; feature_changes = 700; kloc = 500 };
+    { version = "1.6"; year = 2016; month = 1; feature_changes = 300; kloc = 530 };
+    { version = "1.9"; year = 2016; month = 5; feature_changes = 220; kloc = 560 };
+    { version = "1.12"; year = 2016; month = 9; feature_changes = 200; kloc = 590 };
+    { version = "1.15"; year = 2017; month = 2; feature_changes = 180; kloc = 620 };
+    { version = "1.19"; year = 2017; month = 7; feature_changes = 150; kloc = 650 };
+    { version = "1.22"; year = 2017; month = 11; feature_changes = 140; kloc = 680 };
+    { version = "1.24"; year = 2018; month = 2; feature_changes = 130; kloc = 710 };
+    { version = "1.27"; year = 2018; month = 6; feature_changes = 120; kloc = 740 };
+    { version = "1.30"; year = 2018; month = 10; feature_changes = 130; kloc = 770 };
+    { version = "1.33"; year = 2019; month = 2; feature_changes = 110; kloc = 790 };
+    { version = "1.36"; year = 2019; month = 7; feature_changes = 100; kloc = 810 };
+    { version = "1.39"; year = 2019; month = 11; feature_changes = 100; kloc = 830 };
+  ]
+
+(** The stabilization point the paper calls out: stable since v1.6.0. *)
+let stable_since = (2016, 1)

@@ -1,0 +1,273 @@
+(** The unsafe-usage sample of §4.
+
+    The paper manually inspected 600 sampled unsafe usages (plus 250
+    interior-unsafe functions in std); this corpus carries a 60-usage
+    sample at the paper's exact proportions — 1:10 scale, recorded in
+    EXPERIMENTS.md. Operation kinds (memory operation / unsafe call /
+    other) are *computed* by the [Unsafe_scan] detector over each
+    snippet; the usage purpose and removability are survey metadata,
+    as they were in the paper.
+
+    Sample targets (paper -> here): memory ops 66% -> 40/60, calls
+    29% -> 17/60, other 5% -> 3/60; purposes: code reuse 42% -> 25,
+    performance 22% -> 13, sharing across threads 14% -> 9, other
+    bypasses 22% -> 13; removable without compile error 5% -> 3. *)
+
+type usage_kind = U_block | U_fn | U_trait
+
+type purpose = Reuse | Performance | Sharing | Other_purpose
+
+type usage = {
+  u_id : string;
+  u_kind : usage_kind;
+  u_purpose : purpose;
+  u_removable : bool;
+  u_snippet : string;  (** scanned by Unsafe_scan *)
+}
+
+let u ?(kind = U_block) ?(removable = false) id purpose snippet =
+  { u_id = id; u_kind = kind; u_purpose = purpose; u_removable = removable; u_snippet = snippet }
+
+(* 40 memory-operation usages (raw pointer deref/manipulation, casts) *)
+let memory_ops =
+  [
+    u "uu-mem-01" Reuse "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+    u "uu-mem-02" Other_purpose "fn f(p: *mut u32) { unsafe { *p = 0; } }";
+    u "uu-mem-03" Performance
+      "fn f(v: Vec<u8>) -> *const u8 { unsafe { v.as_ptr().offset(1) } }";
+    u "uu-mem-04" Reuse
+      "fn f(x: u64) -> *const u8 { unsafe { x as *const u8 } }";
+    u "uu-mem-05" Performance
+      "fn f(p: *const u16) -> u16 { unsafe { *p.offset(4) } }";
+    u "uu-mem-06" Reuse
+      "struct H { q: *mut u8 } fn f(h: H) -> u8 { unsafe { *h.q } }";
+    u "uu-mem-07" Sharing
+      "static mut GEN: u64 = 0; fn f() -> u64 { unsafe { GEN } }";
+    u "uu-mem-08" Sharing
+      "static mut SEQ: u32 = 0; fn f() { unsafe { SEQ = SEQ + 1; } }";
+    u "uu-mem-09" Performance
+      "fn f(a: Vec<u32>, i: usize) -> *const u32 { unsafe { a.as_ptr().add(i) } }";
+    u "uu-mem-10" Reuse
+      "fn f(base: *mut u8, n: usize) { unsafe { *base.offset(n as isize) = 1; } }";
+    u "uu-mem-11" Other_purpose
+      "fn f(r: &u32) -> *const u32 { unsafe { r as *const u32 } }";
+    u "uu-mem-12" Other_purpose
+      "fn f(p: *const i64) -> i64 { unsafe { *p } }";
+    u "uu-mem-13" Performance
+      "fn f(dst: *mut u8, v: u8) { unsafe { *dst = v; } }";
+    u "uu-mem-14" Reuse
+      "fn f(words: *const u64) -> u64 { unsafe { *words.offset(2) } }";
+    u "uu-mem-15" Sharing
+      "static mut FLAGS: u8 = 0; fn f(b: u8) { unsafe { FLAGS = b; } }";
+    u "uu-mem-16" Other_purpose
+      "fn f(p: *mut u8) -> *mut u32 { unsafe { p as *mut u32 } }";
+    u "uu-mem-17" Reuse
+      "fn f(regs: *mut u32) { unsafe { *regs.offset(7) = 1; } }";
+    u "uu-mem-18" Performance
+      "fn f(buf: Vec<u8>) -> u8 { unsafe { *buf.as_ptr() } }";
+    u "uu-mem-19" Other_purpose
+      "struct N { next: *mut u64 } fn f(n: N) -> u64 { unsafe { *n.next } }";
+    u "uu-mem-20" Reuse
+      "fn f(addr: usize) -> *mut u8 { unsafe { addr as *mut u8 } }";
+    u ~kind:U_fn "uu-mem-21" Reuse
+      "unsafe fn f(p: *const u8, n: usize) -> u8 { *p.offset(n as isize) }";
+    u ~kind:U_fn "uu-mem-22" Performance
+      "unsafe fn f(v: Vec<u64>) -> u64 { *v.as_ptr() }";
+    u ~kind:U_fn "uu-mem-23" Reuse
+      "unsafe fn f(slot: *mut u32, v: u32) { *slot = v; }";
+    u ~kind:U_fn "uu-mem-24" Sharing
+      "static mut POOL: u64 = 0; unsafe fn f() -> u64 { POOL }";
+    u ~kind:U_fn "uu-mem-25" Reuse
+      "unsafe fn f(hdr: *const u16) -> u16 { *hdr }";
+    u "uu-mem-26" Sharing
+      "fn f(px: *mut u32, c: u32) { unsafe { *px = c; } }";
+    u "uu-mem-27" Other_purpose
+      "fn f(tag: *const u8) -> bool { unsafe { *tag == 0u8 } }";
+    u "uu-mem-28" Other_purpose
+      "fn f(p: *const u8) -> *const u16 { unsafe { p as *const u16 } }";
+    u "uu-mem-29" Reuse
+      "fn f(ring: *mut u8, head: usize) -> u8 { unsafe { *ring.add(head) } }";
+    u "uu-mem-30" Performance
+      "fn f(m: Vec<i32>) -> *mut i32 { unsafe { m.as_mut_ptr() } }";
+    u "uu-mem-31" Sharing
+      "static mut EPOCH: usize = 0; fn f() -> usize { unsafe { EPOCH + 1 } }";
+    u "uu-mem-32" Reuse
+      "fn f(ent: *const u64, k: usize) -> u64 { unsafe { *ent.offset(k as isize) } }";
+    u "uu-mem-33" Performance
+      "fn f(q: *mut u16) { unsafe { *q = *q + 1; } }";
+    u "uu-mem-34" Reuse
+      "fn f(io: *mut u32, bit: u32) { unsafe { *io = *io | bit; } }";
+    u "uu-mem-35" Other_purpose
+      "fn f(w: &mut u64) -> *mut u64 { unsafe { w as *mut u64 } }";
+    u "uu-mem-36" Other_purpose
+      "fn f(line: *const u8, col: usize) -> u8 { unsafe { *line.add(col) } }";
+    u "uu-mem-37" Performance
+      "fn f(samples: Vec<f64>) -> *const f64 { unsafe { samples.as_ptr() } }";
+    u "uu-mem-38" Reuse
+      "fn f(node: *mut u8) { unsafe { *node = 0u8; } }";
+    u "uu-mem-39" Sharing
+      "static mut READY: bool = false; fn f() -> bool { unsafe { READY } }";
+    u "uu-mem-40" Reuse
+      "fn f(cell: *const i32) -> i32 { unsafe { *cell + 1 } }";
+  ]
+
+(* 17 unsafe-call usages *)
+let unsafe_calls =
+  [
+    u "uu-call-01" Reuse
+      "fn f(n: usize) -> *mut u8 { unsafe { alloc(n) } }";
+    u "uu-call-02" Reuse
+      "fn f(p: *mut u8) { unsafe { dealloc(p); } }";
+    u "uu-call-03" Reuse
+      "fn f(src: *const u8, dst: *mut u8, n: usize) { unsafe { ptr::copy_nonoverlapping(src, dst, n); } }";
+    u "uu-call-04" Performance
+      "fn f(v: Vec<u8>, i: usize) -> &u8 { unsafe { v.get_unchecked(i) } }";
+    u "uu-call-05" Performance
+      "fn f(v: Vec<u64>, n: usize) { let mut v = v; unsafe { v.set_len(n); } }";
+    u "uu-call-06" Other_purpose
+      "fn f(p: *const u32) -> u32 { unsafe { ptr::read(p) } }";
+    u "uu-call-07" Reuse
+      "fn f(p: *mut u32, v: u32) { unsafe { ptr::write(p, v); } }";
+    u "uu-call-08" Reuse
+      "fn f(bytes: Vec<u8>) -> String { unsafe { String::from_utf8_unchecked(bytes) } }";
+    u "uu-call-09" Reuse
+      "fn f(raw: *mut u8) -> Box<u8> { unsafe { Box::from_raw(raw) } }";
+    u "uu-call-10" Reuse
+      "fn f(fd: i32) -> i64 { unsafe { libc_close(fd) } }";
+    u "uu-call-11" Reuse
+      "fn f() -> u64 { unsafe { getpid() } }";
+    u "uu-call-12" Performance
+      "fn f(x: u64) -> f64 { unsafe { mem::transmute(x) } }";
+    u ~kind:U_fn "uu-call-13" Reuse
+      "unsafe fn f(ctx: *mut u8) -> i64 { ssl_free(ctx) }";
+    u ~kind:U_fn "uu-call-14" Reuse
+      "unsafe fn f(p: *mut u8, n: usize) -> Vec<u8> { Vec::from_raw_parts(p, n, n) }";
+    u "uu-call-15" Performance
+      "fn f(v: Vec<u32>, i: usize) -> &u32 { unsafe { v.get_unchecked(i) } }";
+    u "uu-call-16" Sharing
+      "fn f(h: u64) -> u64 { unsafe { mmap_region(h) } }";
+    u "uu-call-17" Sharing
+      "fn f(sem: u64) { unsafe { sem_post(sem); } }";
+  ]
+
+(* 3 other usages: no-compile-error cases kept for consistency/warning *)
+let others =
+  [
+    u ~kind:U_fn ~removable:true "uu-other-01" Other_purpose
+      "unsafe fn f(x: u32) -> u32 { x + 1 }";
+    (* marked unsafe only because the same fn is unsafe on another
+       platform *)
+    u ~kind:U_fn ~removable:true "uu-other-02" Other_purpose
+      "unsafe fn f(flags: u32) -> bool { flags == 0u32 }";
+    (* constructor labelled unsafe to warn about invariants other
+       methods rely on (the String::from_utf8_unchecked pattern) *)
+    u ~kind:U_fn ~removable:true "uu-other-03" Other_purpose
+      "struct Wrapper { raw: u64 } unsafe fn f(raw: u64) -> Wrapper { Wrapper { raw: raw } }";
+  ]
+
+let all = memory_ops @ unsafe_calls @ others
+
+(* ------------------------------------------------------------------ *)
+(* Unsafe-removal study (§4.2): 130 commits                            *)
+(* ------------------------------------------------------------------ *)
+
+type removal_purpose =
+  | R_memory_safety
+  | R_code_structure
+  | R_thread_safety
+  | R_bug_fix
+  | R_unnecessary
+
+type removal_stats = {
+  total_removals : int;
+  by_purpose : (removal_purpose * int) list;
+  to_fully_safe : int;
+  to_interior_unsafe_std : int;
+  to_interior_unsafe_own : int;
+  to_interior_unsafe_third_party : int;
+}
+
+(** Survey data reproducing §4.2's 130 unsafe removals: 61% memory
+    safety, 24% code structure, 10% thread safety, 3% bug fix, 2%
+    unnecessary; 43 fully safe, the rest encapsulated as interior
+    unsafe (48 std / 29 self-implemented / 10 third-party). *)
+let removals : removal_stats =
+  {
+    total_removals = 130;
+    by_purpose =
+      [
+        (R_memory_safety, 79);
+        (R_code_structure, 31);
+        (R_thread_safety, 13);
+        (R_bug_fix, 4);
+        (R_unnecessary, 3);
+      ];
+    to_fully_safe = 43;
+    to_interior_unsafe_std = 48;
+    to_interior_unsafe_own = 29;
+    to_interior_unsafe_third_party = 10;
+  }
+
+(** A representative removal: unchecked indexing replaced by the safe
+    API (memory safety, to fully safe). *)
+let removal_example_before =
+  "fn f(v: Vec<u8>, i: usize) -> &u8 { unsafe { v.get_unchecked(i) } }"
+
+let removal_example_after =
+  "fn f(v: Vec<u8>, i: usize) -> u8 { match v.get(i) { Some(b) => *b, None => 0u8 } }"
+
+(* ------------------------------------------------------------------ *)
+(* Interior-unsafe encapsulation study (§4.3)                          *)
+(* ------------------------------------------------------------------ *)
+
+type encapsulation_stats = {
+  sampled_std : int;
+  sampled_apps : int;
+  std_no_explicit_check : int;
+      (** rely on correct inputs/environment instead of checking *)
+  std_explicit_check : int;
+  cond_valid_memory_pct : int;  (** % needing valid memory / UTF-8 *)
+  cond_lifetime_pct : int;  (** % needing lifetime/ownership conditions *)
+  bad_encapsulations_std : int;
+  bad_encapsulations_apps : int;
+}
+
+(** §4.3's numbers: 250 std + 400 application interior-unsafe functions
+    sampled; 58% of std's perform no explicit condition check; 69% of
+    regions need valid memory, 15% lifetime/ownership; 19 improper
+    encapsulations found (5 std, 14 apps). *)
+let encapsulation : encapsulation_stats =
+  {
+    sampled_std = 250;
+    sampled_apps = 400;
+    std_no_explicit_check = 145;
+    std_explicit_check = 105;
+    cond_valid_memory_pct = 69;
+    cond_lifetime_pct = 15;
+    bad_encapsulations_std = 5;
+    bad_encapsulations_apps = 14;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Crate-level totals (§4 opening): 4990 usages in the applications,   *)
+(* 2454 in std                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type crate_totals = {
+  app_unsafe_regions : int;
+  app_unsafe_fns : int;
+  app_unsafe_traits : int;
+  std_unsafe_regions : int;
+  std_unsafe_fns : int;
+  std_unsafe_traits : int;
+}
+
+let totals : crate_totals =
+  {
+    app_unsafe_regions = 3665;
+    app_unsafe_fns = 1302;
+    app_unsafe_traits = 23;
+    std_unsafe_regions = 1581;
+    std_unsafe_fns = 861;
+    std_unsafe_traits = 12;
+  }

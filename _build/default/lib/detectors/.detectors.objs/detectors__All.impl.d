@@ -1,0 +1,1 @@
+lib/detectors/all.ml: Atomicity Borrowck Buffer Channel Condvar Double_free Double_lock Invalid_free Lock_order Null_deref Once Refcell Sync_misuse Uaf Uninit

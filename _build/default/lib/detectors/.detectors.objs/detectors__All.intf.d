@@ -1,0 +1,1 @@
+lib/detectors/all.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/atomicity.ml: Analysis Array Double_lock Hashtbl Ir List Mir Report Support

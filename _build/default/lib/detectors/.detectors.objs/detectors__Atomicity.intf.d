@@ -1,0 +1,1 @@
+lib/detectors/atomicity.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/borrowck.ml: Analysis Array Hashtbl Ir List Mir Printf Report Sema

@@ -1,0 +1,1 @@
+lib/detectors/borrowck.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/buffer.ml: Array Hashtbl Ir List Mir Report Syntax

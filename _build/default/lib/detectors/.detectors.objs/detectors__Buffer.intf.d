@@ -1,0 +1,1 @@
+lib/detectors/buffer.mli: Ir Mir Report

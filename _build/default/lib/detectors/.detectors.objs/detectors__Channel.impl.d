@@ -1,0 +1,1 @@
+lib/detectors/channel.ml: Analysis Array Ir List Mir Report Support

@@ -1,0 +1,1 @@
+lib/detectors/channel.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/condvar.ml: Analysis Array Ir List Mir Report String Support

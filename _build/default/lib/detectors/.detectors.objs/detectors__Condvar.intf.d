@@ -1,0 +1,1 @@
+lib/detectors/condvar.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/double_free.ml: Analysis Array Hashtbl Ir List Mir Option Report Sema

@@ -1,0 +1,1 @@
+lib/detectors/double_free.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/double_lock.ml: Analysis Array Hashtbl Ir List Mir Report Support

@@ -1,0 +1,1 @@
+lib/detectors/double_lock.mli: Analysis Hashtbl Ir Mir Report Support

@@ -1,0 +1,1 @@
+lib/detectors/encapsulation.ml: Analysis Array Fmt Ir List Mir Sema String Support

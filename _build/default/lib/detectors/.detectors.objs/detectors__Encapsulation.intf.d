@@ -1,0 +1,1 @@
+lib/detectors/encapsulation.mli: Ir Mir Support

@@ -1,0 +1,1 @@
+lib/detectors/invalid_free.ml: Analysis Array Hashtbl Ir List Mir Report Uninit

@@ -1,0 +1,1 @@
+lib/detectors/invalid_free.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/lifetimes.ml: Analysis Array Fmt Ir List Mir Printf Sema String Support

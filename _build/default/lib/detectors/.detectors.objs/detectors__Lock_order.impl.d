@@ -1,0 +1,1 @@
+lib/detectors/lock_order.ml: Analysis Double_lock Hashtbl Ir List Mir Option Report String Support

@@ -1,0 +1,1 @@
+lib/detectors/lock_order.mli: Ir Mir Report Support

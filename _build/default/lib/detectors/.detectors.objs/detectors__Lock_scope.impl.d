@@ -1,0 +1,1 @@
+lib/detectors/lock_scope.ml: Analysis Array Double_lock Fmt Hashtbl Ir List Mir String Support

@@ -1,0 +1,1 @@
+lib/detectors/lock_scope.mli: Ir Mir Support

@@ -1,0 +1,1 @@
+lib/detectors/null_deref.ml: Analysis Array Hashtbl Ir List Mir Report Sema

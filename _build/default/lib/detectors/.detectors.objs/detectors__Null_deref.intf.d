@@ -1,0 +1,1 @@
+lib/detectors/null_deref.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/once.ml: Analysis Array Ir List Mir Report

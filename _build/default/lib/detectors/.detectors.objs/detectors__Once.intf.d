@@ -1,0 +1,1 @@
+lib/detectors/once.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/refcell.ml: Analysis Array Hashtbl Ir List Mir Report Support

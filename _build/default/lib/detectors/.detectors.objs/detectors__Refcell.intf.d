@@ -1,0 +1,1 @@
+lib/detectors/refcell.mli: Ir Mir Report

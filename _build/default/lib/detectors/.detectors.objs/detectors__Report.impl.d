@@ -1,0 +1,1 @@
+lib/detectors/report.ml: Fmt List Span Support

@@ -1,0 +1,1 @@
+lib/detectors/report.mli: Format Span Support

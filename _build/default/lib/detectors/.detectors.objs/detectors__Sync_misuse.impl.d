@@ -1,0 +1,1 @@
+lib/detectors/sync_misuse.ml: Analysis Array Ir List Mir Report Sema String

@@ -1,0 +1,1 @@
+lib/detectors/sync_misuse.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/uaf.ml: Analysis Array Hashtbl Ir List Mir Option Printf Report Sema

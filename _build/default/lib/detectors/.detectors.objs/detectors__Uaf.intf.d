@@ -1,0 +1,1 @@
+lib/detectors/uaf.mli: Ir Mir Report

@@ -1,0 +1,1 @@
+lib/detectors/uninit.ml: Analysis Array Hashtbl Ir List Mir Report Sema

@@ -1,0 +1,1 @@
+lib/detectors/uninit.mli: Ir Mir Report

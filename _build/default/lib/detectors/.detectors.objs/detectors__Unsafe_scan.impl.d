@@ -1,0 +1,1 @@
+lib/detectors/unsafe_scan.ml: Ast List Sema Syntax

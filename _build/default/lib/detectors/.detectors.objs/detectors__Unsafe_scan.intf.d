@@ -1,0 +1,1 @@
+lib/detectors/unsafe_scan.mli: Ast Syntax

@@ -1,0 +1,26 @@
+(** Convenience entry points running groups of detectors, matching the
+    paper's taxonomy: memory-safety detectors (§5/§7.1), blocking-bug
+    detectors (§6.1/§7.2), non-blocking-bug detectors (§6.2), and the
+    compiler-model checks. *)
+
+let memory program =
+  Uaf.run program @ Double_free.run program @ Invalid_free.run program
+  @ Uninit.run program @ Null_deref.run program @ Buffer.run program
+
+let blocking program =
+  Double_lock.run program @ Lock_order.run program @ Condvar.run program
+  @ Channel.run program @ Once.run program
+
+let non_blocking program =
+  Sync_misuse.run program @ Atomicity.run program
+  @ Atomicity.run_with_sessions program @ Refcell.run program
+
+let compiler_checks program = Borrowck.run program
+
+let all program =
+  memory program @ blocking program @ non_blocking program
+  @ compiler_checks program
+
+(** Everything except the compiler-model checks: the runtime-bug
+    detectors proper. *)
+let bugs program = memory program @ blocking program @ non_blocking program

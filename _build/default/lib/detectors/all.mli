@@ -1,0 +1,24 @@
+(** Entry points running detector groups, matching the paper's taxonomy. *)
+
+open Ir
+
+val memory : Mir.program -> Report.finding list
+(** §5: use-after-free, double-free, invalid-free, uninitialized read,
+    null dereference, buffer overflow. *)
+
+val blocking : Mir.program -> Report.finding list
+(** §6.1: double lock, conflicting lock order, Condvar lost wakeup,
+    channel deadlock, Once recursion. *)
+
+val non_blocking : Mir.program -> Report.finding list
+(** §6.2: Sync misuse, atomic and lock-session atomicity violations,
+    RefCell double borrows. *)
+
+val compiler_checks : Mir.program -> Report.finding list
+(** The borrow-checker model: what rustc rejects at compile time. *)
+
+val bugs : Mir.program -> Report.finding list
+(** All runtime-bug detectors (memory + blocking + non-blocking). *)
+
+val all : Mir.program -> Report.finding list
+(** Everything, including the compiler-model checks. *)

@@ -1,0 +1,6 @@
+(** Channel blocking detector: a blocking [recv] in a program whose
+    sending half can never produce a message. *)
+
+open Ir
+
+val run : Mir.program -> Report.finding list

@@ -1,0 +1,7 @@
+(** Condvar misuse detector: a [Condvar::wait] with no reachable
+    [notify_one]/[notify_all] on the same condition variable (8 of the
+    paper's 10 Condvar blocking bugs). *)
+
+open Ir
+
+val run : Mir.program -> Report.finding list

@@ -1,0 +1,428 @@
+(** Double-lock detector (the paper's §7.2 static checker).
+
+    Per the paper: "It first identifies all call sites of lock() and
+    extracts two pieces of information: the lock being acquired and the
+    variable being used to save the return value. As Rust implicitly
+    releases the lock when the lifetime of this variable ends, our tool
+    will record this release time. We then check whether or not the
+    same lock is acquired before this time [...] including the case
+    where two lock acquisitions are in different functions by
+    performing inter-procedural analysis."
+
+    Lock identity is the access path of the lock place (parameter
+    field, static, or local creation site); the guard's live range is
+    delimited by its [Drop]. RwLock read/read pairs do not conflict;
+    everything else on the same lock does. [try_lock] acquisitions
+    never block, so they are tracked but never reported. *)
+
+open Ir
+module IntSet = Analysis.Dataflow.IntSet
+module Flow = Analysis.Dataflow.IntSetFlow
+
+type lock_kind = KMutex | KRead | KWrite
+
+let kind_name = function
+  | KMutex -> "Mutex::lock"
+  | KRead -> "RwLock::read"
+  | KWrite -> "RwLock::write"
+
+let conflict a b =
+  match (a, b) with KRead, KRead -> false | _ -> true
+
+type acquisition = {
+  acq_id : int;
+  acq_root : Analysis.Alias.t;
+  acq_kind : lock_kind;
+  acq_try : bool;
+  acq_span : Support.Span.t;
+}
+
+type body_locks = {
+  acquisitions : (int, acquisition) Hashtbl.t;
+      (** keyed by a per-body id; gen'd at the lock call *)
+  holders : (Mir.local, int) Hashtbl.t;  (** local -> acquisition id *)
+  acq_at_term : (int, int) Hashtbl.t;  (** block id -> acquisition id *)
+}
+
+let lock_kind_of_builtin = function
+  | Mir.MutexLock -> Some (KMutex, false)
+  | Mir.MutexTryLock -> Some (KMutex, true)
+  | Mir.RwRead -> Some (KRead, false)
+  | Mir.RwTryRead -> Some (KRead, true)
+  | Mir.RwWrite -> Some (KWrite, false)
+  | Mir.RwTryWrite -> Some (KWrite, true)
+  | _ -> None
+
+let operand_local = function
+  | (Mir.Copy p | Mir.Move p) when Mir.place_is_local p -> Some p.Mir.base
+  | _ -> None
+
+let operand_place = function
+  | Mir.Copy p | Mir.Move p -> Some p
+  | Mir.Const _ -> None
+
+(** Identify lock acquisitions and track which locals hold each guard
+    (through unwrap, moves and Condvar::wait round-trips). *)
+let collect_locks (aliases : Analysis.Alias.resolution) (body : Mir.body) :
+    body_locks =
+  let t =
+    {
+      acquisitions = Hashtbl.create 8;
+      holders = Hashtbl.create 8;
+      acq_at_term = Hashtbl.create 8;
+    }
+  in
+  let next_id = ref 0 in
+  (* iterate a few times so holder chains crossing block boundaries in
+     any order are found *)
+  for _pass = 0 to 1 do
+    Array.iteri
+      (fun bi (blk : Mir.block) ->
+        List.iter
+          (fun (s : Mir.stmt) ->
+            match s.Mir.kind with
+            | Mir.Assign (dest, Mir.Use op) when Mir.place_is_local dest -> (
+                match operand_local op with
+                | Some src -> (
+                    match Hashtbl.find_opt t.holders src with
+                    | Some a -> Hashtbl.replace t.holders dest.Mir.base a
+                    | None -> ())
+                | None -> ())
+            | _ -> ())
+          blk.Mir.stmts;
+        match blk.Mir.term with
+        | Mir.Call (c, _) -> (
+            match c.Mir.callee with
+            | Mir.Builtin b -> (
+                match lock_kind_of_builtin b with
+                | Some (kind, try_) ->
+                    if not (Hashtbl.mem t.acq_at_term bi) then begin
+                      let id = !next_id in
+                      incr next_id;
+                      let root =
+                        match c.Mir.args with
+                        | op :: _ -> (
+                            match operand_place op with
+                            | Some p -> Analysis.Alias.path_of_place aliases p
+                            | None -> Analysis.Alias.unknown)
+                        | [] -> Analysis.Alias.unknown
+                      in
+                      Hashtbl.replace t.acquisitions id
+                        {
+                          acq_id = id;
+                          acq_root = root;
+                          acq_kind = kind;
+                          acq_try = try_;
+                          acq_span = c.Mir.call_span;
+                        };
+                      Hashtbl.replace t.acq_at_term bi id
+                    end;
+                    (match
+                       ( Hashtbl.find_opt t.acq_at_term bi,
+                         Mir.place_is_local c.Mir.dest )
+                     with
+                    | Some id, true ->
+                        Hashtbl.replace t.holders c.Mir.dest.Mir.base id
+                    | _ -> ())
+                | None -> (
+                    match b with
+                    | Mir.ResultUnwrap | Mir.OptionUnwrap | Mir.CondvarWait -> (
+                        (* the guard flows through *)
+                        let arg_acq =
+                          List.fold_left
+                            (fun acc op ->
+                              match acc with
+                              | Some _ -> acc
+                              | None -> (
+                                  match operand_local op with
+                                  | Some l -> Hashtbl.find_opt t.holders l
+                                  | None -> None))
+                            None c.Mir.args
+                        in
+                        match (arg_acq, Mir.place_is_local c.Mir.dest) with
+                        | Some a, true ->
+                            Hashtbl.replace t.holders c.Mir.dest.Mir.base a
+                        | _ -> ())
+                    | _ -> ()))
+            | _ -> ())
+        | _ -> ())
+      body.Mir.blocks
+  done;
+  t
+
+(* Dataflow over held acquisition ids. *)
+let held_analysis (body : Mir.body) (locks : body_locks) : Flow.result =
+  let transfer_stmt state (s : Mir.stmt) =
+    match s.Mir.kind with
+    | Mir.Drop p when Mir.place_is_local p -> (
+        match Hashtbl.find_opt locks.holders p.Mir.base with
+        | Some a -> IntSet.remove a state
+        | None -> state)
+    | _ -> state
+  in
+  let transfer_term state = function
+    | Mir.Call (_, _) as term -> (
+        (* gen at lock-call terminators *)
+        match term with
+        | Mir.Call (_, _) -> state
+        | _ -> state)
+    | _ -> state
+  in
+  (* terminator gen must know the block id; run manually by augmenting
+     with a per-block wrapper *)
+  ignore transfer_term;
+  let module F = Analysis.Dataflow.IntSetFlow in
+  (* We inline the gen-at-term by post-processing: F.run with custom
+     term transfer that looks the block up by matching the unique call
+     span. Simpler: encode the acquisition id in the terminator lookup
+     table keyed by physical equality of the call. *)
+  let term_to_block = Hashtbl.create 8 in
+  Array.iteri
+    (fun bi (blk : Mir.block) ->
+      match blk.Mir.term with
+      | Mir.Call (c, _) -> Hashtbl.replace term_to_block c.Mir.call_span bi
+      | _ -> ())
+    body.Mir.blocks;
+  F.run body ~init:IntSet.empty ~transfer_stmt ~transfer_term:(fun state term ->
+      match term with
+      | Mir.Call (c, _) -> (
+          match Hashtbl.find_opt term_to_block c.Mir.call_span with
+          | Some bi -> (
+              match Hashtbl.find_opt locks.acq_at_term bi with
+              | Some a -> IntSet.add a state
+              | None -> state)
+          | None -> state)
+      | _ -> state)
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural summaries                                           *)
+(* ------------------------------------------------------------------ *)
+
+type summary_entry = {
+  se_root : Analysis.Alias.t;  (** in terms of the callee's params/statics *)
+  se_kind : lock_kind;
+  se_span : Support.Span.t;
+}
+
+type summaries = (string, summary_entry list) Hashtbl.t
+
+let callee_id = function
+  | Mir.Fn f -> Some f
+  | Mir.Method (h, m) -> Some (h ^ "::" ^ m)
+  | Mir.ClosureCall id -> Some id
+  | Mir.Builtin _ -> None
+
+let substitute_entry (aliases : Analysis.Alias.resolution) (c : Mir.call)
+    (e : summary_entry) : summary_entry =
+  match e.se_root.Analysis.Alias.root with
+  | Analysis.Alias.Param i -> (
+      match List.nth_opt c.Mir.args i with
+      | Some op -> (
+          match operand_place op with
+          | Some p ->
+              let base = Analysis.Alias.path_of_place aliases p in
+              if base.Analysis.Alias.root = Analysis.Alias.Unknown_base then
+                { e with se_root = Analysis.Alias.unknown }
+              else
+                {
+                  e with
+                  se_root =
+                    {
+                      Analysis.Alias.root = base.Analysis.Alias.root;
+                      fields =
+                        base.Analysis.Alias.fields
+                        @ e.se_root.Analysis.Alias.fields;
+                    };
+                }
+          | None -> { e with se_root = Analysis.Alias.unknown })
+      | None -> { e with se_root = Analysis.Alias.unknown })
+  | _ -> e
+
+let exportable (e : summary_entry) =
+  match e.se_root.Analysis.Alias.root with
+  | Analysis.Alias.Param _ | Analysis.Alias.Static _ -> true
+  | _ -> false
+
+let compute_summaries (program : Mir.program) : summaries =
+  let tbl : summaries = Hashtbl.create 16 in
+  let bodies = Mir.body_list program in
+  let cached =
+    List.map
+      (fun (b : Mir.body) ->
+        let aliases = Analysis.Alias.resolve b in
+        (b, aliases, collect_locks aliases b))
+      bodies
+  in
+  List.iter (fun ((b : Mir.body), _, _) -> Hashtbl.replace tbl b.Mir.fn_id [])
+    cached;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 5 do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun ((b : Mir.body), aliases, locks) ->
+        let direct =
+          Hashtbl.fold
+            (fun _ a acc ->
+              if a.acq_try then acc
+              else
+                { se_root = a.acq_root; se_kind = a.acq_kind; se_span = a.acq_span }
+                :: acc)
+            locks.acquisitions []
+        in
+        let from_calls =
+          Array.fold_left
+            (fun acc (blk : Mir.block) ->
+              match blk.Mir.term with
+              | Mir.Call (c, _) -> (
+                  match callee_id c.Mir.callee with
+                  | Some f -> (
+                      match Hashtbl.find_opt tbl f with
+                      | Some entries ->
+                          List.map (substitute_entry aliases c) entries @ acc
+                      | None -> acc)
+                  | None -> acc)
+              | _ -> acc)
+            [] b.Mir.blocks
+        in
+        let all = List.filter exportable (direct @ from_calls) in
+        let cur = Hashtbl.find tbl b.Mir.fn_id in
+        if List.length all <> List.length cur then begin
+          Hashtbl.replace tbl b.Mir.fn_id all;
+          changed := true
+        end)
+      cached
+  done;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let root_known (r : Analysis.Alias.t) =
+  r.Analysis.Alias.root <> Analysis.Alias.Unknown_base
+
+let check_body (summaries : summaries) (body : Mir.body) :
+    Report.finding list =
+  let aliases = Analysis.Alias.resolve body in
+  let locks = collect_locks aliases body in
+  let held = held_analysis body locks in
+  let findings = ref [] in
+  let held_accs state =
+    IntSet.fold
+      (fun a acc ->
+        match Hashtbl.find_opt locks.acquisitions a with
+        | Some acq -> acq :: acc
+        | None -> acc)
+      state []
+  in
+  Array.iteri
+    (fun bi (blk : Mir.block) ->
+      match blk.Mir.term with
+      | Mir.Call (c, _) -> (
+          (* state before the terminator *)
+          let state =
+            List.fold_left
+              (fun st s ->
+                match s.Mir.kind with
+                | Mir.Drop p when Mir.place_is_local p -> (
+                    match Hashtbl.find_opt locks.holders p.Mir.base with
+                    | Some a -> IntSet.remove a st
+                    | None -> st)
+                | _ -> st)
+              held.Flow.entry.(bi) blk.Mir.stmts
+          in
+          let held_now = held_accs state in
+          (* intra-procedural: this terminator acquires a lock *)
+          (match Hashtbl.find_opt locks.acq_at_term bi with
+          | Some id ->
+              let acq = Hashtbl.find locks.acquisitions id in
+              if (not acq.acq_try) && root_known acq.acq_root then
+                List.iter
+                  (fun h ->
+                    if
+                      h.acq_id <> acq.acq_id
+                      && root_known h.acq_root
+                      && Analysis.Alias.equal h.acq_root acq.acq_root
+                      && conflict h.acq_kind acq.acq_kind
+                    then
+                      findings :=
+                        Report.make ~kind:Report.Double_lock
+                          ~fn_id:body.Mir.fn_id ~span:acq.acq_span
+                          ~related_span:h.acq_span
+                          "%s on `%s` while the guard from %s on the same lock is still alive (implicit unlock has not happened yet)"
+                          (kind_name acq.acq_kind)
+                          (Analysis.Alias.to_string acq.acq_root)
+                          (kind_name h.acq_kind)
+                        :: !findings)
+                  held_now
+          | None -> ());
+          (* inter-procedural: the callee acquires locks we hold *)
+          match callee_id c.Mir.callee with
+          | Some f -> (
+              match Hashtbl.find_opt summaries f with
+              | Some entries ->
+                  List.iter
+                    (fun e ->
+                      let e = substitute_entry aliases c e in
+                      if root_known e.se_root then
+                        List.iter
+                          (fun h ->
+                            if
+                              root_known h.acq_root
+                              && Analysis.Alias.equal h.acq_root e.se_root
+                              && conflict h.acq_kind e.se_kind
+                            then
+                              findings :=
+                                Report.make ~kind:Report.Double_lock
+                                  ~fn_id:body.Mir.fn_id ~span:c.Mir.call_span
+                                  ~related_span:h.acq_span
+                                  "call to `%s` acquires %s on `%s` while a guard for the same lock is held here"
+                                  f (kind_name e.se_kind)
+                                  (Analysis.Alias.to_string e.se_root)
+                                :: !findings)
+                          held_now)
+                    entries
+              | None -> ())
+          | None -> ())
+      | _ -> ())
+    body.Mir.blocks;
+  !findings
+
+(** Run the double-lock detector over a whole program.
+    [interprocedural:false] ablates the cross-function summaries
+    (intraprocedural double locks are still found). *)
+let run ?(interprocedural = true) (program : Mir.program) :
+    Report.finding list =
+  let summaries =
+    if interprocedural then compute_summaries program else Hashtbl.create 1
+  in
+  List.concat_map (check_body summaries) (Mir.body_list program)
+
+(** Exposed for the lock-order detector: per-body acquisition-order
+    pairs (held root, newly acquired root) with spans. *)
+let order_pairs (body : Mir.body) :
+    (Analysis.Alias.t * Analysis.Alias.t * Support.Span.t) list =
+  let aliases = Analysis.Alias.resolve body in
+  let locks = collect_locks aliases body in
+  let held = held_analysis body locks in
+  let pairs = ref [] in
+  Array.iteri
+    (fun bi (blk : Mir.block) ->
+      match Hashtbl.find_opt locks.acq_at_term bi with
+      | Some id ->
+          let acq = Hashtbl.find locks.acquisitions id in
+          if root_known acq.acq_root then
+            IntSet.iter
+              (fun a ->
+                match Hashtbl.find_opt locks.acquisitions a with
+                | Some h
+                  when root_known h.acq_root
+                       && not (Analysis.Alias.equal h.acq_root acq.acq_root) ->
+                    pairs := (h.acq_root, acq.acq_root, acq.acq_span) :: !pairs
+                | _ -> ())
+              held.Flow.entry.(bi)
+      | None -> ignore blk)
+    body.Mir.blocks;
+  !pairs

@@ -1,0 +1,136 @@
+(** Interior-unsafe encapsulation checker (§4.3, Suggestion 3).
+
+    The paper: "If a function's safety depends on how it is used, then
+    it is better marked as unsafe, not interior unsafe", and its §4.3
+    audit found 19 improperly-encapsulated interior-unsafe functions —
+    typically functions that feed a parameter straight into an
+    unchecked memory operation, or that never check an external call's
+    return value.
+
+    This checker flags interior-unsafe functions (safe functions with
+    unsafe blocks) whose unsafe operations consume a parameter without
+    any condition check between entry and use:
+
+    - a parameter dereferenced as a raw pointer, or used as an
+      unchecked index ([get_unchecked], pointer offset), with no branch
+      (SwitchInt) anywhere before the use;
+    - an external call's pointer result dereferenced without a check.
+
+    Findings are advisory ([Medium]): the fix is to mark the function
+    [unsafe] or add the check, exactly as the paper suggests. *)
+
+open Ir
+module IntSet = Analysis.Dataflow.IntSet
+
+type verdict = {
+  v_fn : string;
+  v_span : Support.Span.t;
+  v_reason : string;
+}
+
+(* does any SwitchInt dominate block [bi]? approximation: any SwitchInt
+   in a block with a smaller id (lowering emits blocks roughly in
+   source order) *)
+let branch_before (body : Mir.body) bi =
+  let found = ref false in
+  Array.iteri
+    (fun i (blk : Mir.block) ->
+      if i < bi then
+        match blk.Mir.term with Mir.SwitchInt _ -> found := true | _ -> ())
+    body.Mir.blocks;
+  !found
+
+let audit_body (body : Mir.body) : verdict list =
+  if body.Mir.fn_unsafe then []
+  else begin
+    let aliases = Analysis.Alias.resolve body in
+    let param_root (p : Mir.place) =
+      match (Analysis.Alias.path_of aliases p.Mir.base).Analysis.Alias.root with
+      | Analysis.Alias.Param i -> Some i
+      | _ -> None
+    in
+    let verdicts = ref [] in
+    Array.iteri
+      (fun bi (blk : Mir.block) ->
+        (* unguarded raw-pointer deref of a parameter inside an unsafe
+           region of a safe function *)
+        List.iter
+          (fun (s : Mir.stmt) ->
+            match s.Mir.kind with
+            | Mir.Assign (_, rv) when s.Mir.s_unsafe ->
+                let check_place (p : Mir.place) =
+                  if
+                    (match p.Mir.proj with Mir.Deref :: _ -> true | _ -> false)
+                    && Sema.Ty.is_raw_ptr (Mir.local_ty body p.Mir.base)
+                    && param_root p <> None
+                    && not (branch_before body bi)
+                  then
+                    verdicts :=
+                      {
+                        v_fn = body.Mir.fn_id;
+                        v_span = s.Mir.s_span;
+                        v_reason =
+                          "a raw-pointer parameter is dereferenced without \
+                           any validity check; callers can violate the \
+                           implicit precondition — mark the function unsafe \
+                           or check first";
+                      }
+                      :: !verdicts
+                in
+                (match rv with
+                | Mir.Use (Mir.Copy p | Mir.Move p) -> check_place p
+                | _ -> ())
+            | _ -> ())
+          blk.Mir.stmts;
+        match blk.Mir.term with
+        | Mir.Call (c, _) when c.Mir.call_unsafe -> (
+            match c.Mir.callee with
+            | Mir.Builtin Mir.VecGetUnchecked -> (
+                (* index argument straight from a parameter, no check *)
+                match c.Mir.args with
+                | [ _; (Mir.Copy ip | Mir.Move ip) ]
+                  when param_root ip <> None && not (branch_before body bi) ->
+                    verdicts :=
+                      {
+                        v_fn = body.Mir.fn_id;
+                        v_span = c.Mir.call_span;
+                        v_reason =
+                          "a parameter is used directly as an unchecked \
+                           index; the bound must be checked or the function \
+                           marked unsafe";
+                      }
+                      :: !verdicts
+                | _ -> ())
+            | Mir.Builtin (Mir.PtrRead | Mir.PtrWrite) -> (
+                match c.Mir.args with
+                | (Mir.Copy p | Mir.Move p) :: _
+                  when param_root p <> None && not (branch_before body bi) ->
+                    verdicts :=
+                      {
+                        v_fn = body.Mir.fn_id;
+                        v_span = c.Mir.call_span;
+                        v_reason =
+                          "a raw-pointer parameter feeds ptr::read/write \
+                           with no precondition check";
+                      }
+                      :: !verdicts
+                | _ -> ())
+            | _ -> ())
+        | _ -> ())
+      body.Mir.blocks;
+    !verdicts
+  end
+
+(** Audit every interior-unsafe function of a program. *)
+let audit (program : Mir.program) : verdict list =
+  List.concat_map audit_body (Mir.body_list program)
+
+let render (vs : verdict list) : string =
+  if vs = [] then "all interior-unsafe functions look properly encapsulated\n"
+  else
+    String.concat ""
+      (List.map
+         (fun v ->
+           Fmt.str "%a: `%s` is improperly encapsulated: %s\n" Support.Span.pp
+             v.v_span v.v_fn v.v_reason)
+         vs)

@@ -1,0 +1,17 @@
+(** Interior-unsafe encapsulation auditor — the paper's Suggestion 3 as
+    a tool: flags interior-unsafe functions whose unsafe operations
+    consume a parameter with no condition check, i.e. functions whose
+    safety depends on how they are called and that should either check
+    or be marked [unsafe]. *)
+
+open Ir
+
+type verdict = {
+  v_fn : string;
+  v_span : Support.Span.t;
+  v_reason : string;
+}
+
+val audit_body : Mir.body -> verdict list
+val audit : Mir.program -> verdict list
+val render : verdict list -> string

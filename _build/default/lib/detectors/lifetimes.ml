@@ -1,0 +1,124 @@
+(** Lifetime/ownership visualizer (the paper's §7.1 IDE suggestion):
+    "Being able to visualize objects' lifetime and owner(s) during
+    programming time could largely help Rust programmers avoid memory
+    bugs ... highlighting a variable's lifetime scope when the cursor
+    hops over it."
+
+    For every user variable this module reports where its storage
+    begins, where its value is dropped (or moved away), and the
+    pointers/references that alias it — flagging aliases that are still
+    usable after the value's end (the use-after-free shape). *)
+
+open Ir
+module Loc = Analysis.Pointsto.Loc
+module LocSet = Analysis.Pointsto.LocSet
+
+type var_report = {
+  lr_fn : string;
+  lr_name : string;
+  lr_local : Mir.local;
+  lr_ty : string;
+  lr_born : Support.Span.t;  (** StorageLive site *)
+  lr_end : [ `Dropped of Support.Span.t | `Moved | `Escapes ];
+  lr_aliases : (Mir.local * string) list;
+      (** locals whose points-to set includes this variable, with their
+          user names where available *)
+}
+
+let local_name (body : Mir.body) l =
+  match body.Mir.locals.(l).Mir.l_name with
+  | Some n -> n
+  | None -> Printf.sprintf "_%d" l
+
+let report_body (body : Mir.body) : var_report list =
+  let pts = Analysis.Pointsto.analyze body in
+  let n = Array.length body.Mir.locals in
+  let born = Array.make n Support.Span.dummy in
+  let dropped = Array.make n None in
+  let moved = Array.make n false in
+  Array.iter
+    (fun (blk : Mir.block) ->
+      List.iter
+        (fun (s : Mir.stmt) ->
+          match s.Mir.kind with
+          | Mir.StorageLive l ->
+              if Support.Span.is_dummy born.(l) then born.(l) <- s.Mir.s_span
+          | Mir.Drop p when Mir.place_is_local p ->
+              if dropped.(p.Mir.base) = None then
+                dropped.(p.Mir.base) <- Some s.Mir.s_span
+          | Mir.Assign (_, rv) -> (
+              match rv with
+              | Mir.Use (Mir.Move p) when Mir.place_is_local p ->
+                  moved.(p.Mir.base) <- true
+              | _ -> ())
+          | _ -> ())
+        blk.Mir.stmts;
+      match blk.Mir.term with
+      | Mir.Call (c, _) ->
+          List.iter
+            (function
+              | Mir.Move p when Mir.place_is_local p -> moved.(p.Mir.base) <- true
+              | _ -> ())
+            c.Mir.args
+      | _ -> ())
+    body.Mir.blocks;
+  (* aliases: which locals may point at each variable *)
+  let aliases = Array.make n [] in
+  for l = 0 to n - 1 do
+    LocSet.iter
+      (function
+        | Loc.LLocal tgt when tgt < n && tgt <> l ->
+            aliases.(tgt) <- (l, local_name body l) :: aliases.(tgt)
+        | _ -> ())
+      (Analysis.Pointsto.of_local pts l)
+  done;
+  let reports = ref [] in
+  Array.iteri
+    (fun l (info : Mir.local_info) ->
+      if info.Mir.l_user && info.Mir.l_name <> None then
+        reports :=
+          {
+            lr_fn = body.Mir.fn_id;
+            lr_name = local_name body l;
+            lr_local = l;
+            lr_ty = Sema.Ty.to_string info.Mir.l_ty;
+            lr_born =
+              (if Support.Span.is_dummy born.(l) then info.Mir.l_span
+               else born.(l));
+            lr_end =
+              (match dropped.(l) with
+              | Some sp -> `Dropped sp
+              | None -> if moved.(l) then `Moved else `Escapes);
+            lr_aliases = aliases.(l);
+          }
+          :: !reports)
+    body.Mir.locals;
+  List.rev !reports
+
+(** Lifetime reports for every user variable of every function. *)
+let report (program : Mir.program) : var_report list =
+  List.concat_map report_body (Mir.body_list program)
+
+let render (rs : var_report list) : string =
+  if rs = [] then "no user variables\n"
+  else
+    String.concat ""
+      (List.map
+         (fun r ->
+           let end_ =
+             match r.lr_end with
+             | `Dropped sp -> Fmt.str "dropped at %a" Support.Span.pp sp
+             | `Moved -> "ownership moved away"
+             | `Escapes -> "lives to function exit"
+           in
+           let aliases =
+             match r.lr_aliases with
+             | [] -> ""
+             | al ->
+                 Fmt.str "    aliased by: %s\n"
+                   (String.concat ", "
+                      (List.sort_uniq compare (List.map snd al)))
+           in
+           Fmt.str "%s: `%s`: %s — born at %a; %s\n%s" r.lr_fn r.lr_name
+             r.lr_ty Support.Span.pp r.lr_born end_ aliases)
+         rs)

@@ -1,0 +1,142 @@
+(** Critical-section visualizer (the paper's Suggestion 6 / §7.2 IDE
+    tools): "An effective way to avoid these bugs is to visualize
+    critical sections. The boundary of a critical section can be
+    determined by analyzing the lifetime of the return of function
+    lock(). Highlighting blocking operations such as lock() and
+    channel-receive inside a critical section is also a good way to
+    help programmers avoid blocking bugs."
+
+    For each function this module reports every critical section — the
+    lock acquired, where it is acquired, where the implicit unlock
+    happens — and any blocking operations executed inside it. *)
+
+open Ir
+module IntSet = Analysis.Dataflow.IntSet
+module Flow = Analysis.Dataflow.IntSetFlow
+
+type blocking_op = {
+  op_name : string;
+  op_span : Support.Span.t;
+}
+
+type section = {
+  cs_fn : string;
+  cs_lock : string;  (** access path of the lock *)
+  cs_kind : string;  (** lock / read / write *)
+  cs_acquire : Support.Span.t;
+  cs_release : Support.Span.t option;
+      (** span of the implicit unlock (guard drop); [None] when the
+          guard survives to an unobserved exit *)
+  cs_blocking_inside : blocking_op list;
+}
+
+let blocking_name = function
+  | Mir.MutexLock -> Some "Mutex::lock"
+  | Mir.RwRead -> Some "RwLock::read"
+  | Mir.RwWrite -> Some "RwLock::write"
+  | Mir.CondvarWait -> Some "Condvar::wait"
+  | Mir.ChannelRecv -> Some "Receiver::recv"
+  | Mir.ThreadJoin -> Some "JoinHandle::join"
+  | Mir.OnceCallOnce -> Some "Once::call_once"
+  | _ -> None
+
+let sections_of_body (body : Mir.body) : section list =
+  let aliases = Analysis.Alias.resolve body in
+  let locks = Double_lock.collect_locks aliases body in
+  let held = Double_lock.held_analysis body locks in
+  (* release spans: Drop of a holder local *)
+  let releases = Hashtbl.create 4 in
+  Array.iter
+    (fun (blk : Mir.block) ->
+      List.iter
+        (fun (s : Mir.stmt) ->
+          match s.Mir.kind with
+          | Mir.Drop p when Mir.place_is_local p -> (
+              match Hashtbl.find_opt locks.Double_lock.holders p.Mir.base with
+              | Some a ->
+                  if not (Hashtbl.mem releases a) then
+                    Hashtbl.replace releases a s.Mir.s_span
+              | None -> ())
+          | _ -> ())
+        blk.Mir.stmts)
+    body.Mir.blocks;
+  (* blocking operations executed while each acquisition is held *)
+  let inside = Hashtbl.create 4 in
+  Array.iteri
+    (fun bi (blk : Mir.block) ->
+      match blk.Mir.term with
+      | Mir.Call (c, _) -> (
+          match c.Mir.callee with
+          | Mir.Builtin b -> (
+              match blocking_name b with
+              | Some name ->
+                  let state =
+                    List.fold_left
+                      (fun st (s : Mir.stmt) ->
+                        match s.Mir.kind with
+                        | Mir.Drop p when Mir.place_is_local p -> (
+                            match
+                              Hashtbl.find_opt locks.Double_lock.holders
+                                p.Mir.base
+                            with
+                            | Some a -> IntSet.remove a st
+                            | None -> st)
+                        | _ -> st)
+                      held.Flow.entry.(bi) blk.Mir.stmts
+                  in
+                  IntSet.iter
+                    (fun a ->
+                      (* don't list an acquisition inside itself *)
+                      if Hashtbl.find_opt locks.Double_lock.acq_at_term bi
+                         <> Some a
+                      then
+                        Hashtbl.add inside a
+                          { op_name = name; op_span = c.Mir.call_span })
+                    state
+              | None -> ())
+          | _ -> ())
+      | _ -> ())
+    body.Mir.blocks;
+  Hashtbl.fold
+    (fun id (acq : Double_lock.acquisition) acc ->
+      {
+        cs_fn = body.Mir.fn_id;
+        cs_lock = Analysis.Alias.to_string acq.Double_lock.acq_root;
+        cs_kind = Double_lock.kind_name acq.Double_lock.acq_kind;
+        cs_acquire = acq.Double_lock.acq_span;
+        cs_release = Hashtbl.find_opt releases id;
+        cs_blocking_inside = Hashtbl.find_all inside id;
+      }
+      :: acc)
+    locks.Double_lock.acquisitions []
+  |> List.sort (fun a b -> Support.Span.compare a.cs_acquire b.cs_acquire)
+
+(** All critical sections of a program. *)
+let sections (program : Mir.program) : section list =
+  List.concat_map sections_of_body (Mir.body_list program)
+
+let render (ss : section list) : string =
+  if ss = [] then "no critical sections\n"
+  else
+    String.concat ""
+      (List.map
+         (fun s ->
+           let release =
+             match s.cs_release with
+             | Some sp -> Fmt.str "implicit unlock at %a" Support.Span.pp sp
+             | None -> "guard may escape (no drop observed)"
+           in
+           let blocking =
+             match s.cs_blocking_inside with
+             | [] -> ""
+             | ops ->
+                 String.concat ""
+                   (List.map
+                      (fun o ->
+                        Fmt.str "    ! blocking op inside: %s at %a\n" o.op_name
+                          Support.Span.pp o.op_span)
+                      ops)
+           in
+           Fmt.str "%s: %s on `%s` acquired at %a; %s\n%s" s.cs_fn s.cs_kind
+             s.cs_lock Support.Span.pp s.cs_acquire release blocking)
+         ss)

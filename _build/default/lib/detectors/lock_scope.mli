@@ -1,0 +1,24 @@
+(** Critical-section visualizer — the paper's Suggestion 6 as a tool.
+
+    Reports, per function, each critical section: which lock, where it
+    is acquired, where Rust's implicit unlock happens (the guard's
+    [Drop]), and any blocking operations executed while the lock is
+    held — the prime suspects for the paper's blocking bugs. *)
+
+open Ir
+
+type blocking_op = { op_name : string; op_span : Support.Span.t }
+
+type section = {
+  cs_fn : string;
+  cs_lock : string;  (** access path of the lock *)
+  cs_kind : string;
+  cs_acquire : Support.Span.t;
+  cs_release : Support.Span.t option;
+      (** implicit-unlock site; [None] if the guard escapes *)
+  cs_blocking_inside : blocking_op list;
+}
+
+val sections_of_body : Mir.body -> section list
+val sections : Mir.program -> section list
+val render : section list -> string

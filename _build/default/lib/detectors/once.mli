@@ -1,0 +1,6 @@
+(** [Once::call_once] recursion detector: the initialization closure
+    (transitively) re-enters [call_once], which self-deadlocks. *)
+
+open Ir
+
+val run : Mir.program -> Report.finding list

@@ -1,0 +1,64 @@
+(** Findings produced by the static detectors: one shared representation
+    consumed by the CLI, the study layer, the tests and the benches. *)
+
+open Support
+
+type kind =
+  | Use_after_free
+  | Double_free
+  | Invalid_free
+  | Uninit_read
+  | Null_deref
+  | Buffer_overflow
+  | Double_lock
+  | Conflicting_lock_order
+  | Condvar_lost_wakeup
+  | Channel_deadlock
+  | Sync_unsync_write
+  | Atomicity_violation
+  | Use_after_move
+  | Borrow_conflict
+
+let kind_to_string = function
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Invalid_free -> "invalid-free"
+  | Uninit_read -> "uninitialized-read"
+  | Null_deref -> "null-pointer-dereference"
+  | Buffer_overflow -> "buffer-overflow"
+  | Double_lock -> "double-lock"
+  | Conflicting_lock_order -> "conflicting-lock-order"
+  | Condvar_lost_wakeup -> "condvar-lost-wakeup"
+  | Channel_deadlock -> "channel-deadlock"
+  | Sync_unsync_write -> "unsynchronized-write-in-Sync-type"
+  | Atomicity_violation -> "atomicity-violation"
+  | Use_after_move -> "use-after-move"
+  | Borrow_conflict -> "borrow-conflict"
+
+type confidence = High | Medium
+
+type finding = {
+  kind : kind;
+  fn_id : string;  (** function the effect is in *)
+  span : Span.t;  (** effect location *)
+  related_span : Span.t;  (** cause location (e.g. first lock) *)
+  message : string;
+  confidence : confidence;
+}
+
+let make ?(related_span = Span.dummy) ?(confidence = High) ~kind ~fn_id ~span
+    fmt =
+  Fmt.kstr
+    (fun message -> { kind; fn_id; span; related_span; message; confidence })
+    fmt
+
+let pp ppf f =
+  Fmt.pf ppf "[%s] %s in `%s` at %a: %s"
+    (kind_to_string f.kind)
+    (match f.confidence with High -> "bug" | Medium -> "possible bug")
+    f.fn_id Span.pp f.span f.message
+
+let to_string f = Fmt.str "%a" pp f
+
+let count_kind kind findings =
+  List.length (List.filter (fun f -> f.kind = kind) findings)

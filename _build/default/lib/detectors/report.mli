@@ -1,0 +1,49 @@
+(** Findings produced by the static detectors: the single representation
+    consumed by the study layer, the CLI, the tests and the benches. *)
+
+open Support
+
+type kind =
+  | Use_after_free
+  | Double_free
+  | Invalid_free
+  | Uninit_read
+  | Null_deref
+  | Buffer_overflow
+  | Double_lock
+  | Conflicting_lock_order
+  | Condvar_lost_wakeup
+  | Channel_deadlock
+  | Sync_unsync_write
+  | Atomicity_violation
+  | Use_after_move
+  | Borrow_conflict
+
+val kind_to_string : kind -> string
+
+type confidence = High | Medium
+
+type finding = {
+  kind : kind;
+  fn_id : string;  (** function containing the effect *)
+  span : Span.t;  (** effect location *)
+  related_span : Span.t;  (** cause location (e.g. the first lock) *)
+  message : string;
+  confidence : confidence;
+}
+
+val make :
+  ?related_span:Span.t ->
+  ?confidence:confidence ->
+  kind:kind ->
+  fn_id:string ->
+  span:Span.t ->
+  ('a, Format.formatter, unit, finding) format4 ->
+  'a
+(** [make ~kind ~fn_id ~span fmt ...] builds a finding with a formatted
+    message. *)
+
+val pp : Format.formatter -> finding -> unit
+val to_string : finding -> string
+
+val count_kind : kind -> finding list -> int

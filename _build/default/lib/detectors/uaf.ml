@@ -1,0 +1,280 @@
+(** Use-after-free detector (the paper's §7.1 static checker).
+
+    Per the paper: "Our detector maintains the state of each variable
+    (alive or dead) by monitoring when MIR calls StorageLive or
+    StorageDead on the variable. For each pointer/reference, we conduct
+    a points-to analysis [...]. When a pointer/reference is
+    dereferenced, our tool checks if the object it points to is dead
+    and reports a bug if so." Interprocedural coverage comes from
+    deref-parameter summaries; external (FFI) callees are assumed to
+    dereference their pointer arguments, which is what the CVE bug of
+    Fig. 7 does. *)
+
+open Ir
+module IntSet = Analysis.Dataflow.IntSet
+module Loc = Analysis.Pointsto.Loc
+module LocSet = Analysis.Pointsto.LocSet
+
+(* ------------------------------------------------------------------ *)
+(* Deref-parameter summaries                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* summary f = set of parameter indices that f (transitively)
+   dereferences. *)
+type summaries = (string, IntSet.t) Hashtbl.t
+
+let place_derefs_base (p : Mir.place) =
+  match p.Mir.proj with Mir.Deref :: _ -> true | _ -> false
+
+let param_of_place (body : Mir.body) (p : Mir.place) =
+  if p.Mir.base < body.Mir.arg_count then Some p.Mir.base else None
+
+let operand_place = function
+  | Mir.Copy p | Mir.Move p -> Some p
+  | Mir.Const _ -> None
+
+(* One pass over a body: parameter indices dereferenced directly, plus
+   (callee, arg index -> param index) obligations.
+   [assume_extern_derefs] is the paper's interprocedural assumption that
+   FFI callees dereference their pointer arguments; turning it off
+   removes the evaluation's three false positives but also misses the
+   Fig. 7 CVE (the ablation bench measures both sides). *)
+let direct_derefs ?(assume_extern_derefs = true) (body : Mir.body) :
+    IntSet.t * (string * int * int) list =
+  let aliases = Analysis.Alias.resolve body in
+  let direct = ref IntSet.empty in
+  let oblig = ref [] in
+  let note_place (p : Mir.place) =
+    if place_derefs_base p then begin
+      match (Analysis.Alias.path_of aliases p.Mir.base).Analysis.Alias.root with
+      | Analysis.Alias.Param i -> direct := IntSet.add i !direct
+      | _ -> ()
+    end
+  in
+  let note_operand op = Option.iter note_place (operand_place op) in
+  let note_rvalue = function
+    | Mir.Use op | Mir.Cast (op, _) | Mir.UnaryOp (_, op) -> note_operand op
+    | Mir.BinaryOp (_, a, b) ->
+        note_operand a;
+        note_operand b
+    | Mir.Aggregate (_, ops) -> List.iter note_operand ops
+    | Mir.Ref (_, p) | Mir.AddrOf (_, p) ->
+        (* borrowing a field through a deref of a param still reads it *)
+        note_place p
+    | Mir.Discriminant p -> note_place p
+    | Mir.Alloc _ -> ()
+  in
+  Array.iter
+    (fun (blk : Mir.block) ->
+      List.iter
+        (fun (s : Mir.stmt) ->
+          match s.Mir.kind with
+          | Mir.Assign (dest, rv) ->
+              note_place dest;
+              note_rvalue rv
+          | Mir.Drop p -> note_place p
+          | _ -> ())
+        blk.Mir.stmts;
+      match blk.Mir.term with
+      | Mir.Call (c, _) -> (
+          List.iter note_operand c.Mir.args;
+          let callee_id =
+            match c.Mir.callee with
+            | Mir.Fn f -> Some f
+            | Mir.Method (h, m) -> Some (h ^ "::" ^ m)
+            | Mir.ClosureCall id -> Some id
+            | Mir.Builtin (Mir.PtrRead | Mir.PtrWrite | Mir.PtrCopy) ->
+                (* these deref their first pointer arg *)
+                (match c.Mir.args with
+                | op :: _ -> (
+                    match operand_place op with
+                    | Some p -> (
+                        match
+                          (Analysis.Alias.path_of aliases p.Mir.base)
+                            .Analysis.Alias.root
+                        with
+                        | Analysis.Alias.Param i ->
+                            direct := IntSet.add i !direct
+                        | _ -> ())
+                    | None -> ())
+                | [] -> ());
+                None
+            | Mir.Builtin (Mir.Extern _) when assume_extern_derefs ->
+                (* assume FFI dereferences pointer args *)
+                List.iteri
+                  (fun _ op ->
+                    match operand_place op with
+                    | Some p
+                      when Sema.Ty.is_raw_ptr (Mir.local_ty body p.Mir.base) -> (
+                        match
+                          (Analysis.Alias.path_of aliases p.Mir.base)
+                            .Analysis.Alias.root
+                        with
+                        | Analysis.Alias.Param i ->
+                            direct := IntSet.add i !direct
+                        | _ -> ())
+                    | _ -> ())
+                  c.Mir.args;
+                None
+            | Mir.Builtin _ -> None
+          in
+          match callee_id with
+          | Some f ->
+              List.iteri
+                (fun ai op ->
+                  match operand_place op with
+                  | Some p when Mir.place_is_local p -> (
+                      match param_of_place body p with
+                      | Some pi -> oblig := (f, ai, pi) :: !oblig
+                      | None -> ())
+                  | _ -> ())
+                c.Mir.args
+          | None -> ())
+      | _ -> ())
+    body.Mir.blocks;
+  (!direct, !oblig)
+
+let compute_summaries ?(assume_extern_derefs = true) (program : Mir.program)
+    : summaries =
+  let tbl : summaries = Hashtbl.create 16 in
+  let per_body =
+    List.map
+      (fun b -> (b, direct_derefs ~assume_extern_derefs b))
+      (Mir.body_list program)
+  in
+  List.iter
+    (fun ((b : Mir.body), (direct, _)) -> Hashtbl.replace tbl b.Mir.fn_id direct)
+    per_body;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun ((b : Mir.body), (_, oblig)) ->
+        let cur = Hashtbl.find tbl b.Mir.fn_id in
+        let next =
+          List.fold_left
+            (fun acc (callee, ai, pi) ->
+              match Hashtbl.find_opt tbl callee with
+              | Some cs when IntSet.mem ai cs -> IntSet.add pi acc
+              | _ -> acc)
+            cur oblig
+        in
+        if not (IntSet.equal cur next) then begin
+          Hashtbl.replace tbl b.Mir.fn_id next;
+          changed := true
+        end)
+      per_body
+  done;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* The detector                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let callee_derefs_arg ?(assume_extern_derefs = true) (summaries : summaries)
+    (callee : Mir.callee) ai arg_ty =
+  match callee with
+  | Mir.Builtin (Mir.PtrRead | Mir.PtrWrite | Mir.PtrCopy) -> ai = 0 || ai = 1
+  | Mir.Builtin (Mir.Extern _) ->
+      assume_extern_derefs && Sema.Ty.is_raw_ptr arg_ty
+  | Mir.Fn f | Mir.ClosureCall f -> (
+      match Hashtbl.find_opt summaries f with
+      | Some s -> IntSet.mem ai s
+      | None -> false)
+  | Mir.Method (h, m) -> (
+      match Hashtbl.find_opt summaries (h ^ "::" ^ m) with
+      | Some s -> IntSet.mem ai s
+      | None -> false)
+  | Mir.Builtin _ -> false
+
+let check_body ?(assume_extern_derefs = true) (program : Mir.program)
+    (summaries : summaries) (body : Mir.body) : Report.finding list =
+  ignore program;
+  let pts = Analysis.Pointsto.analyze body in
+  let invalid = Analysis.Storage.analyze body in
+  let findings = ref [] in
+  let dead_pointees (state : IntSet.t) (l : Mir.local) : Mir.local list =
+    LocSet.fold
+      (fun loc acc ->
+        match loc with
+        | Loc.LLocal tgt when IntSet.mem tgt state -> tgt :: acc
+        | _ -> acc)
+      (Analysis.Pointsto.of_local pts l)
+      []
+  in
+  let report ~span ~target l =
+    let name =
+      match body.Mir.locals.(target).Mir.l_name with
+      | Some n -> n
+      | None -> Printf.sprintf "_%d" target
+    in
+    findings :=
+      Report.make ~kind:Report.Use_after_free ~fn_id:body.Mir.fn_id ~span
+        ~related_span:body.Mir.locals.(target).Mir.l_span
+        "pointer `_%d` dereferenced after the object `%s` it points to was dropped or went out of scope"
+        l name
+      :: !findings
+  in
+  (* a place dereferencing a pointer-typed base *)
+  let check_place state span (p : Mir.place) =
+    let base_ty = Mir.local_ty body p.Mir.base in
+    if
+      (match p.Mir.proj with Mir.Deref :: _ -> true | _ -> false)
+      && (Sema.Ty.is_raw_ptr base_ty || Sema.Ty.is_ref base_ty)
+    then
+      match dead_pointees state p.Mir.base with
+      | tgt :: _ -> report ~span ~target:tgt p.Mir.base
+      | [] -> ()
+  in
+  let check_operand state span op =
+    match op with
+    | Mir.Copy p | Mir.Move p -> check_place state span p
+    | Mir.Const _ -> ()
+  in
+  Analysis.Storage.iter body invalid ~f:(fun ~block:_ state ev ->
+      match ev with
+      | `Stmt { Mir.kind = Mir.Assign (dest, rv); s_span; _ } -> (
+          check_place state s_span dest;
+          match rv with
+          | Mir.Use op | Mir.Cast (op, _) | Mir.UnaryOp (_, op) ->
+              check_operand state s_span op
+          | Mir.BinaryOp (_, a, b) ->
+              check_operand state s_span a;
+              check_operand state s_span b
+          | Mir.Aggregate (_, ops) -> List.iter (check_operand state s_span) ops
+          | Mir.Ref (_, p) | Mir.AddrOf (_, p) ->
+              if List.mem Mir.Deref p.Mir.proj then check_place state s_span p
+          | Mir.Discriminant _ | Mir.Alloc _ -> ())
+      | `Stmt _ -> ()
+      | `Term (Mir.Call (c, _)) ->
+          List.iteri
+            (fun ai op ->
+              match op with
+              | Mir.Copy p | Mir.Move p ->
+                  check_place state c.Mir.call_span p;
+                  (* passing a pointer to dead memory into a callee that
+                     dereferences it *)
+                  if
+                    Mir.place_is_local p
+                    && Sema.Ty.is_raw_ptr (Mir.local_ty body p.Mir.base)
+                    && callee_derefs_arg ~assume_extern_derefs summaries
+                         c.Mir.callee ai
+                         (Mir.local_ty body p.Mir.base)
+                  then begin
+                    match dead_pointees state p.Mir.base with
+                    | tgt :: _ ->
+                        report ~span:c.Mir.call_span ~target:tgt p.Mir.base
+                    | [] -> ()
+                  end
+              | Mir.Const _ -> ())
+            c.Mir.args
+      | `Term _ -> ());
+  !findings
+
+(** Run the use-after-free detector over a whole program. *)
+let run ?(assume_extern_derefs = true) (program : Mir.program) :
+    Report.finding list =
+  let summaries = compute_summaries ~assume_extern_derefs program in
+  List.concat_map
+    (check_body ~assume_extern_derefs program summaries)
+    (Mir.body_list program)

@@ -1,0 +1,33 @@
+(** Use-after-free detector — the paper's §7.1 static checker.
+
+    Maintains the alive/dead state of every local by tracking
+    [StorageLive]/[StorageDead]/[Drop] (via {!Analysis.Storage}), runs a
+    may-points-to analysis per body, and reports any dereference of a
+    pointer/reference whose pointee may be dead. Interprocedural
+    coverage comes from deref-parameter summaries computed to fixpoint
+    over the call graph. *)
+
+open Ir
+
+type summaries
+(** Per-function sets of parameter indices that the function
+    (transitively) dereferences. *)
+
+val compute_summaries :
+  ?assume_extern_derefs:bool -> Mir.program -> summaries
+(** Fixpoint deref-parameter summaries for a whole program.
+    [assume_extern_derefs] (default [true]) is the paper's
+    approximation that FFI callees dereference their raw-pointer
+    arguments; it is the source of the evaluation's three false
+    positives and also what catches the Fig. 7 CVE. *)
+
+val check_body :
+  ?assume_extern_derefs:bool ->
+  Mir.program ->
+  summaries ->
+  Mir.body ->
+  Report.finding list
+(** Run the detector on one body with precomputed summaries. *)
+
+val run : ?assume_extern_derefs:bool -> Mir.program -> Report.finding list
+(** Run the detector over every body of a program. *)

@@ -1,0 +1,159 @@
+(** Unsafe-usage scanner (the measurement instrument behind the paper's
+    §4): counts unsafe regions, unsafe functions, unsafe traits/impls,
+    and classifies the operations performed inside unsafe regions into
+    the paper's categories — memory operations (raw pointers, casts),
+    calls to unsafe functions, global (static mut) accesses, and
+    other. *)
+
+open Syntax
+
+type stats = {
+  unsafe_blocks : int;
+  unsafe_fns : int;
+  unsafe_traits : int;
+  unsafe_impls : int;
+  interior_unsafe_fns : int;
+      (** safe functions containing unsafe blocks: the paper's
+          "interior unsafe" pattern *)
+  op_memory : int;  (** raw pointer deref/manipulation, casts *)
+  op_unsafe_call : int;
+  op_static : int;
+  op_other : int;
+}
+
+let zero =
+  {
+    unsafe_blocks = 0;
+    unsafe_fns = 0;
+    unsafe_traits = 0;
+    unsafe_impls = 0;
+    interior_unsafe_fns = 0;
+    op_memory = 0;
+    op_unsafe_call = 0;
+    op_static = 0;
+    op_other = 0;
+  }
+
+let add a b =
+  {
+    unsafe_blocks = a.unsafe_blocks + b.unsafe_blocks;
+    unsafe_fns = a.unsafe_fns + b.unsafe_fns;
+    unsafe_traits = a.unsafe_traits + b.unsafe_traits;
+    unsafe_impls = a.unsafe_impls + b.unsafe_impls;
+    interior_unsafe_fns = a.interior_unsafe_fns + b.interior_unsafe_fns;
+    op_memory = a.op_memory + b.op_memory;
+    op_unsafe_call = a.op_unsafe_call + b.op_unsafe_call;
+    op_static = a.op_static + b.op_static;
+    op_other = a.op_other + b.op_other;
+  }
+
+let total_unsafe_usages s = s.unsafe_blocks + s.unsafe_fns + s.unsafe_traits
+
+let unsafe_builtin_call = function
+  | "read" | "write" | "copy_nonoverlapping" | "copy" | "offset" | "add"
+  | "transmute" | "uninitialized" | "zeroed" | "alloc" | "dealloc"
+  | "from_utf8_unchecked" | "get_unchecked" | "get_unchecked_mut" | "set_len"
+  | "from_raw" | "from_raw_parts" | "into_raw" | "read_volatile"
+  | "write_volatile" | "drop_in_place" ->
+      true
+  | _ -> false
+
+(* Count operations inside one unsafe region. *)
+let classify_region (env : Sema.Env.t) (blk : Ast.block) : stats =
+  Ast.fold_block
+    (fun acc (e : Ast.expr) ->
+      match e.Ast.e with
+      | Ast.E_unary (Ast.Deref, _) -> { acc with op_memory = acc.op_memory + 1 }
+      | Ast.E_cast (_, { Ast.t = Ast.Ty_ptr _; _ }) ->
+          { acc with op_memory = acc.op_memory + 1 }
+      | Ast.E_call ({ Ast.e = Ast.E_path (p, _); _ }, _) -> (
+          let last =
+            match List.rev p.Ast.segments with s :: _ -> s | [] -> ""
+          in
+          match p.Ast.segments with
+          | [ name ] -> (
+              match Sema.Env.find_fn env name with
+              | Some fd when fd.Ast.fn_unsafe ->
+                  { acc with op_unsafe_call = acc.op_unsafe_call + 1 }
+              | Some _ -> acc
+              | None ->
+                  (* unknown single-segment callee inside an unsafe
+                     region: an unsafe or foreign function — the reason
+                     the region is unsafe at all *)
+                  { acc with op_unsafe_call = acc.op_unsafe_call + 1 })
+          | _ ->
+              if unsafe_builtin_call last then
+                { acc with op_unsafe_call = acc.op_unsafe_call + 1 }
+              else { acc with op_other = acc.op_other + 1 })
+      | Ast.E_method (_, ("as_ptr" | "as_mut_ptr"), _, _) ->
+          (* taking a raw pointer is pointer manipulation *)
+          { acc with op_memory = acc.op_memory + 1 }
+      | Ast.E_method (_, name, _, _) when unsafe_builtin_call name ->
+          { acc with op_unsafe_call = acc.op_unsafe_call + 1 }
+      | Ast.E_path ({ Ast.segments = [ name ]; _ }, _) -> (
+          match Sema.Env.find_static env name with
+          | Some sd when sd.Ast.st_mut ->
+              { acc with op_static = acc.op_static + 1 }
+          | _ -> acc)
+      | _ -> acc)
+    zero blk
+
+let scan_fn (env : Sema.Env.t) (fd : Ast.fn_def) : stats =
+  let unsafe_regions = ref [] in
+  (match fd.Ast.fn_body with
+  | Some body ->
+      ignore
+        (Ast.fold_block
+           (fun () (e : Ast.expr) ->
+             match e.Ast.e with
+             | Ast.E_unsafe blk -> unsafe_regions := blk :: !unsafe_regions
+             | _ -> ())
+           () body)
+  | None -> ());
+  let region_stats =
+    List.fold_left (fun acc blk -> add acc (classify_region env blk)) zero
+      !unsafe_regions
+  in
+  let whole_fn =
+    match (fd.Ast.fn_unsafe, fd.Ast.fn_body) with
+    | true, Some body -> classify_region env body
+    | _ -> zero
+  in
+  let s = add region_stats whole_fn in
+  {
+    s with
+    unsafe_blocks = List.length !unsafe_regions;
+    unsafe_fns = (if fd.Ast.fn_unsafe then 1 else 0);
+    interior_unsafe_fns =
+      (if (not fd.Ast.fn_unsafe) && !unsafe_regions <> [] then 1 else 0);
+  }
+
+let rec scan_items env items =
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Ast.I_fn fd -> add acc (scan_fn env fd)
+      | Ast.I_impl ib ->
+          let acc =
+            if ib.Ast.impl_unsafe then
+              { acc with unsafe_impls = acc.unsafe_impls + 1 }
+            else acc
+          in
+          List.fold_left (fun acc fd -> add acc (scan_fn env fd)) acc
+            ib.Ast.impl_items
+      | Ast.I_trait td ->
+          let acc =
+            if td.Ast.tr_unsafe then
+              { acc with unsafe_traits = acc.unsafe_traits + 1 }
+            else acc
+          in
+          List.fold_left (fun acc fd -> add acc (scan_fn env fd)) acc
+            td.Ast.tr_items
+      | Ast.I_mod (_, sub) -> add acc (scan_items env sub)
+      | Ast.I_struct _ | Ast.I_enum _ | Ast.I_static _ | Ast.I_use _ -> acc)
+    zero items
+
+(** Scan a whole crate. *)
+let scan (crate : Ast.crate) : stats =
+  let env = Sema.Env.of_crate crate in
+  scan_items env crate.Ast.items

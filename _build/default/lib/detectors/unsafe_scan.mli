@@ -1,0 +1,27 @@
+(** Unsafe-usage scanner — the measurement instrument behind §4 of the
+    paper: counts unsafe regions / functions / traits / impls and
+    classifies the operations inside unsafe regions into the paper's
+    categories. *)
+
+open Syntax
+
+type stats = {
+  unsafe_blocks : int;
+  unsafe_fns : int;
+  unsafe_traits : int;
+  unsafe_impls : int;
+  interior_unsafe_fns : int;
+      (** safe functions containing unsafe blocks *)
+  op_memory : int;  (** raw-pointer deref/manipulation, pointer casts *)
+  op_unsafe_call : int;  (** calls to unsafe/foreign functions *)
+  op_static : int;  (** static mut accesses *)
+  op_other : int;
+}
+
+val zero : stats
+val add : stats -> stats -> stats
+
+val total_unsafe_usages : stats -> int
+(** Regions + unsafe functions + unsafe traits. *)
+
+val scan : Ast.crate -> stats

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Char Hashtbl List Mir Option Parser Printf Sema Span String Support Syntax

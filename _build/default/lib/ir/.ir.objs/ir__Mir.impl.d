@@ -1,0 +1,1 @@
+lib/ir/mir.ml: Array Fmt Hashtbl List Sema Span String Support Syntax

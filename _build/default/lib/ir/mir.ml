@@ -1,0 +1,370 @@
+(** RustLite's MIR: a control-flow graph of basic blocks with explicit
+    [StorageLive]/[StorageDead] markers and [Drop] statements, mirroring
+    the constructs of rustc's MIR that the PLDI'20 detectors consume. *)
+
+open Support
+
+type local = int
+
+type local_info = {
+  l_name : string option;  (** user variable name, [None] for temps *)
+  l_ty : Sema.Ty.t;
+  l_mut : bool;
+  l_user : bool;  (** declared by the user (vs compiler temp) *)
+  l_span : Span.t;
+}
+
+type proj =
+  | Deref
+  | Field of string
+  | Index  (** dynamic index; the index operand is not tracked *)
+  | Downcast of string  (** enum variant projection *)
+
+type place = { base : local; proj : proj list }
+
+let local_place base = { base; proj = [] }
+let place_is_local p = p.proj = []
+
+type constant =
+  | Cint of int
+  | Cbool of bool
+  | Cstr of string
+  | Cfloat of float
+  | Cunit
+  | Cfn of string  (** reference to a function or closure body *)
+
+type operand = Copy of place | Move of place | Const of constant
+
+type agg_kind =
+  | Agg_struct of string
+  | Agg_tuple
+  | Agg_variant of string * string  (** enum, variant *)
+  | Agg_closure of string  (** closure body id; operands are captures *)
+  | Agg_vec
+
+type binop = Syntax.Ast.binop
+type unop = Syntax.Ast.unop
+
+type rvalue =
+  | Use of operand
+  | Ref of Sema.Ty.mutability * place
+  | AddrOf of Sema.Ty.mutability * place  (** [&raw] / [as *const] of place *)
+  | BinaryOp of binop * operand * operand
+  | UnaryOp of unop * operand
+  | Aggregate of agg_kind * operand list
+  | Cast of operand * Sema.Ty.t
+  | Discriminant of place
+  | Alloc of Sema.Ty.t  (** heap allocation yielding raw memory *)
+
+(** Semantic classification of call targets. The detectors key on these
+    rather than re-deriving semantics from names. *)
+type builtin =
+  | MutexLock
+  | MutexTryLock
+  | RwRead
+  | RwTryRead
+  | RwWrite
+  | RwTryWrite
+  | ResultUnwrap  (** also [expect], [?] *)
+  | OptionUnwrap
+  | PtrRead
+  | PtrWrite
+  | PtrCopy
+  | PtrOffset
+  | PtrNull
+  | MemDrop
+  | MemForget
+  | MemReplace
+  | MemSwap
+  | MemTransmute
+  | MemUninit
+  | SizeOf
+  | HeapAlloc
+  | HeapDealloc
+  | ThreadSpawn
+  | ThreadJoin
+  | ThreadSleep
+  | CondvarWait
+  | CondvarNotifyOne
+  | CondvarNotifyAll
+  | ChannelNew
+  | SyncChannelNew
+  | ChannelSend
+  | ChannelRecv
+  | ChannelTryRecv
+  | AtomicLoad
+  | AtomicStore
+  | AtomicSwap
+  | AtomicCas
+  | AtomicFetch
+  | CtorNew of string  (** [Arc::new], [Mutex::new], ... (type head) *)
+  | IntoRaw
+  | FromRaw
+  | VecFromRawParts
+  | RefCellBorrow
+  | RefCellBorrowMut
+  | CellGet
+  | CellSet
+  | UnsafeCellGet
+  | OnceCallOnce
+  | VecPush
+  | VecPop
+  | VecGet
+  | VecGetUnchecked
+  | VecSetLen
+  | VecAsPtr
+  | VecLen
+  | CloneFn
+  | StrFromUtf8Unchecked
+  | OptionCtor of string  (** Some / None / Ok / Err *)
+  | VariantCtor of string * string  (** user enum, variant *)
+  | Extern of string  (** FFI or unresolved function *)
+  | Pure of string  (** misc known-pure method (len, is_empty, ...) *)
+
+type callee =
+  | Fn of string  (** user free function *)
+  | Method of string * string  (** type head, method name *)
+  | ClosureCall of string  (** direct call of a closure body *)
+  | Builtin of builtin
+
+type call = {
+  callee : callee;
+  args : operand list;
+  dest : place;
+  dest_ty : Sema.Ty.t;
+  call_unsafe : bool;  (** call site lexically inside an unsafe region *)
+  call_span : Span.t;
+}
+
+type stmt_kind =
+  | Assign of place * rvalue
+  | StorageLive of local
+  | StorageDead of local
+  | Drop of place
+  | Nop
+
+type stmt = { kind : stmt_kind; s_span : Span.t; s_unsafe : bool }
+
+type terminator =
+  | Goto of int
+  | SwitchInt of operand * (int * int) list * int  (** (value, target), default *)
+  | Call of call * int  (** call, successor block *)
+  | Return of operand option
+  | Unreachable
+  | Abort of string  (** panic *)
+
+type block = { stmts : stmt list; term : terminator; t_span : Span.t }
+
+type body = {
+  fn_id : string;
+  arg_count : int;
+  locals : local_info array;
+  blocks : block array;
+  fn_unsafe : bool;
+  body_span : Span.t;
+  captures : (int * string) list;
+      (** for closure bodies: param index -> captured variable name in
+          the enclosing function *)
+}
+
+type program = {
+  bodies : (string, body) Hashtbl.t;
+  prog_env : Sema.Env.t;
+  unsafe_spans : Span.t list;
+      (** spans of unsafe blocks and unsafe fn bodies, for
+          cause/effect-in-unsafe classification *)
+}
+
+let body_list p =
+  Hashtbl.fold (fun _ b acc -> b :: acc) p.bodies []
+  |> List.sort (fun a b -> String.compare a.fn_id b.fn_id)
+
+let find_body p id = Hashtbl.find_opt p.bodies id
+
+let local_ty (b : body) (l : local) = b.locals.(l).l_ty
+
+let in_unsafe_region (p : program) (span : Span.t) =
+  List.exists (fun u -> Span.contains u span) p.unsafe_spans
+
+(** Successor block ids of a terminator. *)
+let successors = function
+  | Goto t -> [ t ]
+  | SwitchInt (_, cases, default) -> default :: List.map snd cases
+  | Call (_, t) -> [ t ]
+  | Return _ | Unreachable | Abort _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Classification helpers shared by detectors                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_lock_acquire = function
+  | MutexLock | RwRead | RwWrite -> true
+  | _ -> false
+
+let is_try_lock = function
+  | MutexTryLock | RwTryRead | RwTryWrite -> true
+  | _ -> false
+
+let builtin_name = function
+  | MutexLock -> "Mutex::lock"
+  | MutexTryLock -> "Mutex::try_lock"
+  | RwRead -> "RwLock::read"
+  | RwTryRead -> "RwLock::try_read"
+  | RwWrite -> "RwLock::write"
+  | RwTryWrite -> "RwLock::try_write"
+  | ResultUnwrap -> "Result::unwrap"
+  | OptionUnwrap -> "Option::unwrap"
+  | PtrRead -> "ptr::read"
+  | PtrWrite -> "ptr::write"
+  | PtrCopy -> "ptr::copy_nonoverlapping"
+  | PtrOffset -> "ptr::offset"
+  | PtrNull -> "ptr::null"
+  | MemDrop -> "mem::drop"
+  | MemForget -> "mem::forget"
+  | MemReplace -> "mem::replace"
+  | MemSwap -> "mem::swap"
+  | MemTransmute -> "mem::transmute"
+  | MemUninit -> "mem::uninitialized"
+  | SizeOf -> "mem::size_of"
+  | HeapAlloc -> "alloc"
+  | HeapDealloc -> "dealloc"
+  | ThreadSpawn -> "thread::spawn"
+  | ThreadJoin -> "JoinHandle::join"
+  | ThreadSleep -> "thread::sleep"
+  | CondvarWait -> "Condvar::wait"
+  | CondvarNotifyOne -> "Condvar::notify_one"
+  | CondvarNotifyAll -> "Condvar::notify_all"
+  | ChannelNew -> "mpsc::channel"
+  | SyncChannelNew -> "mpsc::sync_channel"
+  | ChannelSend -> "Sender::send"
+  | ChannelRecv -> "Receiver::recv"
+  | ChannelTryRecv -> "Receiver::try_recv"
+  | AtomicLoad -> "Atomic::load"
+  | AtomicStore -> "Atomic::store"
+  | AtomicSwap -> "Atomic::swap"
+  | AtomicCas -> "Atomic::compare_and_swap"
+  | AtomicFetch -> "Atomic::fetch_op"
+  | CtorNew head -> head ^ "::new"
+  | IntoRaw -> "into_raw"
+  | FromRaw -> "from_raw"
+  | VecFromRawParts -> "Vec::from_raw_parts"
+  | RefCellBorrow -> "RefCell::borrow"
+  | RefCellBorrowMut -> "RefCell::borrow_mut"
+  | CellGet -> "Cell::get"
+  | CellSet -> "Cell::set"
+  | UnsafeCellGet -> "UnsafeCell::get"
+  | OnceCallOnce -> "Once::call_once"
+  | VecPush -> "Vec::push"
+  | VecPop -> "Vec::pop"
+  | VecGet -> "Vec::get"
+  | VecGetUnchecked -> "Vec::get_unchecked"
+  | VecSetLen -> "Vec::set_len"
+  | VecAsPtr -> "Vec::as_ptr"
+  | VecLen -> "Vec::len"
+  | CloneFn -> "clone"
+  | StrFromUtf8Unchecked -> "String::from_utf8_unchecked"
+  | OptionCtor v -> v
+  | VariantCtor (e, v) -> e ^ "::" ^ v
+  | Extern f -> "extern:" ^ f
+  | Pure f -> f
+
+let callee_name = function
+  | Fn f -> f
+  | Method (t, m) -> t ^ "::" ^ m
+  | ClosureCall c -> c
+  | Builtin b -> builtin_name b
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let pp_local ppf l = Fmt.pf ppf "_%d" l
+
+let pp_proj ppf = function
+  | Deref -> Fmt.string ppf ".*"
+  | Field f -> Fmt.pf ppf ".%s" f
+  | Index -> Fmt.string ppf "[_]"
+  | Downcast v -> Fmt.pf ppf " as %s" v
+
+let pp_place ppf p =
+  Fmt.pf ppf "%a%a" pp_local p.base (Fmt.list ~sep:Fmt.nop pp_proj) p.proj
+
+let pp_constant ppf = function
+  | Cint i -> Fmt.int ppf i
+  | Cbool b -> Fmt.bool ppf b
+  | Cstr s -> Fmt.pf ppf "%S" s
+  | Cfloat f -> Fmt.float ppf f
+  | Cunit -> Fmt.string ppf "()"
+  | Cfn f -> Fmt.pf ppf "fn %s" f
+
+let pp_operand ppf = function
+  | Copy p -> Fmt.pf ppf "copy %a" pp_place p
+  | Move p -> Fmt.pf ppf "move %a" pp_place p
+  | Const c -> Fmt.pf ppf "const %a" pp_constant c
+
+let pp_rvalue ppf = function
+  | Use op -> pp_operand ppf op
+  | Ref (Imm, p) -> Fmt.pf ppf "&%a" pp_place p
+  | Ref (Mut, p) -> Fmt.pf ppf "&mut %a" pp_place p
+  | AddrOf (Imm, p) -> Fmt.pf ppf "&raw const %a" pp_place p
+  | AddrOf (Mut, p) -> Fmt.pf ppf "&raw mut %a" pp_place p
+  | BinaryOp (op, a, b) ->
+      Fmt.pf ppf "%s(%a, %a)" (Syntax.Ast.show_binop op) pp_operand a
+        pp_operand b
+  | UnaryOp (op, a) ->
+      Fmt.pf ppf "%s(%a)" (Syntax.Ast.show_unop op) pp_operand a
+  | Aggregate (Agg_struct s, ops) ->
+      Fmt.pf ppf "%s { %a }" s (Fmt.list ~sep:Fmt.comma pp_operand) ops
+  | Aggregate (Agg_tuple, ops) ->
+      Fmt.pf ppf "(%a)" (Fmt.list ~sep:Fmt.comma pp_operand) ops
+  | Aggregate (Agg_variant (e, v), ops) ->
+      Fmt.pf ppf "%s::%s(%a)" e v (Fmt.list ~sep:Fmt.comma pp_operand) ops
+  | Aggregate (Agg_closure c, ops) ->
+      Fmt.pf ppf "closure %s [%a]" c (Fmt.list ~sep:Fmt.comma pp_operand) ops
+  | Aggregate (Agg_vec, ops) ->
+      Fmt.pf ppf "vec![%a]" (Fmt.list ~sep:Fmt.comma pp_operand) ops
+  | Cast (op, ty) -> Fmt.pf ppf "%a as %a" pp_operand op Sema.Ty.pp ty
+  | Discriminant p -> Fmt.pf ppf "discriminant(%a)" pp_place p
+  | Alloc ty -> Fmt.pf ppf "alloc(%a)" Sema.Ty.pp ty
+
+let pp_stmt ppf (s : stmt) =
+  match s.kind with
+  | Assign (p, rv) -> Fmt.pf ppf "%a = %a" pp_place p pp_rvalue rv
+  | StorageLive l -> Fmt.pf ppf "StorageLive(%a)" pp_local l
+  | StorageDead l -> Fmt.pf ppf "StorageDead(%a)" pp_local l
+  | Drop p -> Fmt.pf ppf "drop(%a)" pp_place p
+  | Nop -> Fmt.string ppf "nop"
+
+let pp_terminator ppf = function
+  | Goto t -> Fmt.pf ppf "goto -> bb%d" t
+  | SwitchInt (op, cases, default) ->
+      Fmt.pf ppf "switchInt(%a) -> [%a, otherwise: bb%d]" pp_operand op
+        (Fmt.list ~sep:Fmt.comma (fun ppf (v, t) -> Fmt.pf ppf "%d: bb%d" v t))
+        cases default
+  | Call (c, t) ->
+      Fmt.pf ppf "%a = %s(%a) -> bb%d" pp_place c.dest (callee_name c.callee)
+        (Fmt.list ~sep:Fmt.comma pp_operand)
+        c.args t
+  | Return None -> Fmt.string ppf "return"
+  | Return (Some op) -> Fmt.pf ppf "return %a" pp_operand op
+  | Unreachable -> Fmt.string ppf "unreachable"
+  | Abort msg -> Fmt.pf ppf "abort(%S)" msg
+
+let pp_body ppf (b : body) =
+  Fmt.pf ppf "fn %s(%d args) {@\n" b.fn_id b.arg_count;
+  Array.iteri
+    (fun i (info : local_info) ->
+      Fmt.pf ppf "  let %s_%d: %a;%s@\n"
+        (if info.l_mut then "mut " else "")
+        i Sema.Ty.pp info.l_ty
+        (match info.l_name with Some n -> " // " ^ n | None -> ""))
+    b.locals;
+  Array.iteri
+    (fun i (blk : block) ->
+      Fmt.pf ppf "  bb%d: {@\n" i;
+      List.iter (fun s -> Fmt.pf ppf "    %a;@\n" pp_stmt s) blk.stmts;
+      Fmt.pf ppf "    %a;@\n  }@\n" pp_terminator blk.term)
+    b.blocks;
+  Fmt.pf ppf "}@\n"
+
+let body_to_string b = Fmt.str "%a" pp_body b

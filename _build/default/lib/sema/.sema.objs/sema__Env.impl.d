@@ -1,0 +1,1 @@
+lib/sema/env.ml: Ast Hashtbl List String Syntax Ty

@@ -1,0 +1,1 @@
+lib/sema/env.mli: Ast Hashtbl Syntax Ty

@@ -1,0 +1,1 @@
+lib/sema/ty.ml: Fmt List String Syntax

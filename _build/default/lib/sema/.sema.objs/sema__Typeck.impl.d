@@ -1,0 +1,1 @@
+lib/sema/typeck.ml: Ast Env Hashtbl List Option Syntax Ty

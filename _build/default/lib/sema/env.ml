@@ -1,0 +1,144 @@
+(** Crate-level environment: item tables collected in one pass, used by
+    type checking, lowering and the unsafe-usage scanner. *)
+
+open Syntax
+
+type t = {
+  structs : (string, Ast.struct_def) Hashtbl.t;
+  enums : (string, Ast.enum_def) Hashtbl.t;
+  variants : (string, string) Hashtbl.t;  (** variant name -> enum name *)
+  fns : (string, Ast.fn_def) Hashtbl.t;  (** free functions *)
+  impls : (string, Ast.impl_block) Hashtbl.t;  (** self type head -> impls *)
+  traits : (string, Ast.trait_def) Hashtbl.t;
+  statics : (string, Ast.static_def) Hashtbl.t;
+  mutable sync_impls : (string * bool) list;
+      (** (type, unsafe?) for [impl Sync/Send for T] *)
+  crate : Ast.crate;
+}
+
+let rec collect_items env items =
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.I_struct s -> Hashtbl.replace env.structs s.Ast.s_name s
+      | Ast.I_enum e ->
+          Hashtbl.replace env.enums e.Ast.e_name e;
+          List.iter
+            (fun v -> Hashtbl.replace env.variants v.Ast.v_name e.Ast.e_name)
+            e.Ast.e_variants
+      | Ast.I_fn f -> Hashtbl.replace env.fns f.Ast.fn_name f
+      | Ast.I_impl ib ->
+          let head =
+            match ib.Ast.impl_self_ty.Ast.t with
+            | Ast.Ty_path (p, _) -> (
+                match List.rev p.Ast.segments with
+                | last :: _ -> last
+                | [] -> "<anon>")
+            | _ -> "<anon>"
+          in
+          Hashtbl.add env.impls head ib;
+          (match ib.Ast.impl_trait with
+          | Some tr
+            when List.mem (Ast.path_name tr) [ "Sync"; "Send" ] ->
+              env.sync_impls <- (head, ib.Ast.impl_unsafe) :: env.sync_impls
+          | _ -> ())
+      | Ast.I_trait t -> Hashtbl.replace env.traits t.Ast.tr_name t
+      | Ast.I_static s -> Hashtbl.replace env.statics s.Ast.st_name s
+      | Ast.I_use _ -> ()
+      | Ast.I_mod (_, sub) -> collect_items env sub)
+    items
+
+let of_crate (crate : Ast.crate) : t =
+  let env =
+    {
+      structs = Hashtbl.create 16;
+      enums = Hashtbl.create 16;
+      variants = Hashtbl.create 16;
+      fns = Hashtbl.create 16;
+      impls = Hashtbl.create 16;
+      traits = Hashtbl.create 16;
+      statics = Hashtbl.create 16;
+      sync_impls = [];
+      crate;
+    }
+  in
+  collect_items env crate.Ast.items;
+  env
+
+let find_struct env name = Hashtbl.find_opt env.structs name
+let find_enum env name = Hashtbl.find_opt env.enums name
+let find_fn env name = Hashtbl.find_opt env.fns name
+let find_static env name = Hashtbl.find_opt env.statics name
+let enum_of_variant env v = Hashtbl.find_opt env.variants v
+
+let impls_of env type_head = Hashtbl.find_all env.impls type_head
+
+(** Look up an inherent or trait-impl method [name] on type [head]. *)
+let find_method env type_head name : Ast.fn_def option =
+  let rec search = function
+    | [] -> None
+    | ib :: rest -> (
+        match
+          List.find_opt (fun f -> String.equal f.Ast.fn_name name) ib.Ast.impl_items
+        with
+        | Some f -> Some f
+        | None -> search rest)
+  in
+  search (impls_of env type_head)
+
+(** Look up an associated function via [Type::name] call syntax. *)
+let find_assoc_fn env type_head name = find_method env type_head name
+
+(** Does [type_head] implement Sync or Send (via an explicit impl)? *)
+let implements_sync env type_head =
+  List.exists (fun (t, _) -> String.equal t type_head) env.sync_impls
+
+(* ------------------------------------------------------------------ *)
+(* AST type -> semantic type                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec ty_of_ast env (t : Ast.ty) : Ty.t =
+  match t.Ast.t with
+  | Ast.Ty_ref (m, inner) -> Ty.Ref (m, ty_of_ast env inner)
+  | Ast.Ty_ptr (m, inner) -> Ty.Ptr (m, ty_of_ast env inner)
+  | Ast.Ty_tuple ts -> (
+      match ts with
+      | [] -> Ty.unit_
+      | _ -> Ty.Tuple (List.map (ty_of_ast env) ts))
+  | Ast.Ty_fn (args, ret) ->
+      Ty.Fn (List.map (ty_of_ast env) args, ty_of_ast env ret)
+  | Ast.Ty_infer -> Ty.Unknown
+  | Ast.Ty_path (p, args) -> (
+      let name =
+        match List.rev p.Ast.segments with last :: _ -> last | [] -> "?"
+      in
+      match (Ty.prim_of_name name, args) with
+      | Some prim, [] -> Ty.Prim prim
+      | _ -> Ty.Named (name, List.map (ty_of_ast env) args))
+
+(** Type of a struct field, with the struct's generic parameters
+    substituted by the instantiation [targs]. *)
+let field_ty env (sd : Ast.struct_def) targs field_name : Ty.t option =
+  match
+    List.find_opt
+      (fun f -> String.equal f.Ast.field_name field_name)
+      sd.Ast.s_fields
+  with
+  | None -> None
+  | Some f ->
+      let subst = List.combine sd.Ast.s_generics
+          (if List.length targs = List.length sd.Ast.s_generics then targs
+           else List.map (fun _ -> Ty.Unknown) sd.Ast.s_generics)
+      in
+      let rec inst (t : Ty.t) =
+        match t with
+        | Ty.Named (n, []) -> (
+            match List.assoc_opt n subst with Some t' -> t' | None -> t)
+        | Ty.Named (n, args) -> Ty.Named (n, List.map inst args)
+        | Ty.Ref (m, t') -> Ty.Ref (m, inst t')
+        | Ty.Ptr (m, t') -> Ty.Ptr (m, inst t')
+        | Ty.Tuple ts -> Ty.Tuple (List.map inst ts)
+        | Ty.Fn (args, ret) -> Ty.Fn (List.map inst args, inst ret)
+        | Ty.Prim _ | Ty.Unknown -> t
+      in
+      Some (inst (ty_of_ast env f.Ast.field_ty))

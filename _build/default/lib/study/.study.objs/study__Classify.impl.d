@@ -1,0 +1,1 @@
+lib/study/classify.ml: Array Corpus Detectors Hashtbl Ir List Mir Sema String Syntax

@@ -1,0 +1,1 @@
+lib/study/detector_eval.ml: Corpus Detectors Ir List Render String

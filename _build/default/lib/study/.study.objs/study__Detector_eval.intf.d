@@ -1,0 +1,1 @@
+lib/study/detector_eval.mli:

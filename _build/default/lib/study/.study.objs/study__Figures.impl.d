@@ -1,0 +1,1 @@
+lib/study/figures.ml: Corpus List Printf Render

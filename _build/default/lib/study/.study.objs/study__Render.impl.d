@@ -1,0 +1,1 @@
+lib/study/render.ml: List Printf String

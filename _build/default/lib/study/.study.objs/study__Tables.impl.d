@@ -1,0 +1,1 @@
+lib/study/tables.ml: Classify Corpus Detectors List Printf Render Syntax

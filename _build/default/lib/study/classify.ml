@@ -1,0 +1,206 @@
+(** Classification of corpus entries: re-derives from each program what
+    the paper derived from code inspection — the bug's effect category,
+    whether the effect lies in unsafe code, whether that unsafe code is
+    interior (inside a safe function), the synchronization primitive of
+    a blocking bug, and the data-sharing mechanism of a non-blocking
+    bug. Only the cause-side safety (where the patch was applied) and
+    the fix strategy come from entry metadata, as survey data. *)
+
+open Ir
+
+type analysis = {
+  entry : Corpus.entry;
+  program : Mir.program;
+  findings : Detectors.Report.finding list;
+  effect_unsafe : bool;
+  effect_interior : bool;
+      (** effect inside an unsafe region of a non-unsafe fn *)
+  primitive : Corpus.blocking_primitive;
+  sharing : Corpus.sharing;
+}
+
+let expected_finding (entry : Corpus.entry) findings =
+  List.find_opt
+    (fun (f : Detectors.Report.finding) ->
+      List.mem f.Detectors.Report.kind entry.Corpus.expected)
+    findings
+
+(* ---------------- effect location ---------------------------------- *)
+
+let effect_location (program : Mir.program) entry findings =
+  match expected_finding entry findings with
+  | Some f ->
+      let in_unsafe = Mir.in_unsafe_region program f.Detectors.Report.span in
+      let fn_unsafe =
+        match Mir.find_body program f.Detectors.Report.fn_id with
+        | Some b -> b.Mir.fn_unsafe
+        | None -> false
+      in
+      (in_unsafe, in_unsafe && not fn_unsafe)
+  | None -> (false, false)
+
+(* ---------------- blocking primitive ------------------------------- *)
+
+let detect_primitive (program : Mir.program) : Corpus.blocking_primitive =
+  let has = Hashtbl.create 8 in
+  List.iter
+    (fun (body : Mir.body) ->
+      Array.iter
+        (fun (blk : Mir.block) ->
+          match blk.Mir.term with
+          | Mir.Call (c, _) -> (
+              match c.Mir.callee with
+              | Mir.Builtin
+                  (Mir.CondvarWait | Mir.CondvarNotifyOne | Mir.CondvarNotifyAll)
+                ->
+                  Hashtbl.replace has `Condvar ()
+              | Mir.Builtin Mir.OnceCallOnce -> Hashtbl.replace has `Once ()
+              | Mir.Builtin
+                  (Mir.ChannelRecv | Mir.ChannelSend | Mir.ChannelTryRecv) ->
+                  Hashtbl.replace has `Channel ()
+              | Mir.Builtin b when Mir.is_lock_acquire b || Mir.is_try_lock b ->
+                  Hashtbl.replace has `Mutex ()
+              | _ -> ())
+          | _ -> ())
+        body.Mir.blocks)
+    (Mir.body_list program);
+  if Hashtbl.mem has `Condvar then Corpus.Condvar
+  else if Hashtbl.mem has `Once then Corpus.Once
+  else if Hashtbl.mem has `Channel then Corpus.Channel
+  else if Hashtbl.mem has `Mutex then Corpus.Mutex_rwlock
+  else Corpus.Other_blk
+
+(* ---------------- sharing mechanism -------------------------------- *)
+
+let detect_sharing (program : Mir.program) : Corpus.sharing =
+  let env = program.Mir.prog_env in
+  let has_sync_impl = env.Sema.Env.sync_impls <> [] in
+  let bodies = Mir.body_list program in
+  let mut_static_access =
+    List.exists
+      (fun (body : Mir.body) ->
+        Array.exists
+          (fun (info : Mir.local_info) ->
+            match info.Mir.l_name with
+            | Some n when String.length n > 7 && String.sub n 0 7 = "static:"
+              -> (
+                match
+                  Sema.Env.find_static env
+                    (String.sub n 7 (String.length n - 7))
+                with
+                | Some sd -> sd.Syntax.Ast.st_mut
+                | None -> false)
+            | _ -> false)
+          body.Mir.locals)
+      bodies
+  in
+  let closure_captures_ptr =
+    List.exists
+      (fun (body : Mir.body) ->
+        body.Mir.captures <> []
+        && Array.exists
+             (fun (info : Mir.local_info) -> Sema.Ty.is_raw_ptr info.Mir.l_ty)
+             (Array.sub body.Mir.locals 0 body.Mir.arg_count))
+      bodies
+  in
+  let scan pred =
+    List.exists
+      (fun (body : Mir.body) ->
+        Array.exists
+          (fun (blk : Mir.block) ->
+            match blk.Mir.term with
+            | Mir.Call (c, _) -> pred c.Mir.callee
+            | _ -> false)
+          body.Mir.blocks)
+      bodies
+  in
+  let has_channel =
+    scan (function
+      | Mir.Builtin (Mir.ChannelSend | Mir.ChannelRecv | Mir.ChannelNew) -> true
+      | _ -> false)
+  in
+  let has_atomic =
+    scan (function
+      | Mir.Builtin
+          (Mir.AtomicLoad | Mir.AtomicStore | Mir.AtomicCas | Mir.AtomicFetch
+          | Mir.AtomicSwap) ->
+          true
+      | _ -> false)
+  in
+  let has_lock = scan (fun c -> match c with Mir.Builtin b -> Mir.is_lock_acquire b | _ -> false) in
+  let has_os_call =
+    scan (function
+      | Mir.Builtin (Mir.Extern name) ->
+          String.length name > 0 && name.[String.length name - 1] <> '!'
+      | _ -> false)
+  in
+  if has_sync_impl then Corpus.Sh_sync
+  else if mut_static_access then Corpus.Sh_global
+  else if closure_captures_ptr then Corpus.Sh_pointer
+  else if has_channel then Corpus.Sh_msg
+  else if has_atomic then Corpus.Sh_atomic
+  else if has_lock then Corpus.Sh_mutex
+  else if has_os_call then Corpus.Sh_os
+  else Corpus.Sh_os
+
+(* ---------------- entry analysis ----------------------------------- *)
+
+let analyze_entry (entry : Corpus.entry) : analysis =
+  let program =
+    Ir.Lower.program_of_source ~file:(entry.Corpus.id ^ ".rs")
+      entry.Corpus.source
+  in
+  let findings = Detectors.All.bugs program in
+  let effect_unsafe, effect_interior =
+    effect_location program entry findings
+  in
+  {
+    entry;
+    program;
+    findings;
+    effect_unsafe;
+    effect_interior;
+    primitive = detect_primitive program;
+    sharing = detect_sharing program;
+  }
+
+(** Memory-bug effect category: derived from which detector confirmed
+    the entry (falling back to the metadata category only if no
+    detector fired). *)
+let mem_effect (a : analysis) : Corpus.mem_effect option =
+  match a.entry.Corpus.class_ with
+  | Corpus.Mem { effect; _ } -> (
+      match expected_finding a.entry a.findings with
+      | Some f -> (
+          match f.Detectors.Report.kind with
+          | Detectors.Report.Buffer_overflow -> Some Corpus.Buffer
+          | Detectors.Report.Null_deref -> Some Corpus.Null
+          | Detectors.Report.Uninit_read -> Some Corpus.Uninitialized
+          | Detectors.Report.Invalid_free -> Some Corpus.Invalid
+          | Detectors.Report.Use_after_free -> Some Corpus.UAF
+          | Detectors.Report.Double_free -> Some Corpus.DoubleFree
+          | _ -> Some effect)
+      | None -> Some effect)
+  | _ -> None
+
+(** The paper's error-propagation row for a memory bug. *)
+type propagation = Safe_safe | Unsafe_unsafe | Safe_unsafe | Unsafe_safe
+
+let propagation_name = function
+  | Safe_safe -> "safe"
+  | Unsafe_unsafe -> "unsafe"
+  | Safe_unsafe -> "safe -> unsafe"
+  | Unsafe_safe -> "unsafe -> safe"
+
+let propagation_of (a : analysis) : propagation option =
+  match a.entry.Corpus.class_ with
+  | Corpus.Mem { cause_unsafe; _ } -> (
+      match (cause_unsafe, a.effect_unsafe) with
+      | false, false -> Some Safe_safe
+      | true, true -> Some Unsafe_unsafe
+      | false, true -> Some Safe_unsafe
+      | true, false -> Some Unsafe_safe)
+  | _ -> None
+
+(** Analyze the whole corpus once (memoised by the caller as needed). *)
+let analyze_all () : analysis list = List.map analyze_entry Corpus.all_bugs

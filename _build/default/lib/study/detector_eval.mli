@@ -1,0 +1,14 @@
+(** §7 detector evaluation: the two paper detectors over the
+    latest-version target corpus. The paper reports UAF 4 bugs / 3
+    false positives and double-lock 6 bugs / 0 false positives. *)
+
+type result = {
+  uaf_bugs : int;
+  uaf_false_positives : int;
+  dl_bugs : int;
+  dl_false_positives : int;
+  missed : string list;
+}
+
+val run : unit -> result
+val render : result -> string

@@ -1,0 +1,80 @@
+(** Regeneration of the paper's figures as text charts + CSV series. *)
+
+(** Figure 1: Rust history — feature changes and KLOC per release. *)
+let figure1 () : string =
+  "Figure 1. Rust History (feature changes per release; total KLOC).\n"
+  ^ Render.dual_series ~x_label:"release" ~s1_label:"changes" ~s2_label:"KLOC"
+      (List.map
+         (fun (r : Corpus.Releases.release) ->
+           ( Printf.sprintf "%s (%d/%02d)" r.Corpus.Releases.version
+               r.Corpus.Releases.year r.Corpus.Releases.month,
+             r.Corpus.Releases.feature_changes,
+             r.Corpus.Releases.kloc ))
+         Corpus.Releases.history)
+
+let figure1_csv () : string =
+  Render.csv ~header:[ "version"; "year"; "month"; "feature_changes"; "kloc" ]
+    (List.map
+       (fun (r : Corpus.Releases.release) ->
+         [
+           r.Corpus.Releases.version;
+           string_of_int r.Corpus.Releases.year;
+           string_of_int r.Corpus.Releases.month;
+           string_of_int r.Corpus.Releases.feature_changes;
+           string_of_int r.Corpus.Releases.kloc;
+         ])
+       Corpus.Releases.history)
+
+(** Figure 2: number of studied bugs patched per three-month period. *)
+let quarters : (int * int) list =
+  List.concat_map
+    (fun y -> List.map (fun q -> (y, q)) [ 1; 2; 3; 4 ])
+    [ 2012; 2013; 2014; 2015; 2016; 2017; 2018; 2019 ]
+
+let quarter_of (e : Corpus.entry) = (e.Corpus.year, (e.Corpus.month + 2) / 3)
+
+let figure2 () : string =
+  let entries = Corpus.all_bugs in
+  let count q = List.length (List.filter (fun e -> quarter_of e = q) entries) in
+  let series =
+    List.filter_map
+      (fun (y, q) ->
+        let n = count (y, q) in
+        if n = 0 && y < 2016 then None
+        else Some (Printf.sprintf "%dQ%d" y q, n))
+      quarters
+  in
+  let after_2016 =
+    List.length
+      (List.filter (fun (e : Corpus.entry) -> e.Corpus.year >= 2016) entries)
+  in
+  "Figure 2. Time of Studied Bugs (bugs patched per quarter).\n"
+  ^ Render.bar_chart series
+  ^ Printf.sprintf "\n%d of %d studied bugs were patched in 2016 or later.\n"
+      after_2016 (List.length entries)
+
+let figure2_csv () : string =
+  let entries = Corpus.all_bugs in
+  Render.csv ~header:[ "year"; "quarter"; "project"; "bugs" ]
+    (List.concat_map
+       (fun (y, q) ->
+         List.filter_map
+           (fun p ->
+             let n =
+               List.length
+                 (List.filter
+                    (fun e ->
+                      quarter_of e = (y, q) && e.Corpus.project = p)
+                    entries)
+             in
+             if n = 0 then None
+             else
+               Some
+                 [
+                   string_of_int y;
+                   string_of_int q;
+                   Corpus.project_name p;
+                   string_of_int n;
+                 ])
+           Corpus.all_projects)
+       quarters)

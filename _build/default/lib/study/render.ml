@@ -1,0 +1,60 @@
+(** Plain-text rendering of tables and figures. *)
+
+(** [table ~header rows] renders an aligned text table. *)
+let table ~(header : string list) (rows : string list list) : string =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun m r -> max m (String.length (List.nth r i))) 0 all)
+  in
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           cell ^ String.make (w - String.length cell) ' ')
+         r)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    ((render_row (List.hd all) :: sep :: List.map render_row (List.tl all))
+    @ [ "" ])
+
+(** Horizontal ASCII bar chart: one labelled bar per (label, value). *)
+let bar_chart ?(width = 50) (series : (string * int) list) : string =
+  let maxv = List.fold_left (fun m (_, v) -> max m v) 1 series in
+  let lw =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 series
+  in
+  String.concat "\n"
+    (List.map
+       (fun (label, v) ->
+         let n = if maxv = 0 then 0 else v * width / maxv in
+         Printf.sprintf "%s%s | %s %d" label
+           (String.make (lw - String.length label) ' ')
+           (String.make n '#') v)
+       series)
+  ^ "\n"
+
+(** Two-series chart over a shared x axis, rendered as aligned columns
+    plus bars for the first series (used for Fig. 1). *)
+let dual_series ~x_label ~s1_label ~s2_label
+    (points : (string * int * int) list) : string =
+  table
+    ~header:[ x_label; s1_label; s2_label; "" ]
+    (List.map
+       (fun (x, a, b) ->
+         let maxa =
+           List.fold_left (fun m (_, v, _) -> max m v) 1 points
+         in
+         [ x; string_of_int a; string_of_int b; String.make (a * 30 / maxa) '#' ])
+       points)
+
+(** CSV output for external plotting. *)
+let csv ~(header : string list) (rows : string list list) : string =
+  String.concat "\n" (List.map (String.concat ",") (header :: rows)) ^ "\n"

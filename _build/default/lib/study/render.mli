@@ -1,0 +1,17 @@
+(** Plain-text rendering of tables and figures. *)
+
+val table : header:string list -> string list list -> string
+(** Aligned text table: header, rule, one line per row. *)
+
+val bar_chart : ?width:int -> (string * int) list -> string
+(** Horizontal ASCII bar chart. *)
+
+val dual_series :
+  x_label:string ->
+  s1_label:string ->
+  s2_label:string ->
+  (string * int * int) list ->
+  string
+(** Two series over a shared x axis (Fig. 1). *)
+
+val csv : header:string list -> string list list -> string

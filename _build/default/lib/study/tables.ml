@@ -1,0 +1,381 @@
+(** Regeneration of the paper's tables from the corpus + analyses. *)
+
+let count pred xs = List.length (List.filter pred xs)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: studied applications and libraries                         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 (analyses : Classify.analysis list) : string =
+  let bug_counts project =
+    let of_project (a : Classify.analysis) =
+      a.Classify.entry.Corpus.project = project
+    in
+    let mem =
+      count
+        (fun a ->
+          of_project a
+          && match a.Classify.entry.Corpus.class_ with
+             | Corpus.Mem _ -> true
+             | _ -> false)
+        analyses
+    in
+    let blk =
+      count
+        (fun a ->
+          of_project a
+          && match a.Classify.entry.Corpus.class_ with
+             | Corpus.Blocking _ -> true
+             | _ -> false)
+        analyses
+    in
+    let nblk =
+      count
+        (fun a ->
+          of_project a
+          && match a.Classify.entry.Corpus.class_ with
+             | Corpus.NonBlocking _ -> true
+             | _ -> false)
+        analyses
+    in
+    (mem, blk, nblk)
+  in
+  let rows =
+    List.map
+      (fun (i : Corpus.Projects.info) ->
+        let mem, blk, nblk = bug_counts i.Corpus.Projects.project in
+        [
+          Corpus.project_name i.Corpus.Projects.project;
+          i.Corpus.Projects.start_time;
+          string_of_int i.Corpus.Projects.stars;
+          string_of_int i.Corpus.Projects.commits;
+          string_of_int i.Corpus.Projects.kloc ^ "K";
+          string_of_int mem;
+          string_of_int blk;
+          string_of_int nblk;
+        ])
+      Corpus.Projects.table1
+  in
+  let cve_mem, cve_blk, cve_nblk = bug_counts Corpus.Cve in
+  let rows =
+    rows
+    @ [
+        [
+          "CVE/RustSec";
+          "-";
+          "-";
+          "-";
+          "-";
+          string_of_int cve_mem;
+          string_of_int cve_blk;
+          string_of_int cve_nblk;
+        ];
+      ]
+  in
+  "Table 1. Studied Applications and Libraries.\n"
+  ^ Render.table
+      ~header:[ "Software"; "Start"; "Stars"; "Commits"; "LOC"; "Mem"; "Blk"; "NBlk" ]
+      rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: memory bugs, propagation x category                        *)
+(* ------------------------------------------------------------------ *)
+
+let mem_categories =
+  [
+    Corpus.Buffer;
+    Corpus.Null;
+    Corpus.Uninitialized;
+    Corpus.Invalid;
+    Corpus.UAF;
+    Corpus.DoubleFree;
+  ]
+
+let table2 (analyses : Classify.analysis list) : string =
+  let mem_analyses =
+    List.filter
+      (fun a ->
+        match a.Classify.entry.Corpus.class_ with
+        | Corpus.Mem _ -> true
+        | _ -> false)
+      analyses
+  in
+  let cell prop cat =
+    let matching =
+      List.filter
+        (fun a ->
+          Classify.propagation_of a = Some prop
+          && Classify.mem_effect a = Some cat)
+        mem_analyses
+    in
+    let interior = count (fun a -> a.Classify.effect_interior) matching in
+    match (List.length matching, interior) with
+    | 0, _ -> "0"
+    | n, 0 -> string_of_int n
+    | n, i -> Printf.sprintf "%d (%d)" n i
+  in
+  let row prop =
+    Classify.propagation_name prop
+    :: List.map (cell prop) mem_categories
+    @ [
+        string_of_int
+          (count (fun a -> Classify.propagation_of a = Some prop) mem_analyses);
+      ]
+  in
+  "Table 2. Memory Bugs Category (counts in parentheses: effect in an \
+   interior-unsafe function).\n"
+  ^ Render.table
+      ~header:
+        ("Category"
+        :: List.map Corpus.mem_effect_name mem_categories
+        @ [ "Total" ])
+      [
+        row Classify.Safe_safe;
+        row Classify.Unsafe_unsafe;
+        row Classify.Safe_unsafe;
+        row Classify.Unsafe_safe;
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: blocking bugs by synchronization primitive                 *)
+(* ------------------------------------------------------------------ *)
+
+let blocking_primitives =
+  [ Corpus.Mutex_rwlock; Corpus.Condvar; Corpus.Channel; Corpus.Once; Corpus.Other_blk ]
+
+let table3 (analyses : Classify.analysis list) : string =
+  let blocking =
+    List.filter
+      (fun a ->
+        match a.Classify.entry.Corpus.class_ with
+        | Corpus.Blocking _ -> true
+        | _ -> false)
+      analyses
+  in
+  let projects =
+    [ Corpus.Servo; Corpus.Tock; Corpus.Ethereum; Corpus.TiKV; Corpus.Redox; Corpus.Libraries ]
+  in
+  let cell project prim =
+    count
+      (fun a ->
+        a.Classify.entry.Corpus.project = project && a.Classify.primitive = prim)
+      blocking
+  in
+  let rows =
+    List.map
+      (fun p ->
+        Corpus.project_name p
+        :: List.map (fun prim -> string_of_int (cell p prim)) blocking_primitives)
+      projects
+  in
+  let totals =
+    "Total"
+    :: List.map
+         (fun prim ->
+           string_of_int (count (fun a -> a.Classify.primitive = prim) blocking))
+         blocking_primitives
+  in
+  "Table 3. Types of Synchronization in Blocking Bugs (primitive \
+   detected from MIR call sites).\n"
+  ^ Render.table
+      ~header:
+        ("Software" :: List.map Corpus.blocking_primitive_name blocking_primitives)
+      (rows @ [ totals ])
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: how threads communicate (non-blocking bugs)                *)
+(* ------------------------------------------------------------------ *)
+
+let sharings =
+  [
+    Corpus.Sh_global;
+    Corpus.Sh_pointer;
+    Corpus.Sh_sync;
+    Corpus.Sh_os;
+    Corpus.Sh_atomic;
+    Corpus.Sh_mutex;
+    Corpus.Sh_msg;
+  ]
+
+let table4 (analyses : Classify.analysis list) : string =
+  let nblk =
+    List.filter
+      (fun a ->
+        match a.Classify.entry.Corpus.class_ with
+        | Corpus.NonBlocking _ -> true
+        | _ -> false)
+      analyses
+  in
+  let projects =
+    [ Corpus.Servo; Corpus.Tock; Corpus.Ethereum; Corpus.TiKV; Corpus.Redox; Corpus.Libraries ]
+  in
+  let cell project sh =
+    count
+      (fun a ->
+        a.Classify.entry.Corpus.project = project && a.Classify.sharing = sh)
+      nblk
+  in
+  let rows =
+    List.map
+      (fun p ->
+        Corpus.project_name p
+        :: List.map (fun sh -> string_of_int (cell p sh)) sharings)
+      projects
+  in
+  let totals =
+    "Total"
+    :: List.map
+         (fun sh -> string_of_int (count (fun a -> a.Classify.sharing = sh) nblk))
+         sharings
+  in
+  "Table 4. How Threads Communicate (sharing mechanism detected from \
+   the program).\n"
+  ^ Render.table
+      ~header:("Software" :: List.map Corpus.sharing_name sharings)
+      (rows @ [ totals ])
+
+(* ------------------------------------------------------------------ *)
+(* Fix strategies (section 5.2 and 6)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fix_strategies (analyses : Classify.analysis list) : string =
+  let mem_fixes =
+    List.filter_map
+      (fun a ->
+        match a.Classify.entry.Corpus.class_ with
+        | Corpus.Mem { fix; _ } -> Some fix
+        | _ -> None)
+      analyses
+  in
+  let mem_row fix =
+    [
+      Corpus.mem_fix_name fix;
+      string_of_int (count (fun f -> f = fix) mem_fixes);
+    ]
+  in
+  let blocking_fixes =
+    List.filter_map
+      (fun a ->
+        match a.Classify.entry.Corpus.class_ with
+        | Corpus.Blocking { fix; _ } -> Some fix
+        | _ -> None)
+      analyses
+  in
+  let nb_fixes =
+    List.filter_map
+      (fun a ->
+        match a.Classify.entry.Corpus.class_ with
+        | Corpus.NonBlocking { sharing; fix } when sharing <> Corpus.Sh_msg ->
+            Some fix
+        | _ -> None)
+      analyses
+  in
+  "Memory-bug fix strategies (5.2):\n"
+  ^ Render.table ~header:[ "Strategy"; "Bugs" ]
+      (List.map mem_row
+         [ Corpus.Cond_skip; Corpus.Adjust_lifetime; Corpus.Change_operands; Corpus.Other_fix ])
+  ^ "\nBlocking-bug fix strategies (6.1):\n"
+  ^ Render.table ~header:[ "Strategy"; "Bugs" ]
+      [
+        [
+          "adjust synchronization";
+          string_of_int (count (fun f -> f = Corpus.Adjust_sync) blocking_fixes);
+        ];
+        [
+          "other";
+          string_of_int
+            (count (fun f -> f = Corpus.Other_blocking_fix) blocking_fixes);
+        ];
+      ]
+  ^ "\nNon-blocking (shared-memory) fix strategies (6.2):\n"
+  ^ Render.table ~header:[ "Strategy"; "Bugs" ]
+      (List.map
+         (fun fix ->
+           [ Corpus.nb_fix_name fix; string_of_int (count (fun f -> f = fix) nb_fixes) ])
+         [ Corpus.Fix_atomic; Corpus.Fix_order; Corpus.Fix_avoid_share; Corpus.Fix_copy; Corpus.Fix_logic ])
+
+(* ------------------------------------------------------------------ *)
+(* Unsafe-usage statistics (section 4)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let unsafe_stats () : string =
+  let sample = Corpus.Unsafe_usages.all in
+  let n = List.length sample in
+  (* operation kinds computed by the scanner over each snippet *)
+  let scanned =
+    List.map
+      (fun (u : Corpus.Unsafe_usages.usage) ->
+        let crate =
+          Syntax.Parser.parse_crate ~file:u.Corpus.Unsafe_usages.u_id
+            u.Corpus.Unsafe_usages.u_snippet
+        in
+        (u, Detectors.Unsafe_scan.scan crate))
+      sample
+  in
+  let dominant (s : Detectors.Unsafe_scan.stats) =
+    (* the paper's precedence: raw-pointer manipulation / casting /
+       global access is a memory operation even when an unsafe call
+       participates; call-only regions are unsafe calls *)
+    if
+      s.Detectors.Unsafe_scan.op_memory > 0
+      || s.Detectors.Unsafe_scan.op_static > 0
+    then `Memory
+    else if s.Detectors.Unsafe_scan.op_unsafe_call > 0 then `Call
+    else `Other
+  in
+  let mem_ops = count (fun (_, s) -> dominant s = `Memory) scanned in
+  let calls = count (fun (_, s) -> dominant s = `Call) scanned in
+  let other = count (fun (_, s) -> dominant s = `Other) scanned in
+  let purpose p =
+    count (fun (u : Corpus.Unsafe_usages.usage) -> u.Corpus.Unsafe_usages.u_purpose = p) sample
+  in
+  let removable =
+    count (fun (u : Corpus.Unsafe_usages.usage) -> u.Corpus.Unsafe_usages.u_removable) sample
+  in
+  let pct x = Printf.sprintf "%d (%d%%)" x (x * 100 / n) in
+  let t = Corpus.Unsafe_usages.totals in
+  let r = Corpus.Unsafe_usages.removals in
+  let e = Corpus.Unsafe_usages.encapsulation in
+  Printf.sprintf
+    "Unsafe usages in the studied applications: %d regions, %d functions, %d traits (std: %d/%d/%d).\n\n"
+    t.Corpus.Unsafe_usages.app_unsafe_regions
+    t.Corpus.Unsafe_usages.app_unsafe_fns
+    t.Corpus.Unsafe_usages.app_unsafe_traits
+    t.Corpus.Unsafe_usages.std_unsafe_regions
+    t.Corpus.Unsafe_usages.std_unsafe_fns
+    t.Corpus.Unsafe_usages.std_unsafe_traits
+  ^ Printf.sprintf "Sampled usages analyzed: %d (1:10 scale of the paper's 600)\n" n
+  ^ "\nOperation kinds (computed by the unsafe scanner):\n"
+  ^ Render.table ~header:[ "Kind"; "Count" ]
+      [
+        [ "memory operations"; pct mem_ops ];
+        [ "calling unsafe functions"; pct calls ];
+        [ "other"; pct other ];
+      ]
+  ^ "\nPurposes (survey metadata):\n"
+  ^ Render.table ~header:[ "Purpose"; "Count" ]
+      [
+        [ "code reuse"; pct (purpose Corpus.Unsafe_usages.Reuse) ];
+        [ "performance"; pct (purpose Corpus.Unsafe_usages.Performance) ];
+        [ "sharing across threads"; pct (purpose Corpus.Unsafe_usages.Sharing) ];
+        [ "other check bypassing"; pct (purpose Corpus.Unsafe_usages.Other_purpose) ];
+      ]
+  ^ Printf.sprintf "\nRemovable without compile error: %s\n" (pct removable)
+  ^ Printf.sprintf
+      "\nUnsafe removals (4.2): %d commits; to fully safe %d, to interior unsafe %d (std %d / own %d / third-party %d)\n"
+      r.Corpus.Unsafe_usages.total_removals r.Corpus.Unsafe_usages.to_fully_safe
+      (r.Corpus.Unsafe_usages.to_interior_unsafe_std
+      + r.Corpus.Unsafe_usages.to_interior_unsafe_own
+      + r.Corpus.Unsafe_usages.to_interior_unsafe_third_party)
+      r.Corpus.Unsafe_usages.to_interior_unsafe_std
+      r.Corpus.Unsafe_usages.to_interior_unsafe_own
+      r.Corpus.Unsafe_usages.to_interior_unsafe_third_party
+  ^ Printf.sprintf
+      "Interior-unsafe encapsulation (4.3): %d std + %d app functions sampled; %d%% of std's check no explicit condition; %d bad encapsulations (%d std, %d apps)\n"
+      e.Corpus.Unsafe_usages.sampled_std e.Corpus.Unsafe_usages.sampled_apps
+      (e.Corpus.Unsafe_usages.std_no_explicit_check * 100
+      / e.Corpus.Unsafe_usages.sampled_std)
+      (e.Corpus.Unsafe_usages.bad_encapsulations_std
+      + e.Corpus.Unsafe_usages.bad_encapsulations_apps)
+      e.Corpus.Unsafe_usages.bad_encapsulations_std
+      e.Corpus.Unsafe_usages.bad_encapsulations_apps

@@ -1,0 +1,1 @@
+lib/support/span.ml: Fmt Int String

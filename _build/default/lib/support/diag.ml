@@ -1,0 +1,33 @@
+(** Diagnostics: errors and warnings emitted by the front end and the
+    analyses, carrying a severity, a source span and a message. *)
+
+type severity = Error | Warning | Note
+
+type t = { severity : severity; span : Span.t; message : string }
+
+exception Parse_error of t
+(** Raised by the lexer and parser on unrecoverable syntax errors. *)
+
+let error ?(span = Span.dummy) fmt =
+  Fmt.kstr (fun message -> { severity = Error; span; message }) fmt
+
+let warning ?(span = Span.dummy) fmt =
+  Fmt.kstr (fun message -> { severity = Warning; span; message }) fmt
+
+let note ?(span = Span.dummy) fmt =
+  Fmt.kstr (fun message -> { severity = Note; span; message }) fmt
+
+let fail ?(span = Span.dummy) fmt =
+  Fmt.kstr (fun message ->
+      raise (Parse_error { severity = Error; span; message }))
+    fmt
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Note -> Fmt.string ppf "note"
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %a: %s" Span.pp d.span pp_severity d.severity d.message
+
+let to_string d = Fmt.str "%a" pp d

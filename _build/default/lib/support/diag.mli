@@ -1,0 +1,18 @@
+(** Diagnostics emitted by the front end and the analyses. *)
+
+type severity = Error | Warning | Note
+
+type t = { severity : severity; span : Span.t; message : string }
+
+exception Parse_error of t
+(** Raised by the lexer and parser on unrecoverable syntax errors. *)
+
+val error : ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warning : ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+val note : ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val fail : ?span:Span.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Format a message and raise {!Parse_error}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

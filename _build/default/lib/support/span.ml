@@ -1,0 +1,64 @@
+(** Source positions and spans for RustLite programs.
+
+    Every AST node, MIR statement and detector finding carries a span so
+    that study-layer classification (e.g. "is the bug's effect inside an
+    unsafe region?") can be computed from source locations rather than
+    hand-annotated. *)
+
+type pos = {
+  line : int;  (** 1-based line *)
+  col : int;   (** 1-based column *)
+  offset : int;  (** 0-based byte offset *)
+}
+
+type t = {
+  file : string;
+  start_pos : pos;
+  end_pos : pos;
+}
+
+let dummy_pos = { line = 0; col = 0; offset = 0 }
+let dummy = { file = "<none>"; start_pos = dummy_pos; end_pos = dummy_pos }
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let is_dummy s = s.start_pos.line = 0
+
+(** [union a b] is the smallest span covering both [a] and [b]. *)
+let union a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else
+    {
+      file = a.file;
+      start_pos =
+        (if a.start_pos.offset <= b.start_pos.offset then a.start_pos
+         else b.start_pos);
+      end_pos =
+        (if a.end_pos.offset >= b.end_pos.offset then a.end_pos else b.end_pos);
+    }
+
+(** [contains outer inner] holds when [inner] lies entirely within
+    [outer]. Dummy spans contain nothing and are contained in nothing. *)
+let contains outer inner =
+  (not (is_dummy outer))
+  && (not (is_dummy inner))
+  && outer.start_pos.offset <= inner.start_pos.offset
+  && inner.end_pos.offset <= outer.end_pos.offset
+
+let pp ppf s =
+  if is_dummy s then Fmt.string ppf "<no-loc>"
+  else
+    Fmt.pf ppf "%s:%d:%d-%d:%d" s.file s.start_pos.line s.start_pos.col
+      s.end_pos.line s.end_pos.col
+
+let to_string s = Fmt.str "%a" pp s
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.start_pos.offset b.start_pos.offset in
+    if c <> 0 then c else Int.compare a.end_pos.offset b.end_pos.offset
+
+let equal a b = compare a b = 0

@@ -1,0 +1,27 @@
+(** Source positions and spans.
+
+    Every AST node, MIR statement and detector finding carries a span,
+    so the study layer can compute classifications like "is the bug's
+    effect inside an unsafe region" from locations rather than
+    annotations. *)
+
+type pos = { line : int; col : int; offset : int }
+
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+val dummy_pos : pos
+val dummy : t
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+val is_dummy : t -> bool
+
+val union : t -> t -> t
+(** Smallest span covering both operands; dummy spans are identities. *)
+
+val contains : t -> t -> bool
+(** [contains outer inner]: does [inner] lie entirely within [outer]?
+    Dummy spans contain nothing and are contained in nothing. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool

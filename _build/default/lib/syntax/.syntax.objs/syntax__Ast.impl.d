@@ -1,0 +1,1 @@
+lib/syntax/ast.pp.ml: List Ppx_deriving_runtime Span String Support

@@ -1,0 +1,1 @@
+lib/syntax/lexer.pp.ml: Buffer Diag List Span String Support Token

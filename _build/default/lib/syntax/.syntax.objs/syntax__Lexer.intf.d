@@ -1,0 +1,1 @@
+lib/syntax/lexer.pp.mli: Span Support Token

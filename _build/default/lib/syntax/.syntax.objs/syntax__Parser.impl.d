@@ -1,0 +1,1 @@
+lib/syntax/parser.pp.ml: Array Ast Char Diag Lexer List Span String Support Token

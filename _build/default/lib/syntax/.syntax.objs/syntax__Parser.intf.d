@@ -1,0 +1,1 @@
+lib/syntax/parser.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/syntax/token.pp.ml: Printf

@@ -1,0 +1,313 @@
+(** Abstract syntax of RustLite.
+
+    RustLite is the Rust fragment needed to express every bug pattern in
+    the PLDI'20 study: ownership moves, borrows, raw pointers, unsafe
+    regions, interior mutability, locks/condvars/channels/atomics, and
+    closures spawned onto threads. *)
+
+open Support
+
+type mutability = Imm | Mut [@@deriving eq, ord, show { with_path = false }]
+
+type path = { segments : string list; pspan : Span.t }
+
+let path_name p = String.concat "::" p.segments
+
+type ty = { t : ty_kind; tspan : Span.t }
+
+and ty_kind =
+  | Ty_path of path * ty list  (** [Vec<u8>], [i32], [Foo] *)
+  | Ty_ref of mutability * ty  (** [&T], [&mut T] *)
+  | Ty_ptr of mutability * ty  (** [*const T], [*mut T] *)
+  | Ty_tuple of ty list  (** [()] is [Ty_tuple []] *)
+  | Ty_fn of ty list * ty  (** closure/function type in signatures *)
+  | Ty_infer  (** [_] *)
+
+type unop =
+  | Neg
+  | Not
+  | Deref
+[@@deriving eq, ord, show { with_path = false }]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | BitXor
+  | BitAnd
+  | BitOr
+  | Shl
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+[@@deriving eq, ord, show { with_path = false }]
+
+type lit =
+  | Lit_int of int * string  (** value, suffix *)
+  | Lit_bool of bool
+  | Lit_str of string
+  | Lit_char of char
+  | Lit_float of float
+  | Lit_unit
+[@@deriving eq, ord, show { with_path = false }]
+
+type pat = { p : pat_kind; pspan : Span.t }
+
+and pat_kind =
+  | P_wild
+  | P_lit of lit
+  | P_ident of mutability * string * pat option  (** [mut x], [x @ pat] *)
+  | P_ref of mutability * pat  (** [&p], [&mut p], [ref p] *)
+  | P_tuple of pat list
+  | P_ctor of path * pat list  (** [Some(x)], [Ok(v)], [None] *)
+  | P_struct of path * (string * pat) list  (** [Foo { a, b: p }] *)
+
+type expr = { e : expr_kind; espan : Span.t }
+
+and expr_kind =
+  | E_lit of lit
+  | E_path of path * ty list  (** variable or item ref, turbofish args *)
+  | E_call of expr * expr list
+  | E_method of expr * string * ty list * expr list
+      (** receiver, method name, turbofish args, arguments *)
+  | E_field of expr * string
+  | E_tuple_field of expr * int  (** [e.0] *)
+  | E_index of expr * expr
+  | E_unary of unop * expr
+  | E_binary of binop * expr * expr
+  | E_ref of mutability * expr  (** [&e], [&mut e] *)
+  | E_assign of expr * expr
+  | E_assign_op of binop * expr * expr  (** [e += e] ... *)
+  | E_cast of expr * ty  (** [e as T] *)
+  | E_if of expr * block * expr option  (** else branch: block or if *)
+  | E_if_let of pat * expr * block * expr option
+  | E_match of expr * arm list
+  | E_while of expr * block
+  | E_while_let of pat * expr * block
+  | E_loop of block
+  | E_for of pat * expr * block
+  | E_block of block
+  | E_unsafe of block
+  | E_return of expr option
+  | E_break
+  | E_continue
+  | E_struct_lit of path * (string * expr) list * expr option
+      (** [Foo { a: 1, ..base }] *)
+  | E_tuple of expr list
+  | E_closure of closure
+  | E_range of expr option * expr option * bool  (** lo, hi, inclusive *)
+  | E_vec of expr list  (** [vec![...]] *)
+  | E_macro of string * expr list  (** [println!(...)] etc.; opaque *)
+
+and arm = { arm_pat : pat; arm_guard : expr option; arm_body : expr }
+
+and closure = {
+  cl_move : bool;
+  cl_params : (pat * ty option) list;
+  cl_body : expr;
+}
+
+and block = { stmts : stmt list; tail : expr option; bspan : Span.t }
+
+and stmt =
+  | S_let of let_binding
+  | S_expr of expr  (** expression statement terminated by [;] *)
+  | S_item of item  (** nested item (fn in fn) *)
+
+and let_binding = {
+  let_pat : pat;
+  let_ty : ty option;
+  let_init : expr option;
+  let_span : Span.t;
+}
+
+and fn_param =
+  | Param_self of mutability option
+      (** [self] = [Param_self None]; [&self] = [Some Imm];
+          [&mut self] = [Some Mut] *)
+  | Param of mutability * string * ty
+
+and fn_def = {
+  fn_name : string;
+  fn_unsafe : bool;
+  fn_public : bool;
+  fn_generics : string list;  (** type parameter names *)
+  fn_params : fn_param list;
+  fn_ret : ty option;  (** [None] = unit *)
+  fn_body : block option;  (** [None] for trait method signatures *)
+  fn_span : Span.t;
+}
+
+and field_def = { field_name : string; field_ty : ty; field_public : bool }
+
+and struct_def = {
+  s_name : string;
+  s_generics : string list;
+  s_fields : field_def list;
+  s_span : Span.t;
+}
+
+and variant_def = { v_name : string; v_args : ty list }
+
+and enum_def = {
+  e_name : string;
+  e_generics : string list;
+  e_variants : variant_def list;
+  e_span : Span.t;
+}
+
+and impl_block = {
+  impl_unsafe : bool;  (** [unsafe impl Sync for T] *)
+  impl_trait : path option;  (** trait being implemented, if any *)
+  impl_self_ty : ty;
+  impl_items : fn_def list;
+  impl_span : Span.t;
+}
+
+and trait_def = {
+  tr_name : string;
+  tr_unsafe : bool;
+  tr_items : fn_def list;
+  tr_span : Span.t;
+}
+
+and static_def = {
+  st_name : string;
+  st_mut : bool;
+  st_ty : ty;
+  st_init : expr;
+  st_span : Span.t;
+}
+
+and item =
+  | I_fn of fn_def
+  | I_struct of struct_def
+  | I_enum of enum_def
+  | I_impl of impl_block
+  | I_trait of trait_def
+  | I_static of static_def
+  | I_use of path  (** recorded but semantically inert *)
+  | I_mod of string * item list
+
+type crate = { items : item list; crate_file : string }
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors and accessors                              *)
+(* ------------------------------------------------------------------ *)
+
+let unit_ty = { t = Ty_tuple []; tspan = Span.dummy }
+
+let item_name = function
+  | I_fn f -> f.fn_name
+  | I_struct s -> s.s_name
+  | I_enum e -> e.e_name
+  | I_impl _ -> "<impl>"
+  | I_trait t -> t.tr_name
+  | I_static s -> s.st_name
+  | I_use p -> path_name p
+  | I_mod (n, _) -> n
+
+let rec item_span = function
+  | I_fn f -> f.fn_span
+  | I_struct s -> s.s_span
+  | I_enum e -> e.e_span
+  | I_impl i -> i.impl_span
+  | I_trait t -> t.tr_span
+  | I_static s -> s.st_span
+  | I_use p -> p.pspan
+  | I_mod (_, items) -> (
+      match items with [] -> Span.dummy | i :: _ -> item_span i)
+
+(** Fold over every expression in a crate, visiting nested items,
+    closures and blocks. Used by the unsafe-usage scanner and the
+    span-classification logic in the study layer. *)
+let rec fold_expr f acc (e : expr) =
+  let acc = f acc e in
+  match e.e with
+  | E_lit _ | E_path _ | E_break | E_continue -> acc
+  | E_call (callee, args) -> List.fold_left (fold_expr f) (fold_expr f acc callee) args
+  | E_method (recv, _, _, args) ->
+      List.fold_left (fold_expr f) (fold_expr f acc recv) args
+  | E_field (e1, _) | E_tuple_field (e1, _) | E_unary (_, e1) | E_ref (_, e1)
+  | E_cast (e1, _) ->
+      fold_expr f acc e1
+  | E_index (e1, e2) | E_binary (_, e1, e2) | E_assign (e1, e2)
+  | E_assign_op (_, e1, e2) ->
+      fold_expr f (fold_expr f acc e1) e2
+  | E_if (c, b, els) ->
+      let acc = fold_expr f acc c in
+      let acc = fold_block f acc b in
+      (match els with Some e -> fold_expr f acc e | None -> acc)
+  | E_if_let (_, scrut, b, els) ->
+      let acc = fold_expr f acc scrut in
+      let acc = fold_block f acc b in
+      (match els with Some e -> fold_expr f acc e | None -> acc)
+  | E_match (scrut, arms) ->
+      let acc = fold_expr f acc scrut in
+      List.fold_left
+        (fun acc arm ->
+          let acc =
+            match arm.arm_guard with
+            | Some g -> fold_expr f acc g
+            | None -> acc
+          in
+          fold_expr f acc arm.arm_body)
+        acc arms
+  | E_while (c, b) -> fold_block f (fold_expr f acc c) b
+  | E_while_let (_, scrut, b) -> fold_block f (fold_expr f acc scrut) b
+  | E_loop b -> fold_block f acc b
+  | E_for (_, iter, b) -> fold_block f (fold_expr f acc iter) b
+  | E_block b | E_unsafe b -> fold_block f acc b
+  | E_return (Some e1) -> fold_expr f acc e1
+  | E_return None -> acc
+  | E_struct_lit (_, fields, base) ->
+      let acc =
+        List.fold_left (fun acc (_, e1) -> fold_expr f acc e1) acc fields
+      in
+      (match base with Some b -> fold_expr f acc b | None -> acc)
+  | E_tuple es | E_vec es | E_macro (_, es) ->
+      List.fold_left (fold_expr f) acc es
+  | E_closure cl -> fold_expr f acc cl.cl_body
+  | E_range (lo, hi, _) ->
+      let acc = match lo with Some e1 -> fold_expr f acc e1 | None -> acc in
+      (match hi with Some e1 -> fold_expr f acc e1 | None -> acc)
+
+and fold_block f acc (b : block) =
+  let acc =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | S_let lb -> (
+            match lb.let_init with
+            | Some e -> fold_expr f acc e
+            | None -> acc)
+        | S_expr e -> fold_expr f acc e
+        | S_item it -> fold_item f acc it)
+      acc b.stmts
+  in
+  match b.tail with Some e -> fold_expr f acc e | None -> acc
+
+and fold_item f acc = function
+  | I_fn fd -> ( match fd.fn_body with Some b -> fold_block f acc b | None -> acc)
+  | I_impl ib ->
+      List.fold_left
+        (fun acc fd ->
+          match fd.fn_body with Some b -> fold_block f acc b | None -> acc)
+        acc ib.impl_items
+  | I_trait td ->
+      List.fold_left
+        (fun acc fd ->
+          match fd.fn_body with Some b -> fold_block f acc b | None -> acc)
+        acc td.tr_items
+  | I_static sd -> fold_expr f acc sd.st_init
+  | I_mod (_, items) -> List.fold_left (fold_item f) acc items
+  | I_struct _ | I_enum _ | I_use _ -> acc
+
+let fold_crate f acc (c : crate) = List.fold_left (fold_item f) acc c.items

@@ -1,0 +1,307 @@
+(** Hand-written lexer for RustLite.
+
+    Produces a token stream with spans. Handles line comments, nested
+    block comments, string/char escapes, integer suffixes ([0u8],
+    [100usize]), lifetimes (['a]) and attributes ([#[...]], skipped as
+    trivia since RustLite gives them no semantics). *)
+
+open Support
+
+type spanned = { tok : Token.t; span : Span.t }
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;  (** byte offset *)
+  mutable line : int;
+  mutable col : int;
+}
+
+let make ~file src = { src; file; pos = 0; line = 1; col = 1 }
+
+let position st : Span.pos = { line = st.line; col = st.col; offset = st.pos }
+
+let span_from st (start : Span.pos) =
+  Span.make ~file:st.file ~start_pos:start ~end_pos:(position st)
+
+let at_end st = st.pos >= String.length st.src
+let peek st = if at_end st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    (if st.src.[st.pos] = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+    st.pos <- st.pos + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_cont c = is_ident_start c || is_digit c
+
+let rec skip_block_comment st depth start =
+  if at_end st then
+    Diag.fail ~span:(span_from st start) "unterminated block comment"
+  else if peek st = '*' && peek2 st = '/' then begin
+    advance st;
+    advance st;
+    if depth > 1 then skip_block_comment st (depth - 1) start
+  end
+  else if peek st = '/' && peek2 st = '*' then begin
+    advance st;
+    advance st;
+    skip_block_comment st (depth + 1) start
+  end
+  else begin
+    advance st;
+    skip_block_comment st depth start
+  end
+
+(* Attributes #[...] and #![...] are skipped as trivia: the corpus
+   programs use them for realism (e.g. #[derive(Debug)]) but RustLite
+   assigns them no meaning. *)
+let skip_attribute st start =
+  advance st;
+  (* '#' *)
+  if peek st = '!' then advance st;
+  if peek st <> '[' then
+    Diag.fail ~span:(span_from st start) "expected '[' after '#'"
+  else begin
+    advance st;
+    let depth = ref 1 in
+    while !depth > 0 && not (at_end st) do
+      (match peek st with
+      | '[' -> incr depth
+      | ']' -> decr depth
+      | _ -> ());
+      advance st
+    done;
+    if !depth > 0 then
+      Diag.fail ~span:(span_from st start) "unterminated attribute"
+  end
+
+let rec skip_trivia st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      skip_trivia st
+  | '/' when peek2 st = '/' ->
+      while (not (at_end st)) && peek st <> '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | '/' when peek2 st = '*' ->
+      let start = position st in
+      advance st;
+      advance st;
+      skip_block_comment st 1 start;
+      skip_trivia st
+  | '#' ->
+      let start = position st in
+      skip_attribute st start;
+      skip_trivia st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while is_ident_cont (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let lex_number st start =
+  let begin_pos = st.pos in
+  if peek st = '0' && (peek2 st = 'x' || peek2 st = 'X') then begin
+    advance st;
+    advance st;
+    while is_hex_digit (peek st) || peek st = '_' do
+      advance st
+    done;
+    let digits = String.sub st.src begin_pos (st.pos - begin_pos) in
+    let suffix = if is_ident_start (peek st) then lex_ident st else "" in
+    let digits = String.concat "" (String.split_on_char '_' digits) in
+    match int_of_string_opt digits with
+    | Some v -> Token.INT (v, suffix)
+    | None ->
+        Diag.fail ~span:(span_from st start) "invalid hex literal %s" digits
+  end
+  else begin
+  while is_digit (peek st) || peek st = '_' do
+    advance st
+  done;
+  if peek st = '.' && is_digit (peek2 st) then begin
+    advance st;
+    while is_digit (peek st) do
+      advance st
+    done;
+    let text = String.sub st.src begin_pos (st.pos - begin_pos) in
+    Token.FLOAT (float_of_string text)
+  end
+  else begin
+    let digits = String.sub st.src begin_pos (st.pos - begin_pos) in
+    let suffix = if is_ident_start (peek st) then lex_ident st else "" in
+    let digits = String.concat "" (String.split_on_char '_' digits) in
+    match int_of_string_opt digits with
+    | Some v -> Token.INT (v, suffix)
+    | None ->
+        Diag.fail ~span:(span_from st start) "invalid integer literal %s"
+          digits
+  end
+  end
+
+let lex_escape st start =
+  advance st;
+  (* backslash *)
+  let c = peek st in
+  advance st;
+  match c with
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> Diag.fail ~span:(span_from st start) "unknown escape '\\%c'" c
+
+let lex_string st start =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end st then
+      Diag.fail ~span:(span_from st start) "unterminated string literal"
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' ->
+          Buffer.add_char buf (lex_escape st start);
+          go ()
+      | c ->
+          advance st;
+          Buffer.add_char buf c;
+          go ()
+  in
+  go ();
+  Token.STRING (Buffer.contents buf)
+
+(* A single quote starts either a lifetime ('a) or a char literal ('x').
+   Distinguish by looking for the closing quote. *)
+let lex_quote st start =
+  advance st;
+  (* ' *)
+  if is_ident_start (peek st) && peek2 st <> '\'' then
+    Token.LIFETIME (lex_ident st)
+  else begin
+    let c = if peek st = '\\' then lex_escape st start else (
+      let c = peek st in
+      advance st;
+      c)
+    in
+    if peek st <> '\'' then
+      Diag.fail ~span:(span_from st start) "unterminated char literal"
+    else begin
+      advance st;
+      Token.CHAR c
+    end
+  end
+
+let next_token st : spanned =
+  skip_trivia st;
+  let start = position st in
+  let emit tok = { tok; span = span_from st start } in
+  let two tok =
+    advance st;
+    advance st;
+    emit tok
+  in
+  let three tok =
+    advance st;
+    advance st;
+    advance st;
+    emit tok
+  in
+  let one tok =
+    advance st;
+    emit tok
+  in
+  if at_end st then emit Token.EOF
+  else
+    match peek st with
+    | c when is_digit c -> emit (lex_number st start)
+    | c when is_ident_start c -> (
+        let word = lex_ident st in
+        match Token.keyword_of_string word with
+        | Some kw -> emit kw
+        | None -> if word = "_" then emit Token.UNDERSCORE else emit (Token.IDENT word))
+    | '"' -> emit (lex_string st start)
+    | '\'' -> emit (lex_quote st start)
+    | '(' -> one Token.LPAREN
+    | ')' -> one Token.RPAREN
+    | '{' -> one Token.LBRACE
+    | '}' -> one Token.RBRACE
+    | '[' -> one Token.LBRACKET
+    | ']' -> one Token.RBRACKET
+    | ',' -> one Token.COMMA
+    | ';' -> one Token.SEMI
+    | '@' -> one Token.AT
+    | '?' -> one Token.QUESTION
+    | '^' -> one Token.CARET
+    | ':' -> if peek2 st = ':' then two Token.COLONCOLON else one Token.COLON
+    | '-' ->
+        if peek2 st = '>' then two Token.ARROW
+        else if peek2 st = '=' then two Token.MINUSEQ
+        else one Token.MINUS
+    | '=' ->
+        if peek2 st = '>' then two Token.FATARROW
+        else if peek2 st = '=' then two Token.EQEQ
+        else one Token.EQ
+    | '.' ->
+        if peek2 st = '.' then begin
+          advance st;
+          advance st;
+          if peek st = '=' then begin
+            advance st;
+            emit Token.DOTDOTEQ
+          end
+          else emit Token.DOTDOT
+        end
+        else one Token.DOT
+    | '&' -> if peek2 st = '&' then two Token.AMPAMP else one Token.AMP
+    | '|' -> if peek2 st = '|' then two Token.PIPEPIPE else one Token.PIPE
+    | '+' -> if peek2 st = '=' then two Token.PLUSEQ else one Token.PLUS
+    | '*' -> if peek2 st = '=' then two Token.STAREQ else one Token.STAR
+    | '/' -> if peek2 st = '=' then two Token.SLASHEQ else one Token.SLASH
+    | '%' -> if peek2 st = '=' then two Token.PERCENTEQ else one Token.PERCENT
+    | '!' -> if peek2 st = '=' then two Token.NE else one Token.BANG
+    | '<' ->
+        if peek2 st = '=' then two Token.LE
+        else if peek2 st = '<' then two Token.SHL
+        else one Token.LT
+    | '>' ->
+        (* Never lex '>>': the parser splits closing generic brackets
+           itself, and RustLite has no shift-right operator. *)
+        if peek2 st = '=' then two Token.GE else one Token.GT
+    | c ->
+        ignore three;
+        Diag.fail ~span:(span_from st start) "unexpected character '%c'" c
+
+(** Lex an entire source string into a token list ending with [EOF]. *)
+let tokenize ~file src =
+  let st = make ~file src in
+  let rec go acc =
+    let t = next_token st in
+    if Token.equal t.tok Token.EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,20 @@
+(** Hand-written lexer for RustLite: token stream with spans.
+
+    Handles line comments, nested block comments, string/char escapes,
+    decimal and hexadecimal integer literals with type suffixes
+    ([0u8], [0xC0]), lifetimes (['a]), and attributes ([#[...]],
+    skipped as trivia). *)
+
+open Support
+
+type spanned = { tok : Token.t; span : Span.t }
+
+type state
+
+val make : file:string -> string -> state
+val next_token : state -> spanned
+(** @raise Support.Diag.Parse_error on lexical errors. *)
+
+val tokenize : file:string -> string -> spanned list
+(** Whole input to a token list ending with [EOF].
+    @raise Support.Diag.Parse_error on lexical errors. *)

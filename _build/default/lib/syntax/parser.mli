@@ -1,0 +1,16 @@
+(** Recursive-descent parser for RustLite.
+
+    Faithful to the Rust grammar quirks the studied bug patterns depend
+    on: block-like expressions end statements at their closing brace,
+    struct literals are forbidden in condition/scrutinee position, and
+    expression-position generic arguments need the turbofish. *)
+
+
+val parse_crate : file:string -> string -> Ast.crate
+(** Parse a whole source file.
+    @raise Support.Diag.Parse_error on syntax errors. *)
+
+val parse_expr_string : file:string -> string -> Ast.expr
+(** Parse a single expression (used by tests).
+    @raise Support.Diag.Parse_error on syntax errors or trailing
+    tokens. *)

@@ -1,0 +1,211 @@
+(** Tokens of the RustLite surface language. *)
+
+type t =
+  | IDENT of string
+  | LIFETIME of string  (** ['a] — parsed, carried, mostly ignored *)
+  | INT of int * string  (** value, suffix (["u8"], ["usize"], [""] ...) *)
+  | FLOAT of float
+  | STRING of string
+  | CHAR of char
+  (* Keywords *)
+  | KW_AS
+  | KW_BREAK
+  | KW_CONST
+  | KW_CONTINUE
+  | KW_CRATE
+  | KW_DYN
+  | KW_ELSE
+  | KW_ENUM
+  | KW_FALSE
+  | KW_FN
+  | KW_FOR
+  | KW_IF
+  | KW_IMPL
+  | KW_IN
+  | KW_LET
+  | KW_LOOP
+  | KW_MATCH
+  | KW_MOD
+  | KW_MOVE
+  | KW_MUT
+  | KW_PUB
+  | KW_REF
+  | KW_RETURN
+  | KW_SELF
+  | KW_SELF_TYPE  (** [Self] *)
+  | KW_STATIC
+  | KW_STRUCT
+  | KW_TRAIT
+  | KW_TRUE
+  | KW_UNSAFE
+  | KW_USE
+  | KW_WHERE
+  | KW_WHILE
+  (* Punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | COLONCOLON
+  | ARROW  (** [->] *)
+  | FATARROW  (** [=>] *)
+  | DOT
+  | DOTDOT
+  | DOTDOTEQ
+  | AMP
+  | AMPAMP
+  | PIPE
+  | PIPEPIPE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | CARET
+  | BANG
+  | EQ
+  | EQEQ
+  | NE
+  | LT
+  | GT
+  | LE
+  | GE
+  | SHL  (** [<<] *)
+  | PLUSEQ
+  | MINUSEQ
+  | STAREQ
+  | SLASHEQ
+  | PERCENTEQ
+  | QUESTION
+  | POUND  (** [#] *)
+  | AT
+  | UNDERSCORE
+  | EOF
+
+let keyword_of_string = function
+  | "as" -> Some KW_AS
+  | "break" -> Some KW_BREAK
+  | "const" -> Some KW_CONST
+  | "continue" -> Some KW_CONTINUE
+  | "crate" -> Some KW_CRATE
+  | "dyn" -> Some KW_DYN
+  | "else" -> Some KW_ELSE
+  | "enum" -> Some KW_ENUM
+  | "false" -> Some KW_FALSE
+  | "fn" -> Some KW_FN
+  | "for" -> Some KW_FOR
+  | "if" -> Some KW_IF
+  | "impl" -> Some KW_IMPL
+  | "in" -> Some KW_IN
+  | "let" -> Some KW_LET
+  | "loop" -> Some KW_LOOP
+  | "match" -> Some KW_MATCH
+  | "mod" -> Some KW_MOD
+  | "move" -> Some KW_MOVE
+  | "mut" -> Some KW_MUT
+  | "pub" -> Some KW_PUB
+  | "ref" -> Some KW_REF
+  | "return" -> Some KW_RETURN
+  | "self" -> Some KW_SELF
+  | "Self" -> Some KW_SELF_TYPE
+  | "static" -> Some KW_STATIC
+  | "struct" -> Some KW_STRUCT
+  | "trait" -> Some KW_TRAIT
+  | "true" -> Some KW_TRUE
+  | "unsafe" -> Some KW_UNSAFE
+  | "use" -> Some KW_USE
+  | "where" -> Some KW_WHERE
+  | "while" -> Some KW_WHILE
+  | _ -> None
+
+let to_string = function
+  | IDENT s -> s
+  | LIFETIME s -> "'" ^ s
+  | INT (v, suf) -> string_of_int v ^ suf
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | CHAR c -> Printf.sprintf "%C" c
+  | KW_AS -> "as"
+  | KW_BREAK -> "break"
+  | KW_CONST -> "const"
+  | KW_CONTINUE -> "continue"
+  | KW_CRATE -> "crate"
+  | KW_DYN -> "dyn"
+  | KW_ELSE -> "else"
+  | KW_ENUM -> "enum"
+  | KW_FALSE -> "false"
+  | KW_FN -> "fn"
+  | KW_FOR -> "for"
+  | KW_IF -> "if"
+  | KW_IMPL -> "impl"
+  | KW_IN -> "in"
+  | KW_LET -> "let"
+  | KW_LOOP -> "loop"
+  | KW_MATCH -> "match"
+  | KW_MOD -> "mod"
+  | KW_MOVE -> "move"
+  | KW_MUT -> "mut"
+  | KW_PUB -> "pub"
+  | KW_REF -> "ref"
+  | KW_RETURN -> "return"
+  | KW_SELF -> "self"
+  | KW_SELF_TYPE -> "Self"
+  | KW_STATIC -> "static"
+  | KW_STRUCT -> "struct"
+  | KW_TRAIT -> "trait"
+  | KW_TRUE -> "true"
+  | KW_UNSAFE -> "unsafe"
+  | KW_USE -> "use"
+  | KW_WHERE -> "where"
+  | KW_WHILE -> "while"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | COLON -> ":"
+  | COLONCOLON -> "::"
+  | ARROW -> "->"
+  | FATARROW -> "=>"
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | DOTDOTEQ -> "..="
+  | AMP -> "&"
+  | AMPAMP -> "&&"
+  | PIPE -> "|"
+  | PIPEPIPE -> "||"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | CARET -> "^"
+  | BANG -> "!"
+  | EQ -> "="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | GT -> ">"
+  | LE -> "<="
+  | GE -> ">="
+  | SHL -> "<<"
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | STAREQ -> "*="
+  | SLASHEQ -> "/="
+  | PERCENTEQ -> "%="
+  | QUESTION -> "?"
+  | POUND -> "#"
+  | AT -> "@"
+  | UNDERSCORE -> "_"
+  | EOF -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

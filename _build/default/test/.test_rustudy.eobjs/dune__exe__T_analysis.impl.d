@@ -1,0 +1,1 @@
+test/t_analysis.ml: Alcotest Analysis Array List Rustudy

@@ -1,0 +1,1 @@
+test/t_corpus.ml: Alcotest Corpus List Option Rustudy

@@ -1,0 +1,1 @@
+test/t_detectors.ml: Alcotest List Rustudy

@@ -1,0 +1,1 @@
+test/t_lexer.ml: Alcotest Fmt List Rustudy Support

@@ -1,0 +1,1 @@
+test/t_mir.ml: Alcotest Array Detectors Ir List Rustudy String

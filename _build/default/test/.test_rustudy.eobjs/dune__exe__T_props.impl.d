@@ -1,0 +1,1 @@
+test/t_props.ml: Analysis Array Buffer Gen Hashtbl Ir List Printf QCheck QCheck_alcotest Rustudy String Study Support Test

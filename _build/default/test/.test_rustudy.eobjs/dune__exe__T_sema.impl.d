@@ -1,0 +1,1 @@
+test/t_sema.ml: Alcotest List Option Rustudy Sema

@@ -1,0 +1,1 @@
+test/t_study.ml: Alcotest Corpus Lazy List Rustudy Str String Study

@@ -1,0 +1,1 @@
+test/t_suggestions.ml: Alcotest Detectors List Rustudy

@@ -1,0 +1,1 @@
+test/test_rustudy.ml: Alcotest T_analysis T_corpus T_detectors T_lexer T_mir T_parser T_props T_sema T_study T_suggestions

@@ -1,0 +1,129 @@
+(* Dataflow, alias, points-to, storage and call-graph tests. *)
+
+module Mir = Rustudy.Mir
+
+let load src = Rustudy.load ~file:"t.rs" src
+
+let body program name =
+  match Mir.find_body program name with
+  | Some b -> b
+  | None -> Alcotest.fail ("no body " ^ name)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    case "alias: lock receiver resolves to the parameter" (fun () ->
+        let p = load "fn f(m: Arc<Mutex<u32>>) { let g = m.lock().unwrap(); }" in
+        let b = body p "f" in
+        let aliases = Analysis.Alias.resolve b in
+        let path = Analysis.Alias.path_of aliases 0 in
+        Alcotest.(check string) "param0" "param0" (Analysis.Alias.to_string path));
+    case "alias: field path through self" (fun () ->
+        let p =
+          load
+            "struct Q { d: Mutex<u32> } struct Db { q: Q } impl Db { fn f(&self) { let g = self.q.d.lock().unwrap(); } }"
+        in
+        let b = body p "Db::f" in
+        let aliases = Analysis.Alias.resolve b in
+        (* find the lock call's receiver root *)
+        let root =
+          Array.to_list b.Mir.blocks
+          |> List.find_map (fun (blk : Mir.block) ->
+                 match blk.Mir.term with
+                 | Mir.Call ({ Mir.callee = Mir.Builtin Mir.MutexLock; args; _ }, _)
+                   -> (
+                     match args with
+                     | (Mir.Copy pl | Mir.Move pl) :: _ ->
+                         Some
+                           (Analysis.Alias.to_string
+                              (Analysis.Alias.path_of_place aliases pl))
+                     | _ -> None)
+                 | _ -> None)
+        in
+        Alcotest.(check (option string)) "path" (Some "param0.q.d") root);
+    case "alias: clone preserves identity" (fun () ->
+        let p =
+          load
+            "fn f(a: Arc<Mutex<u32>>) { let b = a.clone(); let g = b.lock().unwrap(); }"
+        in
+        let b = body p "f" in
+        let aliases = Analysis.Alias.resolve b in
+        let cloned =
+          Array.to_list b.Mir.blocks
+          |> List.find_map (fun (blk : Mir.block) ->
+                 match blk.Mir.term with
+                 | Mir.Call ({ Mir.callee = Mir.Builtin Mir.MutexLock; args; _ }, _)
+                   -> (
+                     match args with
+                     | (Mir.Copy pl | Mir.Move pl) :: _ ->
+                         Some
+                           (Analysis.Alias.to_string
+                              (Analysis.Alias.path_of_place aliases pl))
+                     | _ -> None)
+                 | _ -> None)
+        in
+        Alcotest.(check (option string)) "same root" (Some "param0") cloned);
+    case "points-to: address-of tracks the target local" (fun () ->
+        let p = load "fn f() { let x = 1u32; let r = &x as *const u32; }" in
+        let b = body p "f" in
+        let pts = Analysis.Pointsto.analyze b in
+        (* find the user local r and check it points to x's slot *)
+        let find_local name =
+          let found = ref (-1) in
+          Array.iteri
+            (fun i (info : Mir.local_info) ->
+              if info.Mir.l_name = Some name then found := i)
+            b.Mir.locals;
+          !found
+        in
+        let r = find_local "r" and x = find_local "x" in
+        Alcotest.(check bool) "r points to x" true
+          (Analysis.Pointsto.LocSet.mem
+             (Analysis.Pointsto.Loc.LLocal x)
+             (Analysis.Pointsto.of_local pts r)));
+    case "storage: local invalid after drop, valid before" (fun () ->
+        let p = load "fn f() { let v = vec![1u8]; drop(v); let y = 1; }" in
+        let b = body p "f" in
+        let result = Analysis.Storage.analyze b in
+        (* at function exit the vec local must be in the invalid set *)
+        let exit_state =
+          result.Analysis.Dataflow.IntSetFlow.exit_.(Array.length b.Mir.blocks - 1)
+        in
+        Alcotest.(check bool) "something invalid at exit" true
+          (not (Analysis.Dataflow.IntSet.is_empty exit_state)));
+    case "callgraph: direct and spawn edges" (fun () ->
+        let p =
+          load
+            "fn helper() {} fn f() { helper(); let t = thread::spawn(move || { helper(); }); }"
+        in
+        let cg = Analysis.Callgraph.build p in
+        let edges = cg.Analysis.Callgraph.edges in
+        Alcotest.(check bool) "direct edge" true
+          (List.exists
+             (fun (e : Analysis.Callgraph.edge) ->
+               e.Analysis.Callgraph.caller = "f"
+               && e.Analysis.Callgraph.target = "helper"
+               && e.Analysis.Callgraph.kind = Analysis.Callgraph.Direct)
+             edges);
+        Alcotest.(check int) "one spawn edge" 1
+          (List.length (Analysis.Callgraph.spawn_edges cg)));
+    case "callgraph: reachability" (fun () ->
+        let p = load "fn a() { b(); } fn b() { c(); } fn c() {} fn d() {}" in
+        let cg = Analysis.Callgraph.build p in
+        let reach = Analysis.Callgraph.reachable cg "a" in
+        Alcotest.(check bool) "c reachable" true (List.mem "c" reach);
+        Alcotest.(check bool) "d not reachable" false (List.mem "d" reach));
+    case "dataflow: loop reaches fixpoint" (fun () ->
+        let p =
+          load
+            "fn f(n: usize) { let mut i = 0; while i < n { let v = vec![1u8]; i = i + 1; } }"
+        in
+        let b = body p "f" in
+        (* storage analysis on a loop must terminate and produce states
+           for every block *)
+        let r = Analysis.Storage.analyze b in
+        Alcotest.(check int) "state per block"
+          (Array.length b.Mir.blocks)
+          (Array.length r.Analysis.Dataflow.IntSetFlow.entry));
+  ]

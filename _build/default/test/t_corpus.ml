@@ -1,0 +1,117 @@
+(* Corpus integration tests: every studied bug's program triggers its
+   expected detectors; every encoded fix is clean; the marginal counts
+   match the paper's tables. *)
+
+let case name f = Alcotest.test_case name f
+
+let analyze (e : Corpus.entry) =
+  let program =
+    Rustudy.load ~file:(e.Corpus.id ^ ".rs") e.Corpus.source
+  in
+  Rustudy.detect program
+
+(* one test per corpus entry: expected detector fires *)
+let entry_tests =
+  List.map
+    (fun (e : Corpus.entry) ->
+      case ("detects " ^ e.Corpus.id) `Slow (fun () ->
+          let kinds =
+            List.map (fun (f : Rustudy.Finding.finding) -> f.Rustudy.Finding.kind)
+              (analyze e)
+          in
+          List.iter
+            (fun k ->
+              Alcotest.(check bool)
+                (Rustudy.Finding.kind_to_string k)
+                true (List.mem k kinds))
+            e.Corpus.expected))
+    Corpus.all_bugs
+
+(* fixed versions are clean with respect to the expected kinds *)
+let fix_tests =
+  List.filter_map
+    (fun (e : Corpus.entry) ->
+      Option.map
+        (fun fixed ->
+          case ("fix is clean: " ^ e.Corpus.id) `Slow (fun () ->
+              let kinds =
+                List.map
+                  (fun (f : Rustudy.Finding.finding) -> f.Rustudy.Finding.kind)
+                  (Rustudy.check ~file:(e.Corpus.id ^ "-fixed.rs") fixed)
+              in
+              List.iter
+                (fun k ->
+                  Alcotest.(check bool)
+                    ("fixed still has " ^ Rustudy.Finding.kind_to_string k)
+                    false (List.mem k kinds))
+                e.Corpus.expected))
+        e.Corpus.fixed_source)
+    Corpus.all_bugs
+
+let count pred xs = List.length (List.filter pred xs)
+
+let marginals =
+  [
+    case "corpus sizes match the paper (70/59/41)" `Quick (fun () ->
+        Alcotest.(check int) "memory" 70 (List.length Corpus.Mem_bugs.all);
+        Alcotest.(check int) "blocking" 59 (List.length Corpus.Blocking_bugs.all);
+        Alcotest.(check int) "non-blocking" 41
+          (List.length Corpus.Nonblocking_bugs.all));
+    case "memory fix strategies are 30/22/9/9" `Quick (fun () ->
+        let fixes =
+          List.filter_map
+            (fun (e : Corpus.entry) ->
+              match e.Corpus.class_ with
+              | Corpus.Mem { fix; _ } -> Some fix
+              | _ -> None)
+            Corpus.Mem_bugs.all
+        in
+        Alcotest.(check int) "cond-skip" 30
+          (count (fun f -> f = Corpus.Cond_skip) fixes);
+        Alcotest.(check int) "lifetime" 22
+          (count (fun f -> f = Corpus.Adjust_lifetime) fixes);
+        Alcotest.(check int) "operands" 9
+          (count (fun f -> f = Corpus.Change_operands) fixes);
+        Alcotest.(check int) "other" 9 (count (fun f -> f = Corpus.Other_fix) fixes));
+    case "unsafe-usage sample proportions (4)" `Quick (fun () ->
+        let sample = Corpus.Unsafe_usages.all in
+        Alcotest.(check int) "sample size" 60 (List.length sample);
+        let by p =
+          count
+            (fun (u : Corpus.Unsafe_usages.usage) ->
+              u.Corpus.Unsafe_usages.u_purpose = p)
+            sample
+        in
+        Alcotest.(check int) "reuse 42%" 25 (by Corpus.Unsafe_usages.Reuse);
+        Alcotest.(check int) "performance 22%" 13
+          (by Corpus.Unsafe_usages.Performance);
+        Alcotest.(check int) "sharing 15%" 9 (by Corpus.Unsafe_usages.Sharing);
+        Alcotest.(check int) "removable 5%" 3
+          (count
+             (fun (u : Corpus.Unsafe_usages.usage) ->
+               u.Corpus.Unsafe_usages.u_removable)
+             sample));
+    case "every unsafe snippet parses and scans" `Quick (fun () ->
+        List.iter
+          (fun (u : Corpus.Unsafe_usages.usage) ->
+            let crate =
+              Rustudy.parse ~file:u.Corpus.Unsafe_usages.u_id
+                u.Corpus.Unsafe_usages.u_snippet
+            in
+            let s = Rustudy.scan_unsafe crate in
+            Alcotest.(check bool)
+              (u.Corpus.Unsafe_usages.u_id ^ " has an unsafe usage")
+              true
+              (Rustudy.Unsafe_scan.total_unsafe_usages s > 0
+              || s.Rustudy.Unsafe_scan.unsafe_impls > 0))
+          Corpus.Unsafe_usages.all);
+    case "fig.2 precondition: most bugs patched after 2016" `Quick (fun () ->
+        let entries = Corpus.all_bugs in
+        let late =
+          count (fun (e : Corpus.entry) -> e.Corpus.year >= 2016) entries
+        in
+        Alcotest.(check bool) "over 80%" true
+          (late * 100 / List.length entries >= 80));
+  ]
+
+let suite = marginals @ entry_tests @ fix_tests

@@ -1,0 +1,146 @@
+(* Per-detector positive and negative tests on focused programs. *)
+
+let check src = Rustudy.check ~file:"t.rs" src
+
+let kinds src =
+  List.sort_uniq compare
+    (List.map (fun (f : Rustudy.Finding.finding) -> f.Rustudy.Finding.kind) (check src))
+
+let has kind src = List.mem kind (kinds src)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let positive name kind src =
+  case name (fun () ->
+      Alcotest.(check bool)
+        (Rustudy.Finding.kind_to_string kind ^ " found")
+        true (has kind src))
+
+let negative name kind src =
+  case name (fun () ->
+      Alcotest.(check bool)
+        (Rustudy.Finding.kind_to_string kind ^ " absent")
+        false (has kind src))
+
+let suite =
+  [
+    (* --- use-after-free --- *)
+    positive "uaf: deref after explicit drop" Rustudy.Finding.Use_after_free
+      "fn f() -> u8 { let v = vec![1u8]; let p = v.as_ptr(); drop(v); unsafe { *p } }";
+    positive "uaf: pointer into block-scoped temp" Rustudy.Finding.Use_after_free
+      "struct B { x: i32 } fn f() -> i32 { let p = { let b = B { x: 1 }; &b as *const B }; unsafe { (*p).x } }";
+    negative "uaf: pointer used before drop" Rustudy.Finding.Use_after_free
+      "fn f() -> u8 { let v = vec![1u8]; let p = v.as_ptr(); let x = unsafe { *p }; x }";
+    positive "uaf: dead pointer passed to extern" Rustudy.Finding.Use_after_free
+      "fn f() { let v = vec![1u8]; let p = v.as_ptr(); drop(v); unsafe { consume(p); } }";
+    positive "uaf: interprocedural deref summary" Rustudy.Finding.Use_after_free
+      "fn deref_it(p: *const u8) -> u8 { unsafe { *p } } fn f() -> u8 { let v = vec![1u8]; let p = v.as_ptr(); drop(v); deref_it(p) }";
+    (* --- double lock --- *)
+    positive "double lock: sequential" Rustudy.Finding.Double_lock
+      "fn f(m: Arc<Mutex<u32>>) { let a = m.lock().unwrap(); let b = m.lock().unwrap(); }";
+    negative "double lock: drop between" Rustudy.Finding.Double_lock
+      "fn f(m: Arc<Mutex<u32>>) { let a = m.lock().unwrap(); drop(a); let b = m.lock().unwrap(); }";
+    negative "double lock: different locks" Rustudy.Finding.Double_lock
+      "fn f(m: Arc<Mutex<u32>>, n: Arc<Mutex<u32>>) { let a = m.lock().unwrap(); let b = n.lock().unwrap(); }";
+    negative "double lock: read-read allowed" Rustudy.Finding.Double_lock
+      "fn f(m: Arc<RwLock<u32>>) { let a = m.read().unwrap(); let b = m.read().unwrap(); }";
+    positive "double lock: read then write" Rustudy.Finding.Double_lock
+      "fn f(m: Arc<RwLock<u32>>) { let a = m.read().unwrap(); let b = m.write().unwrap(); }";
+    negative "double lock: try_lock never blocks" Rustudy.Finding.Double_lock
+      "fn f(m: Arc<Mutex<u32>>) { let a = m.lock().unwrap(); let b = m.try_lock(); }";
+    positive "double lock: via method call on same struct lock"
+      Rustudy.Finding.Double_lock
+      "struct Q { n: u32 } struct D { q: Mutex<Q> } impl D { fn g(&self) { let x = self.q.lock().unwrap(); } fn f(&self) { let x = self.q.lock().unwrap(); self.g(); } }";
+    negative "double lock: inner block scopes the guard" Rustudy.Finding.Double_lock
+      "fn f(m: Arc<Mutex<u32>>) { let x = { let g = m.lock().unwrap(); 1 }; let h = m.lock().unwrap(); }";
+    (* --- lock order --- *)
+    positive "lock order: ABBA across threads" Rustudy.Finding.Conflicting_lock_order
+      {|
+fn main() {
+    let a = Arc::new(Mutex::new(0u8));
+    let b = Arc::new(Mutex::new(0u8));
+    let a2 = a.clone();
+    let b2 = b.clone();
+    let t = thread::spawn(move || {
+        let y = b2.lock().unwrap();
+        let x = a2.lock().unwrap();
+    });
+    let x = a.lock().unwrap();
+    let y = b.lock().unwrap();
+}
+|};
+    negative "lock order: consistent order" Rustudy.Finding.Conflicting_lock_order
+      {|
+fn main() {
+    let a = Arc::new(Mutex::new(0u8));
+    let b = Arc::new(Mutex::new(0u8));
+    let a2 = a.clone();
+    let b2 = b.clone();
+    let t = thread::spawn(move || {
+        let x = a2.lock().unwrap();
+        let y = b2.lock().unwrap();
+    });
+    let x = a.lock().unwrap();
+    let y = b.lock().unwrap();
+}
+|};
+    (* --- condvar / channel / once --- *)
+    positive "condvar: wait without notify" Rustudy.Finding.Condvar_lost_wakeup
+      "struct S { m: Mutex<bool>, cv: Condvar } fn f(s: Arc<S>) { let mut g = s.m.lock().unwrap(); while !*g { g = s.cv.wait(g).unwrap(); } }";
+    negative "condvar: notify present" Rustudy.Finding.Condvar_lost_wakeup
+      "struct S { m: Mutex<bool>, cv: Condvar } fn w(s: Arc<S>) { let mut g = s.m.lock().unwrap(); while !*g { g = s.cv.wait(g).unwrap(); } } fn n(s: Arc<S>) { let mut g = s.m.lock().unwrap(); *g = true; s.cv.notify_one(); }";
+    positive "channel: recv with no senders" Rustudy.Finding.Channel_deadlock
+      "fn main() { let (tx, rx) = channel::<u8>(); let t = thread::spawn(move || { let v = rx.recv().unwrap(); }); drop(tx); }";
+    negative "channel: sender sends" Rustudy.Finding.Channel_deadlock
+      "fn main() { let (tx, rx) = channel::<u8>(); let t = thread::spawn(move || { let v = rx.recv().unwrap(); }); tx.send(1u8); }";
+    positive "once: recursive call_once" Rustudy.Finding.Double_lock
+      "static I: Once = Once::new(); fn a() { I.call_once(|| { b(); }); } fn b() { I.call_once(|| { let x = 1; }); }";
+    (* --- memory misc --- *)
+    positive "invalid free: assign into fresh alloc" Rustudy.Finding.Invalid_free
+      "struct S { v: Vec<u8> } pub unsafe fn f() -> *mut S { let p = alloc(size_of::<S>()) as *mut S; *p = S { v: Vec::new() }; p }";
+    negative "invalid free: ptr::write is fine" Rustudy.Finding.Invalid_free
+      "struct S { v: Vec<u8> } pub unsafe fn f() -> *mut S { let p = alloc(size_of::<S>()) as *mut S; ptr::write(p, S { v: Vec::new() }); p }";
+    positive "double free: ptr::read duplication" Rustudy.Finding.Double_free
+      "fn f() { let v = vec![1u8]; let w = unsafe { ptr::read(&v) }; }";
+    negative "double free: forget neutralizes" Rustudy.Finding.Double_free
+      "fn f() { let v = vec![1u8]; let w = unsafe { ptr::read(&v) }; mem::forget(v); }";
+    positive "uninit: set_len then read" Rustudy.Finding.Uninit_read
+      "fn f() -> u8 { let mut b: Vec<u8> = Vec::with_capacity(4); unsafe { b.set_len(4); } b[0] }";
+    negative "uninit: written before read" Rustudy.Finding.Uninit_read
+      "fn f() -> u8 { let mut b: Vec<u8> = Vec::with_capacity(4); b.push(1u8); b[0] }";
+    positive "null: deref of null_mut" Rustudy.Finding.Null_deref
+      "pub unsafe fn f() -> u8 { let p = ptr::null_mut::<u8>(); *p }";
+    negative "null: is_null guard suppresses" Rustudy.Finding.Null_deref
+      "pub unsafe fn f() -> u8 { let p = ptr::null_mut::<u8>(); if !p.is_null() { return *p; } 0u8 }";
+    positive "buffer: unguarded get_unchecked" Rustudy.Finding.Buffer_overflow
+      "pub unsafe fn f(v: Vec<u8>, i: usize) -> u8 { *v.get_unchecked(i) }";
+    negative "buffer: length-guarded" Rustudy.Finding.Buffer_overflow
+      "fn f(v: Vec<u8>, i: usize) -> u8 { if i < v.len() { unsafe { *v.get_unchecked(i) } } else { 0u8 } }";
+    (* --- non-blocking --- *)
+    positive "atomicity: load-branch-store" Rustudy.Finding.Atomicity_violation
+      "struct A { f: AtomicBool } impl A { fn go(&self) -> u32 { if self.f.load() { return 0u32; } self.f.store(true); 1u32 } }";
+    negative "atomicity: compare_and_swap" Rustudy.Finding.Atomicity_violation
+      "struct A { f: AtomicBool } impl A { fn go(&self) -> u32 { if !self.f.compare_and_swap(false, true) { return 1u32; } 0u32 } }";
+    positive "sync misuse: ptr write through &self" Rustudy.Finding.Sync_unsync_write
+      "struct C { v: i32 } unsafe impl Sync for C {} impl C { fn set(&self, i: i32) { let p = &self.v as *const i32 as *mut i32; unsafe { *p = i; } } }";
+    negative "sync misuse: mutex-protected write" Rustudy.Finding.Sync_unsync_write
+      "struct C { v: Mutex<i32> } unsafe impl Sync for C {} impl C { fn set(&self, i: i32) { let mut g = self.v.lock().unwrap(); *g = i; } }";
+    (* --- compiler model --- *)
+    case "borrowck: use after move is rejected" (fun () ->
+        let p =
+          Rustudy.load ~file:"t.rs"
+            "fn f() { let v = vec![1u8]; let w = v; let n = v.len(); }"
+        in
+        Alcotest.(check bool) "flagged" true
+          (List.exists
+             (fun (f : Rustudy.Finding.finding) ->
+               f.Rustudy.Finding.kind = Rustudy.Finding.Use_after_move)
+             (Rustudy.compiler_checks p)));
+    case "borrowck: clean program passes" (fun () ->
+        let p =
+          Rustudy.load ~file:"t.rs"
+            "fn f() { let v = vec![1u8]; let n = v.len(); let w = v; }"
+        in
+        Alcotest.(check (list string)) "no findings" []
+          (List.map Rustudy.Finding.to_string (Rustudy.compiler_checks p)));
+  ]

@@ -1,0 +1,206 @@
+(* Parser unit tests: item shapes, expression precedence, statement
+   rules, and error reporting. *)
+
+module P = Rustudy.Parser
+module Ast = Rustudy.Ast
+
+let parse src = P.parse_crate ~file:"t.rs" src
+let parse_expr src = P.parse_expr_string ~file:"t.rs" src
+
+let item_names src = List.map Ast.item_name (parse src).Ast.items
+
+let case name f = Alcotest.test_case name `Quick f
+
+let items =
+  [
+    case "struct, enum, fn, impl, trait, static, use, mod" (fun () ->
+        let names =
+          item_names
+            {|
+struct S { a: i32, b: Vec<u8> }
+enum E { A, B(i32), C(u8, u8) }
+fn f(x: i32) -> i32 { x }
+impl S { fn m(&self) -> i32 { self.a } }
+trait T { fn req(&self) -> i32; }
+static mut G: u32 = 0;
+use std::sync::Arc;
+mod sub { fn inner() {} }
+|}
+        in
+        Alcotest.(check (list string))
+          "names"
+          [ "S"; "E"; "f"; "<impl>"; "T"; "G"; "std::sync::Arc"; "sub" ]
+          names);
+    case "unsafe fn and unsafe impl recorded" (fun () ->
+        let crate =
+          parse
+            "struct W; unsafe fn danger() {} unsafe impl Sync for W {}"
+        in
+        let has_unsafe_fn =
+          List.exists
+            (function Ast.I_fn f -> f.Ast.fn_unsafe | _ -> false)
+            crate.Ast.items
+        in
+        let has_unsafe_impl =
+          List.exists
+            (function Ast.I_impl i -> i.Ast.impl_unsafe | _ -> false)
+            crate.Ast.items
+        in
+        Alcotest.(check bool) "unsafe fn" true has_unsafe_fn;
+        Alcotest.(check bool) "unsafe impl" true has_unsafe_impl);
+    case "generics on items parse and are collected" (fun () ->
+        let crate = parse "struct Pair<A, B: Clone> { a: A, b: B }" in
+        match crate.Ast.items with
+        | [ Ast.I_struct s ] ->
+            Alcotest.(check (list string)) "params" [ "A"; "B" ] s.Ast.s_generics
+        | _ -> Alcotest.fail "expected one struct");
+    case "where clause skipped" (fun () ->
+        let names = item_names "fn f<T>(x: T) -> T where T: Clone { x }" in
+        Alcotest.(check (list string)) "names" [ "f" ] names);
+    case "trait method signature without body" (fun () ->
+        let crate = parse "trait T { fn sig(&self) -> u32; }" in
+        match crate.Ast.items with
+        | [ Ast.I_trait t ] ->
+            Alcotest.(check int) "methods" 1 (List.length t.Ast.tr_items);
+            Alcotest.(check bool)
+              "no body" true
+              ((List.hd t.Ast.tr_items).Ast.fn_body = None)
+        | _ -> Alcotest.fail "expected trait");
+  ]
+
+let exprs =
+  let binop_shape src expected_desc =
+    case (src ^ " => " ^ expected_desc) (fun () ->
+        let e = parse_expr src in
+        let rec shape (e : Ast.expr) =
+          match e.Ast.e with
+          | Ast.E_binary (op, l, r) ->
+              Printf.sprintf "(%s %s %s)" (shape l) (Ast.show_binop op) (shape r)
+          | Ast.E_lit (Ast.Lit_int (n, _)) -> string_of_int n
+          | Ast.E_path (p, _) -> Ast.path_name p
+          | Ast.E_unary (op, x) ->
+              Printf.sprintf "(%s %s)" (Ast.show_unop op) (shape x)
+          | _ -> "?"
+        in
+        Alcotest.(check string) "shape" expected_desc (shape e))
+  in
+  [
+    binop_shape "1 + 2 * 3" "(1 Add (2 Mul 3))";
+    binop_shape "1 * 2 + 3" "((1 Mul 2) Add 3)";
+    binop_shape "a == b && c == d" "((a Eq b) And (c Eq d))";
+    binop_shape "a || b && c" "(a Or (b And c))";
+    binop_shape "1 + 2 < 3 + 4" "((1 Add 2) Lt (3 Add 4))";
+    case "unary deref binds tighter than binary" (fun () ->
+        match (parse_expr "*p + 1").Ast.e with
+        | Ast.E_binary (Ast.Add, { Ast.e = Ast.E_unary (Ast.Deref, _); _ }, _) ->
+            ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "method chain with turbofish" (fun () ->
+        match (parse_expr "v.get::<u8>(0).unwrap()").Ast.e with
+        | Ast.E_method ({ Ast.e = Ast.E_method (_, "get", [ _ ], _); _ }, "unwrap", [], [])
+          ->
+            ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "cast chain" (fun () ->
+        match (parse_expr "&x as *const i32 as *mut i32").Ast.e with
+        | Ast.E_cast ({ Ast.e = Ast.E_cast _; _ }, _) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "struct literal vs block after path" (fun () ->
+        match (parse_expr "Foo { a: 1 }").Ast.e with
+        | Ast.E_struct_lit (_, [ ("a", _) ], None) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "closure with params" (fun () ->
+        match (parse_expr "|x, y| x + y").Ast.e with
+        | Ast.E_closure { Ast.cl_params = [ _; _ ]; cl_move = false; _ } -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "move closure" (fun () ->
+        match (parse_expr "move || 1").Ast.e with
+        | Ast.E_closure { Ast.cl_move = true; cl_params = []; _ } -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "vec macro" (fun () ->
+        match (parse_expr "vec![1u8, 2u8]").Ast.e with
+        | Ast.E_vec [ _; _ ] -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "vec repeat macro" (fun () ->
+        match (parse_expr "vec![0u8; 100]").Ast.e with
+        | Ast.E_vec [ _; _ ] -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "range" (fun () ->
+        match (parse_expr "0..10").Ast.e with
+        | Ast.E_range (Some _, Some _, false) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    case "question mark" (fun () ->
+        match (parse_expr "fallible()?").Ast.e with
+        | Ast.E_method (_, "unwrap_or_propagate", _, _) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+  ]
+
+let stmts =
+  [
+    case "block expr in statement position does not absorb operators"
+      (fun () ->
+        (* `if c {} *p` must be an if-statement followed by a deref *)
+        let crate =
+          parse "fn f(c: bool, p: *const u8) -> u8 { if c { } *p }"
+        in
+        match crate.Ast.items with
+        | [ Ast.I_fn { Ast.fn_body = Some body; _ } ] -> (
+            Alcotest.(check int) "stmts" 1 (List.length body.Ast.stmts);
+            match body.Ast.tail with
+            | Some { Ast.e = Ast.E_unary (Ast.Deref, _); _ } -> ()
+            | _ -> Alcotest.fail "tail should be a deref")
+        | _ -> Alcotest.fail "expected fn");
+    case "tail expression is the block value" (fun () ->
+        let crate = parse "fn f() -> i32 { let x = 1; x + 1 }" in
+        match crate.Ast.items with
+        | [ Ast.I_fn { Ast.fn_body = Some b; _ } ] ->
+            Alcotest.(check bool) "has tail" true (b.Ast.tail <> None)
+        | _ -> Alcotest.fail "expected fn");
+    case "let with type annotation and mut" (fun () ->
+        let crate = parse "fn f() { let mut v: Vec<u8> = Vec::new(); }" in
+        match crate.Ast.items with
+        | [ Ast.I_fn { Ast.fn_body = Some b; _ } ] -> (
+            match b.Ast.stmts with
+            | [ Ast.S_let { Ast.let_ty = Some _; let_pat; _ } ] -> (
+                match let_pat.Ast.p with
+                | Ast.P_ident (Ast.Mut, "v", None) -> ()
+                | _ -> Alcotest.fail "pattern")
+            | _ -> Alcotest.fail "stmt")
+        | _ -> Alcotest.fail "expected fn");
+    case "match arms with guards and or-patterns" (fun () ->
+        ignore
+          (parse
+             {|
+fn f(x: Option<i32>) -> i32 {
+    match x {
+        Some(n) if n > 0 => n,
+        Some(_) | None => 0,
+    }
+}
+|}));
+    case "if let / while let" (fun () ->
+        ignore
+          (parse
+             {|
+fn f(x: Option<i32>) {
+    if let Some(v) = x { let y = v; }
+    while let Some(v) = x { break; }
+}
+|}));
+  ]
+
+let errors =
+  let expect_error name src =
+    case name (fun () ->
+        match parse src with
+        | exception Rustudy.Parse_error _ -> ()
+        | _ -> Alcotest.fail "expected a parse error")
+  in
+  [
+    expect_error "missing brace" "fn f() { 1";
+    expect_error "bad item" "return 5;";
+    expect_error "missing paren" "fn f( { }";
+    expect_error "stray token after expr" "fn f() { 1 2 }";
+  ]
+
+let suite = items @ exprs @ stmts @ errors

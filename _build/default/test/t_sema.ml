@@ -1,0 +1,109 @@
+(* Type-inference unit tests. *)
+
+module Ty = Rustudy.Ty
+
+let infer_local src var =
+  (* type a `fn probe` and look up the declared variable's inferred
+     type by re-running typeck's block environment *)
+  let crate = Rustudy.Parser.parse_crate ~file:"t.rs" src in
+  let env = Sema.Env.of_crate crate in
+  let fd =
+    match Sema.Env.find_fn env "probe" with
+    | Some fd -> fd
+    | None -> Alcotest.fail "no probe fn"
+  in
+  let body = Option.get fd.Rustudy.Ast.fn_body in
+  let gamma =
+    List.fold_left
+      (fun g p ->
+        match p with
+        | Rustudy.Ast.Param (_, name, ty) ->
+            (name, Sema.Env.ty_of_ast env ty) :: g
+        | _ -> g)
+      [] fd.Rustudy.Ast.fn_params
+  in
+  let gamma =
+    List.fold_left
+      (fun g s ->
+        match s with
+        | Rustudy.Ast.S_let lb -> (
+            let ty =
+              match lb.Rustudy.Ast.let_ty with
+              | Some t -> Sema.Env.ty_of_ast env t
+              | None -> (
+                  match lb.Rustudy.Ast.let_init with
+                  | Some init -> Sema.Typeck.type_of_expr env g init
+                  | None -> Ty.Unknown)
+            in
+            match lb.Rustudy.Ast.let_pat.Rustudy.Ast.p with
+            | Rustudy.Ast.P_ident (_, n, _) -> (n, ty) :: g
+            | _ -> g)
+        | _ -> g)
+      gamma body.Rustudy.Ast.stmts
+  in
+  match List.assoc_opt var gamma with
+  | Some t -> Ty.to_string t
+  | None -> Alcotest.fail ("no var " ^ var)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let check_ty name src var expected =
+  case name (fun () ->
+      Alcotest.(check string) name expected (infer_local src var))
+
+let suite =
+  [
+    check_ty "int literal" "fn probe() { let x = 1; }" "x" "i32";
+    check_ty "suffixed literal" "fn probe() { let x = 0u8; }" "x" "u8";
+    check_ty "lock guard type"
+      "struct S { v: i32 } fn probe(m: Arc<Mutex<S>>) { let g = m.lock().unwrap(); }"
+      "g" "MutexGuard<S>";
+    check_ty "rwlock read guard"
+      "struct S { v: i32 } fn probe(m: Arc<RwLock<S>>) { let g = m.read().unwrap(); }"
+      "g" "RwLockReadGuard<S>";
+    check_ty "vec pop option"
+      "fn probe(v: Vec<u8>) { let mut v = v; let x = v.pop(); }" "x"
+      "Option<u8>";
+    check_ty "field through arc"
+      "struct S { v: u64 } fn probe(s: Arc<S>) { let x = s.v; }" "x" "u64";
+    check_ty "as_ptr" "fn probe(v: Vec<u8>) { let p = v.as_ptr(); }" "p"
+      "*const u8";
+    check_ty "channel tuple"
+      "fn probe() { let pair = channel::<u32>(); }" "pair"
+      "(Sender<u32>, Receiver<u32>)";
+    check_ty "atomic load"
+      "struct A { f: AtomicBool } fn probe(a: Arc<A>) { let x = a.f.load(); }"
+      "x" "bool";
+    check_ty "user method return"
+      "struct C { n: i32 } impl C { fn get(&self) -> i32 { self.n } } fn probe(c: C) { let x = c.get(); }"
+      "x" "i32";
+    check_ty "cast" "fn probe(x: u64) { let p = x as *mut u8; }" "p" "*mut u8";
+    check_ty "condvar wait returns guard"
+      "struct S { lock: Mutex<bool>, cv: Condvar } fn probe(s: Arc<S>) { let g = s.lock.lock().unwrap(); let g2 = s.cv.wait(g).unwrap(); }"
+      "g2" "MutexGuard<bool>";
+    case "needs_drop classification" (fun () ->
+        Alcotest.(check bool) "vec" true (Ty.needs_drop (Ty.Named ("Vec", [ Ty.Prim Ty.U8 ])));
+        Alcotest.(check bool) "guard" true
+          (Ty.needs_drop (Ty.Named ("MutexGuard", [ Ty.i32 ])));
+        Alcotest.(check bool) "prim" false (Ty.needs_drop Ty.i32);
+        Alcotest.(check bool) "raw ptr" false
+          (Ty.needs_drop (Ty.Ptr (Ty.Mut, Ty.i32)));
+        Alcotest.(check bool) "ref" false
+          (Ty.needs_drop (Ty.Ref (Ty.Imm, Ty.string_)));
+        Alcotest.(check bool) "option of prim" false
+          (Ty.needs_drop (Ty.Named ("Option", [ Ty.i32 ])));
+        Alcotest.(check bool) "option of vec" true
+          (Ty.needs_drop (Ty.Named ("Option", [ Ty.Named ("Vec", [ Ty.i32 ]) ]))));
+    case "peel through smart pointers" (fun () ->
+        let t =
+          Ty.Named ("Arc", [ Ty.Named ("RwLock", [ Ty.Named ("Inner", []) ]) ])
+        in
+        Alcotest.(check string) "peel arc" "RwLock<Inner>"
+          (Ty.to_string (Ty.peel t)));
+    case "lock guard predicates" (fun () ->
+        Alcotest.(check bool) "guard" true
+          (Ty.is_lock_guard (Ty.Named ("RwLockWriteGuard", [ Ty.i32 ])));
+        Alcotest.(check bool) "read guard" true
+          (Ty.is_read_guard (Ty.Named ("RwLockReadGuard", [ Ty.i32 ])));
+        Alcotest.(check bool) "not guard" false (Ty.is_lock_guard Ty.i32));
+  ]

@@ -1,0 +1,16 @@
+(* Aggregated test runner: every suite in one alcotest binary. *)
+
+let () =
+  Alcotest.run "rustudy"
+    [
+      ("lexer", T_lexer.suite);
+      ("parser", T_parser.suite);
+      ("sema", T_sema.suite);
+      ("mir", T_mir.suite);
+      ("analysis", T_analysis.suite);
+      ("detectors", T_detectors.suite);
+      ("corpus", T_corpus.suite);
+      ("study", T_study.suite);
+      ("suggestions", T_suggestions.suite);
+      ("properties", T_props.suite);
+    ]
