@@ -1,8 +1,10 @@
 (* Benchmark harness: one Bechamel test per paper table/figure, the two
-   headline detectors, the §4.1 safe-vs-unsafe microbenchmarks, and the
-   three design-choice ablations from DESIGN.md.
+   headline detectors, the §4.1 safe-vs-unsafe microbenchmarks, the
+   three design-choice ablations from DESIGN.md, and the analysis-cache
+   corpus timings (cached vs uncached, sequential vs parallel).
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe [-- --json]
+   --json additionally writes BENCH_results.json next to the cwd. *)
 
 open Bechamel
 open Toolkit
@@ -12,6 +14,10 @@ open Toolkit
 (* ------------------------------------------------------------------ *)
 
 let analyses = lazy (Rustudy.analyze_corpus ())
+
+(* One evaluation shared by the recall summary and anything else that
+   needs the *result* (the timed bench below necessarily re-runs it). *)
+let eval_result = lazy (Rustudy.Detector_eval.run ())
 
 let corpus_programs =
   lazy
@@ -72,7 +78,7 @@ let detector_tests =
     Test.make ~name:"detector_dlock" (Staged.stage (fun () ->
         List.concat_map Rustudy.detect_double_lock (Lazy.force corpus_programs)));
     Test.make ~name:"detector_eval" (Staged.stage (fun () ->
-        Rustudy.Detector_eval.run ()));
+        Rustudy.Detector_eval.run ~domains:1 ()));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -179,7 +185,7 @@ let recall_summary () =
          (fun p -> Detectors.Double_lock.run ~interprocedural:false p <> [])
          (Lazy.force corpus_programs))
   in
-  let eval_on = Rustudy.Detector_eval.run () in
+  let eval_on = Lazy.force eval_result in
   Printf.printf
     "ablation recall: temporary-lifetime extended=%d/%d statement-local=%d/%d\n"
     extended (List.length dl_sources) statement (List.length dl_sources);
@@ -197,7 +203,9 @@ let recall_summary () =
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_group name tests =
+(* Runs a bechamel group, prints the estimates, and returns them as
+   (name, ns/run) rows so --json can serialise every group. *)
+let run_group name tests : (string * float) list =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
@@ -210,27 +218,209 @@ let run_group name tests =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Printf.printf "== %s ==\n" name;
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (test_name, ols_result) ->
       match Analyze.OLS.estimates ols_result with
-      | Some [ est ] ->
-          let ns = est in
+      | Some [ ns ] ->
           if ns > 1_000_000.0 then
             Printf.printf "  %-36s %10.3f ms/run\n" test_name (ns /. 1e6)
           else if ns > 1_000.0 then
             Printf.printf "  %-36s %10.3f us/run\n" test_name (ns /. 1e3)
-          else Printf.printf "  %-36s %10.1f ns/run\n" test_name ns
-      | _ -> Printf.printf "  %-36s (no estimate)\n" test_name)
+          else Printf.printf "  %-36s %10.1f ns/run\n" test_name ns;
+          Some (test_name, ns)
+      | _ ->
+          Printf.printf "  %-36s (no estimate)\n" test_name;
+          None)
     (List.sort compare rows)
 
+(* ------------------------------------------------------------------ *)
+(* Corpus timings: cached vs uncached, sequential vs parallel          *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall time of one call, best of [reps]. *)
+let wall ?(reps = 3) f =
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    Unix.gettimeofday () -. t0
+  in
+  List.fold_left min (once ()) (List.init (reps - 1) (fun _ -> once ()))
+
+(* The pre-cache corpus pass: re-lower every entry from source and let
+   every detector recompute its own analyses (each legacy [run] builds
+   a private context, so nothing is shared across detectors). *)
+let uncached_corpus_pass () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let p = Rustudy.load ~file:(e.Corpus.id ^ ".rs") e.Corpus.source in
+      ignore (Detectors.Uaf.run p);
+      ignore (Detectors.Double_free.run p);
+      ignore (Detectors.Invalid_free.run p);
+      ignore (Detectors.Uninit.run p);
+      ignore (Detectors.Null_deref.run p);
+      ignore (Detectors.Buffer.run p);
+      ignore (Detectors.Double_lock.run p);
+      ignore (Detectors.Lock_order.run p);
+      ignore (Detectors.Condvar.run p);
+      ignore (Detectors.Channel.run p);
+      ignore (Detectors.Once.run p);
+      ignore (Detectors.Sync_misuse.run p);
+      ignore (Detectors.Atomicity.run p);
+      ignore (Detectors.Atomicity.run_with_sessions p);
+      ignore (Detectors.Refcell.run p))
+    Corpus.all_bugs
+
+(* The cached corpus pass: every entry goes through the program cache
+   and one shared analysis context per entry. *)
+let cached_corpus_pass () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let ctx = Rustudy.load_ctx ~file:(e.Corpus.id ^ ".rs") e.Corpus.source in
+      ignore (Rustudy.detect_ctx ctx))
+    Corpus.all_bugs
+
+type corpus_timings = {
+  uncached_s : float;
+  cached_cold_s : float;  (** empty program cache: lower + analyze once *)
+  cached_warm_s : float;  (** program cache hit: shared contexts reused *)
+  sequential_s : float;
+  parallel_s : float;
+  parallel_domains : int;
+  parallel_identical : bool;
+}
+
+let corpus_bench () : corpus_timings =
+  let uncached_s = wall uncached_corpus_pass in
+  let cached_cold_s =
+    wall (fun () ->
+        Rustudy.Cache.clear_programs ();
+        cached_corpus_pass ())
+  in
+  let cached_warm_s = wall cached_corpus_pass in
+  let domains = Rustudy.Domain_pool.default_domains () in
+  Rustudy.Cache.clear_programs ();
+  let seq = ref [] in
+  let sequential_s =
+    wall ~reps:1 (fun () -> seq := Rustudy.analyze_corpus ~domains:1 ())
+  in
+  Rustudy.Cache.clear_programs ();
+  let par = ref [] in
+  let parallel_s =
+    wall ~reps:1 (fun () -> par := Rustudy.analyze_corpus ~domains ())
+  in
+  let parallel_identical =
+    List.length !seq = List.length !par
+    && List.for_all2
+         (fun (a : Rustudy.Classify.analysis) (b : Rustudy.Classify.analysis) ->
+           a.Rustudy.Classify.entry.Corpus.id
+           = b.Rustudy.Classify.entry.Corpus.id
+           && List.map Rustudy.Finding.to_string a.Rustudy.Classify.findings
+              = List.map Rustudy.Finding.to_string b.Rustudy.Classify.findings)
+         !seq !par
+  in
+  {
+    uncached_s;
+    cached_cold_s;
+    cached_warm_s;
+    sequential_s;
+    parallel_s;
+    parallel_domains = domains;
+    parallel_identical;
+  }
+
+let print_corpus_timings (c : corpus_timings) =
+  Printf.printf "== corpus (analysis cache + domain pool) ==\n";
+  Printf.printf "  %-36s %10.3f ms\n" "uncached (per-detector analyses)"
+    (c.uncached_s *. 1e3);
+  Printf.printf "  %-36s %10.3f ms  (%.2fx vs uncached)\n"
+    "cached, cold program cache" (c.cached_cold_s *. 1e3)
+    (c.uncached_s /. c.cached_cold_s);
+  Printf.printf "  %-36s %10.3f ms  (%.2fx vs uncached)\n"
+    "cached, warm program cache" (c.cached_warm_s *. 1e3)
+    (c.uncached_s /. c.cached_warm_s);
+  Printf.printf "  %-36s %10.3f ms\n" "analyze_corpus sequential"
+    (c.sequential_s *. 1e3);
+  Printf.printf "  %-36s %10.3f ms  (%.2fx, %d domains, identical=%b)\n"
+    "analyze_corpus parallel" (c.parallel_s *. 1e3)
+    (c.sequential_s /. c.parallel_s)
+    c.parallel_domains c.parallel_identical
+
+(* ------------------------------------------------------------------ *)
+(* JSON output (hand-rolled: no JSON library in the dependency set)    *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path (rows : (string * float) list) (c : corpus_timings)
+    ~ratio_index ~ratio_copy =
+  let oc = open_out path in
+  let field k v = Printf.fprintf oc "    \"%s\": %s" (json_escape k) v in
+  output_string oc "{\n  \"ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then output_string oc ",\n";
+      field name (Printf.sprintf "%.1f" ns))
+    rows;
+  output_string oc "\n  },\n  \"corpus_seconds\": {\n";
+  let cf =
+    [
+      ("uncached", c.uncached_s);
+      ("cached_cold", c.cached_cold_s);
+      ("cached_warm", c.cached_warm_s);
+      ("sequential", c.sequential_s);
+      ("parallel", c.parallel_s);
+    ]
+  in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then output_string oc ",\n";
+      field name (Printf.sprintf "%.6f" v))
+    cf;
+  output_string oc ",\n";
+  field "parallel_domains" (string_of_int c.parallel_domains);
+  output_string oc ",\n";
+  field "parallel_identical" (string_of_bool c.parallel_identical);
+  output_string oc ",\n";
+  field "cached_speedup" (Printf.sprintf "%.3f" (c.uncached_s /. c.cached_warm_s));
+  output_string oc ",\n";
+  field "parallel_speedup"
+    (Printf.sprintf "%.3f" (c.sequential_s /. c.parallel_s));
+  output_string oc "\n  },\n  \"section_4_1\": {\n";
+  field "checked_over_unchecked_index" (Printf.sprintf "%.3f" ratio_index);
+  output_string oc ",\n";
+  field "per_element_over_memcpy_copy" (Printf.sprintf "%.3f" ratio_copy);
+  output_string oc "\n  }\n}\n";
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
 let () =
+  let json = Array.exists (( = ) "--json") Sys.argv in
   (* correctness context for the ablations, then the timings *)
   recall_summary ();
   print_newline ();
-  run_group "tables-and-figures" (table_tests @ pipeline_tests);
-  run_group "detectors" detector_tests;
-  run_group "safe-vs-unsafe (4.1)" micro_tests;
-  run_group "ablations" ablation_tests;
+  let rows =
+    run_group "tables-and-figures" (table_tests @ pipeline_tests)
+    @ run_group "detectors" detector_tests
+    @ run_group "safe-vs-unsafe (4.1)" micro_tests
+    @ run_group "ablations" ablation_tests
+  in
+  let corpus = corpus_bench () in
+  print_corpus_timings corpus;
   (* the paper's §4.1 claim: report the measured ratios directly *)
   (* best-of-5 to damp scheduler noise on a shared single core *)
   let time_it f =
@@ -247,7 +437,13 @@ let () =
   let unchecked = time_it unsafe_index_sum in
   let copy_loop = time_it (fun () -> checked_copy ()) in
   let copy_blit = time_it (fun () -> memcpy_copy ()) in
+  let ratio_index = checked /. unchecked in
+  let ratio_copy = copy_loop /. copy_blit in
   Printf.printf
     "\nsection 4.1 analogues: bounds-checked/unchecked index ratio = %.2fx; \
      per-element/memcpy copy ratio = %.2fx\n"
-    (checked /. unchecked) (copy_loop /. copy_blit)
+    ratio_index ratio_copy;
+  if json then begin
+    write_json "BENCH_results.json" rows corpus ~ratio_index ~ratio_copy;
+    print_endline "wrote BENCH_results.json"
+  end

@@ -36,6 +36,16 @@ let config_of_flag statement_tmp =
     { Ir.Lower.tmp_lifetime = Ir.Lower.Statement_local }
   else Ir.Lower.default_config
 
+let domains_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Size of the worker pool for corpus-wide analysis (default: the \
+           recommended domain count; 1 forces the sequential path). Results \
+           are identical and corpus-ordered for any value.")
+
 let check_cmd =
   let run file statement_tmp =
     let source = read_file file in
@@ -93,9 +103,10 @@ let detect_cmd =
   let eval_flag =
     Arg.(value & flag & info [ "eval" ] ~doc:"Run the §7 detector evaluation")
   in
-  let run eval =
+  let run eval domains =
     if eval then begin
-      print_endline (Rustudy.Detector_eval.render (Rustudy.Detector_eval.run ()));
+      print_endline
+        (Rustudy.Detector_eval.render (Rustudy.Detector_eval.run ?domains ()));
       0
     end
     else begin
@@ -105,7 +116,7 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Run the detector evaluation over the target corpus")
-    Term.(const run $ eval_flag)
+    Term.(const run $ eval_flag $ domains_opt)
 
 (* ---------------- lock-scopes -------------------------------------- *)
 
@@ -165,16 +176,20 @@ let study_cmd =
   let fixes = Arg.(value & flag & info [ "fixes" ] ~doc:"Print fix-strategy tables") in
   let unsafe_ = Arg.(value & flag & info [ "unsafe" ] ~doc:"Print §4 unsafe-usage statistics") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit figures as CSV") in
-  let run table figure fixes unsafe_ csv =
+  let run table figure fixes unsafe_ csv domains =
     let analyses_needed =
+      (* the full report analyzes internally; don't run the corpus twice *)
       match (table, figure, fixes, unsafe_) with
-      | None, None, false, false -> true (* full report *)
+      | None, None, false, false -> false
       | Some _, _, _, _ | _, _, true, _ -> true
       | _ -> false
     in
-    let analyses = if analyses_needed then Rustudy.analyze_corpus () else [] in
+    let analyses =
+      if analyses_needed then Rustudy.analyze_corpus ?domains () else []
+    in
     (match (table, figure, fixes, unsafe_) with
-    | None, None, false, false -> print_endline (Rustudy.study_report ())
+    | None, None, false, false ->
+        print_endline (Rustudy.study_report ?domains ())
     | _ ->
         Option.iter
           (fun n ->
@@ -202,7 +217,7 @@ let study_cmd =
   in
   Cmd.v
     (Cmd.info "study" ~doc:"Regenerate the paper's tables and figures from the corpus")
-    Term.(const run $ table $ figure $ fixes $ unsafe_ $ csv)
+    Term.(const run $ table $ figure $ fixes $ unsafe_ $ csv $ domains_opt)
 
 let main =
   let doc =

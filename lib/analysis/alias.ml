@@ -56,9 +56,14 @@ let proj_fields projs =
       | Mir.Deref | Mir.Downcast _ -> None)
     projs
 
+(* Invocation counter (instrumentation for the cache tests/benches). *)
+let runs_counter = Atomic.make 0
+let runs () = Atomic.get runs_counter
+
 (** Resolve every local of [body] to an access path (fixpoint over the
     body's statements; order-independent). *)
 let resolve (body : Mir.body) : resolution =
+  Atomic.incr runs_counter;
   let n = Array.length body.Mir.locals in
   let paths : t option array = Array.make n None in
   (* parameters and statics seed the resolution *)

@@ -32,3 +32,7 @@ val resolve : Mir.body -> resolution
 
 val path_of : resolution -> Mir.local -> t
 val path_of_place : resolution -> Mir.place -> t
+
+val runs : unit -> int
+(** Total [resolve] invocations in this process (instrumentation for
+    the analysis-cache tests and benches). *)

@@ -1,0 +1,235 @@
+(** Shared analysis context: a per-program memo table that computes
+    each foundational analysis at most once and shares it across every
+    detector — alias resolution, points-to and storage liveness per
+    body, the call graph per program — plus an extension table for
+    detector-private per-body structures (e.g. the double-lock
+    detector's lock-acquisition maps).
+
+    The context is safe to share across domains: lookups are guarded by
+    a mutex, and computation happens outside the lock (two domains
+    racing on a miss both compute; the first insertion wins, so every
+    caller sees one canonical result).
+
+    A process-wide program cache keyed by [(file, lowering config)]
+    backs [load]/[load_ctx], so the study pipeline lowers each corpus
+    entry exactly once no matter how many passes (classification,
+    detector evaluation, report rendering, benches) visit it. *)
+
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Extension keys: typed slots for detector-private per-body memos      *)
+(* ------------------------------------------------------------------ *)
+
+module Ext = struct
+  (* The classic universal-type embedding: each key owns a private
+     exception constructor used as an injection. *)
+  type 'a key = {
+    uid : int;
+    inject : 'a -> exn;
+    project : exn -> 'a option;
+  }
+
+  let next_uid = Atomic.make 0
+
+  let create (type a) () : a key =
+    let module M = struct
+      exception E of a
+    end in
+    {
+      uid = Atomic.fetch_and_add next_uid 1;
+      inject = (fun x -> M.E x);
+      project = (function M.E x -> Some x | _ -> None);
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* The context                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  alias_memos : int;
+  pointsto_memos : int;
+  storage_memos : int;
+  callgraph_memos : int;  (** 0 or 1 *)
+  ext_memos : int;
+  hits : int;  (** lookups answered from the memo tables *)
+}
+
+type t = {
+  prog : Mir.program;
+  lock : Mutex.t;
+  alias_tbl : (string, Alias.resolution) Hashtbl.t;
+  pointsto_tbl : (string, Pointsto.t) Hashtbl.t;
+  storage_tbl : (string, Dataflow.IntSetFlow.result) Hashtbl.t;
+  mutable cg : Callgraph.t option;
+  ext_tbl : (int * string, exn) Hashtbl.t;
+      (** (key uid, fn_id) -> injected value *)
+  mutable hit_count : int;
+  mutable ext_memo_count : int;
+}
+
+let create (prog : Mir.program) : t =
+  {
+    prog;
+    lock = Mutex.create ();
+    alias_tbl = Hashtbl.create 16;
+    pointsto_tbl = Hashtbl.create 16;
+    storage_tbl = Hashtbl.create 16;
+    cg = None;
+    ext_tbl = Hashtbl.create 16;
+    hit_count = 0;
+    ext_memo_count = 0;
+  }
+
+let program t = t.prog
+
+(* find-or-compute with the lock released during [compute]: the compute
+   functions may themselves re-enter the context (the call graph asks
+   for per-body aliases), and the mutex is not reentrant. On a race the
+   first insertion wins so all callers share one result. *)
+let memo (t : t) (tbl : (string, 'a) Hashtbl.t) (key : string)
+    (compute : unit -> 'a) : 'a =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+      t.hit_count <- t.hit_count + 1;
+      Mutex.unlock t.lock;
+      v
+  | None ->
+      Mutex.unlock t.lock;
+      let v = compute () in
+      Mutex.lock t.lock;
+      let v =
+        match Hashtbl.find_opt tbl key with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.replace tbl key v;
+            v
+      in
+      Mutex.unlock t.lock;
+      v
+
+let aliases (t : t) (body : Mir.body) : Alias.resolution =
+  memo t t.alias_tbl body.Mir.fn_id (fun () -> Alias.resolve body)
+
+let pointsto (t : t) (body : Mir.body) : Pointsto.t =
+  memo t t.pointsto_tbl body.Mir.fn_id (fun () -> Pointsto.analyze body)
+
+let storage (t : t) (body : Mir.body) : Dataflow.IntSetFlow.result =
+  memo t t.storage_tbl body.Mir.fn_id (fun () -> Storage.analyze body)
+
+let callgraph (t : t) : Callgraph.t =
+  Mutex.lock t.lock;
+  match t.cg with
+  | Some cg ->
+      t.hit_count <- t.hit_count + 1;
+      Mutex.unlock t.lock;
+      cg
+  | None ->
+      Mutex.unlock t.lock;
+      let cg = Callgraph.build ~aliases:(aliases t) t.prog in
+      Mutex.lock t.lock;
+      let cg =
+        match t.cg with
+        | Some winner -> winner
+        | None ->
+            t.cg <- Some cg;
+            cg
+      in
+      Mutex.unlock t.lock;
+      cg
+
+let ext (t : t) (key : 'a Ext.key) (body : Mir.body)
+    ~(compute : Mir.body -> 'a) : 'a =
+  let k = (key.Ext.uid, body.Mir.fn_id) in
+  Mutex.lock t.lock;
+  match Option.bind (Hashtbl.find_opt t.ext_tbl k) key.Ext.project with
+  | Some v ->
+      t.hit_count <- t.hit_count + 1;
+      Mutex.unlock t.lock;
+      v
+  | None ->
+      Mutex.unlock t.lock;
+      let v = compute body in
+      Mutex.lock t.lock;
+      let v =
+        match Option.bind (Hashtbl.find_opt t.ext_tbl k) key.Ext.project with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.replace t.ext_tbl k (key.Ext.inject v);
+            t.ext_memo_count <- t.ext_memo_count + 1;
+            v
+      in
+      Mutex.unlock t.lock;
+      v
+
+let stats (t : t) : stats =
+  Mutex.lock t.lock;
+  let s =
+    {
+      alias_memos = Hashtbl.length t.alias_tbl;
+      pointsto_memos = Hashtbl.length t.pointsto_tbl;
+      storage_memos = Hashtbl.length t.storage_tbl;
+      callgraph_memos = (if t.cg = None then 0 else 1);
+      ext_memos = t.ext_memo_count;
+      hits = t.hit_count;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Program cache: one lowering per (file, config)                      *)
+(* ------------------------------------------------------------------ *)
+
+type cached_program = {
+  cp_source : string;
+  cp_ctx : t;  (** the program and its shared analysis context *)
+}
+
+let prog_tbl : (string * Lower.config, cached_program) Hashtbl.t =
+  Hashtbl.create 64
+
+let prog_lock = Mutex.create ()
+let prog_hits = Atomic.make 0
+let prog_misses = Atomic.make 0
+
+let load_ctx ?(config = Lower.default_config) ~file source : t =
+  let key = (file, config) in
+  let cached =
+    Mutex.lock prog_lock;
+    let c = Hashtbl.find_opt prog_tbl key in
+    Mutex.unlock prog_lock;
+    c
+  in
+  match cached with
+  | Some { cp_source; cp_ctx } when String.equal cp_source source ->
+      Atomic.incr prog_hits;
+      cp_ctx
+  | _ ->
+      (* miss, or the same file name re-loaded with different source:
+         lower outside the lock, then (re)install *)
+      Atomic.incr prog_misses;
+      let ctx = create (Lower.program_of_source ~config ~file source) in
+      Mutex.lock prog_lock;
+      let ctx =
+        match Hashtbl.find_opt prog_tbl key with
+        | Some { cp_source; cp_ctx } when String.equal cp_source source ->
+            cp_ctx (* another domain installed it first *)
+        | _ ->
+            Hashtbl.replace prog_tbl key { cp_source = source; cp_ctx = ctx };
+            ctx
+      in
+      Mutex.unlock prog_lock;
+      ctx
+
+let load ?config ~file source : Mir.program =
+  program (load_ctx ?config ~file source)
+
+let clear_programs () =
+  Mutex.lock prog_lock;
+  Hashtbl.reset prog_tbl;
+  Mutex.unlock prog_lock
+
+let program_cache_counts () = (Atomic.get prog_hits, Atomic.get prog_misses)

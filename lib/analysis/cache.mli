@@ -1,0 +1,69 @@
+(** Shared analysis context (and process-wide program cache).
+
+    Every detector run over the same program recomputed alias
+    resolution, points-to, liveness and the call graph from scratch; a
+    [Cache.t] computes each of them at most once per body (once per
+    program for the call graph) and shares the results. Thread one
+    context through a batch of detectors ([Detectors.All.bugs_ctx]) to
+    get the sharing; the legacy [run : program -> findings] entry
+    points create a private context per call.
+
+    Contexts are domain-safe: lookups are mutex-guarded and computation
+    runs outside the lock (racing misses both compute; the first
+    insertion wins). *)
+
+open Ir
+
+type t
+
+val create : Mir.program -> t
+val program : t -> Mir.program
+
+val aliases : t -> Mir.body -> Alias.resolution
+val pointsto : t -> Mir.body -> Pointsto.t
+val storage : t -> Mir.body -> Dataflow.IntSetFlow.result
+val callgraph : t -> Callgraph.t
+
+(** Typed extension slots: detector-private per-body memos (e.g. lock
+    acquisition maps) keyed by a generative key. *)
+module Ext : sig
+  type 'a key
+
+  val create : unit -> 'a key
+  (** Generative: each call mints a distinct slot. Declare one per
+      memoised structure at module level. *)
+end
+
+val ext : t -> 'a Ext.key -> Mir.body -> compute:(Mir.body -> 'a) -> 'a
+(** [ext t key body ~compute] returns the memoised [compute body] for
+    this (key, body) pair. *)
+
+type stats = {
+  alias_memos : int;
+  pointsto_memos : int;
+  storage_memos : int;
+  callgraph_memos : int;  (** 0 or 1 *)
+  ext_memos : int;
+  hits : int;  (** lookups answered from the memo tables *)
+}
+
+val stats : t -> stats
+
+(* ------------------------------------------------------------------ *)
+(* Program cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+val load_ctx : ?config:Lower.config -> file:string -> string -> t
+(** Parse + lower [source] (as [Lower.program_of_source]) at most once
+    per [(file, config)] key process-wide, returning the shared
+    analysis context. If the same key is re-loaded with different
+    source text the entry is recomputed and replaced. *)
+
+val load : ?config:Lower.config -> file:string -> string -> Mir.program
+(** [program (load_ctx ...)]. *)
+
+val clear_programs : unit -> unit
+(** Drop every cached program (tests and cold-path benches). *)
+
+val program_cache_counts : unit -> int * int
+(** Cumulative (hits, misses) of the program cache. *)

@@ -44,12 +44,17 @@ let operand_local = function
   | Mir.Copy p | Mir.Move p when Mir.place_is_local p -> Some p.Mir.base
   | _ -> None
 
-let build (program : Mir.program) : t =
+(* Invocation counter (instrumentation for the cache tests/benches). *)
+let runs_counter = Atomic.make 0
+let runs () = Atomic.get runs_counter
+
+let build ?(aliases = Alias.resolve) (program : Mir.program) : t =
+  Atomic.incr runs_counter;
   let edges = ref [] in
   List.iter
     (fun (body : Mir.body) ->
       let closures = closure_values body in
-      let aliases = Alias.resolve body in
+      let aliases = aliases body in
       let capture_paths_of caps =
         Array.of_list (List.map
           (fun op ->

@@ -20,7 +20,14 @@ type t = {
   by_caller : (string, edge list) Hashtbl.t;
 }
 
-val build : Mir.program -> t
+val build : ?aliases:(Mir.body -> Alias.resolution) -> Mir.program -> t
+(** [?aliases] supplies per-body alias resolutions (the analysis cache
+    passes its memoised lookup); defaults to [Alias.resolve]. *)
+
+val runs : unit -> int
+(** Total [build] invocations in this process: instrumentation for the
+    analysis-cache tests and benches. *)
+
 val callees : t -> string -> edge list
 val spawn_edges : t -> edge list
 val reachable : t -> string -> string list

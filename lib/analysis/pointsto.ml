@@ -35,8 +35,15 @@ let pointee_of_place (pts : LocSet.t array) (p : Mir.place) : LocSet.t =
 
 let is_pointer_ty ty = Sema.Ty.is_raw_ptr ty || Sema.Ty.is_ref ty
 
+(* Invocation counter: lets the cache tests and benches verify how many
+   times the analysis actually ran. Atomic because the corpus driver
+   may analyze from several domains at once. *)
+let runs_counter = Atomic.make 0
+let runs () = Atomic.get runs_counter
+
 (** Compute points-to sets for [body] (iterated to fixpoint). *)
 let analyze (body : Mir.body) : t =
+  Atomic.incr runs_counter;
   let n = Array.length body.Mir.locals in
   let pts = empty_sets n in
   let heap_site bi si = (bi * 10000) + si in

@@ -21,3 +21,7 @@ type t
 
 val analyze : Mir.body -> t
 val of_local : t -> Mir.local -> LocSet.t
+
+val runs : unit -> int
+(** Total [analyze] invocations in this process (instrumentation for
+    the analysis-cache tests and benches). *)

@@ -27,7 +27,12 @@ let transfer_term (state : IntSet.t) (t : Mir.terminator) : IntSet.t =
       IntSet.remove c.Mir.dest.Mir.base state
   | _ -> state
 
+(* Invocation counter (instrumentation for the cache tests/benches). *)
+let runs_counter = Atomic.make 0
+let runs () = Atomic.get runs_counter
+
 let analyze (body : Mir.body) : Flow.result =
+  Atomic.incr runs_counter;
   Flow.run body ~init:IntSet.empty ~transfer_stmt ~transfer_term
 
 (** Iterate all statements/terminators with the invalid-set before each. *)

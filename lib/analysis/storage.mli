@@ -11,6 +11,10 @@ val transfer_term : IntSet.t -> Mir.terminator -> IntSet.t
 
 val analyze : Mir.body -> Dataflow.IntSetFlow.result
 
+val runs : unit -> int
+(** Total [analyze] invocations in this process (instrumentation for
+    the analysis-cache tests and benches). *)
+
 val iter :
   Mir.body ->
   Dataflow.IntSetFlow.result ->

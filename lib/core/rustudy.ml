@@ -26,6 +26,8 @@ module Env = Sema.Env
 module Typeck = Sema.Typeck
 module Mir = Ir.Mir
 module Lower = Ir.Lower
+module Cache = Analysis.Cache
+module Domain_pool = Support.Domain_pool
 module Finding = Detectors.Report
 module Detect = Detectors.All
 module Unsafe_scan = Detectors.Unsafe_scan
@@ -49,9 +51,19 @@ let parse ~file source : Ast.crate = Parser.parse_crate ~file source
 let load ?config ~file source : Mir.program =
   Ir.Lower.program_of_source ?config ~file source
 
+(** Like {!load}, but through the process-wide program cache: the same
+    [(file, config)] key is parsed and lowered at most once, and the
+    returned context shares every per-body analysis across detectors. *)
+let load_ctx ?config ~file source : Cache.t =
+  Cache.load_ctx ?config ~file source
+
 (** Run every bug detector (memory, blocking, non-blocking). *)
 let detect (program : Mir.program) : Finding.finding list =
   Detectors.All.bugs program
+
+(** [detect] against a shared analysis context. *)
+let detect_ctx (ctx : Cache.t) : Finding.finding list =
+  Detectors.All.bugs_ctx ctx
 
 (** Run only the paper's two headline detectors. *)
 let detect_use_after_free = Detectors.Uaf.run
@@ -69,12 +81,15 @@ let scan_unsafe (crate : Ast.crate) : Unsafe_scan.stats =
 let check ?config ~file source : Finding.finding list =
   detect (load ?config ~file source)
 
-(** Analyze the bundled corpus once. *)
-let analyze_corpus () : Classify.analysis list = Study.Classify.analyze_all ()
+(** Analyze the bundled corpus once. [domains] sizes the worker pool
+    ([1] forces the sequential path); results are in corpus order
+    either way. *)
+let analyze_corpus ?domains () : Classify.analysis list =
+  Study.Classify.analyze_all ?domains ()
 
 (** The full study report: every table and figure of the paper. *)
-let study_report () : string =
-  let analyses = analyze_corpus () in
+let study_report ?domains () : string =
+  let analyses = analyze_corpus ?domains () in
   String.concat "\n"
     [
       Study.Tables.table1 analyses;
@@ -85,5 +100,5 @@ let study_report () : string =
       Study.Tables.unsafe_stats ();
       Study.Figures.figure1 ();
       Study.Figures.figure2 ();
-      Study.Detector_eval.render (Study.Detector_eval.run ());
+      Study.Detector_eval.render (Study.Detector_eval.run ?domains ());
     ]

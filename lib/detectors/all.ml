@@ -1,26 +1,42 @@
 (** Convenience entry points running groups of detectors, matching the
     paper's taxonomy: memory-safety detectors (§5/§7.1), blocking-bug
     detectors (§6.1/§7.2), non-blocking-bug detectors (§6.2), and the
-    compiler-model checks. *)
+    compiler-model checks.
 
-let memory program =
-  Uaf.run program @ Double_free.run program @ Invalid_free.run program
-  @ Uninit.run program @ Null_deref.run program @ Buffer.run program
+    The [_ctx] variants share one {!Analysis.Cache.t}, so the alias,
+    points-to, liveness and call-graph analyses each run at most once
+    per body no matter how many detectors consume them. The legacy
+    [program]-taking entry points build a single cache internally and
+    delegate, so they get the same sharing within one call. *)
 
-let blocking program =
-  Double_lock.run program @ Lock_order.run program @ Condvar.run program
-  @ Channel.run program @ Once.run program
+let memory_ctx ctx =
+  Uaf.run_ctx ctx @ Double_free.run_ctx ctx @ Invalid_free.run_ctx ctx
+  @ Uninit.run_ctx ctx @ Null_deref.run_ctx ctx @ Buffer.run_ctx ctx
 
-let non_blocking program =
-  Sync_misuse.run program @ Atomicity.run program
-  @ Atomicity.run_with_sessions program @ Refcell.run program
+let blocking_ctx ctx =
+  Double_lock.run_ctx ctx @ Lock_order.run_ctx ctx @ Condvar.run_ctx ctx
+  @ Channel.run_ctx ctx @ Once.run_ctx ctx
 
-let compiler_checks program = Borrowck.run program
+let non_blocking_ctx ctx =
+  Sync_misuse.run_ctx ctx @ Atomicity.run_ctx ctx
+  @ Atomicity.run_with_sessions_ctx ctx @ Refcell.run_ctx ctx
 
-let all program =
-  memory program @ blocking program @ non_blocking program
-  @ compiler_checks program
+let compiler_checks_ctx ctx = Borrowck.run_ctx ctx
+
+let all_ctx ctx =
+  memory_ctx ctx @ blocking_ctx ctx @ non_blocking_ctx ctx
+  @ compiler_checks_ctx ctx
 
 (** Everything except the compiler-model checks: the runtime-bug
     detectors proper. *)
-let bugs program = memory program @ blocking program @ non_blocking program
+let bugs_ctx ctx = memory_ctx ctx @ blocking_ctx ctx @ non_blocking_ctx ctx
+
+let memory program = memory_ctx (Analysis.Cache.create program)
+let blocking program = blocking_ctx (Analysis.Cache.create program)
+let non_blocking program = non_blocking_ctx (Analysis.Cache.create program)
+
+let compiler_checks program =
+  compiler_checks_ctx (Analysis.Cache.create program)
+
+let all program = all_ctx (Analysis.Cache.create program)
+let bugs program = bugs_ctx (Analysis.Cache.create program)

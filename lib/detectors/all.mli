@@ -1,6 +1,19 @@
-(** Entry points running detector groups, matching the paper's taxonomy. *)
+(** Entry points running detector groups, matching the paper's taxonomy.
+
+    The [_ctx] variants take a shared {!Analysis.Cache.t} so the
+    per-body analyses (alias, points-to, liveness) and the call graph
+    are computed at most once across every detector in the group. The
+    [program]-taking entry points are compatibility wrappers that build
+    one cache internally per call. *)
 
 open Ir
+
+val memory_ctx : Analysis.Cache.t -> Report.finding list
+val blocking_ctx : Analysis.Cache.t -> Report.finding list
+val non_blocking_ctx : Analysis.Cache.t -> Report.finding list
+val compiler_checks_ctx : Analysis.Cache.t -> Report.finding list
+val bugs_ctx : Analysis.Cache.t -> Report.finding list
+val all_ctx : Analysis.Cache.t -> Report.finding list
 
 val memory : Mir.program -> Report.finding list
 (** §5: use-after-free, double-free, invalid-free, uninitialized read,

@@ -9,8 +9,8 @@ open Ir
 
 type site = { span : Support.Span.t }
 
-let run_body (body : Mir.body) : Report.finding list =
-  let aliases = Analysis.Alias.resolve body in
+let check_body (aliases : Analysis.Alias.resolution) (body : Mir.body) :
+    Report.finding list =
   let loads = Hashtbl.create 4 in
   let stores = Hashtbl.create 4 in
   let rmws = Hashtbl.create 4 in
@@ -57,8 +57,16 @@ let run_body (body : Mir.body) : Report.finding list =
         | _ -> acc)
       loads []
 
+let run_body (body : Mir.body) : Report.finding list =
+  check_body (Analysis.Alias.resolve body) body
+
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  List.concat_map
+    (fun b -> check_body (Analysis.Cache.aliases ctx b) b)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
 let run (program : Mir.program) : Report.finding list =
-  List.concat_map run_body (Mir.body_list program)
+  run_ctx (Analysis.Cache.create program)
 
 (* ------------------------------------------------------------------ *)
 (* Check-then-act across two critical sections of the same lock        *)
@@ -70,10 +78,10 @@ let run (program : Mir.program) : Report.finding list =
     Reported when the same lock is acquired twice in a body and the
     first guard is already dead at the second acquisition (overlapping
     guards are the double-lock detector's case, not ours). *)
-let two_session (body : Mir.body) : Report.finding list =
-  let aliases = Analysis.Alias.resolve body in
-  let locks = Double_lock.collect_locks aliases body in
-  let held = Double_lock.held_analysis body locks in
+let two_session_with
+    ((locks, held) :
+      Double_lock.body_locks * Analysis.Dataflow.IntSetFlow.result)
+    (body : Mir.body) : Report.finding list =
   let module IntSet = Analysis.Dataflow.IntSet in
   let findings = ref [] in
   let seen_roots = Hashtbl.create 4 in
@@ -119,5 +127,15 @@ let two_session (body : Mir.body) : Report.finding list =
     body.Mir.blocks;
   !findings
 
+let two_session (body : Mir.body) : Report.finding list =
+  let aliases = Analysis.Alias.resolve body in
+  let locks = Double_lock.collect_locks aliases body in
+  two_session_with (locks, Double_lock.held_analysis body locks) body
+
+let run_with_sessions_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  List.concat_map
+    (fun b -> two_session_with (Double_lock.locks_of ctx b) b)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
 let run_with_sessions (program : Mir.program) : Report.finding list =
-  List.concat_map two_session (Mir.body_list program)
+  run_with_sessions_ctx (Analysis.Cache.create program)

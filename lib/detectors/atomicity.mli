@@ -9,7 +9,9 @@
 open Ir
 
 val run_body : Mir.body -> Report.finding list
+val run_ctx : Analysis.Cache.t -> Report.finding list
 val run : Mir.program -> Report.finding list
 
 val two_session : Mir.body -> Report.finding list
+val run_with_sessions_ctx : Analysis.Cache.t -> Report.finding list
 val run_with_sessions : Mir.program -> Report.finding list

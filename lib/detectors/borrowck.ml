@@ -97,8 +97,8 @@ let use_after_move (body : Mir.body) : Report.finding list =
    holder's storage still live). Approximate NLL by requiring the first
    borrow's holder to be a user variable (temporaries die at statement
    end anyway). *)
-let borrow_conflicts (body : Mir.body) : Report.finding list =
-  let invalid = Analysis.Storage.analyze body in
+let borrow_conflicts_with (invalid : Analysis.Dataflow.IntSetFlow.result)
+    (body : Mir.body) : Report.finding list =
   let borrows = Hashtbl.create 8 in
   (* holder local -> (mutability, borrowed base) *)
   Array.iter
@@ -138,8 +138,17 @@ let borrow_conflicts (body : Mir.body) : Report.finding list =
       | _ -> ());
   !findings
 
+let borrow_conflicts (body : Mir.body) : Report.finding list =
+  borrow_conflicts_with (Analysis.Storage.analyze body) body
+
 let run_body (body : Mir.body) : Report.finding list =
   use_after_move body @ borrow_conflicts body
 
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  List.concat_map
+    (fun b ->
+      use_after_move b @ borrow_conflicts_with (Analysis.Cache.storage ctx b) b)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
 let run (program : Mir.program) : Report.finding list =
-  List.concat_map run_body (Mir.body_list program)
+  run_ctx (Analysis.Cache.create program)

@@ -6,11 +6,12 @@ open Ir
 
 type site = { root : string; fn : string; span : Support.Span.t }
 
-let channel_sites (program : Mir.program) : site list * site list =
+let channel_sites_with (aliases_of : Mir.body -> Analysis.Alias.resolution)
+    (program : Mir.program) : site list * site list =
   let recvs = ref [] and sends = ref [] in
   List.iter
     (fun (body : Mir.body) ->
-      let aliases = Analysis.Alias.resolve body in
+      let aliases = aliases_of body in
       Array.iter
         (fun (blk : Mir.block) ->
           match blk.Mir.term with
@@ -37,8 +38,10 @@ let channel_sites (program : Mir.program) : site list * site list =
     (Mir.body_list program);
   (!recvs, !sends)
 
-let run (program : Mir.program) : Report.finding list =
-  let recvs, sends = channel_sites program in
+let channel_sites (program : Mir.program) : site list * site list =
+  channel_sites_with Analysis.Alias.resolve program
+
+let check (recvs, sends) : Report.finding list =
   List.filter_map
     (fun r ->
       (* any send anywhere in the program may feed this receiver; only
@@ -50,3 +53,11 @@ let run (program : Mir.program) : Report.finding list =
              "blocking recv on channel `%s` but no thread ever sends on any channel"
              r.root))
     recvs
+
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  check
+    (channel_sites_with (Analysis.Cache.aliases ctx)
+       (Analysis.Cache.program ctx))
+
+let run (program : Mir.program) : Report.finding list =
+  check (channel_sites program)

@@ -3,4 +3,5 @@
 
 open Ir
 
+val run_ctx : Analysis.Cache.t -> Report.finding list
 val run : Mir.program -> Report.finding list

@@ -7,11 +7,12 @@ open Ir
 
 type site = { root : string; fn : string; span : Support.Span.t }
 
-let condvar_sites (program : Mir.program) : site list * site list =
+let condvar_sites_with (aliases_of : Mir.body -> Analysis.Alias.resolution)
+    (program : Mir.program) : site list * site list =
   let waits = ref [] and notifies = ref [] in
   List.iter
     (fun (body : Mir.body) ->
-      let aliases = Analysis.Alias.resolve body in
+      let aliases = aliases_of body in
       (* thread-crossing identity: substitute capture paths when this
          body is a spawned closure *)
       Array.iter
@@ -40,8 +41,10 @@ let condvar_sites (program : Mir.program) : site list * site list =
     (Mir.body_list program);
   (!waits, !notifies)
 
-let run (program : Mir.program) : Report.finding list =
-  let waits, notifies = condvar_sites program in
+let condvar_sites (program : Mir.program) : site list * site list =
+  condvar_sites_with Analysis.Alias.resolve program
+
+let check (waits, notifies) : Report.finding list =
   (* Identity across threads is approximated by the field path suffix:
      the same condvar reached from different frames shares the trailing
      field name (e.g. ".cvar"). No-field roots compare by presence of
@@ -70,3 +73,11 @@ let run (program : Mir.program) : Report.finding list =
              "Condvar::wait on `%s` but no thread ever calls notify_one/notify_all on this condition variable"
              w.root))
     waits
+
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  check
+    (condvar_sites_with (Analysis.Cache.aliases ctx)
+       (Analysis.Cache.program ctx))
+
+let run (program : Mir.program) : Report.finding list =
+  check (condvar_sites program)

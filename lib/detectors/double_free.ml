@@ -13,8 +13,8 @@ open Ir
 module Loc = Analysis.Pointsto.Loc
 module LocSet = Analysis.Pointsto.LocSet
 
-let run_body (body : Mir.body) : Report.finding list =
-  let pts = Analysis.Pointsto.analyze body in
+let check_body (pts : Analysis.Pointsto.t) (body : Mir.body) :
+    Report.finding list =
   let findings = ref [] in
   let forgotten = Hashtbl.create 4 in
   (* locals passed to mem::forget or overwritten by ptr::write *)
@@ -144,5 +144,13 @@ let run_body (body : Mir.body) : Report.finding list =
     from_raw_sites;
   !findings
 
+let run_body (body : Mir.body) : Report.finding list =
+  check_body (Analysis.Pointsto.analyze body) body
+
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  List.concat_map
+    (fun b -> check_body (Analysis.Cache.pointsto ctx b) b)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
 let run (program : Mir.program) : Report.finding list =
-  List.concat_map run_body (Mir.body_list program)
+  run_ctx (Analysis.Cache.create program)

@@ -195,6 +195,23 @@ let held_analysis (body : Mir.body) (locks : body_locks) : Flow.result =
       | _ -> state)
 
 (* ------------------------------------------------------------------ *)
+(* Per-body memo (shared with atomicity, lock-order, lock-scope)       *)
+(* ------------------------------------------------------------------ *)
+
+(* The lock-acquisition map and held-guard dataflow are rebuilt by the
+   interprocedural summaries, the detection pass, the lock-order
+   pairing and the two-session atomicity check; one extension slot in
+   the analysis context makes them all share a single computation. *)
+let locks_key : (body_locks * Flow.result) Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let locks_of (ctx : Analysis.Cache.t) (body : Mir.body) :
+    body_locks * Flow.result =
+  Analysis.Cache.ext ctx locks_key body ~compute:(fun b ->
+      let locks = collect_locks (Analysis.Cache.aliases ctx b) b in
+      (locks, held_analysis b locks))
+
+(* ------------------------------------------------------------------ *)
 (* Interprocedural summaries                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -243,14 +260,13 @@ let exportable (e : summary_entry) =
   | Analysis.Alias.Param _ | Analysis.Alias.Static _ -> true
   | _ -> false
 
-let compute_summaries (program : Mir.program) : summaries =
+let compute_summaries (ctx : Analysis.Cache.t) : summaries =
   let tbl : summaries = Hashtbl.create 16 in
-  let bodies = Mir.body_list program in
+  let bodies = Mir.body_list (Analysis.Cache.program ctx) in
   let cached =
     List.map
       (fun (b : Mir.body) ->
-        let aliases = Analysis.Alias.resolve b in
-        (b, aliases, collect_locks aliases b))
+        (b, Analysis.Cache.aliases ctx b, fst (locks_of ctx b)))
       bodies
   in
   List.iter (fun ((b : Mir.body), _, _) -> Hashtbl.replace tbl b.Mir.fn_id [])
@@ -303,11 +319,10 @@ let compute_summaries (program : Mir.program) : summaries =
 let root_known (r : Analysis.Alias.t) =
   r.Analysis.Alias.root <> Analysis.Alias.Unknown_base
 
-let check_body (summaries : summaries) (body : Mir.body) :
-    Report.finding list =
-  let aliases = Analysis.Alias.resolve body in
-  let locks = collect_locks aliases body in
-  let held = held_analysis body locks in
+let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
+    (body : Mir.body) : Report.finding list =
+  let aliases = Analysis.Cache.aliases ctx body in
+  let locks, held = locks_of ctx body in
   let findings = ref [] in
   let held_accs state =
     IntSet.fold
@@ -390,23 +405,26 @@ let check_body (summaries : summaries) (body : Mir.body) :
     body.Mir.blocks;
   !findings
 
-(** Run the double-lock detector over a whole program.
+(** Run the double-lock detector with a shared analysis context.
     [interprocedural:false] ablates the cross-function summaries
     (intraprocedural double locks are still found). *)
-let run ?(interprocedural = true) (program : Mir.program) :
+let run_ctx ?(interprocedural = true) (ctx : Analysis.Cache.t) :
     Report.finding list =
   let summaries =
-    if interprocedural then compute_summaries program else Hashtbl.create 1
+    if interprocedural then compute_summaries ctx else Hashtbl.create 1
   in
-  List.concat_map (check_body summaries) (Mir.body_list program)
+  List.concat_map (check_body ctx summaries)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
+(** Run the double-lock detector over a whole program. *)
+let run ?interprocedural (program : Mir.program) : Report.finding list =
+  run_ctx ?interprocedural (Analysis.Cache.create program)
 
 (** Exposed for the lock-order detector: per-body acquisition-order
     pairs (held root, newly acquired root) with spans. *)
-let order_pairs (body : Mir.body) :
+let order_pairs_with ((locks, held) : body_locks * Flow.result)
+    (body : Mir.body) :
     (Analysis.Alias.t * Analysis.Alias.t * Support.Span.t) list =
-  let aliases = Analysis.Alias.resolve body in
-  let locks = collect_locks aliases body in
-  let held = held_analysis body locks in
   let pairs = ref [] in
   Array.iteri
     (fun bi (blk : Mir.block) ->
@@ -426,3 +444,11 @@ let order_pairs (body : Mir.body) :
       | None -> ignore blk)
     body.Mir.blocks;
   !pairs
+
+let order_pairs_ctx (ctx : Analysis.Cache.t) (body : Mir.body) =
+  order_pairs_with (locks_of ctx body) body
+
+let order_pairs (body : Mir.body) =
+  let aliases = Analysis.Alias.resolve body in
+  let locks = collect_locks aliases body in
+  order_pairs_with (locks, held_analysis body locks) body

@@ -39,11 +39,29 @@ val held_analysis :
   Mir.body -> body_locks -> Analysis.Dataflow.IntSetFlow.result
 (** Forward dataflow: the set of acquisition ids held at each block. *)
 
+val locks_of :
+  Analysis.Cache.t ->
+  Mir.body ->
+  body_locks * Analysis.Dataflow.IntSetFlow.result
+(** Memoised [collect_locks] + [held_analysis] for one body, shared
+    through the analysis context with the lock-order and atomicity
+    detectors. *)
+
+val run_ctx : ?interprocedural:bool -> Analysis.Cache.t -> Report.finding list
+(** Run the detector with a shared analysis context.
+    [interprocedural:false] (default [true]) ablates the cross-function
+    summaries. *)
+
 val run : ?interprocedural:bool -> Mir.program -> Report.finding list
-(** Run the detector. [interprocedural:false] (default [true]) ablates
-    the cross-function summaries. *)
+(** Run the detector (private context). *)
 
 val order_pairs :
   Mir.body -> (Analysis.Alias.t * Analysis.Alias.t * Support.Span.t) list
 (** (held lock, newly acquired lock) pairs, consumed by the
     conflicting-lock-order detector. *)
+
+val order_pairs_ctx :
+  Analysis.Cache.t ->
+  Mir.body ->
+  (Analysis.Alias.t * Analysis.Alias.t * Support.Span.t) list
+(** [order_pairs] through the shared context's memoised lock maps. *)

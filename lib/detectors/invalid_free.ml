@@ -10,8 +10,8 @@ open Ir
 module Loc = Analysis.Pointsto.Loc
 module LocSet = Analysis.Pointsto.LocSet
 
-let run_body (body : Mir.body) : Report.finding list =
-  let pts = Analysis.Pointsto.analyze body in
+let check_body (pts : Analysis.Pointsto.t) (body : Mir.body) :
+    Report.finding list =
   (* collect heap sites initialized by a write through any pointer *)
   let initialized = Hashtbl.create 8 in
   let findings = ref [] in
@@ -66,7 +66,13 @@ let run_body (body : Mir.body) : Report.finding list =
     body.Mir.blocks;
   !findings
 
-let run (program : Mir.program) : Report.finding list =
+let run_body (body : Mir.body) : Report.finding list =
+  check_body (Analysis.Pointsto.analyze body) body
+
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
   List.concat_map
-    (fun b -> run_body b @ Uninit.uninit_drop b)
-    (Mir.body_list program)
+    (fun b -> check_body (Analysis.Cache.pointsto ctx b) b @ Uninit.uninit_drop b)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
+let run (program : Mir.program) : Report.finding list =
+  run_ctx (Analysis.Cache.create program)

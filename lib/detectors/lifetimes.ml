@@ -30,8 +30,8 @@ let local_name (body : Mir.body) l =
   | Some n -> n
   | None -> Printf.sprintf "_%d" l
 
-let report_body (body : Mir.body) : var_report list =
-  let pts = Analysis.Pointsto.analyze body in
+let report_body_with (pts : Analysis.Pointsto.t) (body : Mir.body) :
+    var_report list =
   let n = Array.length body.Mir.locals in
   let born = Array.make n Support.Span.dummy in
   let dropped = Array.make n None in
@@ -94,6 +94,14 @@ let report_body (body : Mir.body) : var_report list =
           :: !reports)
     body.Mir.locals;
   List.rev !reports
+
+let report_body (body : Mir.body) : var_report list =
+  report_body_with (Analysis.Pointsto.analyze body) body
+
+let report_ctx (ctx : Analysis.Cache.t) : var_report list =
+  List.concat_map
+    (fun b -> report_body_with (Analysis.Cache.pointsto ctx b) b)
+    (Mir.body_list (Analysis.Cache.program ctx))
 
 (** Lifetime reports for every user variable of every function. *)
 let report (program : Mir.program) : var_report list =

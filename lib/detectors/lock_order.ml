@@ -16,12 +16,13 @@ type edge = {
   site : Support.Span.t;
 }
 
-let substituted_pairs (program : Mir.program) : edge list =
-  let cg = Analysis.Callgraph.build program in
+let substituted_pairs_ctx (ctx : Analysis.Cache.t) : edge list =
+  let program = Analysis.Cache.program ctx in
+  let cg = Analysis.Cache.callgraph ctx in
   let edges = ref [] in
   List.iter
     (fun (body : Mir.body) ->
-      let pairs = Double_lock.order_pairs body in
+      let pairs = Double_lock.order_pairs_ctx ctx body in
       if pairs <> [] then begin
         (* In how many frames does this body run? Its own, plus any
            spawn site with captures substituted. *)
@@ -64,6 +65,9 @@ let substituted_pairs (program : Mir.program) : edge list =
     (Mir.body_list program);
   !edges
 
+let substituted_pairs (program : Mir.program) : edge list =
+  substituted_pairs_ctx (Analysis.Cache.create program)
+
 (** Find a cycle in the lock-order graph; returns the edges involved. *)
 let find_cycle (edges : edge list) : edge list =
   let adj = Hashtbl.create 16 in
@@ -99,8 +103,8 @@ let find_cycle (edges : edge list) : edge list =
   List.iter (fun e -> if !cycle = [] then dfs e.from_root []) edges;
   !cycle
 
-let run (program : Mir.program) : Report.finding list =
-  let edges = substituted_pairs program in
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  let edges = substituted_pairs_ctx ctx in
   match find_cycle edges with
   | [] -> []
   | cycle ->
@@ -111,3 +115,6 @@ let run (program : Mir.program) : Report.finding list =
             "lock `%s` is acquired while holding `%s`; another thread acquires them in the opposite order (deadlock cycle)"
             e.to_root e.from_root)
         cycle
+
+let run (program : Mir.program) : Report.finding list =
+  run_ctx (Analysis.Cache.create program)

@@ -129,3 +129,7 @@ let run_body (body : Mir.body) : Report.finding list =
 
 let run (program : Mir.program) : Report.finding list =
   List.concat_map run_body (Mir.body_list program)
+
+(* null-deref uses no cached analyses; ctx entry point for uniformity *)
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  run (Analysis.Cache.program ctx)

@@ -4,8 +4,8 @@
 
 open Ir
 
-let call_once_roots (body : Mir.body) : string list =
-  let aliases = Analysis.Alias.resolve body in
+let call_once_roots_with (aliases : Analysis.Alias.resolution)
+    (body : Mir.body) : string list =
   Array.to_list body.Mir.blocks
   |> List.filter_map (fun (blk : Mir.block) ->
          match blk.Mir.term with
@@ -19,8 +19,9 @@ let call_once_roots (body : Mir.body) : string list =
              | _ -> None)
          | _ -> None)
 
-let run (program : Mir.program) : Report.finding list =
-  let cg = Analysis.Callgraph.build program in
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  let program = Analysis.Cache.program ctx in
+  let cg = Analysis.Cache.callgraph ctx in
   let findings = ref [] in
   List.iter
     (fun (e : Analysis.Callgraph.edge) ->
@@ -31,7 +32,7 @@ let run (program : Mir.program) : Report.finding list =
           List.exists
             (fun f ->
               match Mir.find_body program f with
-              | Some b -> call_once_roots b <> []
+              | Some b -> call_once_roots_with (Analysis.Cache.aliases ctx b) b <> []
               | None -> false)
             reach
         in
@@ -44,3 +45,6 @@ let run (program : Mir.program) : Report.finding list =
       end)
     cg.Analysis.Callgraph.edges;
   !findings
+
+let run (program : Mir.program) : Report.finding list =
+  run_ctx (Analysis.Cache.create program)

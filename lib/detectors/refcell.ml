@@ -78,8 +78,8 @@ let collect (aliases : Analysis.Alias.resolution) (body : Mir.body) :
   done;
   t
 
-let run_body (body : Mir.body) : Report.finding list =
-  let aliases = Analysis.Alias.resolve body in
+let check_body (aliases : Analysis.Alias.resolution) (body : Mir.body) :
+    Report.finding list =
   let cells = collect aliases body in
   if Hashtbl.length cells.borrows = 0 then []
   else begin
@@ -148,5 +148,13 @@ let run_body (body : Mir.body) : Report.finding list =
     !findings
   end
 
+let run_body (body : Mir.body) : Report.finding list =
+  check_body (Analysis.Alias.resolve body) body
+
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  List.concat_map
+    (fun b -> check_body (Analysis.Cache.aliases ctx b) b)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
 let run (program : Mir.program) : Report.finding list =
-  List.concat_map run_body (Mir.body_list program)
+  run_ctx (Analysis.Cache.create program)

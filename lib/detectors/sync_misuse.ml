@@ -15,7 +15,8 @@ let is_guard_base (body : Mir.body) (p : Mir.place) =
   Sema.Ty.is_lock_guard (Mir.local_ty body p.Mir.base)
   || Sema.Ty.is_refcell_guard (Mir.local_ty body p.Mir.base)
 
-let run (program : Mir.program) : Report.finding list =
+let run_with (aliases_of : Mir.body -> Analysis.Alias.resolution)
+    (program : Mir.program) : Report.finding list =
   let env = program.Mir.prog_env in
   let sync_types = List.map fst env.Sema.Env.sync_impls in
   let findings = ref [] in
@@ -34,7 +35,7 @@ let run (program : Mir.program) : Report.finding list =
               | _ -> false
             in
             if self_is_shared_ref then begin
-              let aliases = Analysis.Alias.resolve body in
+              let aliases = aliases_of body in
               let rooted_at_self (p : Mir.place) =
                 (Analysis.Alias.path_of_place aliases p).Analysis.Alias.root
                 = Analysis.Alias.Param 0
@@ -88,3 +89,9 @@ let run (program : Mir.program) : Report.finding list =
       | _ -> ())
     (Mir.body_list program);
   !findings
+
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
+  run_with (Analysis.Cache.aliases ctx) (Analysis.Cache.program ctx)
+
+let run (program : Mir.program) : Report.finding list =
+  run_with Analysis.Alias.resolve program

@@ -39,9 +39,9 @@ let operand_place = function
    FFI callees dereference their pointer arguments; turning it off
    removes the evaluation's three false positives but also misses the
    Fig. 7 CVE (the ablation bench measures both sides). *)
-let direct_derefs ?(assume_extern_derefs = true) (body : Mir.body) :
+let direct_derefs ?(assume_extern_derefs = true)
+    (aliases : Analysis.Alias.resolution) (body : Mir.body) :
     IntSet.t * (string * int * int) list =
-  let aliases = Analysis.Alias.resolve body in
   let direct = ref IntSet.empty in
   let oblig = ref [] in
   let note_place (p : Mir.place) =
@@ -134,13 +134,14 @@ let direct_derefs ?(assume_extern_derefs = true) (body : Mir.body) :
     body.Mir.blocks;
   (!direct, !oblig)
 
-let compute_summaries ?(assume_extern_derefs = true) (program : Mir.program)
+let compute_summaries ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
     : summaries =
   let tbl : summaries = Hashtbl.create 16 in
   let per_body =
     List.map
-      (fun b -> (b, direct_derefs ~assume_extern_derefs b))
-      (Mir.body_list program)
+      (fun b ->
+        (b, direct_derefs ~assume_extern_derefs (Analysis.Cache.aliases ctx b) b))
+      (Mir.body_list (Analysis.Cache.program ctx))
   in
   List.iter
     (fun ((b : Mir.body), (direct, _)) -> Hashtbl.replace tbl b.Mir.fn_id direct)
@@ -187,11 +188,10 @@ let callee_derefs_arg ?(assume_extern_derefs = true) (summaries : summaries)
       | None -> false)
   | Mir.Builtin _ -> false
 
-let check_body ?(assume_extern_derefs = true) (program : Mir.program)
+let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
     (summaries : summaries) (body : Mir.body) : Report.finding list =
-  ignore program;
-  let pts = Analysis.Pointsto.analyze body in
-  let invalid = Analysis.Storage.analyze body in
+  let pts = Analysis.Cache.pointsto ctx body in
+  let invalid = Analysis.Cache.storage ctx body in
   let findings = ref [] in
   let dead_pointees (state : IntSet.t) (l : Mir.local) : Mir.local list =
     LocSet.fold
@@ -271,10 +271,14 @@ let check_body ?(assume_extern_derefs = true) (program : Mir.program)
       | `Term _ -> ());
   !findings
 
-(** Run the use-after-free detector over a whole program. *)
-let run ?(assume_extern_derefs = true) (program : Mir.program) :
+(** Run the use-after-free detector with a shared analysis context. *)
+let run_ctx ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t) :
     Report.finding list =
-  let summaries = compute_summaries ~assume_extern_derefs program in
+  let summaries = compute_summaries ~assume_extern_derefs ctx in
   List.concat_map
-    (check_body ~assume_extern_derefs program summaries)
-    (Mir.body_list program)
+    (check_body ~assume_extern_derefs ctx summaries)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
+(** Run the use-after-free detector over a whole program. *)
+let run ?assume_extern_derefs (program : Mir.program) : Report.finding list =
+  run_ctx ?assume_extern_derefs (Analysis.Cache.create program)

@@ -14,7 +14,7 @@ type summaries
     (transitively) dereferences. *)
 
 val compute_summaries :
-  ?assume_extern_derefs:bool -> Mir.program -> summaries
+  ?assume_extern_derefs:bool -> Analysis.Cache.t -> summaries
 (** Fixpoint deref-parameter summaries for a whole program.
     [assume_extern_derefs] (default [true]) is the paper's
     approximation that FFI callees dereference their raw-pointer
@@ -23,11 +23,15 @@ val compute_summaries :
 
 val check_body :
   ?assume_extern_derefs:bool ->
-  Mir.program ->
+  Analysis.Cache.t ->
   summaries ->
   Mir.body ->
   Report.finding list
 (** Run the detector on one body with precomputed summaries. *)
 
+val run_ctx :
+  ?assume_extern_derefs:bool -> Analysis.Cache.t -> Report.finding list
+(** Run the detector through a shared analysis context. *)
+
 val run : ?assume_extern_derefs:bool -> Mir.program -> Report.finding list
-(** Run the detector over every body of a program. *)
+(** Run the detector over every body of a program (private context). *)

@@ -11,8 +11,8 @@ open Ir
 module Loc = Analysis.Pointsto.Loc
 module LocSet = Analysis.Pointsto.LocSet
 
-let run_body (body : Mir.body) : Report.finding list =
-  let pts = Analysis.Pointsto.analyze body in
+let check_body (pts : Analysis.Pointsto.t) (body : Mir.body) :
+    Report.finding list =
   let findings = ref [] in
   let initialized = Hashtbl.create 8 in
   let uninit_locals = Hashtbl.create 4 in
@@ -134,8 +134,8 @@ let run_body (body : Mir.body) : Report.finding list =
 (** The paper's dominant uninitialized-read shape: unsafe code sizes a
     Vec with [set_len] but never writes the elements, and safe code
     later reads them by index. *)
-let set_len_reads (body : Mir.body) : Report.finding list =
-  let aliases = Analysis.Alias.resolve body in
+let set_len_reads_with (aliases : Analysis.Alias.resolution)
+    (body : Mir.body) : Report.finding list =
   let root_str p = Analysis.Alias.to_string (Analysis.Alias.path_of_place aliases p) in
   let set_len_roots = Hashtbl.create 4 in
   let written_roots = Hashtbl.create 4 in
@@ -277,7 +277,18 @@ let uninit_drop (body : Mir.body) : Report.finding list =
     body.Mir.blocks;
   !findings
 
-let run (program : Mir.program) : Report.finding list =
+let set_len_reads (body : Mir.body) : Report.finding list =
+  set_len_reads_with (Analysis.Alias.resolve body) body
+
+let run_body (body : Mir.body) : Report.finding list =
+  check_body (Analysis.Pointsto.analyze body) body
+
+let run_ctx (ctx : Analysis.Cache.t) : Report.finding list =
   List.concat_map
-    (fun b -> run_body b @ set_len_reads b)
-    (Mir.body_list program)
+    (fun b ->
+      check_body (Analysis.Cache.pointsto ctx b) b
+      @ set_len_reads_with (Analysis.Cache.aliases ctx b) b)
+    (Mir.body_list (Analysis.Cache.program ctx))
+
+let run (program : Mir.program) : Report.finding list =
+  run_ctx (Analysis.Cache.create program)

@@ -14,4 +14,5 @@ val uninit_drop : Mir.body -> Report.finding list
 (** Drops of never-initialized [mem::uninitialized] values — an
     invalid-free shape, re-exported through {!Invalid_free.run}. *)
 
+val run_ctx : Analysis.Cache.t -> Report.finding list
 val run : Mir.program -> Report.finding list

@@ -146,11 +146,12 @@ let detect_sharing (program : Mir.program) : Corpus.sharing =
 (* ---------------- entry analysis ----------------------------------- *)
 
 let analyze_entry (entry : Corpus.entry) : analysis =
-  let program =
-    Ir.Lower.program_of_source ~file:(entry.Corpus.id ^ ".rs")
+  let ctx =
+    Analysis.Cache.load_ctx ~file:(entry.Corpus.id ^ ".rs")
       entry.Corpus.source
   in
-  let findings = Detectors.All.bugs program in
+  let program = Analysis.Cache.program ctx in
+  let findings = Detectors.All.bugs_ctx ctx in
   let effect_unsafe, effect_interior =
     effect_location program entry findings
   in
@@ -202,5 +203,8 @@ let propagation_of (a : analysis) : propagation option =
       | true, false -> Some Unsafe_safe)
   | _ -> None
 
-(** Analyze the whole corpus once (memoised by the caller as needed). *)
-let analyze_all () : analysis list = List.map analyze_entry Corpus.all_bugs
+(** Analyze the whole corpus once (memoised by the caller as needed).
+    [domains] sizes the worker pool; [1] forces the sequential path.
+    Results come back in corpus order either way. *)
+let analyze_all ?domains () : analysis list =
+  Support.Domain_pool.map ?domains ~f:analyze_entry Corpus.all_bugs

@@ -11,21 +11,30 @@ type result = {
   missed : string list;
 }
 
-let run () : result =
+(* Per-target detector verdicts: the parallelisable part. One shared
+   analysis context per target, so both detectors reuse the same alias
+   and points-to results. *)
+let verdict (t : Corpus.Detector_targets.target) : bool * bool =
+  let ctx =
+    Analysis.Cache.load_ctx
+      ~file:(t.Corpus.Detector_targets.t_id ^ ".rs")
+      t.Corpus.Detector_targets.t_source
+  in
+  (Detectors.Uaf.run_ctx ctx <> [], Detectors.Double_lock.run_ctx ctx <> [])
+
+let run ?domains () : result =
+  let verdicts =
+    Support.Domain_pool.map ?domains ~f:verdict Corpus.Detector_targets.all
+  in
   let uaf_tp = ref 0
   and uaf_fp = ref 0
   and dl_tp = ref 0
   and dl_fp = ref 0
   and missed = ref [] in
-  List.iter
-    (fun (t : Corpus.Detector_targets.target) ->
-      let program =
-        Ir.Lower.program_of_source
-          ~file:(t.Corpus.Detector_targets.t_id ^ ".rs")
-          t.Corpus.Detector_targets.t_source
-      in
-      let uaf = Detectors.Uaf.run program <> [] in
-      let dl = Detectors.Double_lock.run program <> [] in
+  (* fold sequentially in corpus order so counts and [missed] are
+     deterministic regardless of pool size *)
+  List.iter2
+    (fun (t : Corpus.Detector_targets.target) (uaf, dl) ->
       match t.Corpus.Detector_targets.t_expect with
       | `True_bug Detectors.Report.Use_after_free ->
           if uaf then incr uaf_tp
@@ -36,7 +45,7 @@ let run () : result =
       | `True_bug _ -> ()
       | `False_positive -> if uaf then incr uaf_fp
       | `Clean -> if dl then incr dl_fp)
-    Corpus.Detector_targets.all;
+    Corpus.Detector_targets.all verdicts;
   {
     uaf_bugs = !uaf_tp;
     uaf_false_positives = !uaf_fp;

@@ -10,5 +10,9 @@ type result = {
   missed : string list;
 }
 
-val run : unit -> result
+val run : ?domains:int -> unit -> result
+(** [domains] sizes the worker pool (default
+    {!Support.Domain_pool.default_domains}; [1] forces the sequential
+    path). The result is deterministic regardless of pool size. *)
+
 val render : result -> string

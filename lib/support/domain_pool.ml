@@ -1,0 +1,53 @@
+(** Fixed-size domain pool for fanning pure per-item work across cores
+    (OCaml 5 [Domain.spawn]; no external dependency). Results are
+    collected positionally, so the output order always matches the
+    input order regardless of which domain finished first. *)
+
+let default_domains () =
+  (* recommended_domain_count counts the running domain; never spawn
+     more workers than items or cores *)
+  max 1 (Domain.recommended_domain_count ())
+
+(** [map ?domains ~f items] applies [f] to every element of [items],
+    using up to [domains] domains (default:
+    [Domain.recommended_domain_count ()]). [f] must be safe to run
+    concurrently with itself from multiple domains. Falls back to plain
+    sequential [List.map] when [domains <= 1] or the input has fewer
+    than two elements. The result list is in input order; the first
+    exception raised by [f] (in input order) is re-raised. *)
+let map ?domains ~(f : 'a -> 'b) (items : 'a list) : 'b list =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let workers =
+    let d = match domains with Some d -> d | None -> default_domains () in
+    min d n
+  in
+  if workers <= 1 || n <= 1 then List.map f items
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f arr.(i) with
+             | v -> Some (Ok v)
+             | exception e -> Some (Error e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false (* every index was claimed *))
+  end
+
+(** Sequential reference implementation, for comparisons and tests. *)
+let sequential_map ~f items = List.map f items

@@ -1,0 +1,18 @@
+(** Fixed-size domain pool: parallel [map] over a list with
+    deterministic, input-ordered results and a sequential fallback. *)
+
+val default_domains : unit -> int
+(** The pool size used when [?domains] is omitted
+    ([Domain.recommended_domain_count ()], at least 1). *)
+
+val map : ?domains:int -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map ?domains ~f items] is [List.map f items] computed by up to
+    [domains] domains. [f] must be domain-safe. Results come back in
+    input order; if [f] raises, the first failing item's exception (in
+    input order) is re-raised after all domains join. [domains <= 1]
+    (or fewer than two items) runs sequentially in the calling
+    domain. *)
+
+val sequential_map : f:('a -> 'b) -> 'a list -> 'b list
+(** Plain [List.map], exposed so callers can time the two paths side by
+    side. *)

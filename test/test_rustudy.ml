@@ -11,6 +11,7 @@ let () =
       ("detectors", T_detectors.suite);
       ("corpus", T_corpus.suite);
       ("study", T_study.suite);
+      ("cache", T_cache.suite);
       ("suggestions", T_suggestions.suite);
       ("properties", T_props.suite);
     ]
