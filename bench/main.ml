@@ -37,6 +37,25 @@ let double_lock_sources =
 
 let representative_entry = lazy (List.hd Corpus.Mem_bugs.all)
 
+(* Every corpus entry corrupted by every deterministic mutator: the
+   fault-injection workload (same seed as the test suite). *)
+let fault_seed = 0x5EED
+
+let mutated_corpus =
+  lazy
+    (List.concat_map
+       (fun (e : Corpus.entry) ->
+         List.map
+           (fun (mname, src) -> (e.Corpus.id ^ "-" ^ mname, src))
+           (Rustudy.Fault.mutations ~seed:fault_seed e.Corpus.source))
+       Corpus.all_bugs)
+
+let clean_corpus =
+  lazy
+    (List.map
+       (fun (e : Corpus.entry) -> (e.Corpus.id, e.Corpus.source))
+       Corpus.all_bugs)
+
 (* ------------------------------------------------------------------ *)
 (* Table and figure regeneration benches                               *)
 (* ------------------------------------------------------------------ *)
@@ -157,6 +176,31 @@ let ablation_tests =
         List.concat_map
           (Detectors.Uaf.run ~assume_extern_derefs:false)
           (Lazy.force corpus_programs)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-corpus benches: recovery overhead on malformed input       *)
+(* ------------------------------------------------------------------ *)
+
+(* Frontend-only timings: the recovering parser on pristine sources
+   (its overhead vs the strict parser) and on the fault-injected
+   corpus (the cost of panic-mode recovery itself). *)
+let degraded_tests =
+  [
+    Test.make ~name:"parse_strict_clean" (Staged.stage (fun () ->
+        List.iter
+          (fun (id, src) -> ignore (Rustudy.parse ~file:(id ^ ".rs") src))
+          (Lazy.force clean_corpus)));
+    Test.make ~name:"parse_recovering_clean" (Staged.stage (fun () ->
+        List.iter
+          (fun (id, src) ->
+            ignore (Rustudy.parse_recovering ~file:(id ^ ".rs") src))
+          (Lazy.force clean_corpus)));
+    Test.make ~name:"parse_recovering_mutated" (Staged.stage (fun () ->
+        List.iter
+          (fun (id, src) ->
+            ignore (Rustudy.parse_recovering ~file:(id ^ ".rs") src))
+          (Lazy.force mutated_corpus)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -287,7 +331,25 @@ type corpus_timings = {
   parallel_s : float;
   parallel_domains : int;
   parallel_identical : bool;
+  recovery_clean_s : float;
+      (** fault-tolerant pipeline over the pristine corpus, cold cache *)
+  recovery_mutated_s : float;
+      (** fault-tolerant pipeline over every fault-injected mutant *)
+  mutant_count : int;
+  mutant_clean : int;  (** mutants that still parse and analyze cleanly *)
+  mutant_degraded : int;  (** mutants recovered with diagnostics *)
+  mutant_failed : int;  (** mutants captured as a per-entry failure *)
 }
+
+(* Full fault-tolerant pipeline (recover, lower, detect) over a list
+   of named sources; the program cache is cleared first so every run
+   pays the same cold-path cost. *)
+let recovering_pass sources () =
+  Rustudy.Cache.clear_programs ();
+  List.iter
+    (fun (id, src) ->
+      ignore (Rustudy.check_result ~file:(id ^ ".rs") src))
+    sources
 
 let corpus_bench () : corpus_timings =
   let uncached_s = wall uncached_corpus_pass in
@@ -318,6 +380,18 @@ let corpus_bench () : corpus_timings =
               = List.map Rustudy.Finding.to_string b.Rustudy.Classify.findings)
          !seq !par
   in
+  let clean = Lazy.force clean_corpus in
+  let mutants = Lazy.force mutated_corpus in
+  let recovery_clean_s = wall (recovering_pass clean) in
+  let recovery_mutated_s = wall (recovering_pass mutants) in
+  let mutant_clean = ref 0 and mutant_degraded = ref 0 and mutant_failed = ref 0 in
+  List.iter
+    (fun (id, src) ->
+      match Rustudy.check_result ~file:(id ^ ".rs") src with
+      | Ok (_, []) -> incr mutant_clean
+      | Ok (_, _ :: _) -> incr mutant_degraded
+      | Error _ -> incr mutant_failed)
+    mutants;
   {
     uncached_s;
     cached_cold_s;
@@ -326,6 +400,12 @@ let corpus_bench () : corpus_timings =
     parallel_s;
     parallel_domains = domains;
     parallel_identical;
+    recovery_clean_s;
+    recovery_mutated_s;
+    mutant_count = List.length mutants;
+    mutant_clean = !mutant_clean;
+    mutant_degraded = !mutant_degraded;
+    mutant_failed = !mutant_failed;
   }
 
 let print_corpus_timings (c : corpus_timings) =
@@ -343,7 +423,16 @@ let print_corpus_timings (c : corpus_timings) =
   Printf.printf "  %-36s %10.3f ms  (%.2fx, %d domains, identical=%b)\n"
     "analyze_corpus parallel" (c.parallel_s *. 1e3)
     (c.sequential_s /. c.parallel_s)
-    c.parallel_domains c.parallel_identical
+    c.parallel_domains c.parallel_identical;
+  Printf.printf "== degraded corpus (fault injection) ==\n";
+  Printf.printf "  %-36s %10.3f ms\n" "recovering pipeline, clean corpus"
+    (c.recovery_clean_s *. 1e3);
+  Printf.printf "  %-36s %10.3f ms  (%.2fx vs clean)\n"
+    (Printf.sprintf "recovering pipeline, %d mutants" c.mutant_count)
+    (c.recovery_mutated_s *. 1e3)
+    (c.recovery_mutated_s /. c.recovery_clean_s);
+  Printf.printf "  %-36s clean=%d degraded=%d failed=%d (raised=0 by construction)\n"
+    "mutant outcomes" c.mutant_clean c.mutant_degraded c.mutant_failed
 
 (* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled: no JSON library in the dependency set)    *)
@@ -397,6 +486,24 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
   output_string oc ",\n";
   field "parallel_speedup"
     (Printf.sprintf "%.3f" (c.sequential_s /. c.parallel_s));
+  output_string oc "\n  },\n  \"degraded_corpus\": {\n";
+  let df =
+    [
+      ("recovery_clean_s", Printf.sprintf "%.6f" c.recovery_clean_s);
+      ("recovery_mutated_s", Printf.sprintf "%.6f" c.recovery_mutated_s);
+      ( "mutated_over_clean",
+        Printf.sprintf "%.3f" (c.recovery_mutated_s /. c.recovery_clean_s) );
+      ("mutant_count", string_of_int c.mutant_count);
+      ("mutant_clean", string_of_int c.mutant_clean);
+      ("mutant_degraded", string_of_int c.mutant_degraded);
+      ("mutant_failed", string_of_int c.mutant_failed);
+    ]
+  in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then output_string oc ",\n";
+      field name v)
+    df;
   output_string oc "\n  },\n  \"section_4_1\": {\n";
   field "checked_over_unchecked_index" (Printf.sprintf "%.3f" ratio_index);
   output_string oc ",\n";
@@ -418,6 +525,7 @@ let () =
     @ run_group "detectors" detector_tests
     @ run_group "safe-vs-unsafe (4.1)" micro_tests
     @ run_group "ablations" ablation_tests
+    @ run_group "degraded-corpus" degraded_tests
   in
   let corpus = corpus_bench () in
   print_corpus_timings corpus;

@@ -4,7 +4,11 @@
     - [rustudy mir FILE]       dump the MIR of a RustLite file
     - [rustudy unsafe FILE]    scan a file for unsafe usages
     - [rustudy detect --eval]  run the §7 detector evaluation
-    - [rustudy study ...]      regenerate the paper's tables and figures *)
+    - [rustudy study ...]      regenerate the paper's tables and figures
+
+    Exit codes form a ladder: 0 = clean, 1 = findings reported,
+    2 = some entries degraded (recovered-from errors or exhausted
+    analysis fuel), 3 = fatal error. *)
 
 open Cmdliner
 
@@ -17,6 +21,23 @@ let read_file path =
 
 let exit_of_findings findings =
   if findings = [] then 0 else 1
+
+let exit_clean = 0
+let exit_degraded = 2
+let exit_fatal = 3
+
+let fuel_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Iteration budget for the fixpoint analyses. An analysis that \
+           exhausts it stops early and is reported as incomplete instead of \
+           running forever; values <= 0 restore the default \
+           (100000).")
+
+let apply_fuel fuel = Option.iter Rustudy.Fuel.set fuel
 
 (* ---------------- check ------------------------------------------- *)
 
@@ -47,20 +68,53 @@ let domains_opt =
            are identical and corpus-ordered for any value.")
 
 let check_cmd =
-  let run file statement_tmp =
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "keep-going" ]
+          ~doc:
+            "Recover from malformed input instead of stopping at the first \
+             syntax error: findings cover the healthy parts of the file and \
+             recovery diagnostics go to stderr (exit code 2).")
+  in
+  let run file statement_tmp keep_going fuel =
+    apply_fuel fuel;
     let source = read_file file in
-    match Rustudy.check ~config:(config_of_flag statement_tmp) ~file source with
-    | [] ->
-        print_endline "no issues found";
-        0
-    | findings ->
-        List.iter
-          (fun f -> print_endline (Rustudy.Finding.to_string f))
-          findings;
-        exit_of_findings findings
+    let config = config_of_flag statement_tmp in
+    if keep_going then
+      match Rustudy.check_result ~config ~file source with
+      | Error msg ->
+          prerr_endline ("fatal: " ^ msg);
+          exit_fatal
+      | Ok (findings, diags) ->
+          List.iter
+            (fun f -> print_endline (Rustudy.Finding.to_string f))
+            findings;
+          List.iter
+            (fun d -> prerr_endline (Rustudy.Diag.to_string d))
+            diags;
+          if findings = [] && diags = [] then begin
+            print_endline "no issues found";
+            exit_clean
+          end
+          else if diags <> [] then exit_degraded
+          else exit_of_findings findings
+    else
+      match Rustudy.check ~config ~file source with
+      | [] ->
+          print_endline "no issues found";
+          exit_clean
+      | findings ->
+          List.iter
+            (fun f -> print_endline (Rustudy.Finding.to_string f))
+            findings;
+          exit_of_findings findings
+      | exception Rustudy.Parse_error d ->
+          prerr_endline (Rustudy.Diag.to_string d);
+          exit_fatal
   in
   Cmd.v (Cmd.info "check" ~doc:"Run all bug detectors on a RustLite file")
-    Term.(const run $ file_arg $ statement_tmp)
+    Term.(const run $ file_arg $ statement_tmp $ keep_going $ fuel_opt)
 
 (* ---------------- mir --------------------------------------------- *)
 
@@ -103,20 +157,24 @@ let detect_cmd =
   let eval_flag =
     Arg.(value & flag & info [ "eval" ] ~doc:"Run the §7 detector evaluation")
   in
-  let run eval domains =
+  let run eval domains fuel =
+    apply_fuel fuel;
     if eval then begin
-      print_endline
-        (Rustudy.Detector_eval.render (Rustudy.Detector_eval.run ?domains ()));
-      0
+      (* per-target isolation is always on for corpus commands: a
+         target that fails to analyze lands in [degraded] *)
+      let r = Rustudy.Detector_eval.run ?domains () in
+      print_endline (Rustudy.Detector_eval.render r);
+      if r.Rustudy.Detector_eval.degraded <> [] then exit_degraded
+      else exit_clean
     end
     else begin
       prerr_endline "detect: pass --eval, or use `rustudy check FILE`";
-      2
+      exit_fatal
     end
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Run the detector evaluation over the target corpus")
-    Term.(const run $ eval_flag $ domains_opt)
+    Term.(const run $ eval_flag $ domains_opt $ fuel_opt)
 
 (* ---------------- lock-scopes -------------------------------------- *)
 
@@ -176,20 +234,54 @@ let study_cmd =
   let fixes = Arg.(value & flag & info [ "fixes" ] ~doc:"Print fix-strategy tables") in
   let unsafe_ = Arg.(value & flag & info [ "unsafe" ] ~doc:"Print §4 unsafe-usage statistics") in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit figures as CSV") in
-  let run table figure fixes unsafe_ csv domains =
-    let analyses_needed =
-      (* the full report analyzes internally; don't run the corpus twice *)
-      match (table, figure, fixes, unsafe_) with
-      | None, None, false, false -> false
-      | Some _, _, _, _ | _, _, true, _ -> true
-      | _ -> false
+  let no_keep_going =
+    Arg.(
+      value & flag
+      & info [ "no-keep-going" ]
+          ~doc:
+            "Abort on the first corpus entry that fails to analyze instead \
+             of the default: isolating it, reporting it as degraded on \
+             stderr and exiting with code 2.")
+  in
+  let run table figure fixes unsafe_ csv domains no_keep_going fuel =
+    apply_fuel fuel;
+    let keep_going = not no_keep_going in
+    let results =
+      (* the fault-tolerant sweep: one outcome per entry, in corpus
+         order; only run when needed (the full report runs it itself) *)
+      match (keep_going, table, figure, fixes, unsafe_) with
+      | false, _, _, _, _ | _, None, None, false, false -> []
+      | _ -> Rustudy.analyze_corpus_results ?domains ()
     in
     let analyses =
-      if analyses_needed then Rustudy.analyze_corpus ?domains () else []
+      if keep_going then
+        List.filter_map
+          (fun (_, o) -> Rustudy.Classify.outcome_analysis o)
+          results
+      else
+        match (table, figure, fixes, unsafe_) with
+        | None, None, false, false -> []
+        | _ -> Rustudy.analyze_corpus ?domains ()
     in
-    (match (table, figure, fixes, unsafe_) with
+    let degraded_exit results =
+      let summary = Rustudy.Classify.degraded_summary results in
+      if summary = "" then exit_clean
+      else begin
+        prerr_string summary;
+        exit_degraded
+      end
+    in
+    match (table, figure, fixes, unsafe_) with
     | None, None, false, false ->
-        print_endline (Rustudy.study_report ?domains ())
+        if keep_going then begin
+          let report, results = Rustudy.study_report_results ?domains () in
+          print_endline report;
+          degraded_exit results
+        end
+        else begin
+          print_endline (Rustudy.study_report ?domains ());
+          exit_clean
+        end
     | _ ->
         Option.iter
           (fun n ->
@@ -212,12 +304,14 @@ let study_cmd =
               | _ -> "unknown figure"))
           figure;
         if fixes then print_endline (Rustudy.Tables.fix_strategies analyses);
-        if unsafe_ then print_endline (Rustudy.Tables.unsafe_stats ()));
-    0
+        if unsafe_ then print_endline (Rustudy.Tables.unsafe_stats ());
+        if keep_going then degraded_exit results else exit_clean
   in
   Cmd.v
     (Cmd.info "study" ~doc:"Regenerate the paper's tables and figures from the corpus")
-    Term.(const run $ table $ figure $ fixes $ unsafe_ $ csv $ domains_opt)
+    Term.(
+      const run $ table $ figure $ fixes $ unsafe_ $ csv $ domains_opt
+      $ no_keep_going $ fuel_opt)
 
 let main =
   let doc =

@@ -67,9 +67,12 @@ type t = {
       (** (key uid, fn_id) -> injected value *)
   mutable hit_count : int;
   mutable ext_memo_count : int;
+  mutable rev_diags : Support.Diag.t list;
+      (** frontend recovery diagnostics plus analysis-incompleteness
+          warnings; guarded by [lock] *)
 }
 
-let create (prog : Mir.program) : t =
+let create ?(diags = []) (prog : Mir.program) : t =
   {
     prog;
     lock = Mutex.create ();
@@ -80,9 +83,29 @@ let create (prog : Mir.program) : t =
     ext_tbl = Hashtbl.create 16;
     hit_count = 0;
     ext_memo_count = 0;
+    rev_diags = List.rev diags;
   }
 
 let program t = t.prog
+
+let emit_diag (t : t) d =
+  Mutex.lock t.lock;
+  t.rev_diags <- d :: t.rev_diags;
+  Mutex.unlock t.lock
+
+let diags (t : t) : Support.Diag.t list =
+  Mutex.lock t.lock;
+  let ds = List.rev t.rev_diags in
+  Mutex.unlock t.lock;
+  (* racing misses may have emitted the same incompleteness warning
+     twice; sorting makes duplicates adjacent, then drop them *)
+  let rec dedup = function
+    | a :: (b :: _ as tl) when a = b -> dedup tl
+    | a :: tl -> a :: dedup tl
+    | [] -> []
+  in
+  dedup (Support.Diag.sort ds)
+
 
 (* find-or-compute with the lock released during [compute]: the compute
    functions may themselves re-enter the context (the call graph asks
@@ -113,11 +136,26 @@ let memo (t : t) (tbl : (string, 'a) Hashtbl.t) (key : string)
 let aliases (t : t) (body : Mir.body) : Alias.resolution =
   memo t t.alias_tbl body.Mir.fn_id (fun () -> Alias.resolve body)
 
+let incomplete_warning t fn_id what =
+  emit_diag t
+    (Support.Diag.warning ~code:Support.Diag.Analysis_incomplete
+       "%s analysis of %s stopped on exhausted fuel (budget %d); results \
+        are an under-approximation"
+       what fn_id (Support.Fuel.get ()))
+
 let pointsto (t : t) (body : Mir.body) : Pointsto.t =
-  memo t t.pointsto_tbl body.Mir.fn_id (fun () -> Pointsto.analyze body)
+  memo t t.pointsto_tbl body.Mir.fn_id (fun () ->
+      let r = Pointsto.analyze body in
+      if not (Pointsto.complete r) then
+        incomplete_warning t body.Mir.fn_id "points-to";
+      r)
 
 let storage (t : t) (body : Mir.body) : Dataflow.IntSetFlow.result =
-  memo t t.storage_tbl body.Mir.fn_id (fun () -> Storage.analyze body)
+  memo t t.storage_tbl body.Mir.fn_id (fun () ->
+      let r = Storage.analyze body in
+      if not r.Dataflow.IntSetFlow.converged then
+        incomplete_warning t body.Mir.fn_id "storage-liveness";
+      r)
 
 let callgraph (t : t) : Callgraph.t =
   Mutex.lock t.lock;
@@ -195,34 +233,62 @@ let prog_lock = Mutex.create ()
 let prog_hits = Atomic.make 0
 let prog_misses = Atomic.make 0
 
+let lookup_cached key source =
+  Mutex.lock prog_lock;
+  let c = Hashtbl.find_opt prog_tbl key in
+  Mutex.unlock prog_lock;
+  match c with
+  | Some { cp_source; cp_ctx } when String.equal cp_source source ->
+      Some cp_ctx
+  | _ -> None
+
+let install key source ctx =
+  Mutex.lock prog_lock;
+  let ctx =
+    match Hashtbl.find_opt prog_tbl key with
+    | Some { cp_source; cp_ctx } when String.equal cp_source source ->
+        cp_ctx (* another domain installed it first *)
+    | _ ->
+        Hashtbl.replace prog_tbl key { cp_source = source; cp_ctx = ctx };
+        ctx
+  in
+  Mutex.unlock prog_lock;
+  ctx
+
 let load_ctx ?(config = Lower.default_config) ~file source : t =
   let key = (file, config) in
-  let cached =
-    Mutex.lock prog_lock;
-    let c = Hashtbl.find_opt prog_tbl key in
-    Mutex.unlock prog_lock;
-    c
-  in
-  match cached with
-  | Some { cp_source; cp_ctx } when String.equal cp_source source ->
+  match lookup_cached key source with
+  | Some ctx ->
       Atomic.incr prog_hits;
-      cp_ctx
-  | _ ->
+      (* a recovering load may have cached a malformed entry; the
+         raising contract is that malformed input raises *)
+      (match Support.Diag.errors_of (diags ctx) with
+      | d :: _ -> raise (Support.Diag.Parse_error d)
+      | [] -> ());
+      ctx
+  | None ->
       (* miss, or the same file name re-loaded with different source:
          lower outside the lock, then (re)install *)
       Atomic.incr prog_misses;
       let ctx = create (Lower.program_of_source ~config ~file source) in
-      Mutex.lock prog_lock;
-      let ctx =
-        match Hashtbl.find_opt prog_tbl key with
-        | Some { cp_source; cp_ctx } when String.equal cp_source source ->
-            cp_ctx (* another domain installed it first *)
-        | _ ->
-            Hashtbl.replace prog_tbl key { cp_source = source; cp_ctx = ctx };
-            ctx
-      in
-      Mutex.unlock prog_lock;
-      ctx
+      install key source ctx
+
+let load_ctx_recovering ?(config = Lower.default_config) ~file source :
+    (t, exn) result =
+  let key = (file, config) in
+  match lookup_cached key source with
+  | Some ctx ->
+      Atomic.incr prog_hits;
+      Ok ctx
+  | None -> (
+      Atomic.incr prog_misses;
+      match Lower.program_of_source_recovering ~config ~file source with
+      | prog, diags ->
+          Ok (install key source (create ~diags prog))
+      | exception e ->
+          (* a failure past the recovering frontend (or Stack_overflow
+             etc.): surface it as a value, cache nothing *)
+          Error e)
 
 let load ?config ~file source : Mir.program =
   program (load_ctx ?config ~file source)

@@ -16,8 +16,17 @@ open Ir
 
 type t
 
-val create : Mir.program -> t
+val create : ?diags:Support.Diag.t list -> Mir.program -> t
+(** [?diags] seeds the context's diagnostics with the frontend
+    recovery diagnostics of the program it wraps. *)
+
 val program : t -> Mir.program
+
+val diags : t -> Support.Diag.t list
+(** All diagnostics attached to this context: seed (frontend recovery)
+    diagnostics plus [Analysis_incomplete] warnings emitted when a
+    memoised analysis ran out of fuel. Deterministically sorted and
+    deduplicated. An empty list means the entry is fully healthy. *)
 
 val aliases : t -> Mir.body -> Alias.resolution
 val pointsto : t -> Mir.body -> Pointsto.t
@@ -57,7 +66,17 @@ val load_ctx : ?config:Lower.config -> file:string -> string -> t
 (** Parse + lower [source] (as [Lower.program_of_source]) at most once
     per [(file, config)] key process-wide, returning the shared
     analysis context. If the same key is re-loaded with different
-    source text the entry is recomputed and replaced. *)
+    source text the entry is recomputed and replaced.
+    @raise Support.Diag.Parse_error on malformed input — including when
+    a prior {!load_ctx_recovering} cached the entry with error
+    diagnostics. *)
+
+val load_ctx_recovering :
+  ?config:Lower.config -> file:string -> string -> (t, exn) result
+(** Fault-tolerant [load_ctx]: the frontend runs in recovery mode
+    (malformed regions become diagnostics on the context, see {!diags})
+    and any exception escaping the rest of the pipeline is captured as
+    [Error]. Never raises. Shares the program cache with [load_ctx]. *)
 
 val load : ?config:Lower.config -> file:string -> string -> Mir.program
 (** [program (load_ctx ...)]. *)

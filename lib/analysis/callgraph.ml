@@ -121,11 +121,14 @@ let callees (t : t) caller =
 (** All edges with [Spawned] kind: the program's thread entry points. *)
 let spawn_edges (t : t) = List.filter (fun e -> e.kind = Spawned) t.edges
 
-(** Functions reachable from [root] through direct edges. *)
+(** Functions reachable from [root] through direct edges. The traversal
+    is fuel-bounded: on an exhausted [Support.Fuel] budget it stops
+    expanding and returns the (under-approximate) set seen so far. *)
 let reachable (t : t) root =
   let seen = Hashtbl.create 16 in
+  let fuel = Support.Fuel.counter () in
   let rec go f =
-    if not (Hashtbl.mem seen f) then begin
+    if (not (Hashtbl.mem seen f)) && Support.Fuel.burn fuel then begin
       Hashtbl.replace seen f ();
       List.iter
         (fun e -> if e.kind = Direct then go e.target)

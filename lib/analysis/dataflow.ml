@@ -19,6 +19,10 @@ module Make (D : DOMAIN) = struct
   type result = {
     entry : D.t array;  (** state at block entry *)
     exit_ : D.t array;  (** state at block exit *)
+    converged : bool;
+        (** false when the worklist was abandoned on an exhausted
+            [Support.Fuel] budget; the states are then a snapshot short
+            of the fixpoint (an under-approximation for may-domains) *)
   }
 
   let transfer_block ~transfer_stmt ~transfer_term (blk : Mir.block) state =
@@ -32,7 +36,7 @@ module Make (D : DOMAIN) = struct
     let n = Array.length body.Mir.blocks in
     let entry = Array.make n D.bottom in
     let exit_ = Array.make n D.bottom in
-    if n = 0 then { entry; exit_ }
+    if n = 0 then { entry; exit_; converged = true }
     else begin
       entry.(0) <- init;
       let preds = Array.make n [] in
@@ -47,7 +51,8 @@ module Make (D : DOMAIN) = struct
       for i = 0 to n - 1 do
         Queue.add i worklist
       done;
-      while not (Queue.is_empty worklist) do
+      let fuel = Support.Fuel.counter () in
+      while (not (Queue.is_empty worklist)) && Support.Fuel.burn fuel do
         let i = Queue.pop worklist in
         in_worklist.(i) <- false;
         let input =
@@ -75,7 +80,7 @@ module Make (D : DOMAIN) = struct
             (Mir.successors body.Mir.blocks.(i).Mir.term)
         end
       done;
-      { entry; exit_ }
+      { entry; exit_; converged = Queue.is_empty worklist }
     end
 
   (** Visit every statement (and terminator) of [body] with the dataflow

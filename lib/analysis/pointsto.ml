@@ -22,6 +22,9 @@ module LocSet = Set.Make (Loc)
 
 type t = {
   points_to : LocSet.t array;  (** per local *)
+  complete : bool;
+      (** false when the fixpoint ran out of fuel; the sets are then a
+          sound-in-use under-approximation (may miss aliases) *)
 }
 
 let empty_sets n = Array.init n (fun _ -> LocSet.empty)
@@ -47,6 +50,7 @@ let analyze (body : Mir.body) : t =
   let n = Array.length body.Mir.locals in
   let pts = empty_sets n in
   let heap_site bi si = (bi * 10000) + si in
+  let fuel = Support.Fuel.counter () in
   let changed = ref true in
   let union l s =
     if not (LocSet.subset s pts.(l)) then begin
@@ -63,7 +67,7 @@ let analyze (body : Mir.body) : t =
         else pts.(p.Mir.base)
     | Mir.Const _ -> LocSet.empty
   in
-  while !changed do
+  while !changed && Support.Fuel.burn fuel do
     changed := false;
     Array.iteri
       (fun bi (blk : Mir.block) ->
@@ -103,6 +107,7 @@ let analyze (body : Mir.body) : t =
         | _ -> ())
       body.Mir.blocks
   done;
-  { points_to = pts }
+  { points_to = pts; complete = not (Support.Fuel.exhausted fuel) }
 
 let of_local (t : t) (l : Mir.local) = t.points_to.(l)
+let complete (t : t) = t.complete

@@ -22,6 +22,10 @@ type t
 val analyze : Mir.body -> t
 val of_local : t -> Mir.local -> LocSet.t
 
+val complete : t -> bool
+(** [false] when the fixpoint stopped because the [Support.Fuel] budget
+    ran out; the points-to sets are then an under-approximation. *)
+
 val runs : unit -> int
 (** Total [analyze] invocations in this process (instrumentation for
     the analysis-cache tests and benches). *)

@@ -28,6 +28,8 @@ module Mir = Ir.Mir
 module Lower = Ir.Lower
 module Cache = Analysis.Cache
 module Domain_pool = Support.Domain_pool
+module Fuel = Support.Fuel
+module Fault = Support.Fault
 module Finding = Detectors.Report
 module Detect = Detectors.All
 module Unsafe_scan = Detectors.Unsafe_scan
@@ -44,6 +46,11 @@ exception Parse_error = Support.Diag.Parse_error
 
 (** Parse RustLite source text into an AST. *)
 let parse ~file source : Ast.crate = Parser.parse_crate ~file source
+
+(** Parse with error recovery: malformed regions become diagnostics
+    plus error nodes in the (partial) AST. Never raises. *)
+let parse_recovering ~file source : Ast.crate * Diag.t list =
+  Parser.parse_crate_recovering ~file source
 
 (** Parse and lower source text to a MIR program, ready for analysis.
     [tmp_lifetime] selects Rust's extended temporary-lifetime rule
@@ -81,15 +88,33 @@ let scan_unsafe (crate : Ast.crate) : Unsafe_scan.stats =
 let check ?config ~file source : Finding.finding list =
   detect (load ?config ~file source)
 
+(** Fault-tolerant {!check}: the frontend recovers from malformed
+    regions (the findings then cover only the healthy parts) and any
+    other pipeline failure is captured as [Error]. Never raises. The
+    diagnostics list is empty iff the source was fully healthy. *)
+let check_result ?config ~file source :
+    (Finding.finding list * Diag.t list, string) result =
+  match Cache.load_ctx_recovering ?config ~file source with
+  | Error e -> Error (Printexc.to_string e)
+  | Ok ctx -> (
+      match detect_ctx ctx with
+      | exception e -> Error (Printexc.to_string e)
+      | findings -> Ok (findings, Cache.diags ctx))
+
 (** Analyze the bundled corpus once. [domains] sizes the worker pool
     ([1] forces the sequential path); results are in corpus order
     either way. *)
 let analyze_corpus ?domains () : Classify.analysis list =
   Study.Classify.analyze_all ?domains ()
 
-(** The full study report: every table and figure of the paper. *)
-let study_report ?domains () : string =
-  let analyses = analyze_corpus ?domains () in
+(** Fault-tolerant corpus sweep: one {!Classify.outcome} per entry, in
+    corpus order; a crashing entry is confined to its own slot. Never
+    raises. *)
+let analyze_corpus_results ?domains () :
+    (Corpus.entry * Classify.outcome) list =
+  Study.Classify.analyze_all_results ?domains ()
+
+let assemble_report ?domains analyses =
   String.concat "\n"
     [
       Study.Tables.table1 analyses;
@@ -102,3 +127,20 @@ let study_report ?domains () : string =
       Study.Figures.figure2 ();
       Study.Detector_eval.render (Study.Detector_eval.run ?domains ());
     ]
+
+(** The full study report: every table and figure of the paper. *)
+let study_report ?domains () : string =
+  assemble_report ?domains (analyze_corpus ?domains ())
+
+(** Fault-tolerant {!study_report}: the tables cover every entry that
+    produced an analysis (clean or degraded) and the per-entry outcomes
+    come back alongside the report so callers can summarize degraded
+    entries ({!Classify.degraded_summary}) and pick an exit code. Never
+    raises. *)
+let study_report_results ?domains () :
+    string * (Corpus.entry * Classify.outcome) list =
+  let results = analyze_corpus_results ?domains () in
+  let analyses =
+    List.filter_map (fun (_, o) -> Classify.outcome_analysis o) results
+  in
+  (assemble_report ?domains analyses, results)

@@ -150,7 +150,9 @@ let rec scan_items env items =
           List.fold_left (fun acc fd -> add acc (scan_fn env fd)) acc
             td.Ast.tr_items
       | Ast.I_mod (_, sub) -> add acc (scan_items env sub)
-      | Ast.I_struct _ | Ast.I_enum _ | Ast.I_static _ | Ast.I_use _ -> acc)
+      | Ast.I_struct _ | Ast.I_enum _ | Ast.I_static _ | Ast.I_use _
+      | Ast.I_error _ ->
+          acc)
     zero items
 
 (** Scan a whole crate. *)

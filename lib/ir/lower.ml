@@ -736,6 +736,9 @@ and lower_expr fb (e : Ast.expr) : Mir.operand =
       let ops = List.map (lower_expr fb) args in
       lower_call fb ~span (Mir.Builtin (Mir.Extern (name ^ "!"))) ops
         (type_of fb e)
+  | Ast.E_error ->
+      (* recovered parse error: contributes nothing to the MIR *)
+      Mir.Const Mir.Cunit
 
 and lower_assign fb ~span lhs rhs =
   let rhs_ty = type_of fb rhs in
@@ -1596,7 +1599,7 @@ let lower_crate ?(config = default_config) (env : Sema.Env.t) : Mir.program =
               ib.Ast.impl_items
         | Ast.I_mod (_, sub) -> do_items sub
         | Ast.I_struct _ | Ast.I_enum _ | Ast.I_trait _ | Ast.I_static _
-        | Ast.I_use _ ->
+        | Ast.I_use _ | Ast.I_error _ ->
             ())
       items
   in
@@ -1608,3 +1611,15 @@ let program_of_source ?(config = default_config) ~file src : Mir.program =
   let crate = Parser.parse_crate ~file src in
   let env = Sema.Env.of_crate crate in
   lower_crate ~config env
+
+(** Like [program_of_source] but with frontend error recovery: lexical
+    and syntax errors become diagnostics plus [E_error]/[I_error] AST
+    nodes (typed [Unknown], lowered to nothing), so the healthy parts
+    of a malformed file still produce MIR bodies. Lowering errors past
+    the frontend (rare) still raise; callers wanting total isolation
+    wrap this in [Diag.protect] or a catch-all. *)
+let program_of_source_recovering ?(config = default_config) ~file src :
+    Mir.program * Support.Diag.t list =
+  let crate, diags = Parser.parse_crate_recovering ~file src in
+  let env = Sema.Env.of_crate crate in
+  (lower_crate ~config env, diags)

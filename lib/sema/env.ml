@@ -45,6 +45,7 @@ let rec collect_items env items =
       | Ast.I_trait t -> Hashtbl.replace env.traits t.Ast.tr_name t
       | Ast.I_static s -> Hashtbl.replace env.statics s.Ast.st_name s
       | Ast.I_use _ -> ()
+      | Ast.I_error _ -> ()
       | Ast.I_mod (_, sub) -> collect_items env sub)
     items
 

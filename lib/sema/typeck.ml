@@ -345,6 +345,7 @@ let rec type_of_expr (env : Env.t) (gamma : gamma) (e : Ast.expr) : Ty.t =
       | [] -> Ty.Named ("Vec", [ Ty.Unknown ]))
   | Ast.E_macro (("format" | "format_args"), _) -> Ty.string_
   | Ast.E_macro _ -> Ty.unit_
+  | Ast.E_error -> Ty.Unknown
 
 and type_of_method env recv_ty name targs argts : Ty.t =
   (* Auto-deref chain: try each peeling level for a builtin or user

@@ -145,11 +145,7 @@ let detect_sharing (program : Mir.program) : Corpus.sharing =
 
 (* ---------------- entry analysis ----------------------------------- *)
 
-let analyze_entry (entry : Corpus.entry) : analysis =
-  let ctx =
-    Analysis.Cache.load_ctx ~file:(entry.Corpus.id ^ ".rs")
-      entry.Corpus.source
-  in
+let analysis_of_ctx (entry : Corpus.entry) ctx : analysis =
   let program = Analysis.Cache.program ctx in
   let findings = Detectors.All.bugs_ctx ctx in
   let effect_unsafe, effect_interior =
@@ -164,6 +160,87 @@ let analyze_entry (entry : Corpus.entry) : analysis =
     primitive = detect_primitive program;
     sharing = detect_sharing program;
   }
+
+let analyze_entry (entry : Corpus.entry) : analysis =
+  analysis_of_ctx entry
+    (Analysis.Cache.load_ctx ~file:(entry.Corpus.id ^ ".rs")
+       entry.Corpus.source)
+
+(* ---------------- fault-tolerant driver ----------------------------- *)
+
+(** Per-entry outcome of the fault-tolerant pipeline. *)
+type outcome =
+  | Analyzed of analysis  (** clean: no diagnostics *)
+  | Degraded of analysis * Support.Diag.t list
+      (** the entry was analyzed, but the frontend recovered from
+          malformed regions and/or an analysis ran out of fuel; the
+          findings cover only the healthy parts *)
+  | Failed of string  (** nothing usable; printable cause *)
+
+(** Analyze one entry without ever raising: frontend errors degrade,
+    anything escaping the rest of the pipeline fails the entry. *)
+let analyze_entry_result (entry : Corpus.entry) : outcome =
+  match
+    Analysis.Cache.load_ctx_recovering ~file:(entry.Corpus.id ^ ".rs")
+      entry.Corpus.source
+  with
+  | Error e -> Failed (Printexc.to_string e)
+  | Ok ctx -> (
+      match analysis_of_ctx entry ctx with
+      | exception e -> Failed (Printexc.to_string e)
+      | a -> (
+          (* read the context diagnostics only now: fuel exhaustion
+             during the detector runs lands there too *)
+          match Analysis.Cache.diags ctx with
+          | [] -> Analyzed a
+          | ds -> Degraded (a, ds)))
+
+let outcome_analysis = function
+  | Analyzed a | Degraded (a, _) -> Some a
+  | Failed _ -> None
+
+(** Fault-tolerant corpus sweep: one outcome per entry, in input order.
+    A crashing worker is confined to its own slot ([Failed]); every
+    other entry is still analyzed. Never raises. *)
+let analyze_entries ?domains (entries : Corpus.entry list) :
+    (Corpus.entry * outcome) list =
+  Support.Domain_pool.try_map ?domains ~f:analyze_entry_result entries
+  |> List.map2
+       (fun e r ->
+         ( e,
+           match r with
+           | Ok o -> o
+           | Error exn -> Failed (Printexc.to_string exn) ))
+       entries
+
+let analyze_all_results ?domains () : (Corpus.entry * outcome) list =
+  analyze_entries ?domains Corpus.all_bugs
+
+let n_degraded results =
+  List.length
+    (List.filter
+       (fun (_, o) -> match o with Degraded _ | Failed _ -> true | _ -> false)
+       results)
+
+(** Deterministic one-line-per-entry summary of the degraded and failed
+    entries; empty string when every entry was clean. *)
+let degraded_summary (results : (Corpus.entry * outcome) list) : string =
+  let lines =
+    List.filter_map
+      (fun ((e : Corpus.entry), o) ->
+        match o with
+        | Analyzed _ -> None
+        | Degraded (_, ds) ->
+            Some
+              (Printf.sprintf "degraded %s: %d diagnostic(s)%s"
+                 e.Corpus.id (List.length ds)
+                 (match ds with
+                 | d :: _ -> "; first: " ^ Support.Diag.to_string d
+                 | [] -> ""))
+        | Failed msg -> Some (Printf.sprintf "failed %s: %s" e.Corpus.id msg))
+      results
+  in
+  if lines = [] then "" else String.concat "\n" lines ^ "\n"
 
 (** Memory-bug effect category: derived from which detector confirmed
     the entry (falling back to the metadata category only if no

@@ -9,39 +9,63 @@ type result = {
   dl_bugs : int;
   dl_false_positives : int;
   missed : string list;
+  degraded : string list;
+      (** targets whose analysis degraded (frontend recovery, fuel
+          exhaustion) or failed outright; their verdicts count as
+          "no finding" *)
 }
 
 (* Per-target detector verdicts: the parallelisable part. One shared
    analysis context per target, so both detectors reuse the same alias
-   and points-to results. *)
-let verdict (t : Corpus.Detector_targets.target) : bool * bool =
-  let ctx =
-    Analysis.Cache.load_ctx
+   and points-to results. [Error msg] means the target could not be
+   loaded at all; [Ok (uaf, dl, degraded)] carries the verdicts plus
+   whether the analysis was degraded. *)
+let verdict (t : Corpus.Detector_targets.target) :
+    (bool * bool * bool, string) Stdlib.result =
+  match
+    Analysis.Cache.load_ctx_recovering
       ~file:(t.Corpus.Detector_targets.t_id ^ ".rs")
       t.Corpus.Detector_targets.t_source
-  in
-  (Detectors.Uaf.run_ctx ctx <> [], Detectors.Double_lock.run_ctx ctx <> [])
+  with
+  | Error e -> Error (Printexc.to_string e)
+  | Ok ctx -> (
+      match
+        (Detectors.Uaf.run_ctx ctx <> [], Detectors.Double_lock.run_ctx ctx <> [])
+      with
+      | exception e -> Error (Printexc.to_string e)
+      | uaf, dl -> Ok (uaf, dl, Analysis.Cache.diags ctx <> []))
 
 let run ?domains () : result =
   let verdicts =
-    Support.Domain_pool.map ?domains ~f:verdict Corpus.Detector_targets.all
+    Support.Domain_pool.try_map ?domains ~f:verdict
+      Corpus.Detector_targets.all
   in
   let uaf_tp = ref 0
   and uaf_fp = ref 0
   and dl_tp = ref 0
   and dl_fp = ref 0
-  and missed = ref [] in
-  (* fold sequentially in corpus order so counts and [missed] are
-     deterministic regardless of pool size *)
+  and missed = ref []
+  and degraded = ref [] in
+  (* fold sequentially in corpus order so counts, [missed] and
+     [degraded] are deterministic regardless of pool size *)
   List.iter2
-    (fun (t : Corpus.Detector_targets.target) (uaf, dl) ->
+    (fun (t : Corpus.Detector_targets.target) v ->
+      let id = t.Corpus.Detector_targets.t_id in
+      let uaf, dl =
+        match v with
+        | Ok (Ok (uaf, dl, deg)) ->
+            if deg then degraded := id :: !degraded;
+            (uaf, dl)
+        | Ok (Error _) | Error _ ->
+            (* isolated per-target failure: no verdict, keep going *)
+            degraded := id :: !degraded;
+            (false, false)
+      in
       match t.Corpus.Detector_targets.t_expect with
       | `True_bug Detectors.Report.Use_after_free ->
-          if uaf then incr uaf_tp
-          else missed := t.Corpus.Detector_targets.t_id :: !missed
+          if uaf then incr uaf_tp else missed := id :: !missed
       | `True_bug Detectors.Report.Double_lock ->
-          if dl then incr dl_tp
-          else missed := t.Corpus.Detector_targets.t_id :: !missed
+          if dl then incr dl_tp else missed := id :: !missed
       | `True_bug _ -> ()
       | `False_positive -> if uaf then incr uaf_fp
       | `Clean -> if dl then incr dl_fp)
@@ -51,7 +75,8 @@ let run ?domains () : result =
     uaf_false_positives = !uaf_fp;
     dl_bugs = !dl_tp;
     dl_false_positives = !dl_fp;
-    missed = !missed;
+    missed = List.rev !missed;
+    degraded = List.rev !degraded;
   }
 
 let render (r : result) : string =
@@ -65,3 +90,5 @@ let render (r : result) : string =
       ]
   ^ (if r.missed = [] then ""
      else "missed: " ^ String.concat ", " r.missed ^ "\n")
+  ^ (if r.degraded = [] then ""
+     else "degraded: " ^ String.concat ", " r.degraded ^ "\n")

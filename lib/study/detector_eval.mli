@@ -8,11 +8,16 @@ type result = {
   dl_bugs : int;
   dl_false_positives : int;
   missed : string list;
+  degraded : string list;
+      (** targets whose analysis degraded or failed; their verdicts
+          count as "no finding" (corpus order) *)
 }
 
 val run : ?domains:int -> unit -> result
 (** [domains] sizes the worker pool (default
     {!Support.Domain_pool.default_domains}; [1] forces the sequential
-    path). The result is deterministic regardless of pool size. *)
+    path). The result is deterministic regardless of pool size. Each
+    target is isolated: a target that fails to analyze lands in
+    [degraded] instead of aborting the evaluation. Never raises. *)
 
 val render : result -> string

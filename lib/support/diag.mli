@@ -1,18 +1,94 @@
-(** Diagnostics emitted by the front end and the analyses. *)
+(** Structured diagnostics emitted by the front end and the analyses.
+
+    Every diagnostic carries a stable error code, a severity, a source
+    span and a message. Two consumption styles coexist:
+
+    - the {e raising} style ({!fail} / {!Parse_error}), used by the
+      strict entry points that abort on the first error; and
+    - the {e collecting} style ({!collector} / {!emit}), used by the
+      fault-tolerant pipeline: recovery-mode lexing/parsing and the
+      fuel-bounded analyses append diagnostics and keep going, and the
+      caller inspects the collector afterwards ({!has_errors},
+      {!diags}) or converts to a [result] ({!protect}, {!to_result}). *)
 
 type severity = Error | Warning | Note
 
-type t = { severity : severity; span : Span.t; message : string }
+(** Stable error codes, one per failure class. The printed form
+    ([code_name], e.g. ["E0101"]) is part of the output contract:
+    tests and downstream tooling may match on it. *)
+type code =
+  | Lex_invalid_char  (** E0101 *)
+  | Lex_unterminated_string  (** E0102 *)
+  | Lex_unterminated_char  (** E0103 *)
+  | Lex_unterminated_comment  (** E0104 *)
+  | Lex_unterminated_attribute  (** E0105 *)
+  | Lex_bad_escape  (** E0106 *)
+  | Lex_bad_literal  (** E0107 *)
+  | Parse_error_code  (** E0201: syntax error (parser) *)
+  | Parse_recovered  (** E0202: a region was replaced by an error node *)
+  | Sema_error  (** E0301 *)
+  | Analysis_incomplete  (** W0401: a fixpoint ran out of fuel *)
+  | Entry_failed  (** E0501: a corpus entry failed fatally *)
+  | General  (** E0000 *)
+
+val code_name : code -> string
+
+type t = { code : code; severity : severity; span : Span.t; message : string }
 
 exception Parse_error of t
-(** Raised by the lexer and parser on unrecoverable syntax errors. *)
+(** Raised by the strict lexer and parser entry points on syntax
+    errors. *)
 
-val error : ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
-val warning : ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
-val note : ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+val error :
+  ?code:code -> ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
 
-val fail : ?span:Span.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val warning :
+  ?code:code -> ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val note :
+  ?code:code -> ?span:Span.t -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val fail :
+  ?code:code -> ?span:Span.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Format a message and raise {!Parse_error}. *)
+
+(** {1 Collector: the mutable diagnostics sink} *)
+
+type collector
+
+val collector : unit -> collector
+
+val emit : collector -> t -> unit
+(** Append a diagnostic. Emission order is preserved by {!diags}. *)
+
+val diags : collector -> t list
+(** All collected diagnostics, in emission order. *)
+
+val has_errors : collector -> bool
+(** [true] iff at least one [Error]-severity diagnostic was emitted. *)
+
+val error_count : collector -> int
+val count : collector -> int
+
+val errors : collector -> t list
+(** Only the [Error]-severity diagnostics, in emission order. *)
+
+val errors_of : t list -> t list
+(** Only the [Error]-severity diagnostics of a plain list. *)
+
+(** {1 Result-style API} *)
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a strict (raising) computation, capturing {!Parse_error} as
+    [Error]. Other exceptions propagate. *)
+
+val to_result : collector -> 'a -> ('a, t list) result
+(** [Ok v] if the collector holds no error-severity diagnostics,
+    [Error (errors c)] otherwise. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val sort : t list -> t list
+(** Deterministic order: by file, then offset, then code, then
+    message. Used when diagnostics from parallel workers are merged. *)

@@ -1,28 +1,38 @@
 (** Fixed-size domain pool for fanning pure per-item work across cores
     (OCaml 5 [Domain.spawn]; no external dependency). Results are
     collected positionally, so the output order always matches the
-    input order regardless of which domain finished first. *)
+    input order regardless of which domain finished first.
+
+    Worker exceptions never tear down the pool: each task's outcome is
+    captured as a [result] in its own slot, every domain drains the
+    whole queue regardless of other tasks failing, and the domains are
+    always joined. [try_map] surfaces the captured outcomes to the
+    caller; [map] re-raises the first failure (in input order) only
+    after the pool has fully wound down. *)
 
 let default_domains () =
   (* recommended_domain_count counts the running domain; never spawn
      more workers than items or cores *)
   max 1 (Domain.recommended_domain_count ())
 
-(** [map ?domains ~f items] applies [f] to every element of [items],
-    using up to [domains] domains (default:
-    [Domain.recommended_domain_count ()]). [f] must be safe to run
-    concurrently with itself from multiple domains. Falls back to plain
-    sequential [List.map] when [domains <= 1] or the input has fewer
-    than two elements. The result list is in input order; the first
-    exception raised by [f] (in input order) is re-raised. *)
-let map ?domains ~(f : 'a -> 'b) (items : 'a list) : 'b list =
+(** [try_map ?domains ~f items] applies [f] to every element of
+    [items], using up to [domains] domains (default:
+    [Domain.recommended_domain_count ()]). Every call of [f] is
+    isolated: an exception becomes [Error exn] in that item's slot and
+    the remaining items still run. The result list is in input order.
+    [f] must be safe to run concurrently with itself from multiple
+    domains. Falls back to a sequential loop (same isolation) when
+    [domains <= 1] or the input has fewer than two elements. *)
+let try_map ?domains ~(f : 'a -> 'b) (items : 'a list) :
+    ('b, exn) result list =
+  let one x = match f x with v -> Ok v | exception e -> Error e in
   let arr = Array.of_list items in
   let n = Array.length arr in
   let workers =
     let d = match domains with Some d -> d | None -> default_domains () in
     min d n
   in
-  if workers <= 1 || n <= 1 then List.map f items
+  if workers <= 1 || n <= 1 then List.map one items
   else begin
     let results : ('b, exn) result option array = Array.make n None in
     let next = Atomic.make 0 in
@@ -30,10 +40,7 @@ let map ?domains ~(f : 'a -> 'b) (items : 'a list) : 'b list =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (results.(i) <-
-             (match f arr.(i) with
-             | v -> Some (Ok v)
-             | exception e -> Some (Error e)));
+          results.(i) <- Some (one arr.(i));
           loop ()
         end
       in
@@ -44,10 +51,16 @@ let map ?domains ~(f : 'a -> 'b) (items : 'a list) : 'b list =
     Array.iter Domain.join spawned;
     Array.to_list results
     |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error e) -> raise e
+         | Some r -> r
          | None -> assert false (* every index was claimed *))
   end
+
+(** [map ?domains ~f items] is [List.map f items] computed by the pool.
+    The first exception raised by [f] (in input order) is re-raised
+    after all domains have joined; the other items still ran. *)
+let map ?domains ~(f : 'a -> 'b) (items : 'a list) : 'b list =
+  try_map ?domains ~f items
+  |> List.map (function Ok v -> v | Error e -> raise e)
 
 (** Sequential reference implementation, for comparisons and tests. *)
 let sequential_map ~f items = List.map f items

@@ -1,0 +1,96 @@
+(** Fault injection: deterministic seeded source mutators.
+
+    The robustness test suite and the degraded-corpus bench apply these
+    mutators to every corpus program and assert the full pipeline
+    (lex, parse, typecheck, lower, detect, report) still returns a
+    result. All randomness comes from an explicit seed through a
+    splitmix64 generator, so every failure is reproducible from the
+    [(mutator, seed)] pair alone. *)
+
+(* ---------------- deterministic PRNG (splitmix64) ------------------- *)
+
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int seed }
+
+let next_int64 r =
+  let open Int64 in
+  r.state <- add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform int in [0, bound). [bound] must be positive. *)
+let next_int r bound =
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 r) 2) in
+  v mod bound
+
+(* ---------------- mutators ----------------------------------------- *)
+
+type mutator =
+  | Truncate  (** cut the source at a random byte offset *)
+  | Delete_span  (** remove a random run of bytes (token deletion) *)
+  | Flip_bytes  (** overwrite a few bytes with arbitrary characters *)
+  | Nest_deep  (** insert a deep unbalanced nesting of delimiters *)
+
+let all_mutators = [ Truncate; Delete_span; Flip_bytes; Nest_deep ]
+
+let mutator_name = function
+  | Truncate -> "truncate"
+  | Delete_span -> "delete_span"
+  | Flip_bytes -> "flip_bytes"
+  | Nest_deep -> "nest_deep"
+
+let truncate r src =
+  let n = String.length src in
+  if n = 0 then src else String.sub src 0 (next_int r n)
+
+let delete_span r src =
+  let n = String.length src in
+  if n < 2 then src
+  else begin
+    let start = next_int r n in
+    let len = 1 + next_int r (min 40 (n - start)) in
+    String.sub src 0 start ^ String.sub src (start + len) (n - start - len)
+  end
+
+(* Bytes drawn from a set chosen to hit distinct lexer paths: invalid
+   characters, quote/comment openers, stray delimiters. *)
+let noise = [| '$'; '`'; '"'; '\''; '{'; '}'; '('; ')'; '\\'; '\001'; '*'; '/' |]
+
+let flip_bytes r src =
+  let n = String.length src in
+  if n = 0 then src
+  else begin
+    let b = Bytes.of_string src in
+    let flips = 1 + next_int r 8 in
+    for _ = 1 to flips do
+      Bytes.set b (next_int r n) noise.(next_int r (Array.length noise))
+    done;
+    Bytes.to_string b
+  end
+
+(* Depth kept modest: the point is an unbalanced, deeply nested region
+   the parser must recover from, not a stack-exhaustion stress test. *)
+let nest_deep r src =
+  let n = String.length src in
+  let pos = if n = 0 then 0 else next_int r n in
+  let depth = 16 + next_int r 48 in
+  let opener = if next_int r 2 = 0 then '(' else '{' in
+  let nest = String.make depth opener in
+  String.sub src 0 pos ^ nest ^ String.sub src pos (n - pos)
+
+(** Apply [mutator] to [src] deterministically: the same
+    [(seed, mutator, src)] triple always yields the same output. *)
+let mutate ~seed mutator src =
+  let r = rng (seed lxor Hashtbl.hash src) in
+  match mutator with
+  | Truncate -> truncate r src
+  | Delete_span -> delete_span r src
+  | Flip_bytes -> flip_bytes r src
+  | Nest_deep -> nest_deep r src
+
+(** All four mutations of [src] under [seed], with their names. *)
+let mutations ~seed src =
+  List.map (fun m -> (mutator_name m, mutate ~seed m src)) all_mutators

@@ -1,0 +1,44 @@
+(** Analysis fuel: a process-wide iteration budget for the fixpoint
+    analyses (points-to, dataflow, call-graph reachability).
+
+    Every fixpoint loop consumes one unit of fuel per iteration and
+    stops when the budget is exhausted, returning whatever it has with
+    an [incomplete] marker instead of diverging on adversarial inputs
+    (deep nesting, enormous mutated bodies). The budget is generous:
+    no well-formed corpus program comes within two orders of magnitude
+    of it, so exhaustion is itself a diagnostic signal.
+
+    The default lives in an [Atomic] so corpus workers on other domains
+    observe a CLI [--fuel] override without synchronisation. *)
+
+let default_budget = 100_000
+
+let budget = Atomic.make default_budget
+
+let get () = Atomic.get budget
+
+(** Set the process-wide budget. Values [<= 0] restore the default. *)
+let set n = Atomic.set budget (if n <= 0 then default_budget else n)
+
+(** Run [f] with the budget temporarily set to [n] (tests). Not
+    atomic with respect to concurrent [set]s; intended for
+    single-domain test code. *)
+let with_budget n f =
+  let old = get () in
+  set n;
+  Fun.protect ~finally:(fun () -> Atomic.set budget old) f
+
+(** A mutable fuel counter for one analysis run. *)
+type counter = { mutable remaining : int }
+
+let counter ?n () = { remaining = (match n with Some n -> n | None -> get ()) }
+
+(** Consume one unit; [false] when the budget is exhausted. *)
+let burn c =
+  if c.remaining <= 0 then false
+  else begin
+    c.remaining <- c.remaining - 1;
+    true
+  end
+
+let exhausted c = c.remaining <= 0

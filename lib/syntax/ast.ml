@@ -105,6 +105,9 @@ and expr_kind =
   | E_range of expr option * expr option * bool  (** lo, hi, inclusive *)
   | E_vec of expr list  (** [vec![...]] *)
   | E_macro of string * expr list  (** [println!(...)] etc.; opaque *)
+  | E_error
+      (** recovery placeholder for an unparseable region; types as
+          [Ty.Unknown] and lowers to a no-op *)
 
 and arm = { arm_pat : pat; arm_guard : expr option; arm_body : expr }
 
@@ -195,6 +198,9 @@ and item =
   | I_static of static_def
   | I_use of path  (** recorded but semantically inert *)
   | I_mod of string * item list
+  | I_error of Span.t
+      (** recovery placeholder for an unparseable item; carries the
+          span of the skipped region *)
 
 type crate = { items : item list; crate_file : string }
 
@@ -213,6 +219,7 @@ let item_name = function
   | I_static s -> s.st_name
   | I_use p -> path_name p
   | I_mod (n, _) -> n
+  | I_error _ -> "<error>"
 
 let rec item_span = function
   | I_fn f -> f.fn_span
@@ -224,6 +231,7 @@ let rec item_span = function
   | I_use p -> p.pspan
   | I_mod (_, items) -> (
       match items with [] -> Span.dummy | i :: _ -> item_span i)
+  | I_error sp -> sp
 
 (** Fold over every expression in a crate, visiting nested items,
     closures and blocks. Used by the unsafe-usage scanner and the
@@ -231,7 +239,7 @@ let rec item_span = function
 let rec fold_expr f acc (e : expr) =
   let acc = f acc e in
   match e.e with
-  | E_lit _ | E_path _ | E_break | E_continue -> acc
+  | E_lit _ | E_path _ | E_break | E_continue | E_error -> acc
   | E_call (callee, args) -> List.fold_left (fold_expr f) (fold_expr f acc callee) args
   | E_method (recv, _, _, args) ->
       List.fold_left (fold_expr f) (fold_expr f acc recv) args
@@ -308,6 +316,6 @@ and fold_item f acc = function
         acc td.tr_items
   | I_static sd -> fold_expr f acc sd.st_init
   | I_mod (_, items) -> List.fold_left (fold_item f) acc items
-  | I_struct _ | I_enum _ | I_use _ -> acc
+  | I_struct _ | I_enum _ | I_use _ | I_error _ -> acc
 
 let fold_crate f acc (c : crate) = List.fold_left (fold_item f) acc c.items

@@ -15,9 +15,22 @@ type state = {
   mutable pos : int;  (** byte offset *)
   mutable line : int;
   mutable col : int;
+  recover : Diag.collector option;
+      (** when set, lexical errors are emitted here and lexing
+          continues with a best-effort token instead of raising *)
 }
 
-let make ~file src = { src; file; pos = 0; line = 1; col = 1 }
+let make ?recover ~file src =
+  { src; file; pos = 0; line = 1; col = 1; recover }
+
+(* In recovery mode emit the diagnostic and produce a fallback value;
+   otherwise raise, preserving the legacy contract. *)
+let soft st d (fallback : unit -> 'a) : 'a =
+  match st.recover with
+  | Some c ->
+      Diag.emit c d;
+      fallback ()
+  | None -> raise (Diag.Parse_error d)
 
 let position st : Span.pos = { line = st.line; col = st.col; offset = st.pos }
 
@@ -49,7 +62,10 @@ let is_ident_cont c = is_ident_start c || is_digit c
 
 let rec skip_block_comment st depth start =
   if at_end st then
-    Diag.fail ~span:(span_from st start) "unterminated block comment"
+    soft st
+      (Diag.error ~code:Diag.Lex_unterminated_comment
+         ~span:(span_from st start) "unterminated block comment")
+      (fun () -> ())
   else if peek st = '*' && peek2 st = '/' then begin
     advance st;
     advance st;
@@ -73,7 +89,10 @@ let skip_attribute st start =
   (* '#' *)
   if peek st = '!' then advance st;
   if peek st <> '[' then
-    Diag.fail ~span:(span_from st start) "expected '[' after '#'"
+    soft st
+      (Diag.error ~code:Diag.Lex_unterminated_attribute
+         ~span:(span_from st start) "expected '[' after '#'")
+      (fun () -> ())
   else begin
     advance st;
     let depth = ref 1 in
@@ -85,7 +104,10 @@ let skip_attribute st start =
       advance st
     done;
     if !depth > 0 then
-      Diag.fail ~span:(span_from st start) "unterminated attribute"
+      soft st
+        (Diag.error ~code:Diag.Lex_unterminated_attribute
+           ~span:(span_from st start) "unterminated attribute")
+        (fun () -> ())
   end
 
 let rec skip_trivia st =
@@ -134,7 +156,10 @@ let lex_number st start =
     match int_of_string_opt digits with
     | Some v -> Token.INT (v, suffix)
     | None ->
-        Diag.fail ~span:(span_from st start) "invalid hex literal %s" digits
+        soft st
+          (Diag.error ~code:Diag.Lex_bad_literal ~span:(span_from st start)
+             "invalid hex literal %s" digits)
+          (fun () -> Token.INT (0, suffix))
   end
   else begin
   while is_digit (peek st) || peek st = '_' do
@@ -155,8 +180,10 @@ let lex_number st start =
     match int_of_string_opt digits with
     | Some v -> Token.INT (v, suffix)
     | None ->
-        Diag.fail ~span:(span_from st start) "invalid integer literal %s"
-          digits
+        soft st
+          (Diag.error ~code:Diag.Lex_bad_literal ~span:(span_from st start)
+             "invalid integer literal %s" digits)
+          (fun () -> Token.INT (0, suffix))
   end
   end
 
@@ -173,7 +200,11 @@ let lex_escape st start =
   | '\\' -> '\\'
   | '\'' -> '\''
   | '"' -> '"'
-  | c -> Diag.fail ~span:(span_from st start) "unknown escape '\\%c'" c
+  | c ->
+      soft st
+        (Diag.error ~code:Diag.Lex_bad_escape ~span:(span_from st start)
+           "unknown escape '\\%c'" c)
+        (fun () -> c)
 
 let lex_string st start =
   advance st;
@@ -181,7 +212,10 @@ let lex_string st start =
   let buf = Buffer.create 16 in
   let rec go () =
     if at_end st then
-      Diag.fail ~span:(span_from st start) "unterminated string literal"
+      soft st
+        (Diag.error ~code:Diag.Lex_unterminated_string
+           ~span:(span_from st start) "unterminated string literal")
+        (fun () -> ())
     else
       match peek st with
       | '"' -> advance st
@@ -210,14 +244,17 @@ let lex_quote st start =
       c)
     in
     if peek st <> '\'' then
-      Diag.fail ~span:(span_from st start) "unterminated char literal"
+      soft st
+        (Diag.error ~code:Diag.Lex_unterminated_char
+           ~span:(span_from st start) "unterminated char literal")
+        (fun () -> Token.CHAR c)
     else begin
       advance st;
       Token.CHAR c
     end
   end
 
-let next_token st : spanned =
+let rec next_token st : spanned =
   skip_trivia st;
   let start = position st in
   let emit tok = { tok; span = span_from st start } in
@@ -295,11 +332,17 @@ let next_token st : spanned =
         if peek2 st = '=' then two Token.GE else one Token.GT
     | c ->
         ignore three;
-        Diag.fail ~span:(span_from st start) "unexpected character '%c'" c
+        advance st;
+        soft st
+          (Diag.error ~code:Diag.Lex_invalid_char ~span:(span_from st start)
+             "unexpected character '%c'" c)
+          (fun () -> next_token st (* skip the bad byte, keep lexing *))
 
-(** Lex an entire source string into a token list ending with [EOF]. *)
-let tokenize ~file src =
-  let st = make ~file src in
+(** Lex an entire source string into a token list ending with [EOF].
+    With [?recover], lexical errors go to the collector and lexing
+    continues; without it, the first error raises [Diag.Parse_error]. *)
+let tokenize ?recover ~file src =
+  let st = make ?recover ~file src in
   let rec go acc =
     let t = next_token st in
     if Token.equal t.tok Token.EOF then List.rev (t :: acc) else go (t :: acc)

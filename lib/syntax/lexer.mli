@@ -11,10 +11,17 @@ type spanned = { tok : Token.t; span : Span.t }
 
 type state
 
-val make : file:string -> string -> state
-val next_token : state -> spanned
-(** @raise Support.Diag.Parse_error on lexical errors. *)
+val make : ?recover:Diag.collector -> file:string -> string -> state
+(** [?recover] switches the lexer into recovery mode: lexical errors
+    are emitted to the collector and lexing continues with a
+    best-effort token (skip the bad byte, close the string at EOF,
+    substitute literal [0], ...). Without it, errors raise. *)
 
-val tokenize : file:string -> string -> spanned list
+val next_token : state -> spanned
+(** @raise Support.Diag.Parse_error on lexical errors, unless the state
+    was created with [?recover]. *)
+
+val tokenize : ?recover:Diag.collector -> file:string -> string -> spanned list
 (** Whole input to a token list ending with [EOF].
-    @raise Support.Diag.Parse_error on lexical errors. *)
+    @raise Support.Diag.Parse_error on lexical errors, unless
+    [?recover] is given. *)

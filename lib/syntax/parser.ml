@@ -12,9 +12,13 @@ module T = Token
 type state = {
   toks : Lexer.spanned array;
   mutable idx : int;
+  recover : Diag.collector option;
+      (** when set, syntax errors synchronize at item/statement
+          boundaries and become explicit [E_error]/[I_error] AST nodes
+          instead of aborting the parse *)
 }
 
-let make toks = { toks = Array.of_list toks; idx = 0 }
+let make ?recover toks = { toks = Array.of_list toks; idx = 0; recover }
 
 let peek st = st.toks.(st.idx).tok
 let peek_span st = st.toks.(st.idx).span
@@ -52,6 +56,57 @@ let expect_ident st =
   | t -> err st "expected identifier, found '%s'" (T.to_string t)
 
 let span_from st (start : Span.t) = Span.union start (prev_span st)
+
+(* ------------------------------------------------------------------ *)
+(* Panic-mode synchronization (recovery only)                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_item_start = function
+  | T.KW_FN | T.KW_STRUCT | T.KW_ENUM | T.KW_IMPL | T.KW_TRAIT
+  | T.KW_STATIC | T.KW_CONST | T.KW_USE | T.KW_MOD | T.KW_PUB
+  | T.KW_UNSAFE ->
+      true
+  | _ -> false
+
+(** Skip forward to the start of the next plausible item: an
+    item-introducing keyword at brace depth zero, or [EOF]. Never skips
+    past [EOF]; unmatched closing braces are swallowed. *)
+let sync_item st =
+  let depth = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | T.EOF -> continue_ := false
+    | t when !depth = 0 && is_item_start t -> continue_ := false
+    | T.LBRACE ->
+        incr depth;
+        advance st
+    | T.RBRACE ->
+        if !depth > 0 then decr depth;
+        advance st
+    | _ -> advance st
+  done
+
+(** Skip to the end of the current statement: just past the next [;] at
+    brace depth zero, or stopped at the enclosing [}] / [EOF]. *)
+let sync_stmt st =
+  let depth = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | T.EOF -> continue_ := false
+    | T.SEMI when !depth = 0 ->
+        advance st;
+        continue_ := false
+    | T.RBRACE when !depth = 0 -> continue_ := false
+    | T.LBRACE ->
+        incr depth;
+        advance st
+    | T.RBRACE ->
+        decr depth;
+        advance st
+    | _ -> advance st
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Paths and generics                                                  *)
@@ -879,6 +934,7 @@ and parse_block st : Ast.block =
   let rec go () =
     match peek st with
     | T.RBRACE -> ()
+    | T.EOF when st.recover <> None -> ()  (* truncated input *)
     | T.SEMI ->
         advance st;
         go ()
@@ -930,8 +986,38 @@ and parse_block st : Ast.block =
           go ()
         end
   in
-  go ();
-  expect st T.RBRACE;
+  (match st.recover with
+  | None -> go ()
+  | Some c ->
+      (* Statement-level panic mode: on a syntax error inside this
+         block, record the diagnostic, skip to the next statement
+         boundary, stand in an [E_error] statement for the skipped
+         region and resume. [sync_stmt] always consumes at least one
+         token unless already at ['}']/[EOF], so this terminates. *)
+      let rec go_recover () =
+        match go () with
+        | () -> ()
+        | exception Diag.Parse_error d ->
+            Diag.emit c d;
+            let espan = peek_span st in
+            sync_stmt st;
+            stmts :=
+              Ast.S_expr
+                { Ast.e = Ast.E_error; espan = Span.union espan (prev_span st) }
+              :: !stmts;
+            if
+              not (T.equal (peek st) T.RBRACE || T.equal (peek st) T.EOF)
+            then go_recover ()
+      in
+      go_recover ());
+  (if T.equal (peek st) T.RBRACE then advance st
+   else
+     match st.recover with
+     | Some c when T.equal (peek st) T.EOF ->
+         Diag.emit c
+           (Diag.error ~code:Diag.Parse_error_code ~span:(peek_span st)
+              "unclosed block: expected '}' before end of file")
+     | _ -> expect st T.RBRACE);
   { Ast.stmts = List.rev !stmts; tail = !tail; bspan = span_from st start }
 
 and try_parse_expr_stmt st = parse_expr st
@@ -1241,6 +1327,26 @@ let parse_crate ~file src : Ast.crate =
     items := parse_item st :: !items
   done;
   { Ast.items = List.rev !items; crate_file = file }
+
+let parse_crate_recovering ~file src : Ast.crate * Diag.t list =
+  let c = Diag.collector () in
+  let toks = Lexer.tokenize ~recover:c ~file src in
+  let st = make ~recover:c toks in
+  let items = ref [] in
+  while not (T.equal (peek st) T.EOF) do
+    let idx0 = st.idx in
+    match parse_item st with
+    | it -> items := it :: !items
+    | exception Diag.Parse_error d ->
+        Diag.emit c d;
+        let err_start = peek_span st in
+        (* guarantee progress even when the item failed on its very
+           first token, then resynchronize at the next item boundary *)
+        if st.idx = idx0 then advance st;
+        sync_item st;
+        items := Ast.I_error (Span.union err_start (prev_span st)) :: !items
+  done;
+  ({ Ast.items = List.rev !items; crate_file = file }, Diag.diags c)
 
 let parse_expr_string ~file src : Ast.expr =
   let toks = Lexer.tokenize ~file src in

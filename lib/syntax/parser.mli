@@ -10,6 +10,16 @@ val parse_crate : file:string -> string -> Ast.crate
 (** Parse a whole source file.
     @raise Support.Diag.Parse_error on syntax errors. *)
 
+val parse_crate_recovering :
+  file:string -> string -> Ast.crate * Support.Diag.t list
+(** Parse a whole source file with error recovery: lexical errors are
+    skipped with a best-effort token, and syntax errors synchronize at
+    the next statement boundary (inside a block, producing an
+    [Ast.E_error] statement) or item boundary (at top level, producing
+    an [Ast.I_error] item). Never raises on malformed input; returns
+    the partial AST together with every diagnostic in source order.
+    An empty diagnostic list means the parse was clean. *)
+
 val parse_expr_string : file:string -> string -> Ast.expr
 (** Parse a single expression (used by tests).
     @raise Support.Diag.Parse_error on syntax errors or trailing

@@ -1,0 +1,188 @@
+(* Fault injection: every corpus program is corrupted by each
+   deterministic mutator and fed to the full pipeline (parse,
+   typecheck, lower, detect, report), which must return a result — a
+   degraded or failed outcome is fine, an escaping exception is not.
+   Also covers the per-task isolation of the domain pool and the
+   one-corrupt-entry isolation property of the corpus sweep. *)
+
+module Fault = Rustudy.Fault
+
+let seed = 0x5EED
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ---------------- mutator determinism ------------------------------- *)
+
+let determinism =
+  [
+    case "mutators are deterministic in (seed, mutator, source)" (fun () ->
+        List.iter
+          (fun (e : Rustudy.Corpus.entry) ->
+            let a = Fault.mutations ~seed e.Rustudy.Corpus.source in
+            let b = Fault.mutations ~seed e.Rustudy.Corpus.source in
+            Alcotest.(check (list (pair string string)))
+              e.Rustudy.Corpus.id a b)
+          Rustudy.Corpus.all_bugs);
+    case "all four mutators are exercised" (fun () ->
+        Alcotest.(check int) "mutator count" 4
+          (List.length Fault.all_mutators));
+  ]
+
+(* ---------------- the harness property ------------------------------ *)
+
+(* Run the full pipeline on one mutated source. Returns a short
+   outcome string; raises only if the pipeline itself leaked an
+   exception, which is exactly what this suite exists to catch. *)
+let pipeline ~file src =
+  match Rustudy.check_result ~file src with
+  | Ok (findings, []) ->
+      (* a mutation may still be syntactically valid *)
+      Printf.sprintf "clean:%d" (List.length findings)
+  | Ok (findings, diags) ->
+      (* render the report pieces, as the CLI would *)
+      let _report =
+        String.concat "\n"
+          (List.map Rustudy.Finding.to_string findings
+          @ List.map Rustudy.Diag.to_string diags)
+      in
+      Printf.sprintf "degraded:%d:%d" (List.length findings)
+        (List.length diags)
+  | Error msg -> "failed:" ^ msg
+
+let never_raises =
+  [
+    case "pipeline survives every corpus entry x every mutator" (fun () ->
+        let failures = ref [] in
+        List.iter
+          (fun (e : Rustudy.Corpus.entry) ->
+            List.iter
+              (fun (mname, mutated) ->
+                let file =
+                  Printf.sprintf "fault-%s-%s.rs" e.Rustudy.Corpus.id mname
+                in
+                match pipeline ~file mutated with
+                | (_ : string) -> ()
+                | exception exn ->
+                    failures :=
+                      Printf.sprintf "%s/%s: %s" e.Rustudy.Corpus.id mname
+                        (Printexc.to_string exn)
+                      :: !failures)
+              (Fault.mutations ~seed e.Rustudy.Corpus.source))
+          Rustudy.Corpus.all_bugs;
+        Alcotest.(check (list string))
+          "no pipeline exceptions" [] (List.rev !failures));
+    case "detector targets survive mutation too" (fun () ->
+        List.iter
+          (fun (t : Rustudy.Corpus.Detector_targets.target) ->
+            List.iter
+              (fun (mname, mutated) ->
+                let file =
+                  Printf.sprintf "fault-%s-%s.rs"
+                    t.Rustudy.Corpus.Detector_targets.t_id mname
+                in
+                ignore (pipeline ~file mutated))
+              (Fault.mutations ~seed
+                 t.Rustudy.Corpus.Detector_targets.t_source))
+          Rustudy.Corpus.Detector_targets.all);
+  ]
+
+(* ---------------- per-entry isolation ------------------------------- *)
+
+let findings_fingerprint (o : Rustudy.Classify.outcome) : string =
+  match Rustudy.Classify.outcome_analysis o with
+  | None -> "<failed>"
+  | Some a ->
+      String.concat ";"
+        (List.map Rustudy.Finding.to_string a.Rustudy.Classify.findings)
+
+let isolation =
+  [
+    case "one corrupted entry does not change the others' results" (fun () ->
+        (* a healthy slice of the corpus, plus a deliberately corrupted
+           clone of the middle entry injected between them *)
+        let healthy =
+          match Rustudy.Corpus.all_bugs with
+          | a :: b :: c :: _ -> [ a; b; c ]
+          | _ -> Alcotest.fail "corpus too small"
+        in
+        let baseline =
+          List.map
+            (fun (_, o) -> findings_fingerprint o)
+            (Rustudy.Classify.analyze_entries ~domains:1 healthy)
+        in
+        let corrupt =
+          let e = List.nth healthy 1 in
+          {
+            e with
+            Rustudy.Corpus.id = e.Rustudy.Corpus.id ^ "-corrupt";
+            source = Fault.mutate ~seed Fault.Truncate e.Rustudy.Corpus.source;
+          }
+        in
+        let mixed =
+          match healthy with
+          | [ a; b; c ] -> [ a; corrupt; b; c ]
+          | _ -> assert false
+        in
+        let mixed_results = Rustudy.Classify.analyze_entries ~domains:1 mixed in
+        let healthy_again =
+          List.filter_map
+            (fun ((e : Rustudy.Corpus.entry), o) ->
+              if e.Rustudy.Corpus.id = corrupt.Rustudy.Corpus.id then None
+              else Some (findings_fingerprint o))
+            mixed_results
+        in
+        Alcotest.(check (list string))
+          "healthy entries unchanged" baseline healthy_again);
+    case "a corrupted entry is confined to Degraded/Failed" (fun () ->
+        let e = List.hd Rustudy.Corpus.all_bugs in
+        let corrupt =
+          {
+            e with
+            Rustudy.Corpus.id = e.Rustudy.Corpus.id ^ "-confined";
+            source =
+              Fault.mutate ~seed Fault.Delete_span e.Rustudy.Corpus.source;
+          }
+        in
+        match Rustudy.Classify.analyze_entries ~domains:1 [ corrupt ] with
+        | [ (_, Rustudy.Classify.Analyzed _) ] | [ (_, Rustudy.Classify.Degraded _) ]
+        | [ (_, Rustudy.Classify.Failed _) ] ->
+            ()
+        | _ -> Alcotest.fail "expected exactly one outcome");
+  ]
+
+(* ---------------- domain pool isolation ----------------------------- *)
+
+exception Boom of int
+
+let pool =
+  [
+    case "try_map captures worker exceptions in input order" (fun () ->
+        let f x = if x mod 3 = 0 then raise (Boom x) else x * 10 in
+        List.iter
+          (fun domains ->
+            let results =
+              Rustudy.Domain_pool.try_map ~domains ~f [ 1; 2; 3; 4; 5; 6; 7 ]
+            in
+            let render = function
+              | Ok v -> string_of_int v
+              | Error (Boom x) -> Printf.sprintf "boom%d" x
+              | Error e -> Printexc.to_string e
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "domains=%d" domains)
+              [ "10"; "20"; "boom3"; "40"; "50"; "boom6"; "70" ]
+              (List.map render results))
+          [ 1; 4 ]);
+    case "map re-raises the first failure after the pool drains" (fun () ->
+        let hits = Atomic.make 0 in
+        let f x =
+          Atomic.incr hits;
+          if x = 2 then raise (Boom x) else x
+        in
+        (match Rustudy.Domain_pool.map ~domains:2 ~f [ 1; 2; 3; 4 ] with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom 2 -> ());
+        Alcotest.(check int) "every item still ran" 4 (Atomic.get hits));
+  ]
+
+let suite = determinism @ never_raises @ isolation @ pool

@@ -13,5 +13,7 @@ let () =
       ("study", T_study.suite);
       ("cache", T_cache.suite);
       ("suggestions", T_suggestions.suite);
+      ("recovery", T_recovery.suite);
+      ("fault", T_fault.suite);
       ("properties", T_props.suite);
     ]
