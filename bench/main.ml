@@ -3,8 +3,15 @@
    three design-choice ablations from DESIGN.md, and the analysis-cache
    corpus timings (cached vs uncached, sequential vs parallel).
 
-   Run with: dune exec bench/main.exe [-- --json]
-   --json additionally writes BENCH_results.json next to the cwd. *)
+   Run with: dune exec bench/main.exe [-- FLAGS]
+   --json            additionally writes BENCH_results.json in the cwd
+   --replicate N     also time sequential vs parallel over N corpus
+                     copies (distinct file keys; >= 2 domains, chunked)
+   --compare FILE    print a per-benchmark speedup table against the
+                     ns_per_run section of a previous --json output and
+                     exit non-zero on a >25%% detectors/* regression
+   --quick           smoke mode for dune runtest: tiny quota, detector
+                     group + one cached corpus pass only *)
 
 open Bechamel
 open Toolkit
@@ -249,10 +256,10 @@ let recall_summary () =
 
 (* Runs a bechamel group, prints the estimates, and returns them as
    (name, ns/run) rows so --json can serialise every group. *)
-let run_group name tests : (string * float) list =
+let run_group ?(quota = 0.5) name tests : (string * float) list =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
   in
   let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
   let raw = Benchmark.all cfg instances grouped in
@@ -435,6 +442,137 @@ let print_corpus_timings (c : corpus_timings) =
     "mutant outcomes" c.mutant_clean c.mutant_degraded c.mutant_failed
 
 (* ------------------------------------------------------------------ *)
+(* Replicated corpus: parallel speedup on an input big enough to       *)
+(* amortize domain spawn (--replicate N)                               *)
+(* ------------------------------------------------------------------ *)
+
+type replicate_timings = {
+  rep_n : int;
+  rep_items : int;
+  rep_sequential_s : float;
+  rep_parallel_s : float;
+  rep_domains : int;
+  rep_identical : bool;
+}
+
+(* N copies of every corpus entry, each under a distinct file key so
+   nothing is shared between replicas; every item goes through the
+   full uncached pipeline (parse, lower, all detectors). The parallel
+   pass uses chunked scheduling with at least two domains; findings
+   must be byte-identical to the sequential pass. *)
+let replicate_bench n : replicate_timings =
+  let items =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (e : Corpus.entry) ->
+            (Printf.sprintf "%s~r%d" e.Corpus.id k, e.Corpus.source))
+          Corpus.all_bugs)
+      (List.init n (fun k -> k))
+  in
+  let pass ~domains () =
+    Rustudy.Domain_pool.map ~domains
+      ~f:(fun (id, src) ->
+        List.map Rustudy.Finding.to_string
+          (Rustudy.check ~file:(id ^ ".rs") src))
+      items
+  in
+  let domains = max 2 (Rustudy.Domain_pool.default_domains ()) in
+  let seq = ref [] and par = ref [] in
+  let rep_sequential_s = wall ~reps:1 (fun () -> seq := pass ~domains:1 ()) in
+  let rep_parallel_s = wall ~reps:1 (fun () -> par := pass ~domains ()) in
+  {
+    rep_n = n;
+    rep_items = List.length items;
+    rep_sequential_s;
+    rep_parallel_s;
+    rep_domains = domains;
+    rep_identical = !seq = !par;
+  }
+
+let print_replicate (r : replicate_timings) =
+  Printf.printf "== replicated corpus (--replicate %d: %d items) ==\n" r.rep_n
+    r.rep_items;
+  Printf.printf "  %-36s %10.3f ms\n" "sequential (1 domain)"
+    (r.rep_sequential_s *. 1e3);
+  Printf.printf "  %-36s %10.3f ms  (%.2fx, %d domains, identical=%b)\n"
+    "parallel (chunked)" (r.rep_parallel_s *. 1e3)
+    (r.rep_sequential_s /. r.rep_parallel_s)
+    r.rep_domains r.rep_identical
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--compare BASELINE.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal parser for the "ns_per_run" object this binary writes: one
+   `"name": 1234.5` pair per line between the opening and closing
+   braces of that object. *)
+let read_baseline path : (string * float) list =
+  let ic = open_in path in
+  let rows = ref [] and in_ns = ref false in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if String.length line >= 13 && String.sub line 0 13 = "\"ns_per_run\":"
+       then in_ns := true
+       else if !in_ns then
+         if line = "}," || line = "}" then raise Exit
+         else
+           match String.rindex_opt line ':' with
+           | Some ci ->
+               let name = String.trim (String.sub line 0 ci) in
+               let name =
+                 if String.length name >= 2 && name.[0] = '"' then
+                   String.sub name 1 (String.length name - 2)
+                 else name
+               in
+               let v =
+                 String.trim
+                   (String.sub line (ci + 1) (String.length line - ci - 1))
+               in
+               let v =
+                 if v <> "" && v.[String.length v - 1] = ',' then
+                   String.sub v 0 (String.length v - 1)
+                 else v
+               in
+               (match float_of_string_opt v with
+               | Some f -> rows := (name, f) :: !rows
+               | None -> ())
+           | None -> ()
+     done
+   with End_of_file | Exit -> ());
+  close_in ic;
+  List.rev !rows
+
+(* Prints the per-benchmark speedup table vs [path] and returns false
+   when any detectors/* entry regressed by more than 25%. *)
+let compare_against path (rows : (string * float) list) : bool =
+  let baseline = read_baseline path in
+  Printf.printf "\n== compare vs %s ==\n" path;
+  Printf.printf "  %-36s %14s %14s %9s\n" "benchmark" "baseline ns/run"
+    "current ns/run" "speedup";
+  let regressed = ref [] in
+  List.iter
+    (fun (name, cur) ->
+      match List.assoc_opt name baseline with
+      | None -> ()
+      | Some base ->
+          let gated =
+            String.length name >= 10 && String.sub name 0 10 = "detectors/"
+          in
+          let bad = gated && cur > base *. 1.25 in
+          if bad then regressed := name :: !regressed;
+          Printf.printf "  %-36s %14.1f %14.1f %8.2fx%s\n" name base cur
+            (base /. cur)
+            (if bad then "  << REGRESSION" else ""))
+    rows;
+  (match List.rev !regressed with
+  | [] -> Printf.printf "  no detectors/* regression > 25%%\n"
+  | l ->
+      Printf.printf "  REGRESSED by > 25%%: %s\n" (String.concat ", " l));
+  !regressed = []
+
+(* ------------------------------------------------------------------ *)
 (* JSON output (hand-rolled: no JSON library in the dependency set)    *)
 (* ------------------------------------------------------------------ *)
 
@@ -453,7 +591,7 @@ let json_escape s =
   Buffer.contents b
 
 let write_json path (rows : (string * float) list) (c : corpus_timings)
-    ~ratio_index ~ratio_copy =
+    ?replicate ~ratio_index ~ratio_copy () =
   let oc = open_out path in
   let field k v = Printf.fprintf oc "    \"%s\": %s" (json_escape k) v in
   output_string oc "{\n  \"ns_per_run\": {\n";
@@ -504,7 +642,30 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
       if i > 0 then output_string oc ",\n";
       field name v)
     df;
-  output_string oc "\n  },\n  \"section_4_1\": {\n";
+  output_string oc "\n  },\n";
+  (match replicate with
+  | None -> ()
+  | Some r ->
+      output_string oc "  \"replicate\": {\n";
+      let rf =
+        [
+          ("n", string_of_int r.rep_n);
+          ("items", string_of_int r.rep_items);
+          ("sequential_s", Printf.sprintf "%.6f" r.rep_sequential_s);
+          ("parallel_s", Printf.sprintf "%.6f" r.rep_parallel_s);
+          ("domains", string_of_int r.rep_domains);
+          ("identical", string_of_bool r.rep_identical);
+          ( "speedup",
+            Printf.sprintf "%.3f" (r.rep_sequential_s /. r.rep_parallel_s) );
+        ]
+      in
+      List.iteri
+        (fun i (name, v) ->
+          if i > 0 then output_string oc ",\n";
+          field name v)
+        rf;
+      output_string oc "\n  },\n");
+  output_string oc "  \"section_4_1\": {\n";
   field "checked_over_unchecked_index" (Printf.sprintf "%.3f" ratio_index);
   output_string oc ",\n";
   field "per_element_over_memcpy_copy" (Printf.sprintf "%.3f" ratio_copy);
@@ -515,43 +676,84 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
+let arg_value flag =
+  let rec go = function
+    | a :: b :: _ when String.equal a flag -> Some b
+    | _ :: tl -> go tl
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
 let () =
   let json = Array.exists (( = ) "--json") Sys.argv in
-  (* correctness context for the ablations, then the timings *)
-  recall_summary ();
-  print_newline ();
-  let rows =
-    run_group "tables-and-figures" (table_tests @ pipeline_tests)
-    @ run_group "detectors" detector_tests
-    @ run_group "safe-vs-unsafe (4.1)" micro_tests
-    @ run_group "ablations" ablation_tests
-    @ run_group "degraded-corpus" degraded_tests
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let replicate =
+    match arg_value "--replicate" with
+    | Some s -> int_of_string s
+    | None -> 0
   in
-  let corpus = corpus_bench () in
-  print_corpus_timings corpus;
-  (* the paper's §4.1 claim: report the measured ratios directly *)
-  (* best-of-5 to damp scheduler noise on a shared single core *)
-  let time_it f =
-    let once () =
-      let t0 = Unix.gettimeofday () in
-      for _ = 1 to 500 do
-        ignore (Sys.opaque_identity (f ()))
-      done;
-      Unix.gettimeofday () -. t0
+  let compare_file = arg_value "--compare" in
+  if quick then begin
+    (* smoke mode (wired into dune runtest): exercise the bechamel
+       harness on the detector group with a tiny quota plus one cached
+       corpus pass, so the bench binary can't bit-rot *)
+    let rows = run_group ~quota:0.05 "detectors" detector_tests in
+    Rustudy.Cache.clear_programs ();
+    cached_corpus_pass ();
+    let ok =
+      match compare_file with
+      | Some f -> compare_against f rows
+      | None -> true
     in
-    List.fold_left min (once ()) (List.init 4 (fun _ -> once ()))
-  in
-  let checked = time_it safe_index_sum in
-  let unchecked = time_it unsafe_index_sum in
-  let copy_loop = time_it (fun () -> checked_copy ()) in
-  let copy_blit = time_it (fun () -> memcpy_copy ()) in
-  let ratio_index = checked /. unchecked in
-  let ratio_copy = copy_loop /. copy_blit in
-  Printf.printf
-    "\nsection 4.1 analogues: bounds-checked/unchecked index ratio = %.2fx; \
-     per-element/memcpy copy ratio = %.2fx\n"
-    ratio_index ratio_copy;
-  if json then begin
-    write_json "BENCH_results.json" rows corpus ~ratio_index ~ratio_copy;
-    print_endline "wrote BENCH_results.json"
+    print_endline "quick smoke OK";
+    if not ok then exit 1
+  end
+  else begin
+    (* correctness context for the ablations, then the timings *)
+    recall_summary ();
+    print_newline ();
+    let rows =
+      run_group "tables-and-figures" (table_tests @ pipeline_tests)
+      @ run_group "detectors" detector_tests
+      @ run_group "safe-vs-unsafe (4.1)" micro_tests
+      @ run_group "ablations" ablation_tests
+      @ run_group "degraded-corpus" degraded_tests
+    in
+    let corpus = corpus_bench () in
+    print_corpus_timings corpus;
+    let rep = if replicate > 0 then Some (replicate_bench replicate) else None in
+    Option.iter print_replicate rep;
+    (* the paper's §4.1 claim: report the measured ratios directly *)
+    (* best-of-5 to damp scheduler noise on a shared single core *)
+    let time_it f =
+      let once () =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to 500 do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        Unix.gettimeofday () -. t0
+      in
+      List.fold_left min (once ()) (List.init 4 (fun _ -> once ()))
+    in
+    let checked = time_it safe_index_sum in
+    let unchecked = time_it unsafe_index_sum in
+    let copy_loop = time_it (fun () -> checked_copy ()) in
+    let copy_blit = time_it (fun () -> memcpy_copy ()) in
+    let ratio_index = checked /. unchecked in
+    let ratio_copy = copy_loop /. copy_blit in
+    Printf.printf
+      "\nsection 4.1 analogues: bounds-checked/unchecked index ratio = %.2fx; \
+       per-element/memcpy copy ratio = %.2fx\n"
+      ratio_index ratio_copy;
+    if json then begin
+      write_json "BENCH_results.json" rows corpus ?replicate:rep ~ratio_index
+        ~ratio_copy ();
+      print_endline "wrote BENCH_results.json"
+    end;
+    let ok =
+      match compare_file with
+      | Some f -> compare_against f rows
+      | None -> true
+    in
+    if not ok then exit 1
   end

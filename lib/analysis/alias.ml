@@ -83,20 +83,29 @@ let resolve (body : Mir.body) : resolution =
               }
       | _ -> ignore i)
     body.Mir.locals;
-  let path_of_place (p : Mir.place) : t option =
-    match paths.(p.Mir.base) with
-    | Some base -> Some { base with fields = base.fields @ proj_fields p.Mir.proj }
-    | None -> None
-  in
   let changed = ref true in
-  let set l v =
-    match (paths.(l), v) with
-    | None, Some _ ->
-        paths.(l) <- v;
-        changed := true
-    | _ -> ()
+  let set_path l (v : t) =
+    paths.(l) <- Some v;
+    changed := true
+  in
+  (* all setters test [paths.(l) = None] *before* building the path:
+     once a local is resolved the fixpoint revisits its statement on
+     every remaining round, and the eager formulation re-allocated the
+     access path each time just to discard it *)
+  let set_place l (p : Mir.place) =
+    if paths.(l) = None then
+      match paths.(p.Mir.base) with
+      | Some base -> (
+          match proj_fields p.Mir.proj with
+          | [] -> set_path l base
+          | pf -> set_path l { base with fields = base.fields @ pf })
+      | None -> ()
   in
   let site_counter block idx = (block * 10000) + idx in
+  let set_site l block idx =
+    if paths.(l) = None then
+      set_path l { root = Site (site_counter block idx); fields = [] }
+  in
   while !changed do
     changed := false;
     Array.iteri
@@ -107,12 +116,10 @@ let resolve (body : Mir.body) : resolution =
             | Mir.Assign (dest, rv) when Mir.place_is_local dest -> (
                 let l = dest.Mir.base in
                 match rv with
-                | Mir.Use (Mir.Copy p | Mir.Move p) -> set l (path_of_place p)
-                | Mir.Cast ((Mir.Copy p | Mir.Move p), _) ->
-                    set l (path_of_place p)
-                | Mir.Ref (_, p) | Mir.AddrOf (_, p) -> set l (path_of_place p)
-                | Mir.Aggregate (_, _) | Mir.Alloc _ ->
-                    set l (Some { root = Site (site_counter bi si); fields = [] })
+                | Mir.Use (Mir.Copy p | Mir.Move p) -> set_place l p
+                | Mir.Cast ((Mir.Copy p | Mir.Move p), _) -> set_place l p
+                | Mir.Ref (_, p) | Mir.AddrOf (_, p) -> set_place l p
+                | Mir.Aggregate (_, _) | Mir.Alloc _ -> set_site l bi si
                 | _ -> ())
             | _ -> ())
           blk.Mir.stmts;
@@ -120,26 +127,26 @@ let resolve (body : Mir.body) : resolution =
         match blk.Mir.term with
         | Mir.Call (c, _) when Mir.place_is_local c.Mir.dest -> (
             let l = c.Mir.dest.Mir.base in
-            let arg0_path () =
+            let set_arg0 () =
               match c.Mir.args with
-              | (Mir.Copy p | Mir.Move p) :: _ -> path_of_place p
-              | _ -> None
+              | (Mir.Copy p | Mir.Move p) :: _ -> set_place l p
+              | _ -> ()
             in
             match c.Mir.callee with
             | Mir.Builtin
                 ( Mir.CtorNew _ | Mir.ChannelNew | Mir.SyncChannelNew
                 | Mir.HeapAlloc | Mir.VecFromRawParts ) ->
-                set l (Some { root = Site (site_counter bi 9999); fields = [] })
+                set_site l bi 9999
             | Mir.Builtin
                 ( Mir.CloneFn | Mir.ResultUnwrap | Mir.OptionUnwrap
                 | Mir.RefCellBorrow | Mir.RefCellBorrowMut | Mir.IntoRaw
                 | Mir.FromRaw | Mir.PtrOffset ) ->
-                set l (arg0_path ())
+                set_arg0 ()
             | Mir.Builtin
                 (Mir.MutexLock | Mir.MutexTryLock | Mir.RwRead | Mir.RwTryRead
                 | Mir.RwWrite | Mir.RwTryWrite) ->
                 (* a guard aliases its lock *)
-                set l (arg0_path ())
+                set_arg0 ()
             | _ -> ())
         | _ -> ())
       body.Mir.blocks

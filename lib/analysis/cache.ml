@@ -58,13 +58,17 @@ type stats = {
 
 type t = {
   prog : Mir.program;
+  slot_bodies : Mir.body array;
+      (** the program's bodies in [Mir.body_list] order; slot [i] of
+          each memo array below belongs to [slot_bodies.(i)]. Lookups
+          index by [Mir.body_ix] — no string hashing on the hot path. *)
   lock : Mutex.t;
-  alias_tbl : (string, Alias.resolution) Hashtbl.t;
-  pointsto_tbl : (string, Pointsto.t) Hashtbl.t;
-  storage_tbl : (string, Dataflow.IntSetFlow.result) Hashtbl.t;
+  alias_arr : Alias.resolution option array;
+  pointsto_arr : Pointsto.t option array;
+  storage_arr : Dataflow.IntSetFlow.result option array;
   mutable cg : Callgraph.t option;
-  ext_tbl : (int * string, exn) Hashtbl.t;
-      (** (key uid, fn_id) -> injected value *)
+  ext_arr : (int, exn option array) Hashtbl.t;
+      (** key uid -> per-body slot array *)
   mutable hit_count : int;
   mutable ext_memo_count : int;
   mutable rev_diags : Support.Diag.t list;
@@ -73,14 +77,18 @@ type t = {
 }
 
 let create ?(diags = []) (prog : Mir.program) : t =
+  (* body_list assigns every body its dense [body_ix] *)
+  let slot_bodies = Array.of_list (Mir.body_list prog) in
+  let n = Array.length slot_bodies in
   {
     prog;
+    slot_bodies;
     lock = Mutex.create ();
-    alias_tbl = Hashtbl.create 16;
-    pointsto_tbl = Hashtbl.create 16;
-    storage_tbl = Hashtbl.create 16;
+    alias_arr = Array.make n None;
+    pointsto_arr = Array.make n None;
+    storage_arr = Array.make n None;
     cg = None;
-    ext_tbl = Hashtbl.create 16;
+    ext_arr = Hashtbl.create 8;
     hit_count = 0;
     ext_memo_count = 0;
     rev_diags = List.rev diags;
@@ -107,34 +115,47 @@ let diags (t : t) : Support.Diag.t list =
   dedup (Support.Diag.sort ds)
 
 
+(* Slot of a body in this context, or -1 for a body that does not
+   belong to [t.prog] (then we just compute without memoizing rather
+   than alias another body's slot). *)
+let slot (t : t) (body : Mir.body) : int =
+  let ix = body.Mir.body_ix in
+  if ix >= 0 && ix < Array.length t.slot_bodies && t.slot_bodies.(ix) == body
+  then ix
+  else -1
+
 (* find-or-compute with the lock released during [compute]: the compute
    functions may themselves re-enter the context (the call graph asks
    for per-body aliases), and the mutex is not reentrant. On a race the
    first insertion wins so all callers share one result. *)
-let memo (t : t) (tbl : (string, 'a) Hashtbl.t) (key : string)
+let memo (t : t) (arr : 'a option array) (body : Mir.body)
     (compute : unit -> 'a) : 'a =
-  Mutex.lock t.lock;
-  match Hashtbl.find_opt tbl key with
-  | Some v ->
-      t.hit_count <- t.hit_count + 1;
-      Mutex.unlock t.lock;
-      v
-  | None ->
-      Mutex.unlock t.lock;
-      let v = compute () in
-      Mutex.lock t.lock;
-      let v =
-        match Hashtbl.find_opt tbl key with
-        | Some winner -> winner
-        | None ->
-            Hashtbl.replace tbl key v;
-            v
-      in
-      Mutex.unlock t.lock;
-      v
+  let ix = slot t body in
+  if ix < 0 then compute ()
+  else begin
+    Mutex.lock t.lock;
+    match arr.(ix) with
+    | Some v ->
+        t.hit_count <- t.hit_count + 1;
+        Mutex.unlock t.lock;
+        v
+    | None ->
+        Mutex.unlock t.lock;
+        let v = compute () in
+        Mutex.lock t.lock;
+        let v =
+          match arr.(ix) with
+          | Some winner -> winner
+          | None ->
+              arr.(ix) <- Some v;
+              v
+        in
+        Mutex.unlock t.lock;
+        v
+  end
 
 let aliases (t : t) (body : Mir.body) : Alias.resolution =
-  memo t t.alias_tbl body.Mir.fn_id (fun () -> Alias.resolve body)
+  memo t t.alias_arr body (fun () -> Alias.resolve body)
 
 let incomplete_warning t fn_id what =
   emit_diag t
@@ -144,14 +165,14 @@ let incomplete_warning t fn_id what =
        what fn_id (Support.Fuel.get ()))
 
 let pointsto (t : t) (body : Mir.body) : Pointsto.t =
-  memo t t.pointsto_tbl body.Mir.fn_id (fun () ->
+  memo t t.pointsto_arr body (fun () ->
       let r = Pointsto.analyze body in
       if not (Pointsto.complete r) then
         incomplete_warning t body.Mir.fn_id "points-to";
       r)
 
 let storage (t : t) (body : Mir.body) : Dataflow.IntSetFlow.result =
-  memo t t.storage_tbl body.Mir.fn_id (fun () ->
+  memo t t.storage_arr body (fun () ->
       let r = Storage.analyze body in
       if not r.Dataflow.IntSetFlow.converged then
         incomplete_warning t body.Mir.fn_id "storage-liveness";
@@ -180,35 +201,49 @@ let callgraph (t : t) : Callgraph.t =
 
 let ext (t : t) (key : 'a Ext.key) (body : Mir.body)
     ~(compute : Mir.body -> 'a) : 'a =
-  let k = (key.Ext.uid, body.Mir.fn_id) in
-  Mutex.lock t.lock;
-  match Option.bind (Hashtbl.find_opt t.ext_tbl k) key.Ext.project with
-  | Some v ->
-      t.hit_count <- t.hit_count + 1;
-      Mutex.unlock t.lock;
-      v
-  | None ->
-      Mutex.unlock t.lock;
-      let v = compute body in
-      Mutex.lock t.lock;
-      let v =
-        match Option.bind (Hashtbl.find_opt t.ext_tbl k) key.Ext.project with
-        | Some winner -> winner
-        | None ->
-            Hashtbl.replace t.ext_tbl k (key.Ext.inject v);
-            t.ext_memo_count <- t.ext_memo_count + 1;
-            v
-      in
-      Mutex.unlock t.lock;
-      v
+  let ix = slot t body in
+  if ix < 0 then compute body
+  else begin
+    Mutex.lock t.lock;
+    let arr =
+      match Hashtbl.find_opt t.ext_arr key.Ext.uid with
+      | Some a -> a
+      | None ->
+          let a = Array.make (Array.length t.slot_bodies) None in
+          Hashtbl.replace t.ext_arr key.Ext.uid a;
+          a
+    in
+    match Option.bind arr.(ix) key.Ext.project with
+    | Some v ->
+        t.hit_count <- t.hit_count + 1;
+        Mutex.unlock t.lock;
+        v
+    | None ->
+        Mutex.unlock t.lock;
+        let v = compute body in
+        Mutex.lock t.lock;
+        let v =
+          match Option.bind arr.(ix) key.Ext.project with
+          | Some winner -> winner
+          | None ->
+              arr.(ix) <- Some (key.Ext.inject v);
+              t.ext_memo_count <- t.ext_memo_count + 1;
+              v
+        in
+        Mutex.unlock t.lock;
+        v
+  end
 
 let stats (t : t) : stats =
+  let filled arr =
+    Array.fold_left (fun a -> function Some _ -> a + 1 | None -> a) 0 arr
+  in
   Mutex.lock t.lock;
   let s =
     {
-      alias_memos = Hashtbl.length t.alias_tbl;
-      pointsto_memos = Hashtbl.length t.pointsto_tbl;
-      storage_memos = Hashtbl.length t.storage_tbl;
+      alias_memos = filled t.alias_arr;
+      pointsto_memos = filled t.pointsto_arr;
+      storage_memos = filled t.storage_arr;
       callgraph_memos = (if t.cg = None then 0 else 1);
       ext_memos = t.ext_memo_count;
       hits = t.hit_count;

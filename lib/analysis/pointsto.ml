@@ -4,7 +4,15 @@
     Memory locations are local slots, statics and heap allocation
     sites. The use-after-free detector asks, at each dereference,
     whether any location a pointer may point to is storage-dead or
-    value-dropped at that point. *)
+    value-dropped at that point.
+
+    The solver is a constraint-graph worklist with difference
+    propagation (Hardekopf–Lin style, specialized to the copy/base
+    constraints this IR produces): one pass over the body builds, per
+    local, a set of *base* locations and a list of copy edges; [Loc]
+    values are interned into dense ints so the per-local sets are
+    [Support.Bitset]s; and the fixpoint propagates only the delta a
+    node gained since it was last popped, never re-scanning the body. *)
 
 open Ir
 
@@ -15,26 +23,40 @@ module Loc = struct
     | LHeap of int  (** allocation site id *)
     | LUnknown
 
-  let compare = compare
+  (* explicit structural comparator (same order as the polymorphic
+     compare it replaces: constructor order, then payload) *)
+  let compare a b =
+    match (a, b) with
+    | LLocal x, LLocal y -> Int.compare x y
+    | LLocal _, _ -> -1
+    | _, LLocal _ -> 1
+    | LStatic x, LStatic y -> String.compare x y
+    | LStatic _, _ -> -1
+    | _, LStatic _ -> 1
+    | LHeap x, LHeap y -> Int.compare x y
+    | LHeap _, _ -> -1
+    | _, LHeap _ -> 1
+    | LUnknown, LUnknown -> 0
+
+  let equal a b = compare a b = 0
 end
 
 module LocSet = Set.Make (Loc)
 
 type t = {
-  points_to : LocSet.t array;  (** per local *)
+  n_locals : int;
+  bits : Support.Bitset.t array;
+      (** per local: interned location ids; ids [< n_locals] are
+          [LLocal] ids, the rest index [others] *)
+  others : Loc.t array;  (** id [n_locals + k] -> [others.(k)] *)
+  memo : LocSet.t option array;
+      (** lazy per-local [LocSet] view, built on first [of_local].
+          Concurrent fills from several domains are benign: both
+          compute equal sets and the write is a single word. *)
   complete : bool;
       (** false when the fixpoint ran out of fuel; the sets are then a
           sound-in-use under-approximation (may miss aliases) *)
 }
-
-let empty_sets n = Array.init n (fun _ -> LocSet.empty)
-
-(* Pointee locations denoted by a place used as a borrow/addr-of source:
-   [&x] -> LLocal x; [&x.f] -> LLocal x (field-insensitive); borrowing
-   through a deref of p -> pts(p). *)
-let pointee_of_place (pts : LocSet.t array) (p : Mir.place) : LocSet.t =
-  if List.mem Mir.Deref p.Mir.proj then pts.(p.Mir.base)
-  else LocSet.singleton (Loc.LLocal p.Mir.base)
 
 let is_pointer_ty ty = Sema.Ty.is_raw_ptr ty || Sema.Ty.is_ref ty
 
@@ -44,70 +66,171 @@ let is_pointer_ty ty = Sema.Ty.is_raw_ptr ty || Sema.Ty.is_ref ty
 let runs_counter = Atomic.make 0
 let runs () = Atomic.get runs_counter
 
-(** Compute points-to sets for [body] (iterated to fixpoint). *)
+(* Worklist pops across all solves (instrumentation: the kernel tests
+   assert difference propagation does bounded work). *)
+let passes_counter = Atomic.make 0
+let passes () = Atomic.get passes_counter
+
+(** Compute points-to sets for [body] (constraint-graph worklist with
+    difference propagation). *)
 let analyze (body : Mir.body) : t =
   Atomic.incr runs_counter;
   let n = Array.length body.Mir.locals in
-  let pts = empty_sets n in
-  let heap_site bi si = (bi * 10000) + si in
-  let fuel = Support.Fuel.counter () in
-  let changed = ref true in
-  let union l s =
-    if not (LocSet.subset s pts.(l)) then begin
-      pts.(l) <- LocSet.union pts.(l) s;
-      changed := true
-    end
+  (* ---- location interning: LLocal l is id l; others allocated past
+     n. Non-local locations are rare (a handful of statics/heap sites
+     per body), so a small assoc list beats a hash table. *)
+  let others = ref [] (* (loc, id), newest first *) in
+  let n_others = ref 0 in
+  let intern (loc : Loc.t) : int =
+    match loc with
+    | Loc.LLocal l -> l
+    | _ ->
+        let rec find = function
+          | (l2, id) :: tl -> if Loc.equal l2 loc then id else find tl
+          | [] ->
+              let id = n + !n_others in
+              incr n_others;
+              others := (loc, id) :: !others;
+              id
+        in
+        find !others
   in
-  let operand_pts = function
+  (* ---- constraint construction: one pass over the body ----
+     base.(l)  : interned locations l points to directly
+     succs.(l) : copy edges l -> w (pts(l) flows into pts(w)) *)
+  let base = Array.make n Support.Bitset.empty in
+  let succs : int list array = Array.make n [] in
+  let add_base l loc = base.(l) <- Support.Bitset.add (intern loc) base.(l) in
+  let add_copy ~from ~into =
+    if from <> into then succs.(from) <- into :: succs.(from)
+  in
+  let heap_site bi si = (bi * 10000) + si in
+  (* what an operand contributes to a destination local *)
+  let operand_into l = function
     | Mir.Copy p | Mir.Move p ->
-        if Mir.place_is_local p then pts.(p.Mir.base)
+        if Mir.place_is_local p then add_copy ~from:p.Mir.base ~into:l
         else if List.mem Mir.Deref p.Mir.proj then
           (* reading a pointer through a pointer: unknown *)
-          LocSet.singleton Loc.LUnknown
-        else pts.(p.Mir.base)
-    | Mir.Const _ -> LocSet.empty
+          add_base l Loc.LUnknown
+        else add_copy ~from:p.Mir.base ~into:l
+    | Mir.Const _ -> ()
   in
-  while !changed && Support.Fuel.burn fuel do
-    changed := false;
-    Array.iteri
-      (fun bi (blk : Mir.block) ->
-        List.iteri
-          (fun si (s : Mir.stmt) ->
-            match s.Mir.kind with
-            | Mir.Assign (dest, rv) when Mir.place_is_local dest -> (
-                let l = dest.Mir.base in
-                match rv with
-                | Mir.Ref (_, p) | Mir.AddrOf (_, p) ->
-                    union l (pointee_of_place pts p)
-                | Mir.Use op | Mir.Cast (op, _) -> union l (operand_pts op)
-                | Mir.Alloc _ ->
-                    union l (LocSet.singleton (Loc.LHeap (heap_site bi si)))
-                | Mir.Aggregate (_, ops) ->
-                    (* an aggregate containing pointers: approximate the
-                       aggregate local as pointing wherever they do *)
-                    List.iter (fun op -> union l (operand_pts op)) ops
-                | Mir.BinaryOp _ | Mir.UnaryOp _ | Mir.Discriminant _ -> ())
-            | _ -> ())
-          blk.Mir.stmts;
-        match blk.Mir.term with
-        | Mir.Call (c, _) when Mir.place_is_local c.Mir.dest -> (
-            let l = c.Mir.dest.Mir.base in
-            let arg0 () =
-              match c.Mir.args with a :: _ -> operand_pts a | [] -> LocSet.empty
-            in
-            match c.Mir.callee with
-            | Mir.Builtin (Mir.PtrOffset | Mir.IntoRaw | Mir.FromRaw) ->
-                union l (arg0 ())
-            | Mir.Builtin (Mir.HeapAlloc | Mir.CtorNew _) ->
-                union l (LocSet.singleton (Loc.LHeap (heap_site bi 9999)))
-            | Mir.Builtin Mir.PtrNull -> ()
-            | Mir.Builtin (Mir.Extern _) when is_pointer_ty c.Mir.dest_ty ->
-                union l (LocSet.singleton Loc.LUnknown)
-            | _ -> ())
-        | _ -> ())
-      body.Mir.blocks
+  (* pointee locations of a borrow/addr-of source: [&x] -> LLocal x
+     ([&x.f] field-insensitively); borrowing through a deref of p ->
+     pts(p) *)
+  let pointee_into l (p : Mir.place) =
+    if List.mem Mir.Deref p.Mir.proj then add_copy ~from:p.Mir.base ~into:l
+    else add_base l (Loc.LLocal p.Mir.base)
+  in
+  Array.iteri
+    (fun bi (blk : Mir.block) ->
+      List.iteri
+        (fun si (s : Mir.stmt) ->
+          match s.Mir.kind with
+          | Mir.Assign (dest, rv) when Mir.place_is_local dest -> (
+              let l = dest.Mir.base in
+              match rv with
+              | Mir.Ref (_, p) | Mir.AddrOf (_, p) -> pointee_into l p
+              | Mir.Use op | Mir.Cast (op, _) -> operand_into l op
+              | Mir.Alloc _ -> add_base l (Loc.LHeap (heap_site bi si))
+              | Mir.Aggregate (_, ops) ->
+                  (* an aggregate containing pointers: approximate the
+                     aggregate local as pointing wherever they do *)
+                  List.iter (operand_into l) ops
+              | Mir.BinaryOp _ | Mir.UnaryOp _ | Mir.Discriminant _ -> ())
+          | _ -> ())
+        blk.Mir.stmts;
+      match blk.Mir.term with
+      | Mir.Call (c, _) when Mir.place_is_local c.Mir.dest -> (
+          let l = c.Mir.dest.Mir.base in
+          let arg0 () =
+            match c.Mir.args with a :: _ -> operand_into l a | [] -> ()
+          in
+          match c.Mir.callee with
+          | Mir.Builtin (Mir.PtrOffset | Mir.IntoRaw | Mir.FromRaw) -> arg0 ()
+          | Mir.Builtin (Mir.HeapAlloc | Mir.CtorNew _) ->
+              add_base l (Loc.LHeap (heap_site bi 9999))
+          | Mir.Builtin Mir.PtrNull -> ()
+          | Mir.Builtin (Mir.Extern _) when is_pointer_ty c.Mir.dest_ty ->
+              add_base l Loc.LUnknown
+          | _ -> ())
+      | _ -> ())
+    body.Mir.blocks;
+  (* ---- difference-propagation solve ----
+     pts is the full solution so far; delta the not-yet-propagated
+     growth of each node. Popping a node forwards only its delta. *)
+  let seeded = ref [] in
+  for l = n - 1 downto 0 do
+    if not (Support.Bitset.is_empty base.(l)) then seeded := l :: !seeded
   done;
-  { points_to = pts; complete = not (Support.Fuel.exhausted fuel) }
+  let seeded = !seeded in
+  let pts = base in
+  let complete =
+    if seeded = [] then true
+    else begin
+      let delta = Array.make n Support.Bitset.empty in
+      let in_worklist = Array.make n false in
+      let worklist = Queue.create () in
+      let push l =
+        if not in_worklist.(l) then begin
+          in_worklist.(l) <- true;
+          Queue.add l worklist
+        end
+      in
+      List.iter
+        (fun l ->
+          delta.(l) <- pts.(l);
+          push l)
+        seeded;
+      let fuel = Support.Fuel.counter () in
+      let solver_passes = ref 0 in
+      while (not (Queue.is_empty worklist)) && Support.Fuel.burn fuel do
+        incr solver_passes;
+        let l = Queue.pop worklist in
+        in_worklist.(l) <- false;
+        let d = delta.(l) in
+        delta.(l) <- Support.Bitset.empty;
+        List.iter
+          (fun w ->
+            let fresh = Support.Bitset.diff d pts.(w) in
+            if not (Support.Bitset.is_empty fresh) then begin
+              pts.(w) <- Support.Bitset.union pts.(w) fresh;
+              delta.(w) <- Support.Bitset.union delta.(w) fresh;
+              push w
+            end)
+          succs.(l)
+      done;
+      Atomic.fetch_and_add passes_counter !solver_passes |> ignore;
+      Queue.is_empty worklist
+    end
+  in
+  let others_arr = Array.make !n_others Loc.LUnknown in
+  List.iter (fun (loc, id) -> others_arr.(id - n) <- loc) !others;
+  {
+    n_locals = n;
+    bits = pts;
+    others = others_arr;
+    memo = Array.make n None;
+    complete;
+  }
 
-let of_local (t : t) (l : Mir.local) = t.points_to.(l)
+(* the LocSet view is built lazily per local: detectors touch only the
+   locals that are actually dereferenced *)
+let of_local (t : t) (l : Mir.local) =
+  match t.memo.(l) with
+  | Some s -> s
+  | None ->
+      let s =
+        Support.Bitset.fold
+          (fun id acc ->
+            LocSet.add
+              (if id < t.n_locals then Loc.LLocal id
+               else t.others.(id - t.n_locals))
+              acc)
+          t.bits.(l) LocSet.empty
+      in
+      t.memo.(l) <- Some s;
+      s
+
+let pointee_bits (t : t) (l : Mir.local) = t.bits.(l)
 let complete (t : t) = t.complete

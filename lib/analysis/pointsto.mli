@@ -13,6 +13,7 @@ module Loc : sig
     | LUnknown
 
   val compare : t -> t -> int
+  val equal : t -> t -> bool
 end
 
 module LocSet : Set.S with type elt = Loc.t
@@ -22,6 +23,12 @@ type t
 val analyze : Mir.body -> t
 val of_local : t -> Mir.local -> LocSet.t
 
+val pointee_bits : t -> Mir.local -> Support.Bitset.t
+(** Raw interned pointee ids of a local: ids below the body's local
+    count are [LLocal] ids, the rest denote statics/heap/unknown.
+    Intersecting with a bitset of local ids therefore yields exactly
+    the local pointees — the use-after-free hot path relies on this. *)
+
 val complete : t -> bool
 (** [false] when the fixpoint stopped because the [Support.Fuel] budget
     ran out; the points-to sets are then an under-approximation. *)
@@ -29,3 +36,8 @@ val complete : t -> bool
 val runs : unit -> int
 (** Total [analyze] invocations in this process (instrumentation for
     the analysis-cache tests and benches). *)
+
+val passes : unit -> int
+(** Total solver worklist pops across all [analyze] invocations in this
+    process (instrumentation: the kernel tests assert the
+    difference-propagation worklist does bounded work). *)

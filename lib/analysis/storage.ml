@@ -27,13 +27,46 @@ let transfer_term (state : IntSet.t) (t : Mir.terminator) : IntSet.t =
       IntSet.remove c.Mir.dest.Mir.base state
   | _ -> state
 
+(* Word-level images of the transfers, for the specialized kernel
+   (must mirror [transfer_stmt]/[transfer_term] exactly; the kernel
+   differential tests check them against each other). *)
+let word_stmt (state : int) (s : Mir.stmt) : int =
+  match s.Mir.kind with
+  | Mir.StorageDead l -> state lor (1 lsl l)
+  | Mir.Drop p when Mir.place_is_local p -> state lor (1 lsl p.Mir.base)
+  | Mir.StorageLive l -> state land lnot (1 lsl l)
+  | Mir.Assign (p, _) when Mir.place_is_local p ->
+      state land lnot (1 lsl p.Mir.base)
+  | _ -> state
+
+let word_term (state : int) (t : Mir.terminator) : int =
+  match t with
+  | Mir.Call (c, _) when Mir.place_is_local c.Mir.dest ->
+      state land lnot (1 lsl c.Mir.dest.Mir.base)
+  | _ -> state
+
 (* Invocation counter (instrumentation for the cache tests/benches). *)
 let runs_counter = Atomic.make 0
 let runs () = Atomic.get runs_counter
 
 let analyze (body : Mir.body) : Flow.result =
   Atomic.incr runs_counter;
-  Flow.run body ~init:IntSet.empty ~transfer_stmt ~transfer_term
+  if Array.length body.Mir.locals <= Support.Bitset.word_bits then begin
+    (* every local id fits one machine word: run the zero-allocation
+       kernel and lift the per-block words back into bitsets *)
+    let w =
+      Dataflow.Word.run body ~init:0 ~transfer_stmt:word_stmt
+        ~transfer_term:word_term
+    in
+    {
+      Flow.entry = Array.map Support.Bitset.of_word w.Dataflow.Word.entry;
+      exit_ = Array.map Support.Bitset.of_word w.Dataflow.Word.exit_;
+      converged = w.Dataflow.Word.converged;
+      passes = w.Dataflow.Word.passes;
+      reachable = w.Dataflow.Word.reachable;
+    }
+  end
+  else Flow.run body ~init:IntSet.empty ~transfer_stmt ~transfer_term
 
 (** Iterate all statements/terminators with the invalid-set before each. *)
 let iter (body : Mir.body) (r : Flow.result)

@@ -9,6 +9,13 @@ module IntSet = Dataflow.IntSet
 val transfer_stmt : IntSet.t -> Mir.stmt -> IntSet.t
 val transfer_term : IntSet.t -> Mir.terminator -> IntSet.t
 
+val word_stmt : int -> Mir.stmt -> int
+val word_term : int -> Mir.terminator -> int
+(** Word-level images of the transfers for bodies whose local ids all
+    fit one machine word (exact mirrors of
+    [transfer_stmt]/[transfer_term]; the kernel differential tests
+    check them against each other). *)
+
 val analyze : Mir.body -> Dataflow.IntSetFlow.result
 
 val runs : unit -> int

@@ -63,8 +63,8 @@ let operand_place = function
 
 (** Identify lock acquisitions and track which locals hold each guard
     (through unwrap, moves and Condvar::wait round-trips). *)
-let collect_locks (aliases : Analysis.Alias.resolution) (body : Mir.body) :
-    body_locks =
+let collect_locks_lazy (aliases : Analysis.Alias.resolution Lazy.t)
+    (body : Mir.body) : body_locks =
   let t =
     {
       acquisitions = Hashtbl.create 8;
@@ -73,9 +73,9 @@ let collect_locks (aliases : Analysis.Alias.resolution) (body : Mir.body) :
     }
   in
   let next_id = ref 0 in
-  (* iterate a few times so holder chains crossing block boundaries in
-     any order are found *)
-  for _pass = 0 to 1 do
+  (* iterated so holder chains crossing block boundaries in any order
+     are found *)
+  let scan () =
     Array.iteri
       (fun bi (blk : Mir.block) ->
         List.iter
@@ -103,7 +103,9 @@ let collect_locks (aliases : Analysis.Alias.resolution) (body : Mir.body) :
                         match c.Mir.args with
                         | op :: _ -> (
                             match operand_place op with
-                            | Some p -> Analysis.Alias.path_of_place aliases p
+                            | Some p ->
+                                Analysis.Alias.path_of_place
+                                  (Lazy.force aliases) p
                             | None -> Analysis.Alias.unknown)
                         | [] -> Analysis.Alias.unknown
                       in
@@ -147,52 +149,118 @@ let collect_locks (aliases : Analysis.Alias.resolution) (body : Mir.body) :
             | _ -> ())
         | _ -> ())
       body.Mir.blocks
-  done;
+  in
+  (* Terminator-only prescan: most bodies acquire no lock at all, and
+     then the statement-level holder chase has nothing to find (holders
+     are only ever seeded from an acquisition's destination). *)
+  let has_lock_call =
+    Array.exists
+      (fun (blk : Mir.block) ->
+        match blk.Mir.term with
+        | Mir.Call (c, _) -> (
+            match c.Mir.callee with
+            | Mir.Builtin b -> lock_kind_of_builtin b <> None
+            | _ -> false)
+        | _ -> false)
+      body.Mir.blocks
+  in
+  if has_lock_call then begin
+    scan ();
+    (* the second pass resolves holder chains crossing block
+       boundaries in any order *)
+    scan ()
+  end;
   t
+
+let collect_locks (aliases : Analysis.Alias.resolution) (body : Mir.body) :
+    body_locks =
+  collect_locks_lazy (lazy aliases) body
 
 (* Dataflow over held acquisition ids. *)
 let held_analysis (body : Mir.body) (locks : body_locks) : Flow.result =
-  let transfer_stmt state (s : Mir.stmt) =
-    match s.Mir.kind with
-    | Mir.Drop p when Mir.place_is_local p -> (
-        match Hashtbl.find_opt locks.holders p.Mir.base with
-        | Some a -> IntSet.remove a state
-        | None -> state)
-    | _ -> state
+  if Hashtbl.length locks.acquisitions = 0 then begin
+    (* no acquisitions: the fixpoint is identically empty; skip the
+       kernel and return it directly *)
+    let cfg = Analysis.Dataflow.cfg_of body in
+    let n = Array.length body.Mir.blocks in
+    {
+      Flow.entry = Array.make n IntSet.empty;
+      exit_ = Array.make n IntSet.empty;
+      converged = true;
+      passes = 0;
+      reachable = cfg.Mir.cfg_reachable;
+    }
+  end
+  else begin
+  (* gen at lock-call terminators: the transfer function doesn't see
+     block ids, so recognize the acquiring call by physical identity
+     (acquisitions per body are few, so a small assoc list beats
+     hashing the call span) *)
+  let acq_calls =
+    let acc = ref [] in
+    Array.iteri
+      (fun bi (blk : Mir.block) ->
+        match (blk.Mir.term, Hashtbl.find_opt locks.acq_at_term bi) with
+        | Mir.Call (c, _), Some a -> acc := (c, a) :: !acc
+        | _ -> ())
+      body.Mir.blocks;
+    !acc
   in
-  let transfer_term state = function
-    | Mir.Call (_, _) as term -> (
-        (* gen at lock-call terminators *)
-        match term with
-        | Mir.Call (_, _) -> state
-        | _ -> state)
-    | _ -> state
+  let acq_of_call (c : Mir.call) =
+    let rec go = function
+      | [] -> -1
+      | (c2, a) :: tl -> if c2 == c then a else go tl
+    in
+    go acq_calls
   in
-  (* terminator gen must know the block id; run manually by augmenting
-     with a per-block wrapper *)
-  ignore transfer_term;
-  let module F = Analysis.Dataflow.IntSetFlow in
-  (* We inline the gen-at-term by post-processing: F.run with custom
-     term transfer that looks the block up by matching the unique call
-     span. Simpler: encode the acquisition id in the terminator lookup
-     table keyed by physical equality of the call. *)
-  let term_to_block = Hashtbl.create 8 in
-  Array.iteri
-    (fun bi (blk : Mir.block) ->
-      match blk.Mir.term with
-      | Mir.Call (c, _) -> Hashtbl.replace term_to_block c.Mir.call_span bi
-      | _ -> ())
-    body.Mir.blocks;
-  F.run body ~init:IntSet.empty ~transfer_stmt ~transfer_term:(fun state term ->
-      match term with
-      | Mir.Call (c, _) -> (
-          match Hashtbl.find_opt term_to_block c.Mir.call_span with
-          | Some bi -> (
-              match Hashtbl.find_opt locks.acq_at_term bi with
-              | Some a -> IntSet.add a state
-              | None -> state)
+  if Hashtbl.length locks.acquisitions <= Support.Bitset.word_bits then begin
+    (* acquisition ids fit one machine word: zero-allocation kernel *)
+    let word_stmt state (s : Mir.stmt) =
+      match s.Mir.kind with
+      | Mir.Drop p when Mir.place_is_local p -> (
+          match Hashtbl.find_opt locks.holders p.Mir.base with
+          | Some a -> state land lnot (1 lsl a)
           | None -> state)
-      | _ -> state)
+      | _ -> state
+    in
+    let word_term state (term : Mir.terminator) =
+      match term with
+      | Mir.Call (c, _) ->
+          let a = acq_of_call c in
+          if a >= 0 then state lor (1 lsl a) else state
+      | _ -> state
+    in
+    let w =
+      Analysis.Dataflow.Word.run body ~init:0 ~transfer_stmt:word_stmt
+        ~transfer_term:word_term
+    in
+    {
+      Flow.entry =
+        Array.map Support.Bitset.of_word w.Analysis.Dataflow.Word.entry;
+      exit_ = Array.map Support.Bitset.of_word w.Analysis.Dataflow.Word.exit_;
+      converged = w.Analysis.Dataflow.Word.converged;
+      passes = w.Analysis.Dataflow.Word.passes;
+      reachable = w.Analysis.Dataflow.Word.reachable;
+    }
+  end
+  else begin
+    let transfer_stmt state (s : Mir.stmt) =
+      match s.Mir.kind with
+      | Mir.Drop p when Mir.place_is_local p -> (
+          match Hashtbl.find_opt locks.holders p.Mir.base with
+          | Some a -> IntSet.remove a state
+          | None -> state)
+      | _ -> state
+    in
+    Flow.run body ~init:IntSet.empty ~transfer_stmt
+      ~transfer_term:(fun state term ->
+        match term with
+        | Mir.Call (c, _) ->
+            let a = acq_of_call c in
+            if a >= 0 then IntSet.add a state else state
+        | _ -> state)
+  end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Per-body memo (shared with atomicity, lock-order, lock-scope)       *)
@@ -208,7 +276,9 @@ let locks_key : (body_locks * Flow.result) Analysis.Cache.Ext.key =
 let locks_of (ctx : Analysis.Cache.t) (body : Mir.body) :
     body_locks * Flow.result =
   Analysis.Cache.ext ctx locks_key body ~compute:(fun b ->
-      let locks = collect_locks (Analysis.Cache.aliases ctx b) b in
+      (* aliases forced only when the prescan finds a lock call, so
+         lockless bodies never pay for alias resolution here *)
+      let locks = collect_locks_lazy (lazy (Analysis.Cache.aliases ctx b)) b in
       (locks, held_analysis b locks))
 
 (* ------------------------------------------------------------------ *)
@@ -263,13 +333,43 @@ let exportable (e : summary_entry) =
 let compute_summaries (ctx : Analysis.Cache.t) : summaries =
   let tbl : summaries = Hashtbl.create 16 in
   let bodies = Mir.body_list (Analysis.Cache.program ctx) in
+  let locks_by_body =
+    List.map (fun (b : Mir.body) -> (b, fst (locks_of ctx b))) bodies
+  in
+  if
+    (* no acquisition anywhere: every summary is empty, and an absent
+       entry reads the same as an empty one — skip the call-site
+       resolution and the fixpoint rounds entirely *)
+    List.for_all
+      (fun (_, (l : body_locks)) -> Hashtbl.length l.acquisitions = 0)
+      locks_by_body
+  then tbl
+  else begin
+  (* per body, resolve the aliases/locks/call-site list once — the
+     rounds below revisit them but never change them (the method-name
+     concatenation in [callee_id] in particular should not be redone
+     per round) *)
   let cached =
     List.map
-      (fun (b : Mir.body) ->
-        (b, Analysis.Cache.aliases ctx b, fst (locks_of ctx b)))
-      bodies
+      (fun ((b : Mir.body), locks) ->
+        let calls =
+          (* ascending block order, so the fold below rebuilds the
+             summary list in the same order as the per-round walk did *)
+          List.rev
+            (Array.fold_left
+               (fun acc (blk : Mir.block) ->
+                 match blk.Mir.term with
+                 | Mir.Call (c, _) -> (
+                     match callee_id c.Mir.callee with
+                     | Some f -> (f, c) :: acc
+                     | None -> acc)
+                 | _ -> acc)
+               [] b.Mir.blocks)
+        in
+        (b, lazy (Analysis.Cache.aliases ctx b), locks, calls))
+      locks_by_body
   in
-  List.iter (fun ((b : Mir.body), _, _) -> Hashtbl.replace tbl b.Mir.fn_id [])
+  List.iter (fun ((b : Mir.body), _, _, _) -> Hashtbl.replace tbl b.Mir.fn_id [])
     cached;
   let changed = ref true in
   let rounds = ref 0 in
@@ -277,7 +377,7 @@ let compute_summaries (ctx : Analysis.Cache.t) : summaries =
     incr rounds;
     changed := false;
     List.iter
-      (fun ((b : Mir.body), aliases, locks) ->
+      (fun ((b : Mir.body), aliases, locks, calls) ->
         let direct =
           Hashtbl.fold
             (fun _ a acc ->
@@ -288,19 +388,14 @@ let compute_summaries (ctx : Analysis.Cache.t) : summaries =
             locks.acquisitions []
         in
         let from_calls =
-          Array.fold_left
-            (fun acc (blk : Mir.block) ->
-              match blk.Mir.term with
-              | Mir.Call (c, _) -> (
-                  match callee_id c.Mir.callee with
-                  | Some f -> (
-                      match Hashtbl.find_opt tbl f with
-                      | Some entries ->
-                          List.map (substitute_entry aliases c) entries @ acc
-                      | None -> acc)
-                  | None -> acc)
+          List.fold_left
+            (fun acc (f, c) ->
+              match Hashtbl.find_opt tbl f with
+              | Some entries when entries <> [] ->
+                  List.map (substitute_entry (Lazy.force aliases) c) entries
+                  @ acc
               | _ -> acc)
-            [] b.Mir.blocks
+            [] calls
         in
         let all = List.filter exportable (direct @ from_calls) in
         let cur = Hashtbl.find tbl b.Mir.fn_id in
@@ -311,6 +406,7 @@ let compute_summaries (ctx : Analysis.Cache.t) : summaries =
       cached
   done;
   tbl
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Detection                                                           *)
@@ -321,7 +417,9 @@ let root_known (r : Analysis.Alias.t) =
 
 let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
     (body : Mir.body) : Report.finding list =
-  let aliases = Analysis.Cache.aliases ctx body in
+  (* forced only on the inter-procedural path below, which most bodies
+     (no guard held at any call) never reach *)
+  let aliases = lazy (Analysis.Cache.aliases ctx body) in
   let locks, held = locks_of ctx body in
   let findings = ref [] in
   let held_accs state =
@@ -335,7 +433,10 @@ let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
   Array.iteri
     (fun bi (blk : Mir.block) ->
       match blk.Mir.term with
-      | Mir.Call (c, _) -> (
+      (* a conflict needs a guard already held on entry: the statement
+         replay only removes ids, so an empty entry set means nothing
+         can be held at the terminator — skip the block *)
+      | Mir.Call (c, _) when not (IntSet.is_empty held.Flow.entry.(bi)) -> (
           (* state before the terminator *)
           let state =
             List.fold_left
@@ -380,7 +481,7 @@ let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
               | Some entries ->
                   List.iter
                     (fun e ->
-                      let e = substitute_entry aliases c e in
+                      let e = substitute_entry (Lazy.force aliases) c e in
                       if root_known e.se_root then
                         List.iter
                           (fun h ->

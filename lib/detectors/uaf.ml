@@ -12,6 +12,7 @@
 
 open Ir
 module IntSet = Analysis.Dataflow.IntSet
+module Flow = Analysis.Dataflow.IntSetFlow
 module Loc = Analysis.Pointsto.Loc
 module LocSet = Analysis.Pointsto.LocSet
 
@@ -40,13 +41,16 @@ let operand_place = function
    removes the evaluation's three false positives but also misses the
    Fig. 7 CVE (the ablation bench measures both sides). *)
 let direct_derefs ?(assume_extern_derefs = true)
-    (aliases : Analysis.Alias.resolution) (body : Mir.body) :
+    (aliases : Analysis.Alias.resolution Lazy.t) (body : Mir.body) :
     IntSet.t * (string * int * int) list =
   let direct = ref IntSet.empty in
   let oblig = ref [] in
   let note_place (p : Mir.place) =
     if place_derefs_base p then begin
-      match (Analysis.Alias.path_of aliases p.Mir.base).Analysis.Alias.root with
+      match
+        (Analysis.Alias.path_of (Lazy.force aliases) p.Mir.base)
+          .Analysis.Alias.root
+      with
       | Analysis.Alias.Param i -> direct := IntSet.add i !direct
       | _ -> ()
     end
@@ -90,7 +94,8 @@ let direct_derefs ?(assume_extern_derefs = true)
                     match operand_place op with
                     | Some p -> (
                         match
-                          (Analysis.Alias.path_of aliases p.Mir.base)
+                          (Analysis.Alias.path_of (Lazy.force aliases)
+                             p.Mir.base)
                             .Analysis.Alias.root
                         with
                         | Analysis.Alias.Param i ->
@@ -107,7 +112,8 @@ let direct_derefs ?(assume_extern_derefs = true)
                     | Some p
                       when Sema.Ty.is_raw_ptr (Mir.local_ty body p.Mir.base) -> (
                         match
-                          (Analysis.Alias.path_of aliases p.Mir.base)
+                          (Analysis.Alias.path_of (Lazy.force aliases)
+                             p.Mir.base)
                             .Analysis.Alias.root
                         with
                         | Analysis.Alias.Param i ->
@@ -140,7 +146,13 @@ let compute_summaries ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
   let per_body =
     List.map
       (fun b ->
-        (b, direct_derefs ~assume_extern_derefs (Analysis.Cache.aliases ctx b) b))
+        (* aliases are forced only when the body actually dereferences
+           something (or passes raw pointers to FFI) — most bodies never
+           pay for alias resolution here *)
+        ( b,
+          direct_derefs ~assume_extern_derefs
+            (lazy (Analysis.Cache.aliases ctx b))
+            b ))
       (Mir.body_list (Analysis.Cache.program ctx))
   in
   List.iter
@@ -190,18 +202,21 @@ let callee_derefs_arg ?(assume_extern_derefs = true) (summaries : summaries)
 
 let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
     (summaries : summaries) (body : Mir.body) : Report.finding list =
+  (* Every check below fires only on a dereference of a raw-pointer- or
+     reference-typed base, so a body without a single pointer-typed
+     local cannot report — skip it before paying for its points-to and
+     storage analyses. *)
+  if
+    not
+      (Array.exists
+         (fun (li : Mir.local_info) ->
+           Sema.Ty.is_raw_ptr li.Mir.l_ty || Sema.Ty.is_ref li.Mir.l_ty)
+         body.Mir.locals)
+  then []
+  else begin
   let pts = Analysis.Cache.pointsto ctx body in
   let invalid = Analysis.Cache.storage ctx body in
   let findings = ref [] in
-  let dead_pointees (state : IntSet.t) (l : Mir.local) : Mir.local list =
-    LocSet.fold
-      (fun loc acc ->
-        match loc with
-        | Loc.LLocal tgt when IntSet.mem tgt state -> tgt :: acc
-        | _ -> acc)
-      (Analysis.Pointsto.of_local pts l)
-      []
-  in
   let report ~span ~target l =
     let name =
       match body.Mir.locals.(target).Mir.l_name with
@@ -215,25 +230,41 @@ let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
         l name
       :: !findings
   in
-  (* a place dereferencing a pointer-typed base *)
-  let check_place state span (p : Mir.place) =
-    let base_ty = Mir.local_ty body p.Mir.base in
-    if
-      (match p.Mir.proj with Mir.Deref :: _ -> true | _ -> false)
-      && (Sema.Ty.is_raw_ptr base_ty || Sema.Ty.is_ref base_ty)
-    then
-      match dead_pointees state p.Mir.base with
-      | tgt :: _ -> report ~span ~target:tgt p.Mir.base
-      | [] -> ()
-  in
-  let check_operand state span op =
-    match op with
-    | Mir.Copy p | Mir.Move p -> check_place state span p
-    | Mir.Const _ -> ()
-  in
-  Analysis.Storage.iter body invalid ~f:(fun ~block:_ state ev ->
-      match ev with
-      | `Stmt { Mir.kind = Mir.Assign (dest, rv); s_span; _ } -> (
+  if Array.length body.Mir.locals <= Support.Bitset.word_bits then begin
+    (* ---- word kernel path (every realistic body): the invalid-set is
+       replayed as one unboxed machine word, and the dead-pointee test
+       is a single [land] against the first word of the points-to set —
+       interned pointee ids below the local count are exactly the
+       [LLocal] ids, so the intersection keeps only dead locals. The
+       reported pointee is the max id, matching the element the
+       original LocSet-fold formulation surfaced first. *)
+    let dead_pointee (state : int) (l : Mir.local) : Mir.local option =
+      let d =
+        state land Support.Bitset.word0 (Analysis.Pointsto.pointee_bits pts l)
+      in
+      if d = 0 then None else Some (Support.Bitset.msb d)
+    in
+    (* test the projection first: almost no places project through a
+       Deref, and the type lookups are the expensive half of the test *)
+    let check_place state span (p : Mir.place) =
+      match p.Mir.proj with
+      | Mir.Deref :: _ -> (
+          let base_ty = Mir.local_ty body p.Mir.base in
+          if Sema.Ty.is_raw_ptr base_ty || Sema.Ty.is_ref base_ty then
+            match dead_pointee state p.Mir.base with
+            | Some tgt -> report ~span ~target:tgt p.Mir.base
+            | None -> ())
+      | _ -> ()
+    in
+    let check_operand state span op =
+      match op with
+      | Mir.Copy p | Mir.Move p -> check_place state span p
+      | Mir.Const _ -> ()
+    in
+    let check_stmt state (s : Mir.stmt) =
+      match s.Mir.kind with
+      | Mir.Assign (dest, rv) -> (
+          let s_span = s.Mir.s_span in
           check_place state s_span dest;
           match rv with
           | Mir.Use op | Mir.Cast (op, _) | Mir.UnaryOp (_, op) ->
@@ -241,19 +272,23 @@ let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
           | Mir.BinaryOp (_, a, b) ->
               check_operand state s_span a;
               check_operand state s_span b
-          | Mir.Aggregate (_, ops) -> List.iter (check_operand state s_span) ops
+          | Mir.Aggregate (_, ops) ->
+              List.iter (check_operand state s_span) ops
           | Mir.Ref (_, p) | Mir.AddrOf (_, p) ->
               if List.mem Mir.Deref p.Mir.proj then check_place state s_span p
           | Mir.Discriminant _ | Mir.Alloc _ -> ())
-      | `Stmt _ -> ()
-      | `Term (Mir.Call (c, _)) ->
+      | _ -> ()
+    in
+    let check_term state (t : Mir.terminator) =
+      match t with
+      | Mir.Call (c, _) ->
           List.iteri
             (fun ai op ->
               match op with
               | Mir.Copy p | Mir.Move p ->
                   check_place state c.Mir.call_span p;
-                  (* passing a pointer to dead memory into a callee that
-                     dereferences it *)
+                  (* passing a pointer to dead memory into a callee
+                     that dereferences it *)
                   if
                     Mir.place_is_local p
                     && Sema.Ty.is_raw_ptr (Mir.local_ty body p.Mir.base)
@@ -261,15 +296,135 @@ let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
                          c.Mir.callee ai
                          (Mir.local_ty body p.Mir.base)
                   then begin
-                    match dead_pointees state p.Mir.base with
-                    | tgt :: _ ->
+                    match dead_pointee state p.Mir.base with
+                    | Some tgt ->
                         report ~span:c.Mir.call_span ~target:tgt p.Mir.base
-                    | [] -> ()
+                    | None -> ()
                   end
               | Mir.Const _ -> ())
             c.Mir.args
-      | `Term _ -> ());
+      | _ -> ()
+    in
+    (* skip blocks that cannot report: the transfers only *add* locals
+       (at StorageDead and Drop), so a block with an empty entry word
+       and neither statement kind keeps an empty state throughout *)
+    Array.iteri
+      (fun i (blk : Mir.block) ->
+        let entry = Support.Bitset.word0 invalid.Flow.entry.(i) in
+        if
+          entry <> 0
+          || List.exists
+               (fun (s : Mir.stmt) ->
+                 match s.Mir.kind with
+                 | Mir.StorageDead _ | Mir.Drop _ -> true
+                 | _ -> false)
+               blk.Mir.stmts
+        then begin
+          let state = ref entry in
+          List.iter
+            (fun s ->
+              check_stmt !state s;
+              state := Analysis.Storage.word_stmt !state s)
+            blk.Mir.stmts;
+          check_term !state blk.Mir.term
+        end)
+      body.Mir.blocks
+  end
+  else begin
+  (* ---- generic bitset path (bodies with more locals than fit one
+     word); must mirror the word path above — the kernel differential
+     tests hold the two to the same findings *)
+  let dead_pointee (state : IntSet.t) (l : Mir.local) : Mir.local option =
+    Support.Bitset.max_elt_opt
+      (Support.Bitset.inter state (Analysis.Pointsto.pointee_bits pts l))
+  in
+  let check_place state span (p : Mir.place) =
+    match p.Mir.proj with
+    | Mir.Deref :: _ -> (
+        let base_ty = Mir.local_ty body p.Mir.base in
+        if Sema.Ty.is_raw_ptr base_ty || Sema.Ty.is_ref base_ty then
+          match dead_pointee state p.Mir.base with
+          | Some tgt -> report ~span ~target:tgt p.Mir.base
+          | None -> ())
+    | _ -> ()
+  in
+  let check_operand state span op =
+    match op with
+    | Mir.Copy p | Mir.Move p -> check_place state span p
+    | Mir.Const _ -> ()
+  in
+  let check_stmt state (s : Mir.stmt) =
+    match s.Mir.kind with
+    | Mir.Assign (dest, rv) -> (
+        let s_span = s.Mir.s_span in
+        check_place state s_span dest;
+        match rv with
+        | Mir.Use op | Mir.Cast (op, _) | Mir.UnaryOp (_, op) ->
+            check_operand state s_span op
+        | Mir.BinaryOp (_, a, b) ->
+            check_operand state s_span a;
+            check_operand state s_span b
+        | Mir.Aggregate (_, ops) -> List.iter (check_operand state s_span) ops
+        | Mir.Ref (_, p) | Mir.AddrOf (_, p) ->
+            if List.mem Mir.Deref p.Mir.proj then check_place state s_span p
+        | Mir.Discriminant _ | Mir.Alloc _ -> ())
+    | _ -> ()
+  in
+  let check_term state (t : Mir.terminator) =
+    match t with
+    | Mir.Call (c, _) ->
+        List.iteri
+          (fun ai op ->
+            match op with
+            | Mir.Copy p | Mir.Move p ->
+                check_place state c.Mir.call_span p;
+                (* passing a pointer to dead memory into a callee that
+                   dereferences it *)
+                if
+                  Mir.place_is_local p
+                  && Sema.Ty.is_raw_ptr (Mir.local_ty body p.Mir.base)
+                  && callee_derefs_arg ~assume_extern_derefs summaries
+                       c.Mir.callee ai
+                       (Mir.local_ty body p.Mir.base)
+                then begin
+                  match dead_pointee state p.Mir.base with
+                  | Some tgt ->
+                      report ~span:c.Mir.call_span ~target:tgt p.Mir.base
+                  | None -> ()
+                end
+            | Mir.Const _ -> ())
+          c.Mir.args
+    | _ -> ()
+  in
+  (* Replay the invalid-set through each block — but skip blocks that
+     cannot report: the transfers only *add* locals (at StorageDead and
+     Drop), so a block with an empty entry set and neither statement
+     kind keeps an empty state throughout, and no dereference in it can
+     see a dead pointee. *)
+  Array.iteri
+    (fun i (blk : Mir.block) ->
+      let entry = invalid.Flow.entry.(i) in
+      if
+        (not (IntSet.is_empty entry))
+        || List.exists
+             (fun (s : Mir.stmt) ->
+               match s.Mir.kind with
+               | Mir.StorageDead _ | Mir.Drop _ -> true
+               | _ -> false)
+             blk.Mir.stmts
+      then begin
+        let state = ref entry in
+        List.iter
+          (fun s ->
+            check_stmt !state s;
+            state := Analysis.Storage.transfer_stmt !state s)
+          blk.Mir.stmts;
+        check_term !state blk.Mir.term
+      end)
+    body.Mir.blocks
+  end;
   !findings
+  end
 
 (** Run the use-after-free detector with a shared analysis context. *)
 let run_ctx ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t) :

@@ -1541,6 +1541,8 @@ and lower_fn_raw env config out_bodies unsafe_spans ~fn_id
       fn_unsafe = unsafe_fn;
       body_span = span;
       captures;
+      body_cfg = None;
+      body_ix = -1;
     }
 
 let lower_fn env config out_bodies unsafe_spans ~fn_id ?self_ty
@@ -1604,7 +1606,12 @@ let lower_crate ?(config = default_config) (env : Sema.Env.t) : Mir.program =
       items
   in
   do_items env.Sema.Env.crate.Ast.items;
-  { Mir.bodies = out_bodies; prog_env = env; unsafe_spans = !unsafe_spans }
+  {
+    Mir.bodies = out_bodies;
+    prog_env = env;
+    unsafe_spans = !unsafe_spans;
+    prog_body_list = None;
+  }
 
 (** Parse, resolve and lower a source string in one step. *)
 let program_of_source ?(config = default_config) ~file src : Mir.program =

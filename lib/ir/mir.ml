@@ -155,6 +155,17 @@ type terminator =
 
 type block = { stmts : stmt list; term : terminator; t_span : Span.t }
 
+type cfg = {
+  cfg_succs : int array array;  (** in-range successor ids per block *)
+  cfg_preds : int array array;
+  cfg_rpo : int array;  (** reverse-postorder sequence of reachable blocks *)
+  cfg_prio : int array;  (** block id -> RPO index; -1 when unreachable *)
+  cfg_reachable : bool array;
+}
+(** Derived control-flow structure, computed once per body by
+    [Analysis.Dataflow.cfg_of] and memoized below: every fixpoint over
+    the same body shares one successor/predecessor/RPO computation. *)
+
 type body = {
   fn_id : string;
   arg_count : int;
@@ -165,6 +176,14 @@ type body = {
   captures : (int * string) list;
       (** for closure bodies: param index -> captured variable name in
           the enclosing function *)
+  mutable body_cfg : cfg option;
+      (** CFG memo; filled on first analysis. Concurrent fills from
+          several domains are benign: both compute equal values and the
+          write is a single word. *)
+  mutable body_ix : int;
+      (** dense program-wide index ([body_list] position), assigned on
+          first [body_list] call; -1 until then. Lets analysis caches
+          use array slots instead of hashing [fn_id] strings. *)
 }
 
 type program = {
@@ -173,11 +192,24 @@ type program = {
   unsafe_spans : Span.t list;
       (** spans of unsafe blocks and unsafe fn bodies, for
           cause/effect-in-unsafe classification *)
+  mutable prog_body_list : body list option;
+      (** memo of [body_list] (the sorted order is stable; detectors
+          ask for it on every pass). Benign race, same as [body_cfg]. *)
 }
 
 let body_list p =
-  Hashtbl.fold (fun _ b acc -> b :: acc) p.bodies []
-  |> List.sort (fun a b -> String.compare a.fn_id b.fn_id)
+  match p.prog_body_list with
+  | Some bs -> bs
+  | None ->
+      let bs =
+        Hashtbl.fold (fun _ b acc -> b :: acc) p.bodies []
+        |> List.sort (fun a b -> String.compare a.fn_id b.fn_id)
+      in
+      List.iteri (fun i b -> b.body_ix <- i) bs;
+      p.prog_body_list <- Some bs;
+      bs
+
+let body_count p = Hashtbl.length p.bodies
 
 let find_body p id = Hashtbl.find_opt p.bodies id
 

@@ -1,0 +1,210 @@
+(** Dense bitsets over non-negative ints, backed by an [int array] with
+    [Sys.int_size] bits per word (63 on 64-bit).
+
+    This is the set representation behind the dataflow and points-to
+    kernels: the analysis domains are sets of small dense ids (locals,
+    acquisition ids, interned memory locations), so word-wise
+    union/equal/subset replace the pointer-chasing and polymorphic
+    compares of [Set.Make (Int)] on the hottest paths.
+
+    Values are immutable and *normalized* — no trailing zero words —
+    so structural equality is word-wise array equality. Operations
+    preserve physical identity where possible ([add x t] returns [t]
+    itself when [x] is already a member, [union a b] returns [a] when
+    [b] is a subset), which makes fixpoint change-detection cheap. *)
+
+type t = int array
+(** invariant: last word (if any) is non-zero *)
+
+let word_bits = Sys.int_size
+
+let empty : t = [||]
+let is_empty (t : t) = Array.length t = 0
+
+(* number of trailing zeros of [x land (-x)]; [x] must be non-zero *)
+let ntz x =
+  let x = x land -x in
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFFFFFF = 0 then begin n := !n + 32; x := !x lsr 32 end;
+  if !x land 0xFFFF = 0 then begin n := !n + 16; x := !x lsr 16 end;
+  if !x land 0xFF = 0 then begin n := !n + 8; x := !x lsr 8 end;
+  if !x land 0xF = 0 then begin n := !n + 4; x := !x lsr 4 end;
+  if !x land 0x3 = 0 then begin n := !n + 2; x := !x lsr 2 end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+let popcount x =
+  let c = ref 0 and x = ref x in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr c
+  done;
+  !c
+
+let mem i (t : t) =
+  let w = i / word_bits in
+  w < Array.length t && t.(w) land (1 lsl (i mod word_bits)) <> 0
+
+let add i (t : t) : t =
+  let w = i / word_bits and b = i mod word_bits in
+  let len = Array.length t in
+  if w < len then
+    if t.(w) land (1 lsl b) <> 0 then t
+    else begin
+      let r = Array.copy t in
+      r.(w) <- r.(w) lor (1 lsl b);
+      r
+    end
+  else begin
+    let r = Array.make (w + 1) 0 in
+    Array.blit t 0 r 0 len;
+    r.(w) <- 1 lsl b;
+    r
+  end
+
+(* drop trailing zero words; reuses [r] when already normalized *)
+let normalize (r : int array) : t =
+  let n = ref (Array.length r) in
+  while !n > 0 && r.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length r then r else Array.sub r 0 !n
+
+let remove i (t : t) : t =
+  let w = i / word_bits and b = i mod word_bits in
+  if w >= Array.length t || t.(w) land (1 lsl b) = 0 then t
+  else begin
+    let r = Array.copy t in
+    r.(w) <- r.(w) land lnot (1 lsl b);
+    normalize r
+  end
+
+let singleton i : t = add i empty
+
+let equal (a : t) (b : t) =
+  a == b
+  ||
+  let la = Array.length a in
+  la = Array.length b
+  &&
+  let rec eq i = i >= la || (a.(i) = b.(i) && eq (i + 1)) in
+  eq 0
+
+let subset (a : t) (b : t) =
+  a == b
+  ||
+  let la = Array.length a in
+  la <= Array.length b
+  &&
+  let rec sub i = i >= la || (a.(i) land lnot b.(i) = 0 && sub (i + 1)) in
+  sub 0
+
+let union (a : t) (b : t) : t =
+  if a == b || subset b a then a
+  else if subset a b then b
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (max la lb) 0 in
+    for i = 0 to min la lb - 1 do
+      r.(i) <- a.(i) lor b.(i)
+    done;
+    let long = if la > lb then a else b in
+    for i = min la lb to max la lb - 1 do
+      r.(i) <- long.(i)
+    done;
+    r (* union of normalized inputs is normalized *)
+  end
+
+let inter (a : t) (b : t) : t =
+  if a == b then a
+  else begin
+    let l = min (Array.length a) (Array.length b) in
+    let r = Array.make l 0 in
+    for i = 0 to l - 1 do
+      r.(i) <- a.(i) land b.(i)
+    done;
+    normalize r
+  end
+
+(** [diff a b] = elements of [a] not in [b]. Returns [a] itself when
+    disjoint from [b]. *)
+let diff (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let rec disjoint i =
+    i >= min la lb || (a.(i) land b.(i) = 0 && disjoint (i + 1))
+  in
+  if disjoint 0 then a
+  else begin
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      r.(i) <- a.(i) land lnot (if i < lb then b.(i) else 0)
+    done;
+    normalize r
+  end
+
+(* elements visited in increasing order, like [Set.Make (Int)] *)
+let fold f (t : t) acc =
+  let acc = ref acc in
+  for w = 0 to Array.length t - 1 do
+    let bits = ref t.(w) in
+    let base = w * word_bits in
+    while !bits <> 0 do
+      let b = ntz !bits in
+      acc := f (base + b) !acc;
+      bits := !bits land (!bits - 1)
+    done
+  done;
+  !acc
+
+let iter f (t : t) = fold (fun i () -> f i) t ()
+
+let cardinal (t : t) =
+  let c = ref 0 in
+  Array.iter (fun w -> c := !c + popcount w) t;
+  !c
+
+let elements (t : t) = List.rev (fold (fun i acc -> i :: acc) t [])
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+
+let exists p (t : t) = fold (fun i acc -> acc || p i) t false
+
+(* one-word constructor/destructor: the bridge to the specialized
+   word-level dataflow kernel *)
+let of_word w : t = if w = 0 then empty else [| w |]
+
+let word0 (t : t) = if Array.length t = 0 then 0 else t.(0)
+
+(* index of the highest set bit; [x] must be non-zero. The unsigned
+   shifts make bit 62 (a negative int) behave like any other bit. *)
+let msb x =
+  let n = ref 0 and x = ref x in
+  if !x lsr 32 <> 0 then begin n := !n + 32; x := !x lsr 32 end;
+  if !x lsr 16 <> 0 then begin n := !n + 16; x := !x lsr 16 end;
+  if !x lsr 8 <> 0 then begin n := !n + 8; x := !x lsr 8 end;
+  if !x lsr 4 <> 0 then begin n := !n + 4; x := !x lsr 4 end;
+  if !x lsr 2 <> 0 then begin n := !n + 2; x := !x lsr 2 end;
+  if !x lsr 1 <> 0 then incr n;
+  !n
+
+let max_elt_opt (t : t) =
+  let len = Array.length t in
+  if len = 0 then None
+  else begin
+    (* normalized: the last word is non-zero *)
+    let bits = t.(len - 1) in
+    let b = ref (word_bits - 1) in
+    while bits land (1 lsl !b) = 0 do
+      decr b
+    done;
+    Some (((len - 1) * word_bits) + !b)
+  end
+
+let choose_opt (t : t) =
+  if is_empty t then None
+  else begin
+    let w = ref 0 in
+    while t.(!w) = 0 do
+      incr w
+    done;
+    Some ((!w * word_bits) + ntz t.(!w))
+  end

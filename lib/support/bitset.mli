@@ -1,0 +1,60 @@
+(** Dense bitsets over non-negative ints: an [int array] with
+    [Sys.int_size] bits per word, word-wise union/inter/equal/subset.
+
+    The set representation behind the dataflow and points-to kernels.
+    Values are immutable and normalized (no trailing zero words);
+    operations preserve physical identity where they can ([add] of a
+    member, [union] with a subset), so [==] is a sound fast-path for
+    "nothing changed" in fixpoint loops. Elements must be [>= 0]. *)
+
+type t
+
+val word_bits : int
+(** Bits per array word ([Sys.int_size]); exposed for kernels that
+    maintain their own word-level bit matrices. *)
+
+val ntz : int -> int
+(** Index of the lowest set bit of a non-zero word (number of trailing
+    zeros). *)
+
+val empty : t
+val is_empty : t -> bool
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val singleton : int -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b] is [a - b]; returns [a] physically when the sets are
+    disjoint (the difference-propagation fast path). *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Elements in increasing order, like [Set.Make(Int).fold]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Elements in increasing order. *)
+
+val of_word : int -> t
+(** The set whose members are the set bits of one machine word
+    (element [i] iff bit [i]); the bridge from word-level dataflow
+    kernels back to set values. *)
+
+val word0 : t -> int
+(** The first word: members [< word_bits] as a machine word (members
+    beyond it are not represented). The bridge *into* word-level
+    kernels; exact whenever every element is [< word_bits]. *)
+
+val msb : int -> int
+(** Index of the highest set bit of a non-zero word (counterpart of
+    [ntz]). *)
+
+val max_elt_opt : t -> int option
+val exists : (int -> bool) -> t -> bool
+val cardinal : t -> int
+val elements : t -> int list
+val of_list : int list -> t
+val choose_opt : t -> int option

@@ -23,7 +23,7 @@ let default_domains () =
     [f] must be safe to run concurrently with itself from multiple
     domains. Falls back to a sequential loop (same isolation) when
     [domains <= 1] or the input has fewer than two elements. *)
-let try_map ?domains ~(f : 'a -> 'b) (items : 'a list) :
+let try_map ?domains ?chunk ~(f : 'a -> 'b) (items : 'a list) :
     ('b, exn) result list =
   let one x = match f x with v -> Ok v | exception e -> Error e in
   let arr = Array.of_list items in
@@ -36,11 +36,21 @@ let try_map ?domains ~(f : 'a -> 'b) (items : 'a list) :
   else begin
     let results : ('b, exn) result option array = Array.make n None in
     let next = Atomic.make 0 in
+    (* claim runs of [chunk] indices per fetch_and_add so per-item
+       contention on [next] amortizes; ~4 chunks per worker keeps the
+       tail balanced when item costs are uneven *)
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (workers * 4))
+    in
     let worker () =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (one arr.(i));
+        let i0 = Atomic.fetch_and_add next chunk in
+        if i0 < n then begin
+          for i = i0 to min (i0 + chunk - 1) (n - 1) do
+            results.(i) <- Some (one arr.(i))
+          done;
           loop ()
         end
       in
@@ -58,8 +68,8 @@ let try_map ?domains ~(f : 'a -> 'b) (items : 'a list) :
 (** [map ?domains ~f items] is [List.map f items] computed by the pool.
     The first exception raised by [f] (in input order) is re-raised
     after all domains have joined; the other items still ran. *)
-let map ?domains ~(f : 'a -> 'b) (items : 'a list) : 'b list =
-  try_map ?domains ~f items
+let map ?domains ?chunk ~(f : 'a -> 'b) (items : 'a list) : 'b list =
+  try_map ?domains ?chunk ~f items
   |> List.map (function Ok v -> v | Error e -> raise e)
 
 (** Sequential reference implementation, for comparisons and tests. *)

@@ -12,6 +12,7 @@ let () =
       ("corpus", T_corpus.suite);
       ("study", T_study.suite);
       ("cache", T_cache.suite);
+      ("kernels", T_kernels.suite);
       ("suggestions", T_suggestions.suite);
       ("recovery", T_recovery.suite);
       ("fault", T_fault.suite);
