@@ -442,6 +442,70 @@ let print_corpus_timings (c : corpus_timings) =
     "mutant outcomes" c.mutant_clean c.mutant_degraded c.mutant_failed
 
 (* ------------------------------------------------------------------ *)
+(* Supervisor timings and counters                                     *)
+(* ------------------------------------------------------------------ *)
+
+type supervisor_timings = {
+  sup_clean_s : float;  (** supervised sweep over the pristine corpus *)
+  sup_stats : Rustudy.Supervisor.stats;
+  sup_replayed : int;
+  sup_adversarial_s : float;
+      (** instant-deadline slice: every entry times out, is retried and
+          quarantined (backoff sleeps injected away) *)
+  sup_adversarial_stats : Rustudy.Supervisor.stats;
+}
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+(* The adversarial run: an already-expired per-entry deadline over a
+   small corpus slice, so every attempt times out deterministically and
+   the retry/quarantine machinery is what gets timed. *)
+let adversarial_sweep () =
+  let slice = take 8 Corpus.all_bugs in
+  let config =
+    {
+      Rustudy.Supervisor.default_config with
+      Rustudy.Supervisor.per_entry_deadline_ms = Some 0;
+      retry = { Rustudy.Retry.default with Rustudy.Retry.max_attempts = 2 };
+      sleep = (fun _ -> ());
+      watchdog_interval_ms = 0;
+    }
+  in
+  Study.Classify.analyze_entries_supervised ~config slice
+
+let supervisor_bench () : supervisor_timings =
+  Rustudy.Cache.clear_programs ();
+  let t0 = Unix.gettimeofday () in
+  let _, sup_stats, sup_replayed = Rustudy.analyze_corpus_supervised () in
+  let sup_clean_s = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let _, sup_adversarial_stats, _ = adversarial_sweep () in
+  let sup_adversarial_s = Unix.gettimeofday () -. t1 in
+  {
+    sup_clean_s;
+    sup_stats;
+    sup_replayed;
+    sup_adversarial_s;
+    sup_adversarial_stats;
+  }
+
+let print_supervisor (s : supervisor_timings) =
+  let line name (st : Rustudy.Supervisor.stats) secs =
+    Printf.printf
+      "  %-36s %10.3f ms  (%d/%d completed, %d retries, %d timeouts, %d \
+       quarantined, %d skipped)\n"
+      name (secs *. 1e3) st.Rustudy.Supervisor.completed
+      st.Rustudy.Supervisor.total st.Rustudy.Supervisor.retried
+      st.Rustudy.Supervisor.timeouts st.Rustudy.Supervisor.quarantined
+      st.Rustudy.Supervisor.skipped
+  in
+  Printf.printf "== supervisor (deadline/retry/quarantine) ==\n";
+  line "supervised sweep, clean corpus" s.sup_stats s.sup_clean_s;
+  line "instant-deadline slice" s.sup_adversarial_stats s.sup_adversarial_s
+
+(* ------------------------------------------------------------------ *)
 (* Replicated corpus: parallel speedup on an input big enough to       *)
 (* amortize domain spawn (--replicate N)                               *)
 (* ------------------------------------------------------------------ *)
@@ -591,7 +655,7 @@ let json_escape s =
   Buffer.contents b
 
 let write_json path (rows : (string * float) list) (c : corpus_timings)
-    ?replicate ~ratio_index ~ratio_copy () =
+    ?replicate ~supervisor ~ratio_index ~ratio_copy () =
   let oc = open_out path in
   let field k v = Printf.fprintf oc "    \"%s\": %s" (json_escape k) v in
   output_string oc "{\n  \"ns_per_run\": {\n";
@@ -665,6 +729,34 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
           field name v)
         rf;
       output_string oc "\n  },\n");
+  (let s = supervisor in
+   output_string oc "  \"supervisor\": {\n";
+   let stat_fields prefix (st : Rustudy.Supervisor.stats) =
+     [
+       (prefix ^ "total", string_of_int st.Rustudy.Supervisor.total);
+       (prefix ^ "completed", string_of_int st.Rustudy.Supervisor.completed);
+       (prefix ^ "retried", string_of_int st.Rustudy.Supervisor.retried);
+       (prefix ^ "timeouts", string_of_int st.Rustudy.Supervisor.timeouts);
+       ( prefix ^ "quarantined",
+         string_of_int st.Rustudy.Supervisor.quarantined );
+       (prefix ^ "skipped", string_of_int st.Rustudy.Supervisor.skipped);
+     ]
+   in
+   let sf =
+     [ ("clean_s", Printf.sprintf "%.6f" s.sup_clean_s) ]
+     @ stat_fields "clean_" s.sup_stats
+     @ [
+         ("clean_replayed", string_of_int s.sup_replayed);
+         ("adversarial_s", Printf.sprintf "%.6f" s.sup_adversarial_s);
+       ]
+     @ stat_fields "adversarial_" s.sup_adversarial_stats
+   in
+   List.iteri
+     (fun i (name, v) ->
+       if i > 0 then output_string oc ",\n";
+       field name v)
+     sf;
+   output_string oc "\n  },\n");
   output_string oc "  \"section_4_1\": {\n";
   field "checked_over_unchecked_index" (Printf.sprintf "%.3f" ratio_index);
   output_string oc ",\n";
@@ -700,6 +792,13 @@ let () =
     let rows = run_group ~quota:0.05 "detectors" detector_tests in
     Rustudy.Cache.clear_programs ();
     cached_corpus_pass ();
+    (* the supervisor machinery must not bit-rot either: the
+       instant-deadline slice runs in milliseconds (no real sleeps) *)
+    let _, qstats, _ = adversarial_sweep () in
+    Printf.printf
+      "supervisor smoke: %d quarantined, %d retries, %d timeouts\n"
+      qstats.Rustudy.Supervisor.quarantined qstats.Rustudy.Supervisor.retried
+      qstats.Rustudy.Supervisor.timeouts;
     let ok =
       match compare_file with
       | Some f -> compare_against f rows
@@ -721,6 +820,8 @@ let () =
     in
     let corpus = corpus_bench () in
     print_corpus_timings corpus;
+    let supervisor = supervisor_bench () in
+    print_supervisor supervisor;
     let rep = if replicate > 0 then Some (replicate_bench replicate) else None in
     Option.iter print_replicate rep;
     (* the paper's §4.1 claim: report the measured ratios directly *)
@@ -746,8 +847,8 @@ let () =
        per-element/memcpy copy ratio = %.2fx\n"
       ratio_index ratio_copy;
     if json then begin
-      write_json "BENCH_results.json" rows corpus ?replicate:rep ~ratio_index
-        ~ratio_copy ();
+      write_json "BENCH_results.json" rows corpus ?replicate:rep ~supervisor
+        ~ratio_index ~ratio_copy ();
       print_endline "wrote BENCH_results.json"
     end;
     let ok =

@@ -39,6 +39,19 @@ let fuel_opt =
 
 let apply_fuel fuel = Option.iter Rustudy.Fuel.set fuel
 
+let deadline_opt =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds per analyzed entry (the \
+           time-domain analogue of $(b,--fuel)). An analysis that exceeds it \
+           stops early and is reported as incomplete (W0402) instead of \
+           running forever; values <= 0 disable the budget.")
+
+let apply_deadline deadline = Option.iter Rustudy.Deadline.set_default_ms deadline
+
 (* ---------------- check ------------------------------------------- *)
 
 let file_arg =
@@ -77,8 +90,9 @@ let check_cmd =
              syntax error: findings cover the healthy parts of the file and \
              recovery diagnostics go to stderr (exit code 2).")
   in
-  let run file statement_tmp keep_going fuel =
+  let run file statement_tmp keep_going fuel deadline =
     apply_fuel fuel;
+    apply_deadline deadline;
     let source = read_file file in
     let config = config_of_flag statement_tmp in
     if keep_going then
@@ -114,7 +128,9 @@ let check_cmd =
           exit_fatal
   in
   Cmd.v (Cmd.info "check" ~doc:"Run all bug detectors on a RustLite file")
-    Term.(const run $ file_arg $ statement_tmp $ keep_going $ fuel_opt)
+    Term.(
+      const run $ file_arg $ statement_tmp $ keep_going $ fuel_opt
+      $ deadline_opt)
 
 (* ---------------- mir --------------------------------------------- *)
 
@@ -157,8 +173,9 @@ let detect_cmd =
   let eval_flag =
     Arg.(value & flag & info [ "eval" ] ~doc:"Run the §7 detector evaluation")
   in
-  let run eval domains fuel =
+  let run eval domains fuel deadline =
     apply_fuel fuel;
+    apply_deadline deadline;
     if eval then begin
       (* per-target isolation is always on for corpus commands: a
          target that fails to analyze lands in [degraded] *)
@@ -174,7 +191,7 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Run the detector evaluation over the target corpus")
-    Term.(const run $ eval_flag $ domains_opt $ fuel_opt)
+    Term.(const run $ eval_flag $ domains_opt $ fuel_opt $ deadline_opt)
 
 (* ---------------- lock-scopes -------------------------------------- *)
 
@@ -243,18 +260,101 @@ let study_cmd =
              of the default: isolating it, reporting it as degraded on \
              stderr and exiting with code 2.")
   in
-  let run table figure fixes unsafe_ csv domains no_keep_going fuel =
+  let run_deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "run-deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the whole corpus run. Entries not \
+             started before it expires are reported as skipped (W0405) \
+             instead of silently dropped; the run still exits through the \
+             normal ladder.")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Total attempts per entry under supervision (default 3). A \
+             failed or timed-out entry is retried with seeded exponential \
+             backoff (W0403) and quarantined once the budget is spent \
+             (W0404). 1 disables retries.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Append one fsync'd journal record per completed entry to \
+             $(docv), so a killed run can be resumed with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"PATH"
+          ~doc:
+            "Replay finished entries from the journal at $(docv) instead \
+             of re-analyzing them (byte-identical outcomes); only the \
+             remainder is analyzed. Combine with $(b,--checkpoint) (same \
+             path is fine) to keep the journal growing.")
+  in
+  let run table figure fixes unsafe_ csv domains no_keep_going fuel deadline
+      run_deadline retries checkpoint resume =
     apply_fuel fuel;
+    apply_deadline deadline;
+    let supervised =
+      deadline <> None || run_deadline <> None || retries <> None
+      || checkpoint <> None || resume <> None
+    in
     let keep_going = not no_keep_going in
+    let sup_config () =
+      let base = Rustudy.Supervisor.default_config in
+      {
+        base with
+        Rustudy.Supervisor.domains;
+        per_entry_deadline_ms = deadline;
+        run_deadline_ms = run_deadline;
+        retry =
+          (match retries with
+          | None -> base.Rustudy.Supervisor.retry
+          | Some n ->
+              {
+                base.Rustudy.Supervisor.retry with
+                Rustudy.Retry.max_attempts = max 1 n;
+              });
+      }
+    in
+    let sup_summary (s : Rustudy.Supervisor.stats) replayed =
+      Printf.sprintf
+        "supervisor: %d/%d completed, %d retries, %d timeouts, %d \
+         quarantined, %d skipped, %d replayed"
+        s.Rustudy.Supervisor.completed s.Rustudy.Supervisor.total
+        s.Rustudy.Supervisor.retried s.Rustudy.Supervisor.timeouts
+        s.Rustudy.Supervisor.quarantined s.Rustudy.Supervisor.skipped replayed
+    in
+    let sup_sweep =
+      (* one supervised sweep per invocation, shared by whichever
+         outputs were requested *)
+      lazy
+        (Rustudy.analyze_corpus_supervised ~config:(sup_config ()) ?checkpoint
+           ?resume ())
+    in
     let results =
       (* the fault-tolerant sweep: one outcome per entry, in corpus
          order; only run when needed (the full report runs it itself) *)
-      match (keep_going, table, figure, fixes, unsafe_) with
-      | false, _, _, _, _ | _, None, None, false, false -> []
+      match (supervised, keep_going, table, figure, fixes, unsafe_) with
+      | true, _, _, _, _, _ ->
+          let results, _, _ = Lazy.force sup_sweep in
+          results
+      | _, false, _, _, _, _ | _, _, None, None, false, false -> []
       | _ -> Rustudy.analyze_corpus_results ?domains ()
     in
     let analyses =
-      if keep_going then
+      if supervised || keep_going then
         List.filter_map
           (fun (_, o) -> Rustudy.Classify.outcome_analysis o)
           results
@@ -264,6 +364,9 @@ let study_cmd =
         | _ -> Rustudy.analyze_corpus ?domains ()
     in
     let degraded_exit results =
+      (if supervised then
+         let _, stats, replayed = Lazy.force sup_sweep in
+         prerr_endline (sup_summary stats replayed));
       let summary = Rustudy.Classify.degraded_summary results in
       if summary = "" then exit_clean
       else begin
@@ -273,7 +376,11 @@ let study_cmd =
     in
     match (table, figure, fixes, unsafe_) with
     | None, None, false, false ->
-        if keep_going then begin
+        if supervised then begin
+          print_endline (Rustudy.assemble_report ?domains analyses);
+          degraded_exit results
+        end
+        else if keep_going then begin
           let report, results = Rustudy.study_report_results ?domains () in
           print_endline report;
           degraded_exit results
@@ -305,13 +412,15 @@ let study_cmd =
           figure;
         if fixes then print_endline (Rustudy.Tables.fix_strategies analyses);
         if unsafe_ then print_endline (Rustudy.Tables.unsafe_stats ());
-        if keep_going then degraded_exit results else exit_clean
+        if supervised || keep_going then degraded_exit results
+        else exit_clean
   in
   Cmd.v
     (Cmd.info "study" ~doc:"Regenerate the paper's tables and figures from the corpus")
     Term.(
       const run $ table $ figure $ fixes $ unsafe_ $ csv $ domains_opt
-      $ no_keep_going $ fuel_opt)
+      $ no_keep_going $ fuel_opt $ deadline_opt $ run_deadline $ retries
+      $ checkpoint $ resume)
 
 let main =
   let doc =

@@ -164,18 +164,34 @@ let incomplete_warning t fn_id what =
         are an under-approximation"
        what fn_id (Support.Fuel.get ()))
 
+(* the message deliberately names no budget: it must be byte-identical
+   across runs with different remaining wall-clock (checkpoint/resume
+   replays compare rendered diagnostics verbatim) *)
+let deadline_warning t fn_id what =
+  emit_diag t
+    (Support.Diag.warning ~code:Support.Diag.Analysis_deadline
+       "%s analysis of %s stopped on an expired wall-clock deadline; results \
+        are an under-approximation"
+       what fn_id)
+
+let stopped_warning t fn_id what ~deadline =
+  if deadline then deadline_warning t fn_id what
+  else incomplete_warning t fn_id what
+
 let pointsto (t : t) (body : Mir.body) : Pointsto.t =
   memo t t.pointsto_arr body (fun () ->
       let r = Pointsto.analyze body in
       if not (Pointsto.complete r) then
-        incomplete_warning t body.Mir.fn_id "points-to";
+        stopped_warning t body.Mir.fn_id "points-to"
+          ~deadline:(Pointsto.deadline_hit r);
       r)
 
 let storage (t : t) (body : Mir.body) : Dataflow.IntSetFlow.result =
   memo t t.storage_arr body (fun () ->
       let r = Storage.analyze body in
       if not r.Dataflow.IntSetFlow.converged then
-        incomplete_warning t body.Mir.fn_id "storage-liveness";
+        stopped_warning t body.Mir.fn_id "storage-liveness"
+          ~deadline:r.Dataflow.IntSetFlow.deadline_hit;
       r)
 
 let callgraph (t : t) : Callgraph.t =
@@ -331,6 +347,11 @@ let load ?config ~file source : Mir.program =
 let clear_programs () =
   Mutex.lock prog_lock;
   Hashtbl.reset prog_tbl;
+  Mutex.unlock prog_lock
+
+let remove_program ?(config = Lower.default_config) ~file () =
+  Mutex.lock prog_lock;
+  Hashtbl.remove prog_tbl (file, config);
   Mutex.unlock prog_lock
 
 let program_cache_counts () = (Atomic.get prog_hits, Atomic.get prog_misses)

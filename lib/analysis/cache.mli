@@ -24,9 +24,20 @@ val program : t -> Mir.program
 
 val diags : t -> Support.Diag.t list
 (** All diagnostics attached to this context: seed (frontend recovery)
-    diagnostics plus [Analysis_incomplete] warnings emitted when a
-    memoised analysis ran out of fuel. Deterministically sorted and
+    diagnostics plus [Analysis_incomplete] (W0401, fuel) and
+    [Analysis_deadline] (W0402, wall clock) warnings emitted when a
+    memoised analysis stopped early. Deterministically sorted and
     deduplicated. An empty list means the entry is fully healthy. *)
+
+val emit_diag : t -> Support.Diag.t -> unit
+(** Attach a diagnostic to this context (mutex-guarded; the detectors'
+    deadline-bounded replays report their own W0402s through this). *)
+
+val deadline_warning : t -> string -> string -> unit
+(** [deadline_warning t fn_id what] emits the canonical W0402
+    "[what] analysis of [fn_id] stopped on an expired wall-clock
+    deadline" warning. The message names no budget so it is
+    byte-identical across runs regardless of remaining wall-clock. *)
 
 val aliases : t -> Mir.body -> Alias.resolution
 val pointsto : t -> Mir.body -> Pointsto.t
@@ -83,6 +94,12 @@ val load : ?config:Lower.config -> file:string -> string -> Mir.program
 
 val clear_programs : unit -> unit
 (** Drop every cached program (tests and cold-path benches). *)
+
+val remove_program : ?config:Lower.config -> file:string -> unit -> unit
+(** Drop one cached program. The supervisor purges a timed-out entry
+    before retrying it: the cached context holds the partial,
+    deadline-truncated analyses, and a retry that hit the cache would
+    just replay them instead of recomputing. *)
 
 val program_cache_counts : unit -> int * int
 (** Cumulative (hits, misses) of the program cache. *)

@@ -122,13 +122,19 @@ let callees (t : t) caller =
 let spawn_edges (t : t) = List.filter (fun e -> e.kind = Spawned) t.edges
 
 (** Functions reachable from [root] through direct edges. The traversal
-    is fuel-bounded: on an exhausted [Support.Fuel] budget it stops
-    expanding and returns the (under-approximate) set seen so far. *)
+    is fuel- and deadline-bounded: on an exhausted [Support.Fuel]
+    budget or an expired [Support.Deadline] it stops expanding and
+    returns the (under-approximate) set seen so far. *)
 let reachable (t : t) root =
   let seen = Hashtbl.create 16 in
   let fuel = Support.Fuel.counter () in
+  let dl = Support.Deadline.token () in
   let rec go f =
-    if (not (Hashtbl.mem seen f)) && Support.Fuel.burn fuel then begin
+    if
+      (not (Hashtbl.mem seen f))
+      && Support.Fuel.burn fuel
+      && not (Support.Deadline.expired dl)
+    then begin
       Hashtbl.replace seen f ();
       List.iter
         (fun e -> if e.kind = Direct then go e.target)

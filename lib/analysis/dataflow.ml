@@ -131,8 +131,13 @@ module Make (D : DOMAIN) = struct
     exit_ : D.t array;  (** state at block exit *)
     converged : bool;
         (** false when the worklist was abandoned on an exhausted
-            [Support.Fuel] budget; the states are then a snapshot short
-            of the fixpoint (an under-approximation for may-domains) *)
+            [Support.Fuel] budget or an expired [Support.Deadline]; the
+            states are then a snapshot short of the fixpoint (an
+            under-approximation for may-domains) *)
+    deadline_hit : bool;
+        (** true when the early stop was caused by the wall-clock
+            deadline rather than fuel (distinguishes W0402 from W0401
+            diagnostics); always false when [converged] *)
     passes : int;
         (** block transfers executed before convergence (the worklist
             scheduling cost; RPO order keeps this near-minimal) *)
@@ -163,7 +168,14 @@ module Make (D : DOMAIN) = struct
     let reachable = cfg.Mir.cfg_reachable in
     let passes = ref 0 in
     if n = 0 then
-      { entry; exit_; converged = true; passes = 0; reachable }
+      {
+        entry;
+        exit_;
+        converged = true;
+        deadline_hit = false;
+        passes = 0;
+        reachable;
+      }
     else begin
       entry.(0) <- init;
       let preds = cfg.Mir.cfg_preds in
@@ -173,6 +185,7 @@ module Make (D : DOMAIN) = struct
         !acc
       in
       let fuel = Support.Fuel.counter () in
+      let dl = Support.Deadline.token () in
       (* process block i; returns true when its exit changed *)
       let process i =
         incr passes;
@@ -196,7 +209,11 @@ module Make (D : DOMAIN) = struct
             for i = 0 to n - 1 do
               Queue.add i worklist
             done;
-            while (not (Queue.is_empty worklist)) && Support.Fuel.burn fuel do
+            while
+              (not (Queue.is_empty worklist))
+              && Support.Fuel.burn fuel
+              && not (Support.Deadline.expired dl)
+            do
               let i = Queue.pop worklist in
               in_worklist.(i) <- false;
               if process i then
@@ -242,7 +259,11 @@ module Make (D : DOMAIN) = struct
               decr n_pending;
               (!w * Support.Bitset.word_bits) + b
             in
-            while !n_pending > 0 && Support.Fuel.burn fuel do
+            while
+              !n_pending > 0
+              && Support.Fuel.burn fuel
+              && not (Support.Deadline.expired dl)
+            do
               let i = order_of.(pop ()) in
               if process i then
                 Array.iter
@@ -252,7 +273,14 @@ module Make (D : DOMAIN) = struct
             !n_pending = 0
       in
       Atomic.fetch_and_add transfers_counter !passes |> ignore;
-      { entry; exit_; converged; passes = !passes; reachable }
+      {
+        entry;
+        exit_;
+        converged;
+        deadline_hit = (not converged) && Support.Deadline.hit dl;
+        passes = !passes;
+        reachable;
+      }
     end
 
   (** Visit every statement (and terminator) of [body] with the dataflow
@@ -286,6 +314,7 @@ module Word = struct
     entry : int array;
     exit_ : int array;
     converged : bool;
+    deadline_hit : bool;
     passes : int;
     reachable : bool array;
   }
@@ -301,7 +330,15 @@ module Word = struct
     let succs = cfg.Mir.cfg_succs in
     let order_of = cfg.Mir.cfg_rpo in
     let reachable = cfg.Mir.cfg_reachable in
-    if n = 0 then { entry; exit_; converged = true; passes = 0; reachable }
+    if n = 0 then
+      {
+        entry;
+        exit_;
+        converged = true;
+        deadline_hit = false;
+        passes = 0;
+        reachable;
+      }
     else begin
       entry.(0) <- init;
       let preds = cfg.Mir.cfg_preds in
@@ -337,8 +374,13 @@ module Word = struct
         (!w * Support.Bitset.word_bits) + b
       in
       let fuel = Support.Fuel.counter () in
+      let dl = Support.Deadline.token () in
       let passes = ref 0 in
-      while !n_pending > 0 && Support.Fuel.burn fuel do
+      while
+        !n_pending > 0
+        && Support.Fuel.burn fuel
+        && not (Support.Deadline.expired dl)
+      do
         let i = order_of.(pop ()) in
         incr passes;
         let inp = ref (if i = 0 then init else 0) in
@@ -352,10 +394,12 @@ module Word = struct
         end
       done;
       Atomic.fetch_and_add transfers_counter !passes |> ignore;
+      let converged = !n_pending = 0 in
       {
         entry;
         exit_;
-        converged = !n_pending = 0;
+        converged;
+        deadline_hit = (not converged) && Support.Deadline.hit dl;
         passes = !passes;
         reachable;
       }

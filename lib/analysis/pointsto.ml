@@ -54,8 +54,12 @@ type t = {
           Concurrent fills from several domains are benign: both
           compute equal sets and the write is a single word. *)
   complete : bool;
-      (** false when the fixpoint ran out of fuel; the sets are then a
-          sound-in-use under-approximation (may miss aliases) *)
+      (** false when the fixpoint ran out of fuel or wall-clock
+          deadline; the sets are then a sound-in-use
+          under-approximation (may miss aliases) *)
+  deadline_hit : bool;
+      (** the early stop was caused by the [Support.Deadline] budget
+          rather than fuel; always false when [complete] *)
 }
 
 let is_pointer_ty ty = Sema.Ty.is_raw_ptr ty || Sema.Ty.is_ref ty
@@ -165,6 +169,7 @@ let analyze (body : Mir.body) : t =
   done;
   let seeded = !seeded in
   let pts = base in
+  let dl = Support.Deadline.token () in
   let complete =
     if seeded = [] then true
     else begin
@@ -184,7 +189,11 @@ let analyze (body : Mir.body) : t =
         seeded;
       let fuel = Support.Fuel.counter () in
       let solver_passes = ref 0 in
-      while (not (Queue.is_empty worklist)) && Support.Fuel.burn fuel do
+      while
+        (not (Queue.is_empty worklist))
+        && Support.Fuel.burn fuel
+        && not (Support.Deadline.expired dl)
+      do
         incr solver_passes;
         let l = Queue.pop worklist in
         in_worklist.(l) <- false;
@@ -212,6 +221,7 @@ let analyze (body : Mir.body) : t =
     others = others_arr;
     memo = Array.make n None;
     complete;
+    deadline_hit = (not complete) && Support.Deadline.hit dl;
   }
 
 (* the LocSet view is built lazily per local: detectors touch only the
@@ -234,3 +244,4 @@ let of_local (t : t) (l : Mir.local) =
 
 let pointee_bits (t : t) (l : Mir.local) = t.bits.(l)
 let complete (t : t) = t.complete
+let deadline_hit (t : t) = t.deadline_hit

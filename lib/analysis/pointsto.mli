@@ -31,7 +31,13 @@ val pointee_bits : t -> Mir.local -> Support.Bitset.t
 
 val complete : t -> bool
 (** [false] when the fixpoint stopped because the [Support.Fuel] budget
-    ran out; the points-to sets are then an under-approximation. *)
+    ran out or the [Support.Deadline] expired; the points-to sets are
+    then an under-approximation. *)
+
+val deadline_hit : t -> bool
+(** The early stop was caused by the wall-clock deadline rather than
+    fuel (distinguishes W0402 from W0401); always [false] when
+    {!complete}. *)
 
 val runs : unit -> int
 (** Total [analyze] invocations in this process (instrumentation for

@@ -62,6 +62,7 @@ let analyze (body : Mir.body) : Flow.result =
       Flow.entry = Array.map Support.Bitset.of_word w.Dataflow.Word.entry;
       exit_ = Array.map Support.Bitset.of_word w.Dataflow.Word.exit_;
       converged = w.Dataflow.Word.converged;
+      deadline_hit = w.Dataflow.Word.deadline_hit;
       passes = w.Dataflow.Word.passes;
       reachable = w.Dataflow.Word.reachable;
     }

@@ -30,6 +30,10 @@ module Cache = Analysis.Cache
 module Domain_pool = Support.Domain_pool
 module Fuel = Support.Fuel
 module Fault = Support.Fault
+module Deadline = Support.Deadline
+module Retry = Support.Retry
+module Supervisor = Support.Supervisor
+module Journal = Support.Journal
 module Finding = Detectors.Report
 module Detect = Detectors.All
 module Unsafe_scan = Detectors.Unsafe_scan
@@ -144,3 +148,24 @@ let study_report_results ?domains () :
     List.filter_map (fun (_, o) -> Classify.outcome_analysis o) results
   in
   (assemble_report ?domains analyses, results)
+
+(** Supervised corpus sweep: deadline-governed, retrying, quarantining,
+    optionally checkpointed/resumed ({!Classify.analyze_entries_supervised}
+    over the whole bundled corpus). *)
+let analyze_corpus_supervised ?config ?checkpoint ?resume () :
+    (Corpus.entry * Classify.outcome) list * Supervisor.stats * int =
+  Study.Classify.analyze_entries_supervised ?config ?checkpoint ?resume
+    Corpus.all_bugs
+
+(** {!study_report_results} under supervision: the report covers every
+    entry that produced an analysis; quarantined/skipped entries are
+    surfaced through the outcomes and the supervisor stats. *)
+let study_report_supervised ?domains ?config ?checkpoint ?resume () :
+    string * (Corpus.entry * Classify.outcome) list * Supervisor.stats * int =
+  let results, stats, replayed =
+    analyze_corpus_supervised ?config ?checkpoint ?resume ()
+  in
+  let analyses =
+    List.filter_map (fun (_, o) -> Classify.outcome_analysis o) results
+  in
+  (assemble_report ?domains analyses, results, stats, replayed)

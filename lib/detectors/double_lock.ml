@@ -187,6 +187,7 @@ let held_analysis (body : Mir.body) (locks : body_locks) : Flow.result =
       Flow.entry = Array.make n IntSet.empty;
       exit_ = Array.make n IntSet.empty;
       converged = true;
+      deadline_hit = false;
       passes = 0;
       reachable = cfg.Mir.cfg_reachable;
     }
@@ -239,6 +240,7 @@ let held_analysis (body : Mir.body) (locks : body_locks) : Flow.result =
         Array.map Support.Bitset.of_word w.Analysis.Dataflow.Word.entry;
       exit_ = Array.map Support.Bitset.of_word w.Analysis.Dataflow.Word.exit_;
       converged = w.Analysis.Dataflow.Word.converged;
+      deadline_hit = w.Analysis.Dataflow.Word.deadline_hit;
       passes = w.Analysis.Dataflow.Word.passes;
       reachable = w.Analysis.Dataflow.Word.reachable;
     }
@@ -422,6 +424,11 @@ let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
   let aliases = lazy (Analysis.Cache.aliases ctx body) in
   let locks, held = locks_of ctx body in
   let findings = ref [] in
+  (* per-block deadline poll, matching the fixpoints' budget: stop the
+     replay (findings then cover a prefix of the body) and report W0402
+     once it expires *)
+  let dl = Support.Deadline.token () in
+  let stopped = ref false in
   let held_accs state =
     IntSet.fold
       (fun a acc ->
@@ -432,11 +439,13 @@ let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
   in
   Array.iteri
     (fun bi (blk : Mir.block) ->
+      if (not !stopped) && Support.Deadline.expired dl then stopped := true;
       match blk.Mir.term with
       (* a conflict needs a guard already held on entry: the statement
          replay only removes ids, so an empty entry set means nothing
          can be held at the terminator — skip the block *)
-      | Mir.Call (c, _) when not (IntSet.is_empty held.Flow.entry.(bi)) -> (
+      | Mir.Call (c, _)
+        when (not !stopped) && not (IntSet.is_empty held.Flow.entry.(bi)) -> (
           (* state before the terminator *)
           let state =
             List.fold_left
@@ -504,6 +513,8 @@ let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
           | None -> ())
       | _ -> ())
     body.Mir.blocks;
+  if !stopped then
+    Analysis.Cache.deadline_warning ctx body.Mir.fn_id "double-lock replay";
   !findings
 
 (** Run the double-lock detector with a shared analysis context.

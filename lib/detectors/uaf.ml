@@ -217,6 +217,19 @@ let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
   let pts = Analysis.Cache.pointsto ctx body in
   let invalid = Analysis.Cache.storage ctx body in
   let findings = ref [] in
+  (* the replay honours the same wall-clock budget as the fixpoints:
+     one deadline poll per block, stop scanning (and report W0402 —
+     findings then cover a prefix of the body) once it expires *)
+  let dl = Support.Deadline.token () in
+  let stopped = ref false in
+  let block_budget_ok () =
+    if !stopped then false
+    else if Support.Deadline.expired dl then begin
+      stopped := true;
+      false
+    end
+    else true
+  in
   let report ~span ~target l =
     let name =
       match body.Mir.locals.(target).Mir.l_name with
@@ -312,13 +325,14 @@ let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
       (fun i (blk : Mir.block) ->
         let entry = Support.Bitset.word0 invalid.Flow.entry.(i) in
         if
-          entry <> 0
-          || List.exists
-               (fun (s : Mir.stmt) ->
-                 match s.Mir.kind with
-                 | Mir.StorageDead _ | Mir.Drop _ -> true
-                 | _ -> false)
-               blk.Mir.stmts
+          block_budget_ok ()
+          && (entry <> 0
+             || List.exists
+                  (fun (s : Mir.stmt) ->
+                    match s.Mir.kind with
+                    | Mir.StorageDead _ | Mir.Drop _ -> true
+                    | _ -> false)
+                  blk.Mir.stmts)
         then begin
           let state = ref entry in
           List.iter
@@ -405,13 +419,14 @@ let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
     (fun i (blk : Mir.block) ->
       let entry = invalid.Flow.entry.(i) in
       if
-        (not (IntSet.is_empty entry))
-        || List.exists
-             (fun (s : Mir.stmt) ->
-               match s.Mir.kind with
-               | Mir.StorageDead _ | Mir.Drop _ -> true
-               | _ -> false)
-             blk.Mir.stmts
+        block_budget_ok ()
+        && ((not (IntSet.is_empty entry))
+           || List.exists
+                (fun (s : Mir.stmt) ->
+                  match s.Mir.kind with
+                  | Mir.StorageDead _ | Mir.Drop _ -> true
+                  | _ -> false)
+                blk.Mir.stmts)
       then begin
         let state = ref entry in
         List.iter
@@ -423,6 +438,8 @@ let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
       end)
     body.Mir.blocks
   end;
+  if !stopped then
+    Analysis.Cache.deadline_warning ctx body.Mir.fn_id "use-after-free replay";
   !findings
   end
 

@@ -22,18 +22,23 @@ type result = {
    whether the analysis was degraded. *)
 let verdict (t : Corpus.Detector_targets.target) :
     (bool * bool * bool, string) Stdlib.result =
-  match
-    Analysis.Cache.load_ctx_recovering
-      ~file:(t.Corpus.Detector_targets.t_id ^ ".rs")
-      t.Corpus.Detector_targets.t_source
-  with
-  | Error e -> Error (Printexc.to_string e)
-  | Ok ctx -> (
+  (* the process default wall-clock budget applies here too: a
+     timed-out target degrades (and counts as "no finding") instead of
+     holding the evaluation hostage *)
+  Support.Deadline.with_default_budget (fun () ->
       match
-        (Detectors.Uaf.run_ctx ctx <> [], Detectors.Double_lock.run_ctx ctx <> [])
+        Analysis.Cache.load_ctx_recovering
+          ~file:(t.Corpus.Detector_targets.t_id ^ ".rs")
+          t.Corpus.Detector_targets.t_source
       with
-      | exception e -> Error (Printexc.to_string e)
-      | uaf, dl -> Ok (uaf, dl, Analysis.Cache.diags ctx <> []))
+      | Error e -> Error (Printexc.to_string e)
+      | Ok ctx -> (
+          match
+            ( Detectors.Uaf.run_ctx ctx <> [],
+              Detectors.Double_lock.run_ctx ctx <> [] )
+          with
+          | exception e -> Error (Printexc.to_string e)
+          | uaf, dl -> Ok (uaf, dl, Analysis.Cache.diags ctx <> [])))
 
 let run ?domains () : result =
   let verdicts =

@@ -16,6 +16,10 @@ type code =
   | Parse_recovered
   | Sema_error
   | Analysis_incomplete
+  | Analysis_deadline
+  | Entry_retried
+  | Entry_quarantined
+  | Run_deadline_skip
   | Entry_failed
   | General
 
@@ -31,8 +35,38 @@ let code_name = function
   | Parse_recovered -> "E0202"
   | Sema_error -> "E0301"
   | Analysis_incomplete -> "W0401"
+  | Analysis_deadline -> "W0402"
+  | Entry_retried -> "W0403"
+  | Entry_quarantined -> "W0404"
+  | Run_deadline_skip -> "W0405"
   | Entry_failed -> "E0501"
   | General -> "E0000"
+
+(** Every stable code, in declaration order — the golden tests pin the
+    printed set so codes cannot silently renumber. *)
+let all_codes =
+  [
+    Lex_invalid_char;
+    Lex_unterminated_string;
+    Lex_unterminated_char;
+    Lex_unterminated_comment;
+    Lex_unterminated_attribute;
+    Lex_bad_escape;
+    Lex_bad_literal;
+    Parse_error_code;
+    Parse_recovered;
+    Sema_error;
+    Analysis_incomplete;
+    Analysis_deadline;
+    Entry_retried;
+    Entry_quarantined;
+    Run_deadline_skip;
+    Entry_failed;
+    General;
+  ]
+
+let code_of_name s =
+  List.find_opt (fun c -> String.equal (code_name c) s) all_codes
 
 type t = { code : code; severity : severity; span : Span.t; message : string }
 

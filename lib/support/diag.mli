@@ -28,10 +28,29 @@ type code =
   | Parse_recovered  (** E0202: a region was replaced by an error node *)
   | Sema_error  (** E0301 *)
   | Analysis_incomplete  (** W0401: a fixpoint ran out of fuel *)
+  | Analysis_deadline
+      (** W0402: a fixpoint or detector replay exceeded its wall-clock
+          deadline ([Support.Deadline]) *)
+  | Entry_retried
+      (** W0403: the supervisor retried a failed/timed-out entry *)
+  | Entry_quarantined
+      (** W0404: an entry failed its full retry budget and was
+          quarantined (circuit breaker) *)
+  | Run_deadline_skip
+      (** W0405: the whole-run deadline expired before this entry was
+          analyzed *)
   | Entry_failed  (** E0501: a corpus entry failed fatally *)
   | General  (** E0000 *)
 
 val code_name : code -> string
+
+val all_codes : code list
+(** Every stable code, in declaration order. The golden tests pin
+    [List.map code_name all_codes] so codes cannot silently renumber. *)
+
+val code_of_name : string -> code option
+(** Inverse of {!code_name} (used when journalled diagnostics are
+    replayed on resume). *)
 
 type t = { code : code; severity : severity; span : Span.t; message : string }
 

@@ -15,17 +15,26 @@ let default_domains () =
      more workers than items or cores *)
   max 1 (Domain.recommended_domain_count ())
 
-(** [try_map ?domains ~f items] applies [f] to every element of
-    [items], using up to [domains] domains (default:
+(** Shared engine behind [try_map]/[map]: applies [f] to every element
+    of [items], using up to [domains] domains (default:
     [Domain.recommended_domain_count ()]). Every call of [f] is
-    isolated: an exception becomes [Error exn] in that item's slot and
-    the remaining items still run. The result list is in input order.
-    [f] must be safe to run concurrently with itself from multiple
-    domains. Falls back to a sequential loop (same isolation) when
-    [domains <= 1] or the input has fewer than two elements. *)
-let try_map ?domains ?chunk ~(f : 'a -> 'b) (items : 'a list) :
-    ('b, exn) result list =
-  let one x = match f x with v -> Ok v | exception e -> Error e in
+    isolated: an exception becomes [Error (exn, backtrace)] in that
+    item's slot and the remaining items still run. The result list is
+    in input order. [f] must be safe to run concurrently with itself
+    from multiple domains. Falls back to a sequential loop (same
+    isolation) when [domains <= 1] or the input has fewer than two
+    elements. *)
+let run_raw ?domains ?chunk ~(f : 'a -> 'b) (items : 'a list) :
+    ('b, exn * Printexc.raw_backtrace) result list =
+  let one x =
+    match f x with
+    | v -> Ok v
+    | exception e ->
+        (* capture the backtrace before any other code runs: [map]
+           re-raises the failure with it intact *)
+        let bt = Printexc.get_raw_backtrace () in
+        Error (e, bt)
+  in
   let arr = Array.of_list items in
   let n = Array.length arr in
   let workers =
@@ -34,7 +43,9 @@ let try_map ?domains ?chunk ~(f : 'a -> 'b) (items : 'a list) :
   in
   if workers <= 1 || n <= 1 then List.map one items
   else begin
-    let results : ('b, exn) result option array = Array.make n None in
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
     let next = Atomic.make 0 in
     (* claim runs of [chunk] indices per fetch_and_add so per-item
        contention on [next] amortizes; ~4 chunks per worker keeps the
@@ -65,12 +76,20 @@ let try_map ?domains ?chunk ~(f : 'a -> 'b) (items : 'a list) :
          | None -> assert false (* every index was claimed *))
   end
 
+let try_map ?domains ?chunk ~(f : 'a -> 'b) (items : 'a list) :
+    ('b, exn) result list =
+  run_raw ?domains ?chunk ~f items
+  |> List.map (function Ok v -> Ok v | Error (e, _) -> Error e)
+
 (** [map ?domains ~f items] is [List.map f items] computed by the pool.
-    The first exception raised by [f] (in input order) is re-raised
-    after all domains have joined; the other items still ran. *)
+    The first exception raised by [f] (in input order) is re-raised —
+    with its original backtrace — after all domains have joined; the
+    other items still ran. *)
 let map ?domains ?chunk ~(f : 'a -> 'b) (items : 'a list) : 'b list =
-  try_map ?domains ?chunk ~f items
-  |> List.map (function Ok v -> v | Error e -> raise e)
+  run_raw ?domains ?chunk ~f items
+  |> List.map (function
+       | Ok v -> v
+       | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
 
 (** Sequential reference implementation, for comparisons and tests. *)
 let sequential_map ~f items = List.map f items

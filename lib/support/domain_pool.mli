@@ -24,7 +24,8 @@ val map : ?domains:int -> ?chunk:int -> f:('a -> 'b) -> 'a list -> 'b list
 (** [map ?domains ~f items] is [List.map f items] computed by up to
     [domains] domains. Results come back in input order; if [f] raised,
     the first failing item's exception (in input order) is re-raised
-    after all domains have joined (the remaining items still ran). *)
+    with its original backtrace ([Printexc.raise_with_backtrace]) after
+    all domains have joined (the remaining items still ran). *)
 
 val sequential_map : f:('a -> 'b) -> 'a list -> 'b list
 (** Plain [List.map], exposed so callers can time the two paths side by

@@ -33,14 +33,24 @@ type mutator =
   | Delete_span  (** remove a random run of bytes (token deletion) *)
   | Flip_bytes  (** overwrite a few bytes with arbitrary characters *)
   | Nest_deep  (** insert a deep unbalanced nesting of delimiters *)
+  | Amplify_loops
+      (** append a synthetic function whose CFG is a tower of nested
+          loops — a divergence stressor for the fixpoint engines and
+          the wall-clock deadline machinery *)
+  | Amplify_body
+      (** duplicate a random source chunk many times, inflating body
+          and constraint-graph sizes (fuel/deadline pressure) *)
 
-let all_mutators = [ Truncate; Delete_span; Flip_bytes; Nest_deep ]
+let all_mutators =
+  [ Truncate; Delete_span; Flip_bytes; Nest_deep; Amplify_loops; Amplify_body ]
 
 let mutator_name = function
   | Truncate -> "truncate"
   | Delete_span -> "delete_span"
   | Flip_bytes -> "flip_bytes"
   | Nest_deep -> "nest_deep"
+  | Amplify_loops -> "amplify_loops"
+  | Amplify_body -> "amplify_body"
 
 let truncate r src =
   let n = String.length src in
@@ -81,6 +91,46 @@ let nest_deep r src =
   let nest = String.make depth opener in
   String.sub src 0 pos ^ nest ^ String.sub src pos (n - pos)
 
+(* A tower of nested while-loops appended as a fresh function: every
+   level is a back edge, so the storage/held-lock fixpoints iterate
+   far more than on any real body. Depth is kept small enough that a
+   healthy fuel budget still converges — the point is schedule
+   pressure, not a guaranteed timeout. *)
+let amplify_loops r src =
+  let depth = 12 + next_int r 20 in
+  let buf = Buffer.create (256 + (depth * 48)) in
+  Buffer.add_string buf src;
+  Buffer.add_string buf "\nfn __fault_spin() {\n    let mut i = 0;\n";
+  for d = 1 to depth do
+    Buffer.add_string buf
+      (Printf.sprintf "    while i < %d {\n        i = i + 1;\n" (1000 + d))
+  done;
+  for _ = 1 to depth do
+    Buffer.add_string buf "    }\n"
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Duplicate a random chunk of the source many times at the end:
+   inflates body counts / statement lists (and usually leaves the
+   parser plenty to recover from mid-chunk). *)
+let amplify_body r src =
+  let n = String.length src in
+  if n = 0 then src
+  else begin
+    let start = next_int r n in
+    let len = 1 + next_int r (min 160 (n - start)) in
+    let chunk = String.sub src start len in
+    let reps = 8 + next_int r 24 in
+    let buf = Buffer.create (n + (len * reps) + reps) in
+    Buffer.add_string buf src;
+    for _ = 1 to reps do
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf chunk
+    done;
+    Buffer.contents buf
+  end
+
 (** Apply [mutator] to [src] deterministically: the same
     [(seed, mutator, src)] triple always yields the same output. *)
 let mutate ~seed mutator src =
@@ -90,7 +140,9 @@ let mutate ~seed mutator src =
   | Delete_span -> delete_span r src
   | Flip_bytes -> flip_bytes r src
   | Nest_deep -> nest_deep r src
+  | Amplify_loops -> amplify_loops r src
+  | Amplify_body -> amplify_body r src
 
-(** All four mutations of [src] under [seed], with their names. *)
+(** All mutations of [src] under [seed], with their names. *)
 let mutations ~seed src =
   List.map (fun m -> (mutator_name m, mutate ~seed m src)) all_mutators

@@ -20,13 +20,16 @@ let get () = Atomic.get budget
 (** Set the process-wide budget. Values [<= 0] restore the default. *)
 let set n = Atomic.set budget (if n <= 0 then default_budget else n)
 
-(** Run [f] with the budget temporarily set to [n] (tests). Not
-    atomic with respect to concurrent [set]s; intended for
-    single-domain test code. *)
+(** Run [f] with the budget temporarily set to [n] (tests). The
+    restore is a compare-and-set: a concurrent [set] from another
+    domain during [f] wins and is left in place instead of being
+    silently clobbered (see the interface for the remaining caveat). *)
 let with_budget n f =
   let old = get () in
-  set n;
-  Fun.protect ~finally:(fun () -> Atomic.set budget old) f
+  let applied = if n <= 0 then default_budget else n in
+  Atomic.set budget applied;
+  Fun.protect f ~finally:(fun () ->
+      ignore (Atomic.compare_and_set budget applied old))
 
 (** A mutable fuel counter for one analysis run. *)
 type counter = { mutable remaining : int }

@@ -1,0 +1,147 @@
+(** Append-only checkpoint journal: crash-safe record of completed
+    corpus entries.
+
+    One record per line, keyed by an opaque string (the corpus driver
+    keys by entry id + source digest + lowering config, mirroring the
+    [(file, config)] keying of the program cache). Each line carries a
+    truncated MD5 checksum of its payload, so a torn tail — the one
+    partial line a [kill -9] can leave — is detected and skipped on
+    load instead of corrupting the resume. Appends are mutex-guarded
+    and fsync'd: once [append] returns, the record survives a crash.
+
+    Records are last-wins per key, so re-checkpointing an entry (e.g.
+    after a retry) simply supersedes the earlier line. *)
+
+type t = { path : string; fd : Unix.file_descr; lock : Mutex.t }
+
+let magic = "rustudy-journal v1"
+
+(* \t and \n are the field/record separators; escape them plus the
+   escape character itself *)
+let escape (s : string) : string =
+  let n = String.length s in
+  let buf = Buffer.create (n + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+exception Bad_escape
+
+let unescape (s : string) : string =
+  let n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' ->
+        if !i + 1 >= n then raise Bad_escape;
+        incr i;
+        Buffer.add_char buf
+          (match s.[!i] with
+          | '\\' -> '\\'
+          | 't' -> '\t'
+          | 'n' -> '\n'
+          | 'r' -> '\r'
+          | _ -> raise Bad_escape)
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  Buffer.contents buf
+
+let checksum key payload =
+  String.sub (Digest.to_hex (Digest.string (key ^ "\x00" ^ payload))) 0 8
+
+let write_all fd (s : string) =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(** Open [path] for appending, creating it (with a magic header line)
+    if absent. The header is fsync'd before the call returns. *)
+let open_append (path : string) : t =
+  let fresh =
+    (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0
+  in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = Unix.lseek fd 0 Unix.SEEK_END in
+  if fresh then begin
+    write_all fd (magic ^ "\n");
+    Unix.fsync fd
+  end
+  else begin
+    (* heal a torn tail: if a kill landed mid-write the file ends
+       without a newline, and appending directly would glue the next
+       record onto the partial line, losing both *)
+    ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+    let last = Bytes.create 1 in
+    if Unix.read fd last 0 1 = 1 && Bytes.get last 0 <> '\n' then
+      write_all fd "\n"
+  end;
+  { path; fd; lock = Mutex.create () }
+
+(** Append one record and fsync. Safe to call from several domains. *)
+let append (t : t) ~key (payload : string) : unit =
+  let k = escape key and p = escape payload in
+  let line = Printf.sprintf "J1\t%s\t%s\t%s\n" (checksum k p) k p in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      write_all t.fd line;
+      Unix.fsync t.fd)
+
+let close (t : t) = Unix.close t.fd
+
+let split_tabs (line : string) : string list = String.split_on_char '\t' line
+
+(** Load every valid record of [path], last-wins per key, in the order
+    of each key's surviving (latest) record. A missing file is an
+    empty journal; malformed or torn lines — bad field count, bad
+    checksum, bad escapes, a partial tail — are skipped silently.
+    Never raises. *)
+let load (path : string) : (string * string) list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let records = ref [] in
+    (try
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () ->
+           try
+             while true do
+               let line = input_line ic in
+               match split_tabs line with
+               | [ "J1"; sum; k; p ] when String.equal sum (checksum k p) -> (
+                   match (unescape k, unescape p) with
+                   | key, payload -> records := (key, payload) :: !records
+                   | exception Bad_escape -> ())
+               | _ -> ()
+             done
+           with End_of_file -> ())
+     with Sys_error _ -> ());
+    (* newest-first fold: the first occurrence of a key wins, then
+       restore chronological order of the surviving records *)
+    let seen = Hashtbl.create 64 in
+    let surviving =
+      List.filter
+        (fun (k, _) ->
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.replace seen k ();
+            true
+          end)
+        !records
+    in
+    List.rev surviving
+  end

@@ -1,0 +1,40 @@
+(** Append-only checkpoint journal: crash-safe, checksummed,
+    line-delimited records keyed by opaque strings.
+
+    The corpus driver appends one record per completed entry (keyed by
+    entry id + source digest + config, mirroring the program cache's
+    [(file, config)] keying) and a resumed run replays them instead of
+    re-analyzing. Appends are fsync'd; a torn tail left by a hard kill
+    is detected by checksum and skipped on load. *)
+
+type t
+
+val open_append : string -> t
+(** Open (creating if absent) a journal for appending. A fresh file
+    gets a magic header line, fsync'd before the call returns.
+    @raise Unix.Unix_error when the path is not writable. *)
+
+val append : t -> key:string -> string -> unit
+(** [append t ~key payload] durably appends one record (mutex-guarded
+    and fsync'd: safe from several domains, crash-safe once it
+    returns). A later record with the same key supersedes this one. *)
+
+val close : t -> unit
+
+val load : string -> (string * string) list
+(** All valid [(key, payload)] records of a journal file, last-wins
+    per key, in chronological order of the surviving records. A
+    missing file is an empty journal; malformed, torn or
+    checksum-failing lines are skipped. Never raises. *)
+
+(** {1 Escaping (exposed for the payload codecs and tests)} *)
+
+val escape : string -> string
+(** Make a string safe to embed in one tab-separated field: escapes
+    backslash, tab, newline and carriage return. *)
+
+exception Bad_escape
+
+val unescape : string -> string
+(** Inverse of {!escape}.
+    @raise Bad_escape on a malformed escape sequence. *)

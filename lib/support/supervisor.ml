@@ -1,0 +1,255 @@
+(** Corpus supervisor: deadline-governed, self-healing driver over a
+    [Domain_pool]-style worker fleet.
+
+    Sits between the corpus sweep and raw [Domain_pool.try_map]:
+    per-item work runs under the per-entry wall-clock budget
+    ([Deadline]), failed and timed-out items are retried with seeded
+    exponential backoff ([Retry]), items that exhaust their attempt
+    budget are quarantined (circuit breaker) instead of poisoning the
+    run, a whole-run deadline skips the remainder rather than
+    over-running, and a watchdog domain samples per-worker heartbeats
+    to spot workers stuck past any cooperative deadline.
+
+    Retries are round-based: round [k] runs attempt [k] of every item
+    still pending, so the result list and the set of quarantined items
+    are deterministic whenever the underlying failures are (the only
+    timing-dependent outputs are timeout-driven verdicts and the
+    watchdog's stuck marks). Results come back positionally, in input
+    order. *)
+
+type config = {
+  domains : int option;
+      (** worker-pool size (default [Domain_pool.default_domains]) *)
+  per_entry_deadline_ms : int option;
+      (** wall-clock budget installed around each attempt; [None]
+          falls back to [Deadline.with_default_budget] *)
+  run_deadline_ms : int option;
+      (** whole-run budget: items not started before it expires are
+          [Skipped], never silently dropped *)
+  retry : Retry.policy;
+  watchdog_interval_ms : int;
+      (** heartbeat sampling period; [<= 0] disables the watchdog *)
+  sleep : float -> unit;
+      (** milliseconds; injectable so tests run without real delays *)
+}
+
+let default_sleep ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
+
+let default_config =
+  {
+    domains = None;
+    per_entry_deadline_ms = None;
+    run_deadline_ms = None;
+    retry = Retry.default;
+    watchdog_interval_ms = 50;
+    sleep = default_sleep;
+  }
+
+(** One attempt's failure: printable cause plus whether it was a
+    deadline timeout (timeouts purge cached partial results before the
+    retry; see [Classify]). *)
+type failure = { f_msg : string; f_timeout : bool }
+
+type 'b verdict =
+  | Done of 'b * int  (** value and the attempt (from 1) that produced it *)
+  | Quarantined of { attempts : int; errors : string list }
+      (** every attempt failed; errors oldest-first *)
+  | Skipped of string  (** never attempted (run deadline) *)
+
+type stats = {
+  total : int;
+  completed : int;  (** [Done] verdicts *)
+  retried : int;  (** retry attempts performed (2nd and later) *)
+  timeouts : int;  (** timed-out attempts observed *)
+  quarantined : int;
+  skipped : int;
+  stuck_marks : int;
+      (** watchdog sightings of a worker busy past the grace window
+          (timing-dependent; diagnostics only) *)
+}
+
+let run (type a b) ?(config = default_config)
+    ?(on_done : (key:string -> b verdict -> unit) option)
+    ~(f : attempt:int -> key:string -> a -> (b, failure) result)
+    (items : (string * a) list) : (string * b verdict) list * stats =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let final : b verdict option array = Array.make n None in
+  let errors : string list array = Array.make n [] (* newest first *) in
+  let retried = Atomic.make 0
+  and timeouts = Atomic.make 0
+  and quarantined = Atomic.make 0
+  and skipped = Atomic.make 0
+  and stuck_marks = Atomic.make 0 in
+  let max_attempts = max 1 config.retry.Retry.max_attempts in
+  let run_limit =
+    Option.map
+      (fun ms ->
+        Int64.add (Deadline.now_ns ())
+          (Int64.mul (Int64.of_int (max ms 0)) 1_000_000L))
+      config.run_deadline_ms
+  in
+  let run_expired () =
+    match run_limit with
+    | None -> false
+    | Some l -> Int64.compare (Deadline.now_ns ()) l >= 0
+  in
+  let with_entry_deadline g =
+    match config.per_entry_deadline_ms with
+    | Some ms -> Deadline.with_deadline_ms ms g
+    | None -> Deadline.with_default_budget g
+  in
+  let finalize i v =
+    final.(i) <- Some v;
+    match on_done with None -> () | Some cb -> cb ~key:(fst arr.(i)) v
+  in
+  let workers =
+    let d =
+      match config.domains with
+      | Some d -> d
+      | None -> Domain_pool.default_domains ()
+    in
+    max 1 (min d n)
+  in
+  (* per-worker heartbeat: (item index, attempt start ns), (-1, _) when
+     idle. The watchdog only reads; each worker only writes its own. *)
+  let idle = (-1, 0L) in
+  let hb = Array.init workers (fun _ -> Atomic.make idle) in
+  let stop_watchdog = Atomic.make false in
+  let watchdog =
+    if config.watchdog_interval_ms <= 0 then None
+    else begin
+      (* a worker is "stuck" once busy on one attempt for well past the
+         cooperative per-entry budget (double it, plus a second of
+         grace), or 30 s when no budget is installed at all *)
+      let budget_ms =
+        match config.per_entry_deadline_ms with
+        | Some ms -> Some ms
+        | None -> (
+            match Deadline.get_default_ms () with 0 -> None | ms -> Some ms)
+      in
+      let threshold_ns =
+        let ms =
+          match budget_ms with Some b -> (2 * b) + 1_000 | None -> 30_000
+        in
+        Int64.mul (Int64.of_int ms) 1_000_000L
+      in
+      let marked = Array.make n false in
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop_watchdog) do
+               config.sleep (float_of_int config.watchdog_interval_ms);
+               let now = Deadline.now_ns () in
+               Array.iter
+                 (fun h ->
+                   let i, t0 = Atomic.get h in
+                   if
+                     i >= 0
+                     && (not marked.(i))
+                     && Int64.compare (Int64.sub now t0) threshold_ns > 0
+                   then begin
+                     marked.(i) <- true;
+                     Atomic.incr stuck_marks
+                   end)
+                 hb
+             done))
+    end
+  in
+  let run_round attempt idxs =
+    let m = Array.length idxs in
+    let next = Atomic.make 0 in
+    let worker slot () =
+      let rec loop () =
+        let j = Atomic.fetch_and_add next 1 in
+        if j < m then begin
+          let i = idxs.(j) in
+          let key, item = arr.(i) in
+          if run_expired () then begin
+            Atomic.incr skipped;
+            finalize i (Skipped "run deadline exceeded before this entry ran")
+          end
+          else begin
+            if attempt > 1 then begin
+              Atomic.incr retried;
+              config.sleep (Retry.delay_ms config.retry ~key ~attempt)
+            end;
+            Atomic.set hb.(slot) (i, Deadline.now_ns ());
+            let res =
+              match with_entry_deadline (fun () -> f ~attempt ~key item) with
+              | r -> r
+              | exception e ->
+                  { f_msg = Printexc.to_string e; f_timeout = false }
+                  |> Result.error
+            in
+            Atomic.set hb.(slot) idle;
+            match res with
+            | Ok v -> finalize i (Done (v, attempt))
+            | Error fl ->
+                if fl.f_timeout then Atomic.incr timeouts;
+                errors.(i) <- fl.f_msg :: errors.(i);
+                if attempt >= max_attempts then begin
+                  Atomic.incr quarantined;
+                  finalize i
+                    (Quarantined
+                       { attempts = attempt; errors = List.rev errors.(i) })
+                end
+                (* otherwise: left pending for the next round *)
+          end;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let w = max 1 (min workers m) in
+    let spawned = Array.init (w - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    Array.iter Domain.join spawned
+  in
+  let pending () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if final.(i) = None then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let attempt = ref 1 in
+  let rec rounds () =
+    let idxs = pending () in
+    if Array.length idxs > 0 then begin
+      (* [max_attempts] bounds the rounds: every still-pending item
+         either finalizes this round or has attempts left *)
+      assert (!attempt <= max_attempts);
+      run_round !attempt idxs;
+      incr attempt;
+      rounds ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop_watchdog true;
+      Option.iter Domain.join watchdog)
+    rounds;
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i (key, _) ->
+           match final.(i) with
+           | Some v -> (key, v)
+           | None -> assert false (* every index finalizes *))
+         arr)
+  in
+  let completed =
+    Array.fold_left
+      (fun acc -> function Some (Done _) -> acc + 1 | _ -> acc)
+      0 final
+  in
+  ( results,
+    {
+      total = n;
+      completed;
+      retried = Atomic.get retried;
+      timeouts = Atomic.get timeouts;
+      quarantined = Atomic.get quarantined;
+      skipped = Atomic.get skipped;
+      stuck_marks = Atomic.get stuck_marks;
+    } )

@@ -1,0 +1,68 @@
+(** Corpus supervisor: deadline-governed, self-healing driver over a
+    worker fleet — per-entry wall-clock budgets ({!Deadline}), seeded
+    exponential-backoff retries ({!Retry}), quarantine after the
+    attempt budget (circuit breaker), a whole-run deadline that skips
+    the remainder instead of over-running, and a watchdog domain
+    sampling per-worker heartbeats.
+
+    Retries are round-based (round [k] runs attempt [k] of everything
+    still pending), so verdicts are deterministic whenever the
+    underlying failures are. Results are positional, in input order. *)
+
+type config = {
+  domains : int option;
+      (** worker-pool size (default {!Domain_pool.default_domains}) *)
+  per_entry_deadline_ms : int option;
+      (** wall-clock budget installed around each attempt
+          ({!Deadline.with_deadline_ms}); [None] falls back to
+          {!Deadline.with_default_budget} *)
+  run_deadline_ms : int option;
+      (** whole-run budget: items not started before it expires get a
+          [Skipped] verdict, never silently dropped *)
+  retry : Retry.policy;
+  watchdog_interval_ms : int;
+      (** heartbeat sampling period; [<= 0] disables the watchdog *)
+  sleep : float -> unit;
+      (** milliseconds; injectable so tests run without real delays *)
+}
+
+val default_config : config
+(** Pool-sized domains, no deadlines, {!Retry.default} (3 attempts),
+    50 ms watchdog sampling, [Unix.sleepf]. *)
+
+type failure = {
+  f_msg : string;  (** printable cause *)
+  f_timeout : bool;  (** the attempt exceeded its wall-clock deadline *)
+}
+
+type 'b verdict =
+  | Done of 'b * int  (** value and the attempt (from 1) that produced it *)
+  | Quarantined of { attempts : int; errors : string list }
+      (** every attempt failed; errors oldest-first *)
+  | Skipped of string  (** never attempted (run deadline) *)
+
+type stats = {
+  total : int;
+  completed : int;  (** [Done] verdicts *)
+  retried : int;  (** retry attempts performed (2nd and later) *)
+  timeouts : int;  (** timed-out attempts observed *)
+  quarantined : int;
+  skipped : int;
+  stuck_marks : int;
+      (** watchdog sightings of a worker busy past the grace window
+          (timing-dependent; diagnostics only) *)
+}
+
+val run :
+  ?config:config ->
+  ?on_done:(key:string -> 'b verdict -> unit) ->
+  f:(attempt:int -> key:string -> 'a -> ('b, failure) result) ->
+  (string * 'a) list ->
+  (string * 'b verdict) list * stats
+(** [run ~f items] drives every [(key, item)] pair to a final verdict.
+    [f] runs under the configured per-entry deadline; an exception
+    escaping [f] is captured as a non-timeout {!failure}. [on_done]
+    fires exactly once per item, from the completing worker's domain,
+    the moment its verdict is final (the checkpoint journal hooks in
+    here) — it must be domain-safe. Never raises (short of [f] or
+    [on_done] breaking the domain runtime). *)

@@ -23,8 +23,8 @@ let determinism =
             Alcotest.(check (list (pair string string)))
               e.Rustudy.Corpus.id a b)
           Rustudy.Corpus.all_bugs);
-    case "all four mutators are exercised" (fun () ->
-        Alcotest.(check int) "mutator count" 4
+    case "all six mutators are exercised" (fun () ->
+        Alcotest.(check int) "mutator count" 6
           (List.length Fault.all_mutators));
   ]
 
@@ -71,6 +71,33 @@ let never_raises =
           Rustudy.Corpus.all_bugs;
         Alcotest.(check (list string))
           "no pipeline exceptions" [] (List.rev !failures));
+    case "amplified mutants terminate under a deadline, no exceptions" (fun () ->
+        (* the divergence-oriented mutators blow up loop nesting and
+           body size; the pipeline must neither raise nor hang once a
+           wall-clock budget is installed *)
+        let entries =
+          match Rustudy.Corpus.all_bugs with
+          | a :: b :: c :: _ -> [ a; b; c ]
+          | _ -> Alcotest.fail "corpus too small"
+        in
+        List.iter
+          (fun (e : Rustudy.Corpus.entry) ->
+            List.iter
+              (fun m ->
+                let mutated = Fault.mutate ~seed m e.Rustudy.Corpus.source in
+                let file =
+                  Printf.sprintf "amplify-%s-%s.rs" e.Rustudy.Corpus.id
+                    (Fault.mutator_name m)
+                in
+                match
+                  Rustudy.Deadline.with_deadline_ms 2000 (fun () ->
+                      pipeline ~file mutated)
+                with
+                | (_ : string) -> ()
+                | exception exn ->
+                    Alcotest.failf "%s leaked %s" file (Printexc.to_string exn))
+              [ Fault.Amplify_loops; Fault.Amplify_body ])
+          entries);
     case "detector targets survive mutation too" (fun () ->
         List.iter
           (fun (t : Rustudy.Corpus.Detector_targets.target) ->
@@ -183,6 +210,30 @@ let pool =
         | _ -> Alcotest.fail "expected Boom"
         | exception Boom 2 -> ());
         Alcotest.(check int) "every item still ran" 4 (Atomic.get hits));
+    case "map re-raises with the worker's original backtrace" (fun () ->
+        Printexc.record_backtrace true;
+        let rec deep_raise n =
+          if n = 0 then raise (Boom 99) else 1 + deep_raise (n - 1)
+        in
+        let f x = if x = 3 then deep_raise 5 else x in
+        match Rustudy.Domain_pool.map ~domains:2 ~f [ 1; 2; 3; 4 ] with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom 99 ->
+            let bt =
+              Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+            in
+            (* the trace must reach back into this test file (the raise
+               site inside the worker), not just the pool's re-raise *)
+            let mentions_this_file =
+              let needle = "t_fault" in
+              let n = String.length needle and m = String.length bt in
+              let rec go i =
+                i + n <= m && (String.sub bt i n = needle || go (i + 1))
+              in
+              go 0
+            in
+            if not mentions_this_file then
+              Alcotest.failf "backtrace lost the worker frames:\n%s" bt);
   ]
 
 let suite = determinism @ never_raises @ isolation @ pool

@@ -16,5 +16,6 @@ let () =
       ("suggestions", T_suggestions.suite);
       ("recovery", T_recovery.suite);
       ("fault", T_fault.suite);
+      ("supervisor", T_supervisor.suite);
       ("properties", T_props.suite);
     ]
