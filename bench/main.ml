@@ -186,6 +186,27 @@ let ablation_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: detector passes with tracing + metrics on    *)
+(* ------------------------------------------------------------------ *)
+
+let uaf_pass () =
+  List.concat_map Rustudy.detect_use_after_free (Lazy.force corpus_programs)
+
+let observability_tests =
+  [
+    Test.make ~name:"uaf_obs_off" (Staged.stage uaf_pass);
+    Test.make ~name:"uaf_obs_on"
+      (Staged.stage (fun () ->
+           Rustudy.Metrics.enable ();
+           Rustudy.Trace.enable ();
+           Fun.protect
+             ~finally:(fun () ->
+               Rustudy.Trace.disable ();
+               Rustudy.Metrics.disable ())
+             uaf_pass));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Degraded-corpus benches: recovery overhead on malformed input       *)
 (* ------------------------------------------------------------------ *)
 
@@ -568,17 +589,20 @@ let print_replicate (r : replicate_timings) =
 (* Baseline comparison (--compare BASELINE.json)                       *)
 (* ------------------------------------------------------------------ *)
 
-(* Minimal parser for the "ns_per_run" object this binary writes: one
-   `"name": 1234.5` pair per line between the opening and closing
-   braces of that object. *)
-let read_baseline path : (string * float) list =
+(* Minimal parser for one flat object this binary writes: one
+   `"name": value` pair per line between the opening and closing
+   braces of the section named [section]. Values come back as raw
+   strings. *)
+let read_json_section path section : (string * string) list =
+  let marker = "\"" ^ section ^ "\":" in
+  let ml = String.length marker in
   let ic = open_in path in
   let rows = ref [] and in_ns = ref false in
   (try
      while true do
        let line = String.trim (input_line ic) in
-       if String.length line >= 13 && String.sub line 0 13 = "\"ns_per_run\":"
-       then in_ns := true
+       if String.length line >= ml && String.sub line 0 ml = marker then
+         in_ns := true
        else if !in_ns then
          if line = "}," || line = "}" then raise Exit
          else
@@ -599,20 +623,61 @@ let read_baseline path : (string * float) list =
                    String.sub v 0 (String.length v - 1)
                  else v
                in
-               (match float_of_string_opt v with
-               | Some f -> rows := (name, f) :: !rows
-               | None -> ())
+               if name <> "" then rows := (name, v) :: !rows
            | None -> ()
      done
    with End_of_file | Exit -> ());
   close_in ic;
   List.rev !rows
 
+let read_baseline path : (string * float) list =
+  List.filter_map
+    (fun (name, v) ->
+      Option.map (fun f -> (name, f)) (float_of_string_opt v))
+    (read_json_section path "ns_per_run")
+
+(* The run parameters a baseline was produced under. Comparing against
+   a baseline recorded with different parameters is apples-to-oranges;
+   [compare_against] warns (it does not fail) on any mismatch. *)
+let bench_version = 2
+
+let current_meta ~replicate () : (string * string) list =
+  [
+    ("bench_version", string_of_int bench_version);
+    ("domains", string_of_int (Rustudy.Domain_pool.default_domains ()));
+    ("replicate", string_of_int replicate);
+    ("fuel_default", string_of_int (Rustudy.Fuel.get ()));
+    ( "deadline_default_ms",
+      string_of_int (Rustudy.Deadline.get_default_ms ()) );
+  ]
+
+let warn_meta_mismatch path ~replicate =
+  match read_json_section path "meta" with
+  | [] ->
+      Printf.printf
+        "  note: baseline has no \"meta\" block (pre-v%d bench output); \
+         run parameters not checked\n"
+        bench_version
+  | base ->
+      List.iter
+        (fun (k, cur) ->
+          match List.assoc_opt k base with
+          | None ->
+              Printf.printf "  WARNING: baseline meta is missing %S\n" k
+          | Some bv when bv <> cur ->
+              Printf.printf
+                "  WARNING: meta mismatch on %s: baseline=%s current=%s \
+                 (timings are not directly comparable)\n"
+                k bv cur
+          | Some _ -> ())
+        (current_meta ~replicate ())
+
 (* Prints the per-benchmark speedup table vs [path] and returns false
    when any detectors/* entry regressed by more than 25%. *)
-let compare_against path (rows : (string * float) list) : bool =
+let compare_against ~replicate path (rows : (string * float) list) : bool =
   let baseline = read_baseline path in
   Printf.printf "\n== compare vs %s ==\n" path;
+  warn_meta_mismatch path ~replicate;
   Printf.printf "  %-36s %14s %14s %9s\n" "benchmark" "baseline ns/run"
     "current ns/run" "speedup";
   let regressed = ref [] in
@@ -658,7 +723,18 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
     ?replicate ~supervisor ~ratio_index ~ratio_copy () =
   let oc = open_out path in
   let field k v = Printf.fprintf oc "    \"%s\": %s" (json_escape k) v in
-  output_string oc "{\n  \"ns_per_run\": {\n";
+  output_string oc "{\n  \"meta\": {\n";
+  let meta =
+    current_meta
+      ~replicate:(match replicate with Some r -> r.rep_n | None -> 0)
+      ()
+  in
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then output_string oc ",\n";
+      field name v)
+    meta;
+  output_string oc "\n  },\n  \"ns_per_run\": {\n";
   List.iteri
     (fun i (name, ns) ->
       if i > 0 then output_string oc ",\n";
@@ -801,7 +877,7 @@ let () =
       qstats.Rustudy.Supervisor.timeouts;
     let ok =
       match compare_file with
-      | Some f -> compare_against f rows
+      | Some f -> compare_against ~replicate f rows
       | None -> true
     in
     print_endline "quick smoke OK";
@@ -814,6 +890,7 @@ let () =
     let rows =
       run_group "tables-and-figures" (table_tests @ pipeline_tests)
       @ run_group "detectors" detector_tests
+      @ run_group "observability" observability_tests
       @ run_group "safe-vs-unsafe (4.1)" micro_tests
       @ run_group "ablations" ablation_tests
       @ run_group "degraded-corpus" degraded_tests
@@ -853,7 +930,7 @@ let () =
     end;
     let ok =
       match compare_file with
-      | Some f -> compare_against f rows
+      | Some f -> compare_against ~replicate f rows
       | None -> true
     in
     if not ok then exit 1

@@ -52,6 +52,74 @@ let deadline_opt =
 
 let apply_deadline deadline = Option.iter Rustudy.Deadline.set_default_ms deadline
 
+(* ---------------- observability ------------------------------------ *)
+
+type obs = {
+  trace_out : string option;
+  metrics_out : string option;
+  profile : bool;
+}
+
+let obs_term =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record spans for the whole run and write a Chrome trace-event \
+             JSON file to $(docv) on exit (load it in chrome://tracing or \
+             Perfetto). Implies tracing is enabled.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Record pipeline metrics (fixpoint iterations, cache traffic, \
+             detector findings, supervisor verdicts, ...) and write a \
+             snapshot to $(docv) on exit: JSON when $(docv) ends in .json, \
+             Prometheus text format otherwise.")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Enable tracing and metrics and print a per-span wall-time \
+             summary (count, total, mean) to stderr on exit.")
+  in
+  Term.(
+    const (fun trace_out metrics_out profile ->
+        { trace_out; metrics_out; profile })
+    $ trace_out $ metrics_out $ profile)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Enable the requested sinks, run the command body, then flush the
+   exports. The exports run even when the body chose a nonzero exit
+   code, but not when it raised: a fatal crash leaves no half-written
+   observability files behind. *)
+let with_obs (obs : obs) (f : unit -> int) : int =
+  if obs.trace_out <> None || obs.profile then Rustudy.Trace.enable ();
+  if obs.metrics_out <> None || obs.profile then Rustudy.Metrics.enable ();
+  let code = f () in
+  Option.iter
+    (fun p -> write_file p (Rustudy.Trace.export_chrome ()))
+    obs.trace_out;
+  Option.iter
+    (fun p ->
+      write_file p
+        (if Filename.check_suffix p ".json" then Rustudy.Metrics.export_json ()
+         else Rustudy.Metrics.export_prometheus ()))
+    obs.metrics_out;
+  if obs.profile then prerr_string (Rustudy.Trace.profile_table ());
+  code
+
 (* ---------------- check ------------------------------------------- *)
 
 let file_arg =
@@ -90,9 +158,10 @@ let check_cmd =
              syntax error: findings cover the healthy parts of the file and \
              recovery diagnostics go to stderr (exit code 2).")
   in
-  let run file statement_tmp keep_going fuel deadline =
+  let run file statement_tmp keep_going fuel deadline obs =
     apply_fuel fuel;
     apply_deadline deadline;
+    with_obs obs @@ fun () ->
     let source = read_file file in
     let config = config_of_flag statement_tmp in
     if keep_going then
@@ -130,7 +199,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc:"Run all bug detectors on a RustLite file")
     Term.(
       const run $ file_arg $ statement_tmp $ keep_going $ fuel_opt
-      $ deadline_opt)
+      $ deadline_opt $ obs_term)
 
 (* ---------------- mir --------------------------------------------- *)
 
@@ -173,9 +242,10 @@ let detect_cmd =
   let eval_flag =
     Arg.(value & flag & info [ "eval" ] ~doc:"Run the §7 detector evaluation")
   in
-  let run eval domains fuel deadline =
+  let run eval domains fuel deadline obs =
     apply_fuel fuel;
     apply_deadline deadline;
+    with_obs obs @@ fun () ->
     if eval then begin
       (* per-target isolation is always on for corpus commands: a
          target that fails to analyze lands in [degraded] *)
@@ -191,7 +261,8 @@ let detect_cmd =
   in
   Cmd.v
     (Cmd.info "detect" ~doc:"Run the detector evaluation over the target corpus")
-    Term.(const run $ eval_flag $ domains_opt $ fuel_opt $ deadline_opt)
+    Term.(
+      const run $ eval_flag $ domains_opt $ fuel_opt $ deadline_opt $ obs_term)
 
 (* ---------------- lock-scopes -------------------------------------- *)
 
@@ -302,10 +373,21 @@ let study_cmd =
              remainder is analyzed. Combine with $(b,--checkpoint) (same \
              path is fine) to keep the journal growing.")
   in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:
+            "Suppress the human-readable supervisor summary on stderr \
+             (machine consumers read the same counters from \
+             $(b,--metrics-out)). Degraded-entry lines and the exit-code \
+             ladder are unaffected.")
+  in
   let run table figure fixes unsafe_ csv domains no_keep_going fuel deadline
-      run_deadline retries checkpoint resume =
+      run_deadline retries checkpoint resume quiet obs =
     apply_fuel fuel;
     apply_deadline deadline;
+    with_obs obs @@ fun () ->
     let supervised =
       deadline <> None || run_deadline <> None || retries <> None
       || checkpoint <> None || resume <> None
@@ -364,9 +446,13 @@ let study_cmd =
         | _ -> Rustudy.analyze_corpus ?domains ()
     in
     let degraded_exit results =
-      (if supervised then
+      (if supervised && not quiet then
          let _, stats, replayed = Lazy.force sup_sweep in
          prerr_endline (sup_summary stats replayed));
+      (* per-entry provenance (cache origin, wall time, analysis work)
+         is captured only while tracing/metrics are on *)
+      let prov = Rustudy.Classify.provenance_block () in
+      if prov <> "" then print_string prov;
       let summary = Rustudy.Classify.degraded_summary results in
       if summary = "" then exit_clean
       else begin
@@ -420,7 +506,7 @@ let study_cmd =
     Term.(
       const run $ table $ figure $ fixes $ unsafe_ $ csv $ domains_opt
       $ no_keep_going $ fuel_opt $ deadline_opt $ run_deadline $ retries
-      $ checkpoint $ resume)
+      $ checkpoint $ resume $ quiet $ obs_term)
 
 let main =
   let doc =

@@ -60,10 +60,17 @@ let proj_fields projs =
 let runs_counter = Atomic.make 0
 let runs () = Atomic.get runs_counter
 
+let m_runs =
+  Support.Metrics.counter ~labels:[ "analysis" ]
+    ~help:"Per-body analysis invocations (cache misses recompute these)."
+    "rustudy_analysis_runs_total"
+
 (** Resolve every local of [body] to an access path (fixpoint over the
     body's statements; order-independent). *)
 let resolve (body : Mir.body) : resolution =
   Atomic.incr runs_counter;
+  if Support.Metrics.enabled () then
+    Support.Metrics.incr m_runs ~labels:[ "alias" ];
   let n = Array.length body.Mir.locals in
   let paths : t option array = Array.make n None in
   (* parameters and statics seed the resolution *)

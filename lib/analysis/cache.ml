@@ -115,6 +115,28 @@ let diags (t : t) : Support.Diag.t list =
   dedup (Support.Diag.sort ds)
 
 
+(* Memo traffic, attributed per analysis; the program cache below adds
+   its own hit/miss/purge events. Both are no-ops unless the metrics
+   registry is enabled. *)
+let m_memo =
+  Support.Metrics.counter ~labels:[ "analysis"; "outcome" ]
+    ~help:"Analysis-context memo lookups by analysis and outcome \
+           (hit|miss)."
+    "rustudy_cache_memo_total"
+
+let m_prog =
+  Support.Metrics.counter ~labels:[ "event" ]
+    ~help:"Process-wide program cache events (hit|miss|purge)."
+    "rustudy_cache_program_events_total"
+
+let note_memo what outcome =
+  if Support.Metrics.enabled () then
+    Support.Metrics.incr m_memo ~labels:[ what; outcome ]
+
+let note_prog event =
+  if Support.Metrics.enabled () then
+    Support.Metrics.incr m_prog ~labels:[ event ]
+
 (* Slot of a body in this context, or -1 for a body that does not
    belong to [t.prog] (then we just compute without memoizing rather
    than alias another body's slot). *)
@@ -128,20 +150,30 @@ let slot (t : t) (body : Mir.body) : int =
    functions may themselves re-enter the context (the call graph asks
    for per-body aliases), and the mutex is not reentrant. On a race the
    first insertion wins so all callers share one result. *)
-let memo (t : t) (arr : 'a option array) (body : Mir.body)
+let memo ~(what : string) (t : t) (arr : 'a option array) (body : Mir.body)
     (compute : unit -> 'a) : 'a =
+  let traced_compute () =
+    Support.Trace.with_span ~cat:"analysis"
+      ~args:[ ("fn", body.Mir.fn_id) ]
+      ("analysis." ^ what) compute
+  in
   let ix = slot t body in
-  if ix < 0 then compute ()
+  if ix < 0 then begin
+    note_memo what "miss";
+    traced_compute ()
+  end
   else begin
     Mutex.lock t.lock;
     match arr.(ix) with
     | Some v ->
         t.hit_count <- t.hit_count + 1;
         Mutex.unlock t.lock;
+        note_memo what "hit";
         v
     | None ->
         Mutex.unlock t.lock;
-        let v = compute () in
+        note_memo what "miss";
+        let v = traced_compute () in
         Mutex.lock t.lock;
         let v =
           match arr.(ix) with
@@ -155,7 +187,7 @@ let memo (t : t) (arr : 'a option array) (body : Mir.body)
   end
 
 let aliases (t : t) (body : Mir.body) : Alias.resolution =
-  memo t t.alias_arr body (fun () -> Alias.resolve body)
+  memo ~what:"alias" t t.alias_arr body (fun () -> Alias.resolve body)
 
 let incomplete_warning t fn_id what =
   emit_diag t
@@ -179,7 +211,7 @@ let stopped_warning t fn_id what ~deadline =
   else incomplete_warning t fn_id what
 
 let pointsto (t : t) (body : Mir.body) : Pointsto.t =
-  memo t t.pointsto_arr body (fun () ->
+  memo ~what:"pointsto" t t.pointsto_arr body (fun () ->
       let r = Pointsto.analyze body in
       if not (Pointsto.complete r) then
         stopped_warning t body.Mir.fn_id "points-to"
@@ -187,7 +219,7 @@ let pointsto (t : t) (body : Mir.body) : Pointsto.t =
       r)
 
 let storage (t : t) (body : Mir.body) : Dataflow.IntSetFlow.result =
-  memo t t.storage_arr body (fun () ->
+  memo ~what:"liveness" t t.storage_arr body (fun () ->
       let r = Storage.analyze body in
       if not r.Dataflow.IntSetFlow.converged then
         stopped_warning t body.Mir.fn_id "storage-liveness"
@@ -200,10 +232,15 @@ let callgraph (t : t) : Callgraph.t =
   | Some cg ->
       t.hit_count <- t.hit_count + 1;
       Mutex.unlock t.lock;
+      note_memo "callgraph" "hit";
       cg
   | None ->
       Mutex.unlock t.lock;
-      let cg = Callgraph.build ~aliases:(aliases t) t.prog in
+      note_memo "callgraph" "miss";
+      let cg =
+        Support.Trace.with_span ~cat:"analysis" "analysis.callgraph"
+          (fun () -> Callgraph.build ~aliases:(aliases t) t.prog)
+      in
       Mutex.lock t.lock;
       let cg =
         match t.cg with
@@ -311,6 +348,7 @@ let load_ctx ?(config = Lower.default_config) ~file source : t =
   match lookup_cached key source with
   | Some ctx ->
       Atomic.incr prog_hits;
+      note_prog "hit";
       (* a recovering load may have cached a malformed entry; the
          raising contract is that malformed input raises *)
       (match Support.Diag.errors_of (diags ctx) with
@@ -321,6 +359,7 @@ let load_ctx ?(config = Lower.default_config) ~file source : t =
       (* miss, or the same file name re-loaded with different source:
          lower outside the lock, then (re)install *)
       Atomic.incr prog_misses;
+      note_prog "miss";
       let ctx = create (Lower.program_of_source ~config ~file source) in
       install key source ctx
 
@@ -330,9 +369,11 @@ let load_ctx_recovering ?(config = Lower.default_config) ~file source :
   match lookup_cached key source with
   | Some ctx ->
       Atomic.incr prog_hits;
+      note_prog "hit";
       Ok ctx
   | None -> (
       Atomic.incr prog_misses;
+      note_prog "miss";
       match Lower.program_of_source_recovering ~config ~file source with
       | prog, diags ->
           Ok (install key source (create ~diags prog))
@@ -346,12 +387,20 @@ let load ?config ~file source : Mir.program =
 
 let clear_programs () =
   Mutex.lock prog_lock;
+  let n = Hashtbl.length prog_tbl in
   Hashtbl.reset prog_tbl;
-  Mutex.unlock prog_lock
+  Mutex.unlock prog_lock;
+  if n > 0 && Support.Metrics.enabled () then
+    Support.Metrics.incr m_prog ~labels:[ "purge" ] ~by:(float_of_int n)
 
 let remove_program ?(config = Lower.default_config) ~file () =
   Mutex.lock prog_lock;
+  let present = Hashtbl.mem prog_tbl (file, config) in
   Hashtbl.remove prog_tbl (file, config);
-  Mutex.unlock prog_lock
+  Mutex.unlock prog_lock;
+  if present then note_prog "purge"
+
+let mem_program ?(config = Lower.default_config) ~file source =
+  Option.is_some (lookup_cached (file, config) source)
 
 let program_cache_counts () = (Atomic.get prog_hits, Atomic.get prog_misses)

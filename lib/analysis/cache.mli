@@ -101,5 +101,16 @@ val remove_program : ?config:Lower.config -> file:string -> unit -> unit
     deadline-truncated analyses, and a retry that hit the cache would
     just replay them instead of recomputing. *)
 
+val mem_program : ?config:Lower.config -> file:string -> string -> bool
+(** Whether [(file, config)] is cached with exactly this source text —
+    i.e. whether the next [load_ctx] would hit. Deterministic (unlike
+    deltas of the global counters below, which other domains may be
+    advancing concurrently); the study pipeline uses it to attribute
+    cache provenance per entry. *)
+
 val program_cache_counts : unit -> int * int
-(** Cumulative (hits, misses) of the program cache. *)
+(** Cumulative (hits, misses) of the program cache. Also mirrored into
+    {!Support.Metrics} when the registry is enabled:
+    [rustudy_cache_program_events_total{event="hit"|"miss"|"purge"}]
+    and [rustudy_cache_memo_total{analysis,outcome}] for the per-body
+    memo tables. *)

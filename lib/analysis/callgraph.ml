@@ -48,8 +48,15 @@ let operand_local = function
 let runs_counter = Atomic.make 0
 let runs () = Atomic.get runs_counter
 
+let m_runs =
+  Support.Metrics.counter ~labels:[ "analysis" ]
+    ~help:"Per-body analysis invocations (cache misses recompute these)."
+    "rustudy_analysis_runs_total"
+
 let build ?(aliases = Alias.resolve) (program : Mir.program) : t =
   Atomic.incr runs_counter;
+  if Support.Metrics.enabled () then
+    Support.Metrics.incr m_runs ~labels:[ "callgraph" ];
   let edges = ref [] in
   List.iter
     (fun (body : Mir.body) ->

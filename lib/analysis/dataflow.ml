@@ -27,6 +27,46 @@ end
 let transfers_counter = Atomic.make 0
 let transfers () = Atomic.get transfers_counter
 
+(* metrics-registry view of the same instrumentation (plus poll/fuel
+   attribution), recorded in bulk once per [run] so the inner loop
+   stays allocation- and atomic-free *)
+let m_transfers =
+  Support.Metrics.counter
+    ~help:"Total dataflow block transfers across all fixpoint runs."
+    "rustudy_dataflow_transfers_total"
+
+let m_runs =
+  Support.Metrics.counter
+    ~help:"Total dataflow fixpoint runs." "rustudy_dataflow_runs_total"
+
+let m_polls =
+  Support.Metrics.counter ~labels:[ "analysis" ]
+    ~help:"Fixpoint loop iterations that polled the wall-clock deadline."
+    "rustudy_fixpoint_deadline_polls_total"
+
+let m_fuel =
+  Support.Metrics.counter ~labels:[ "analysis" ]
+    ~help:"Fuel units burned by the fixpoint loops."
+    "rustudy_fuel_burned_total"
+
+let m_stops =
+  Support.Metrics.counter ~labels:[ "analysis"; "cause" ]
+    ~help:"Fixpoint runs stopped early, by analysis and cause \
+           (fuel|deadline)."
+    "rustudy_fixpoint_early_stops_total"
+
+let record_run ~passes ~converged ~deadline_hit =
+  if Support.Metrics.enabled () then begin
+    let n = float_of_int passes in
+    Support.Metrics.incr m_runs;
+    Support.Metrics.incr m_transfers ~by:n;
+    Support.Metrics.incr m_polls ~labels:[ "dataflow" ] ~by:n;
+    Support.Metrics.incr m_fuel ~labels:[ "dataflow" ] ~by:n;
+    if not converged then
+      Support.Metrics.incr m_stops
+        ~labels:[ "dataflow"; (if deadline_hit then "deadline" else "fuel") ]
+  end
+
 (** In-range successor ids of every block, as arrays (computed once per
     run; the engine's inner loops never re-walk terminator lists). *)
 let successors_array (blocks : Mir.block array) : int array array =
@@ -273,14 +313,9 @@ module Make (D : DOMAIN) = struct
             !n_pending = 0
       in
       Atomic.fetch_and_add transfers_counter !passes |> ignore;
-      {
-        entry;
-        exit_;
-        converged;
-        deadline_hit = (not converged) && Support.Deadline.hit dl;
-        passes = !passes;
-        reachable;
-      }
+      let deadline_hit = (not converged) && Support.Deadline.hit dl in
+      record_run ~passes:!passes ~converged ~deadline_hit;
+      { entry; exit_; converged; deadline_hit; passes = !passes; reachable }
     end
 
   (** Visit every statement (and terminator) of [body] with the dataflow
@@ -395,14 +430,9 @@ module Word = struct
       done;
       Atomic.fetch_and_add transfers_counter !passes |> ignore;
       let converged = !n_pending = 0 in
-      {
-        entry;
-        exit_;
-        converged;
-        deadline_hit = (not converged) && Support.Deadline.hit dl;
-        passes = !passes;
-        reachable;
-      }
+      let deadline_hit = (not converged) && Support.Deadline.hit dl in
+      record_run ~passes:!passes ~converged ~deadline_hit;
+      { entry; exit_; converged; deadline_hit; passes = !passes; reachable }
     end
 end
 

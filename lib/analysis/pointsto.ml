@@ -64,21 +64,39 @@ type t = {
 
 let is_pointer_ty ty = Sema.Ty.is_raw_ptr ty || Sema.Ty.is_ref ty
 
-(* Invocation counter: lets the cache tests and benches verify how many
-   times the analysis actually ran. Atomic because the corpus driver
-   may analyze from several domains at once. *)
-let runs_counter = Atomic.make 0
-let runs () = Atomic.get runs_counter
+(* Instrumentation now lives in the process-wide metrics registry
+   ([Support.Metrics], sharded per domain): the cache tests and
+   benches read rustudy_pointsto_runs_total / _passes_total instead of
+   the bespoke atomic counters this module used to export. *)
+let m_runs =
+  Support.Metrics.counter
+    ~help:"Total points-to solver invocations." "rustudy_pointsto_runs_total"
 
-(* Worklist pops across all solves (instrumentation: the kernel tests
-   assert difference propagation does bounded work). *)
-let passes_counter = Atomic.make 0
-let passes () = Atomic.get passes_counter
+let m_passes =
+  Support.Metrics.counter
+    ~help:"Total points-to worklist pops (difference propagation does \
+           bounded work)."
+    "rustudy_pointsto_passes_total"
+
+let m_polls =
+  Support.Metrics.counter ~labels:[ "analysis" ]
+    ~help:"Fixpoint loop iterations that polled the wall-clock deadline."
+    "rustudy_fixpoint_deadline_polls_total"
+
+let m_fuel =
+  Support.Metrics.counter ~labels:[ "analysis" ]
+    ~help:"Fuel units burned by the fixpoint loops."
+    "rustudy_fuel_burned_total"
+
+let m_stops =
+  Support.Metrics.counter ~labels:[ "analysis"; "cause" ]
+    ~help:"Fixpoint runs stopped early, by analysis and cause \
+           (fuel|deadline)."
+    "rustudy_fixpoint_early_stops_total"
 
 (** Compute points-to sets for [body] (constraint-graph worklist with
     difference propagation). *)
 let analyze (body : Mir.body) : t =
-  Atomic.incr runs_counter;
   let n = Array.length body.Mir.locals in
   (* ---- location interning: LLocal l is id l; others allocated past
      n. Non-local locations are rare (a handful of statics/heap sites
@@ -209,12 +227,24 @@ let analyze (body : Mir.body) : t =
             end)
           succs.(l)
       done;
-      Atomic.fetch_and_add passes_counter !solver_passes |> ignore;
+      if Support.Metrics.enabled () then begin
+        let n = float_of_int !solver_passes in
+        Support.Metrics.incr m_passes ~by:n;
+        Support.Metrics.incr m_polls ~labels:[ "pointsto" ] ~by:n;
+        Support.Metrics.incr m_fuel ~labels:[ "pointsto" ] ~by:n
+      end;
       Queue.is_empty worklist
     end
   in
   let others_arr = Array.make !n_others Loc.LUnknown in
   List.iter (fun (loc, id) -> others_arr.(id - n) <- loc) !others;
+  if Support.Metrics.enabled () then begin
+    Support.Metrics.incr m_runs;
+    if not complete then
+      Support.Metrics.incr m_stops
+        ~labels:
+          [ "pointsto"; (if Support.Deadline.hit dl then "deadline" else "fuel") ]
+  end;
   {
     n_locals = n;
     bits = pts;

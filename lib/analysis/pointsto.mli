@@ -37,13 +37,11 @@ val complete : t -> bool
 val deadline_hit : t -> bool
 (** The early stop was caused by the wall-clock deadline rather than
     fuel (distinguishes W0402 from W0401); always [false] when
-    {!complete}. *)
+    {!complete}.
 
-val runs : unit -> int
-(** Total [analyze] invocations in this process (instrumentation for
-    the analysis-cache tests and benches). *)
-
-val passes : unit -> int
-(** Total solver worklist pops across all [analyze] invocations in this
-    process (instrumentation: the kernel tests assert the
-    difference-propagation worklist does bounded work). *)
+    Instrumentation note: the bespoke [runs]/[passes] counters this
+    interface used to export are gone. [analyze] now reports through
+    {!Support.Metrics} — [rustudy_pointsto_runs_total] counts
+    invocations and [rustudy_pointsto_passes_total] counts solver
+    worklist pops (enable the registry first; read them back with
+    [Support.Metrics.read_counter]). *)

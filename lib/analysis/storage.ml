@@ -49,8 +49,15 @@ let word_term (state : int) (t : Mir.terminator) : int =
 let runs_counter = Atomic.make 0
 let runs () = Atomic.get runs_counter
 
+let m_runs =
+  Support.Metrics.counter ~labels:[ "analysis" ]
+    ~help:"Per-body analysis invocations (cache misses recompute these)."
+    "rustudy_analysis_runs_total"
+
 let analyze (body : Mir.body) : Flow.result =
   Atomic.incr runs_counter;
+  if Support.Metrics.enabled () then
+    Support.Metrics.incr m_runs ~labels:[ "liveness" ];
   if Array.length body.Mir.locals <= Support.Bitset.word_bits then begin
     (* every local id fits one machine word: run the zero-allocation
        kernel and lift the per-block words back into bitsets *)

@@ -34,6 +34,8 @@ module Deadline = Support.Deadline
 module Retry = Support.Retry
 module Supervisor = Support.Supervisor
 module Journal = Support.Journal
+module Metrics = Support.Metrics
+module Trace = Support.Trace
 module Finding = Detectors.Report
 module Detect = Detectors.All
 module Unsafe_scan = Detectors.Unsafe_scan

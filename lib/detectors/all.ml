@@ -7,21 +7,58 @@
     points-to, liveness and call-graph analyses each run at most once
     per body no matter how many detectors consume them. The legacy
     [program]-taking entry points build a single cache internally and
-    delegate, so they get the same sharing within one call. *)
+    delegate, so they get the same sharing within one call.
+
+    Every detector invocation is observable: a [detector.<name>] trace
+    span wraps it and [rustudy_detector_runs_total] /
+    [rustudy_detector_findings_total] (labelled by detector) count it —
+    both no-ops unless tracing/metrics are enabled. *)
+
+let m_runs =
+  Support.Metrics.counter ~labels:[ "detector" ]
+    ~help:"Detector invocations." "rustudy_detector_runs_total"
+
+let m_findings =
+  Support.Metrics.counter ~labels:[ "detector" ]
+    ~help:"Findings reported, by detector." "rustudy_detector_findings_total"
+
+(* Wrap one detector: span + run/finding counters. The detector name is
+   a static string, so the disabled path costs two [Atomic.get]s and no
+   allocation. *)
+let det name run_ctx ctx =
+  let findings =
+    Support.Trace.with_span ~cat:"detector" ("detector." ^ name) (fun () ->
+        run_ctx ctx)
+  in
+  if Support.Metrics.enabled () then begin
+    Support.Metrics.incr m_runs ~labels:[ name ];
+    Support.Metrics.incr m_findings ~labels:[ name ]
+      ~by:(float_of_int (List.length findings))
+  end;
+  findings
 
 let memory_ctx ctx =
-  Uaf.run_ctx ctx @ Double_free.run_ctx ctx @ Invalid_free.run_ctx ctx
-  @ Uninit.run_ctx ctx @ Null_deref.run_ctx ctx @ Buffer.run_ctx ctx
+  det "uaf" Uaf.run_ctx ctx
+  @ det "double_free" Double_free.run_ctx ctx
+  @ det "invalid_free" Invalid_free.run_ctx ctx
+  @ det "uninit" Uninit.run_ctx ctx
+  @ det "null_deref" Null_deref.run_ctx ctx
+  @ det "buffer" Buffer.run_ctx ctx
 
 let blocking_ctx ctx =
-  Double_lock.run_ctx ctx @ Lock_order.run_ctx ctx @ Condvar.run_ctx ctx
-  @ Channel.run_ctx ctx @ Once.run_ctx ctx
+  det "double_lock" Double_lock.run_ctx ctx
+  @ det "lock_order" Lock_order.run_ctx ctx
+  @ det "condvar" Condvar.run_ctx ctx
+  @ det "channel" Channel.run_ctx ctx
+  @ det "once" Once.run_ctx ctx
 
 let non_blocking_ctx ctx =
-  Sync_misuse.run_ctx ctx @ Atomicity.run_ctx ctx
-  @ Atomicity.run_with_sessions_ctx ctx @ Refcell.run_ctx ctx
+  det "sync_misuse" Sync_misuse.run_ctx ctx
+  @ det "atomicity" Atomicity.run_ctx ctx
+  @ det "atomicity_sessions" Atomicity.run_with_sessions_ctx ctx
+  @ det "refcell" Refcell.run_ctx ctx
 
-let compiler_checks_ctx ctx = Borrowck.run_ctx ctx
+let compiler_checks_ctx ctx = det "borrowck" Borrowck.run_ctx ctx
 
 let all_ctx ctx =
   memory_ctx ctx @ blocking_ctx ctx @ non_blocking_ctx ctx

@@ -1616,8 +1616,12 @@ let lower_crate ?(config = default_config) (env : Sema.Env.t) : Mir.program =
 (** Parse, resolve and lower a source string in one step. *)
 let program_of_source ?(config = default_config) ~file src : Mir.program =
   let crate = Parser.parse_crate ~file src in
-  let env = Sema.Env.of_crate crate in
-  lower_crate ~config env
+  let env =
+    Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
+      "frontend.typeck" (fun () -> Sema.Env.of_crate crate)
+  in
+  Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
+    "frontend.lower" (fun () -> lower_crate ~config env)
 
 (** Like [program_of_source] but with frontend error recovery: lexical
     and syntax errors become diagnostics plus [E_error]/[I_error] AST
@@ -1628,5 +1632,10 @@ let program_of_source ?(config = default_config) ~file src : Mir.program =
 let program_of_source_recovering ?(config = default_config) ~file src :
     Mir.program * Support.Diag.t list =
   let crate, diags = Parser.parse_crate_recovering ~file src in
-  let env = Sema.Env.of_crate crate in
-  (lower_crate ~config env, diags)
+  let env =
+    Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
+      "frontend.typeck" (fun () -> Sema.Env.of_crate crate)
+  in
+  ( Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
+      "frontend.lower" (fun () -> lower_crate ~config env),
+    diags )

@@ -187,7 +187,7 @@ type outcome =
     anything escaping the rest of the pipeline fails the entry. Runs
     under the process default wall-clock budget, so [--deadline-ms]
     bounds even the unsupervised sweep. *)
-let analyze_entry_result (entry : Corpus.entry) : outcome =
+let analyze_entry_result_plain (entry : Corpus.entry) : outcome =
   Support.Deadline.with_default_budget (fun () ->
       match
         Analysis.Cache.load_ctx_recovering ~file:(entry.Corpus.id ^ ".rs")
@@ -203,6 +203,151 @@ let analyze_entry_result (entry : Corpus.entry) : outcome =
               match Analysis.Cache.diags ctx with
               | [] -> Analyzed a
               | ds -> Degraded (a, ds))))
+
+(* ---------------- per-entry provenance ------------------------------ *)
+
+(** How one entry's outcome came to be: cache provenance, wall time,
+    degradation count and the analysis work it triggered (per-domain
+    metric deltas — entries run wholly on one domain, so concurrent
+    entries do not bleed into each other's attribution). Captured only
+    while tracing or metrics are enabled; free otherwise. *)
+type provenance = {
+  prov_id : string;
+  prov_cache : string;  (** ["hit" | "miss" | "replayed"] *)
+  prov_outcome : string;
+      (** ["analyzed" | "degraded" | "failed" | "quarantined" | "skipped"] *)
+  prov_wall_ns : int64;
+      (** wall time of the whole entry (same clock as [Support.Trace]) *)
+  prov_diags : int;  (** degradation diagnostics attached *)
+  prov_counters : (string * float) list;
+      (** nonzero per-analysis work deltas, e.g. [("pointsto_passes", 17.)] *)
+}
+
+let prov_tbl : (string, provenance) Hashtbl.t = Hashtbl.create 64
+let prov_lock = Mutex.create ()
+
+let record_prov p =
+  Mutex.lock prov_lock;
+  Hashtbl.replace prov_tbl p.prov_id p;
+  Mutex.unlock prov_lock
+
+let clear_provenance () =
+  Mutex.lock prov_lock;
+  Hashtbl.reset prov_tbl;
+  Mutex.unlock prov_lock
+
+(** Captured provenance records, sorted by entry id. *)
+let provenances () : provenance list =
+  Mutex.lock prov_lock;
+  let ps = Hashtbl.fold (fun _ p acc -> p :: acc) prov_tbl [] in
+  Mutex.unlock prov_lock;
+  List.sort (fun a b -> String.compare a.prov_id b.prov_id) ps
+
+(* Counter families whose per-domain deltas attribute analysis work to
+   an entry. [Support.Metrics.counter] dedups by name, so these are the
+   same families the analysis modules record into. *)
+let tracked_counters =
+  let c ?labels name =
+    Support.Metrics.counter ?labels ~help:"(see registering module)" name
+  in
+  let a = c ~labels:[ "analysis" ] "rustudy_analysis_runs_total" in
+  [
+    ("pointsto_runs", c "rustudy_pointsto_runs_total", None);
+    ("pointsto_passes", c "rustudy_pointsto_passes_total", None);
+    ("dataflow_runs", c "rustudy_dataflow_runs_total", None);
+    ("dataflow_transfers", c "rustudy_dataflow_transfers_total", None);
+    ("alias_runs", a, Some [ "alias" ]);
+    ("liveness_runs", a, Some [ "liveness" ]);
+    ("callgraph_runs", a, Some [ "callgraph" ]);
+  ]
+
+let sample_domain_counters () =
+  List.map
+    (fun (name, c, labels) ->
+      (name, Support.Metrics.domain_counter_value ?labels c))
+    tracked_counters
+
+let outcome_tag = function
+  | Analyzed _ -> "analyzed"
+  | Degraded _ -> "degraded"
+  | Failed _ -> "failed"
+  | Quarantined _ -> "quarantined"
+  | Skipped _ -> "skipped"
+
+let outcome_diag_count = function
+  | Degraded (_, ds) -> List.length ds
+  | Analyzed _ | Failed _ | Quarantined _ | Skipped _ -> 0
+
+let observability_on () =
+  Support.Trace.enabled () || Support.Metrics.enabled ()
+
+(** [analyze_entry_result_plain] plus observability: wraps the entry in
+    an [entry.analyze] span and captures a {!provenance} record. The
+    plain path runs unchanged when both tracing and metrics are off. *)
+let analyze_entry_result (entry : Corpus.entry) : outcome =
+  if not (observability_on ()) then analyze_entry_result_plain entry
+  else begin
+    let cache =
+      if
+        Analysis.Cache.mem_program ~file:(entry.Corpus.id ^ ".rs")
+          entry.Corpus.source
+      then "hit"
+      else "miss"
+    in
+    let before = sample_domain_counters () in
+    let t0 = Support.Trace.now_ns () in
+    let o =
+      Support.Trace.with_span ~cat:"entry"
+        ~args:[ ("id", entry.Corpus.id) ]
+        "entry.analyze"
+        (fun () -> analyze_entry_result_plain entry)
+    in
+    let wall = Int64.sub (Support.Trace.now_ns ()) t0 in
+    let counters =
+      List.map2
+        (fun (name, b0) (_, b1) -> (name, b1 -. b0))
+        before
+        (sample_domain_counters ())
+      |> List.filter (fun (_, d) -> d <> 0.)
+    in
+    record_prov
+      {
+        prov_id = entry.Corpus.id;
+        prov_cache = cache;
+        prov_outcome = outcome_tag o;
+        prov_wall_ns = wall;
+        prov_diags = outcome_diag_count o;
+        prov_counters = counters;
+      };
+    o
+  end
+
+(** Deterministic text block of every captured provenance record (the
+    study report appends it when observability is on); empty string
+    when nothing was captured. *)
+let provenance_block () : string =
+  match provenances () with
+  | [] -> ""
+  | ps ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "== provenance (per entry) ==\n";
+      List.iter
+        (fun p ->
+          Buffer.add_string b
+            (Printf.sprintf "%s: outcome=%s cache=%s wall_ms=%.3f diags=%d%s\n"
+               p.prov_id p.prov_outcome p.prov_cache
+               (Int64.to_float p.prov_wall_ns /. 1e6)
+               p.prov_diags
+               (match p.prov_counters with
+               | [] -> ""
+               | cs ->
+                   " "
+                   ^ String.concat " "
+                       (List.map
+                          (fun (n, v) -> Printf.sprintf "%s=%.0f" n v)
+                          cs))))
+        ps;
+      Buffer.contents b
 
 let outcome_analysis = function
   | Analyzed a | Degraded (a, _) -> Some a
@@ -706,7 +851,20 @@ let analyze_entries_supervised ?(config = Support.Supervisor.default_config)
       (fun e ->
         let k = entry_key e in
         match Hashtbl.find_opt replayed k with
-        | Some o -> (e, o)
+        | Some o ->
+            (* a replayed entry never ran this process: its provenance
+               is the checkpoint itself, with no analysis work *)
+            if observability_on () then
+              record_prov
+                {
+                  prov_id = e.Corpus.id;
+                  prov_cache = "replayed";
+                  prov_outcome = outcome_tag o;
+                  prov_wall_ns = 0L;
+                  prov_diags = outcome_diag_count o;
+                  prov_counters = [];
+                };
+            (e, o)
         | None -> (
             match Hashtbl.find_opt vtbl k with
             | Some v -> (e, outcome_of_verdict e v)

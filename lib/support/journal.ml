@@ -89,8 +89,13 @@ let open_append (path : string) : t =
   end;
   { path; fd; lock = Mutex.create () }
 
+let m_appends =
+  Metrics.counter ~help:"Journal records appended (each is fsynced)."
+    "rustudy_journal_appends_total"
+
 (** Append one record and fsync. Safe to call from several domains. *)
 let append (t : t) ~key (payload : string) : unit =
+  if Metrics.enabled () then Metrics.incr m_appends;
   let k = escape key and p = escape payload in
   let line = Printf.sprintf "J1\t%s\t%s\t%s\n" (checksum k p) k p in
   Mutex.lock t.lock;

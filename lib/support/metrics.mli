@@ -1,0 +1,74 @@
+(** Process-wide metrics registry: labeled counter, gauge and
+    histogram families, recorded into per-domain shards so
+    [Domain_pool]/[Supervisor] workers never contend, merged on read.
+
+    Recording is disabled by default and compiled down to one atomic
+    flag load per call when off, so instrumented hot paths cost
+    (almost) nothing in uninstrumented runs. Enable it (the CLI's
+    [--metrics-out]/[--profile] do) and every instrumented subsystem —
+    frontend, fixpoints, analysis cache, detectors, supervisor,
+    journal — feeds the registry; {!export_prometheus} and
+    {!export_json} render deterministic (sorted) snapshots.
+
+    Family creation is cheap and always allowed (modules register
+    their families at init time); creating the same name twice returns
+    the existing family. Shards belong to the domain that recorded
+    into them and are kept alive after the domain dies, so counts from
+    pool workers survive the join and show up in the merged read. *)
+
+(** {1 Global switch} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop every recorded sample (registrations survive). Tests and
+    long-lived processes use this between observation windows. *)
+
+(** {1 Families}
+
+    [labels] names the label dimensions; every record/read call must
+    then pass exactly that many label {e values}. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?labels:string list -> help:string -> string -> counter
+val gauge : ?labels:string list -> help:string -> string -> gauge
+
+val histogram :
+  ?buckets:float list -> ?labels:string list -> help:string -> string ->
+  histogram
+(** [buckets] are the inclusive upper bounds (a [+Inf] bucket is
+    implicit); the default is a duration ladder in milliseconds from
+    0.05 to 1000. *)
+
+(** {1 Recording (no-ops while disabled)} *)
+
+val incr : ?by:float -> ?labels:string list -> counter -> unit
+val set : ?labels:string list -> gauge -> float -> unit
+val observe : ?labels:string list -> histogram -> float -> unit
+
+(** {1 Reading (merged across all shards)} *)
+
+val counter_value : ?labels:string list -> counter -> float
+val read_counter : ?labels:string list -> string -> float
+(** By family name; [0.] when the family or label row is absent. *)
+
+val domain_counter_value : ?labels:string list -> counter -> float
+(** The calling domain's own shard only — the per-entry provenance
+    deltas use this, so concurrent entries on other domains do not
+    bleed into each other's attribution. *)
+
+(** {1 Export} *)
+
+val export_prometheus : unit -> string
+(** Prometheus text exposition format. Families sorted by name, label
+    rows sorted by label values; numbers print without an exponent so
+    identical runs export byte-identical files. *)
+
+val export_json : unit -> string
+(** The same snapshot as a JSON document:
+    [{"metrics":[{"name","type","help","samples":[{"labels",...}]}]}]. *)

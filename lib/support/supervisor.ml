@@ -56,6 +56,27 @@ type 'b verdict =
       (** every attempt failed; errors oldest-first *)
   | Skipped of string  (** never attempted (run deadline) *)
 
+(* Per-run stats are also published to the process-wide metrics
+   registry (bulk, once per [run]) so `--metrics-out` captures them
+   without the caller re-plumbing the stats record. *)
+let m_entries =
+  Metrics.counter ~labels:[ "verdict" ]
+    ~help:"Supervised entries by final verdict (done|quarantined|skipped)."
+    "rustudy_supervisor_entries_total"
+
+let m_retries =
+  Metrics.counter ~help:"Retry attempts performed (2nd and later)."
+    "rustudy_supervisor_retries_total"
+
+let m_timeouts =
+  Metrics.counter ~help:"Timed-out attempts observed."
+    "rustudy_supervisor_timeouts_total"
+
+let m_stuck =
+  Metrics.counter
+    ~help:"Watchdog sightings of a worker busy past the grace window."
+    "rustudy_supervisor_stuck_marks_total"
+
 type stats = {
   total : int;
   completed : int;  (** [Done] verdicts *)
@@ -175,7 +196,13 @@ let run (type a b) ?(config = default_config)
             end;
             Atomic.set hb.(slot) (i, Deadline.now_ns ());
             let res =
-              match with_entry_deadline (fun () -> f ~attempt ~key item) with
+              match
+                Trace.with_span ~cat:"supervisor"
+                  ~args:[ ("key", key); ("attempt", string_of_int attempt) ]
+                  "supervisor.attempt"
+                  (fun () ->
+                    with_entry_deadline (fun () -> f ~attempt ~key item))
+              with
               | r -> r
               | exception e ->
                   { f_msg = Printexc.to_string e; f_timeout = false }
@@ -243,7 +270,7 @@ let run (type a b) ?(config = default_config)
       (fun acc -> function Some (Done _) -> acc + 1 | _ -> acc)
       0 final
   in
-  ( results,
+  let stats =
     {
       total = n;
       completed;
@@ -252,4 +279,17 @@ let run (type a b) ?(config = default_config)
       quarantined = Atomic.get quarantined;
       skipped = Atomic.get skipped;
       stuck_marks = Atomic.get stuck_marks;
-    } )
+    }
+  in
+  if Metrics.enabled () then begin
+    let c lbl v =
+      if v > 0 then Metrics.incr m_entries ~labels:[ lbl ] ~by:(float_of_int v)
+    in
+    c "done" stats.completed;
+    c "quarantined" stats.quarantined;
+    c "skipped" stats.skipped;
+    Metrics.incr m_retries ~by:(float_of_int stats.retried);
+    Metrics.incr m_timeouts ~by:(float_of_int stats.timeouts);
+    Metrics.incr m_stuck ~by:(float_of_int stats.stuck_marks)
+  end;
+  (results, stats)

@@ -1,0 +1,283 @@
+(** Span tracing into per-domain ring buffers; see trace.mli. *)
+
+let enabled_flag = Atomic.make false
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let clock : (unit -> int64) option Atomic.t = Atomic.make None
+let set_clock c = Atomic.set clock c
+
+let now_ns () =
+  match Atomic.get clock with Some f -> f () | None -> Deadline.now_ns ()
+
+(* ------------------------------------------------------------------ *)
+(* Shards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;  (** 'X' complete, 'i' instant *)
+  ev_ts : int64;  (** ns *)
+  ev_dur : int64;  (** ns; 0 for instants *)
+  ev_args : (string * string) list;
+}
+
+type agg_cell = { mutable a_count : int; mutable a_total : int64 }
+
+type shard = {
+  tid : int;
+  buf : event option array;  (** ring *)
+  mutable start : int;
+  mutable len : int;
+  mutable dropped : int;
+  aggs : (string, agg_cell) Hashtbl.t;
+}
+
+let ring_capacity = Atomic.make 32768
+let set_ring_capacity n = Atomic.set ring_capacity (max 16 n)
+
+let registry_lock = Mutex.create ()
+let shards : shard list ref = ref [] (* newest first *)
+let next_tid = Atomic.make 0
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          tid = Atomic.fetch_and_add next_tid 1;
+          buf = Array.make (Atomic.get ring_capacity) None;
+          start = 0;
+          len = 0;
+          dropped = 0;
+          aggs = Hashtbl.create 32;
+        }
+      in
+      Mutex.lock registry_lock;
+      shards := s :: !shards;
+      Mutex.unlock registry_lock;
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let record (s : shard) (ev : event) =
+  let cap = Array.length s.buf in
+  if s.len < cap then begin
+    s.buf.((s.start + s.len) mod cap) <- Some ev;
+    s.len <- s.len + 1
+  end
+  else begin
+    (* full: overwrite the oldest *)
+    s.buf.(s.start) <- Some ev;
+    s.start <- (s.start + 1) mod cap;
+    s.dropped <- s.dropped + 1
+  end
+
+let bump_agg (s : shard) name dur =
+  match Hashtbl.find_opt s.aggs name with
+  | Some c ->
+      c.a_count <- c.a_count + 1;
+      c.a_total <- Int64.add c.a_total dur
+  | None -> Hashtbl.replace s.aggs name { a_count = 1; a_total = dur }
+
+(* span durations also land in a metrics histogram when both layers
+   are on: --profile style cost attribution from the metrics file *)
+let span_hist =
+  Metrics.histogram ~labels:[ "span" ]
+    ~help:"Span wall time in milliseconds, by span name."
+    "rustudy_span_duration_ms"
+
+let close_span (s : shard) ~cat ~args name t0 =
+  let t1 = now_ns () in
+  let dur = Int64.max 0L (Int64.sub t1 t0) in
+  record s
+    { ev_name = name; ev_cat = cat; ev_ph = 'X'; ev_ts = t0; ev_dur = dur;
+      ev_args = args };
+  bump_agg s name dur;
+  Metrics.observe span_hist ~labels:[ name ] (Int64.to_float dur /. 1e6)
+
+let with_span ?(cat = "app") ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let s = my_shard () in
+    let t0 = now_ns () in
+    match f () with
+    | v ->
+        close_span s ~cat ~args name t0;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        close_span s ~cat
+          ~args:(args @ [ ("error", Printexc.to_string e) ])
+          name t0;
+        Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(cat = "app") ?(args = []) name =
+  if Atomic.get enabled_flag then
+    let s = my_shard () in
+    record s
+      { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts = now_ns ();
+        ev_dur = 0L; ev_args = args }
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun (s : shard) ->
+      Array.fill s.buf 0 (Array.length s.buf) None;
+      s.start <- 0;
+      s.len <- 0;
+      s.dropped <- 0;
+      Hashtbl.reset s.aggs)
+    !shards;
+  Mutex.unlock registry_lock
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* chrome trace timestamps are microseconds; keep nanosecond precision
+   as three decimals so the injected-clock exports stay exact *)
+let ts_us ns = Printf.sprintf "%Ld.%03Ld" (Int64.div ns 1000L) (Int64.rem ns 1000L)
+
+let event_line (tid : int) (ev : event) : string =
+  let args =
+    match ev.ev_args with
+    | [] -> ""
+    | l ->
+        ",\"args\":{"
+        ^ String.concat ","
+            (List.map
+               (fun (k, v) ->
+                 Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+               l)
+        ^ "}"
+  in
+  let dur =
+    if ev.ev_ph = 'X' then Printf.sprintf ",\"dur\":%s" (ts_us ev.ev_dur)
+    else ""
+  in
+  let scope = if ev.ev_ph = 'i' then ",\"s\":\"t\"" else "" in
+  Printf.sprintf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%s%s%s%s}"
+    (json_escape ev.ev_name) (json_escape ev.ev_cat) ev.ev_ph tid
+    (ts_us ev.ev_ts) dur scope args
+
+let shard_events (s : shard) : event list =
+  let cap = Array.length s.buf in
+  let out = ref [] in
+  for i = s.len - 1 downto 0 do
+    match s.buf.((s.start + i) mod cap) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  !out
+
+let export_chrome () : string =
+  Mutex.lock registry_lock;
+  let shs = List.rev !shards in
+  Mutex.unlock registry_lock;
+  let shs =
+    List.sort (fun (a : shard) b -> compare a.tid b.tid)
+      (List.filter (fun (s : shard) -> s.len > 0 || s.dropped > 0) shs)
+  in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "[";
+  let first = ref true in
+  let emit line =
+    if !first then Buffer.add_string b "\n" else Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b line
+  in
+  List.iter
+    (fun (s : shard) ->
+      let events = shard_events s in
+      (if s.dropped > 0 then
+         let ts =
+           match events with ev :: _ -> ev.ev_ts | [] -> 0L
+         in
+         emit
+           (event_line s.tid
+              {
+                ev_name = "trace_dropped";
+                ev_cat = "trace";
+                ev_ph = 'i';
+                ev_ts = ts;
+                ev_dur = 0L;
+                ev_args = [ ("dropped", string_of_int s.dropped) ];
+              }));
+      List.iter (fun ev -> emit (event_line s.tid ev)) events)
+    shs;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Profile aggregates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type agg = { agg_name : string; agg_count : int; agg_total_ns : int64 }
+
+let aggregates () : agg list =
+  Mutex.lock registry_lock;
+  let shs = !shards in
+  Mutex.unlock registry_lock;
+  let acc : (string, agg_cell) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (s : shard) ->
+      Hashtbl.iter
+        (fun name (c : agg_cell) ->
+          match Hashtbl.find_opt acc name with
+          | Some m ->
+              m.a_count <- m.a_count + c.a_count;
+              m.a_total <- Int64.add m.a_total c.a_total
+          | None ->
+              Hashtbl.replace acc name
+                { a_count = c.a_count; a_total = c.a_total })
+        s.aggs)
+    shs;
+  List.sort
+    (fun a b ->
+      match Int64.compare b.agg_total_ns a.agg_total_ns with
+      | 0 -> String.compare a.agg_name b.agg_name
+      | c -> c)
+    (Hashtbl.fold
+       (fun name (c : agg_cell) l ->
+         { agg_name = name; agg_count = c.a_count; agg_total_ns = c.a_total }
+         :: l)
+       acc [])
+
+let profile_table () : string =
+  match aggregates () with
+  | [] -> "profile: no spans recorded (tracing disabled?)\n"
+  | aggs ->
+      let b = Buffer.create 1024 in
+      Printf.bprintf b "== profile (wall time by span) ==\n";
+      Printf.bprintf b "  %-34s %8s %12s %12s\n" "span" "count" "total ms"
+        "mean ms";
+      List.iter
+        (fun a ->
+          let total_ms = Int64.to_float a.agg_total_ns /. 1e6 in
+          Printf.bprintf b "  %-34s %8d %12.3f %12.3f\n" a.agg_name
+            a.agg_count total_ms
+            (total_ms /. float_of_int (max 1 a.agg_count)))
+        aggs;
+      Buffer.contents b

@@ -1320,17 +1320,27 @@ and parse_item st : Ast.item =
 (* ------------------------------------------------------------------ *)
 
 let parse_crate ~file src : Ast.crate =
-  let toks = Lexer.tokenize ~file src in
-  let st = make toks in
-  let items = ref [] in
-  while not (T.equal (peek st) T.EOF) do
-    items := parse_item st :: !items
-  done;
-  { Ast.items = List.rev !items; crate_file = file }
+  Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
+    "frontend.parse" (fun () ->
+      let toks =
+        Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
+          "frontend.lex" (fun () -> Lexer.tokenize ~file src)
+      in
+      let st = make toks in
+      let items = ref [] in
+      while not (T.equal (peek st) T.EOF) do
+        items := parse_item st :: !items
+      done;
+      { Ast.items = List.rev !items; crate_file = file })
 
 let parse_crate_recovering ~file src : Ast.crate * Diag.t list =
+  Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
+    "frontend.parse" (fun () ->
   let c = Diag.collector () in
-  let toks = Lexer.tokenize ~recover:c ~file src in
+  let toks =
+    Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
+      "frontend.lex" (fun () -> Lexer.tokenize ~recover:c ~file src)
+  in
   let st = make ~recover:c toks in
   let items = ref [] in
   while not (T.equal (peek st) T.EOF) do
@@ -1346,7 +1356,7 @@ let parse_crate_recovering ~file src : Ast.crate * Diag.t list =
         sync_item st;
         items := Ast.I_error (Span.union err_start (prev_span st)) :: !items
   done;
-  ({ Ast.items = List.rev !items; crate_file = file }, Diag.diags c)
+  ({ Ast.items = List.rev !items; crate_file = file }, Diag.diags c))
 
 let parse_expr_string ~file src : Ast.expr =
   let toks = Lexer.tokenize ~file src in

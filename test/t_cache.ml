@@ -60,26 +60,39 @@ let compiler_checks_agree =
    graph at most once per program. *)
 let analysis_counts =
   case "one bugs run: each analysis at most once per body" (fun () ->
-      List.iter
-        (fun (e : Corpus.entry) ->
-          let program = load_entry e in
-          let n_bodies = List.length (Ir.Mir.body_list program) in
-          let pts0 = Analysis.Pointsto.runs () in
-          let sto0 = Analysis.Storage.runs () in
-          let ali0 = Analysis.Alias.runs () in
-          let cg0 = Analysis.Callgraph.runs () in
-          ignore (Detectors.All.bugs program);
-          let le what count bound =
-            Alcotest.(check bool)
-              (Printf.sprintf "%s: %s ran %d times for %d bodies" e.Corpus.id
-                 what count bound)
-              true (count <= bound)
-          in
-          le "points-to" (Analysis.Pointsto.runs () - pts0) n_bodies;
-          le "liveness" (Analysis.Storage.runs () - sto0) n_bodies;
-          le "alias" (Analysis.Alias.runs () - ali0) n_bodies;
-          le "callgraph" (Analysis.Callgraph.runs () - cg0) 1)
-        Corpus.all_bugs)
+      (* pointsto now counts runs in the metrics registry *)
+      let was_enabled = Support.Metrics.enabled () in
+      Support.Metrics.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          if not was_enabled then Support.Metrics.disable ())
+        (fun () ->
+          List.iter
+            (fun (e : Corpus.entry) ->
+              let program = load_entry e in
+              let n_bodies = List.length (Ir.Mir.body_list program) in
+              let pts0 =
+                Support.Metrics.read_counter "rustudy_pointsto_runs_total"
+              in
+              let sto0 = Analysis.Storage.runs () in
+              let ali0 = Analysis.Alias.runs () in
+              let cg0 = Analysis.Callgraph.runs () in
+              ignore (Detectors.All.bugs program);
+              let le what count bound =
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: %s ran %d times for %d bodies"
+                     e.Corpus.id what count bound)
+                  true (count <= bound)
+              in
+              le "points-to"
+                (int_of_float
+                   (Support.Metrics.read_counter "rustudy_pointsto_runs_total"
+                   -. pts0))
+                n_bodies;
+              le "liveness" (Analysis.Storage.runs () - sto0) n_bodies;
+              le "alias" (Analysis.Alias.runs () - ali0) n_bodies;
+              le "callgraph" (Analysis.Callgraph.runs () - cg0) 1)
+            Corpus.all_bugs))
 
 let cache_stats_hits =
   case "shared context records cache hits" (fun () ->

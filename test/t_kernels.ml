@@ -311,20 +311,31 @@ let loc_compare_total_order () =
         samples)
     samples
 
+(* pointsto reports through the metrics registry; dataflow still keeps
+   its atomic [transfers] alongside the registry *)
 let counters_advance () =
   let bodies = Lazy.force corpus_bodies in
-  let r0 = Analysis.Pointsto.runs () in
-  let p0 = Analysis.Pointsto.passes () in
-  let t0 = Analysis.Dataflow.transfers () in
-  List.iter (fun b -> ignore (Analysis.Pointsto.analyze b)) bodies;
-  Alcotest.(check int) "one pointsto run per body"
-    (r0 + List.length bodies)
-    (Analysis.Pointsto.runs ());
-  Alcotest.(check bool) "solver pops counted" true
-    (Analysis.Pointsto.passes () > p0);
-  List.iter (fun b -> ignore (Analysis.Storage.analyze b)) bodies;
-  Alcotest.(check bool) "block transfers counted" true
-    (Analysis.Dataflow.transfers () > t0)
+  let was_enabled = Support.Metrics.enabled () in
+  Support.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () -> if not was_enabled then Support.Metrics.disable ())
+    (fun () ->
+      let read = Support.Metrics.read_counter in
+      let r0 = read "rustudy_pointsto_runs_total" in
+      let p0 = read "rustudy_pointsto_passes_total" in
+      let t0 = Analysis.Dataflow.transfers () in
+      List.iter (fun b -> ignore (Analysis.Pointsto.analyze b)) bodies;
+      Alcotest.(check (float 0.0))
+        "one pointsto run per body"
+        (r0 +. float_of_int (List.length bodies))
+        (read "rustudy_pointsto_runs_total");
+      Alcotest.(check bool)
+        "solver pops counted" true
+        (read "rustudy_pointsto_passes_total" > p0);
+      List.iter (fun b -> ignore (Analysis.Storage.analyze b)) bodies;
+      Alcotest.(check bool)
+        "block transfers counted" true
+        (Analysis.Dataflow.transfers () > t0))
 
 (* ---------------- detectors: golden corpus snapshot ---------------- *)
 

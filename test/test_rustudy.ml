@@ -18,4 +18,5 @@ let () =
       ("fault", T_fault.suite);
       ("supervisor", T_supervisor.suite);
       ("properties", T_props.suite);
+      ("observability", T_observability.suite);
     ]

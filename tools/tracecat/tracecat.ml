@@ -1,0 +1,62 @@
+(** tracecat: validate and summarize Chrome trace-event files written
+    by [rustudy --trace-out].
+
+    - [tracecat validate FILE]      exit 0 iff the file is well-formed
+      trace-event JSON with properly nested spans
+    - [tracecat summary [-n N] FILE] top-N spans by total wall time
+
+    Exit codes: 0 = OK, 1 = invalid trace, 2 = usage/IO error. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let usage () =
+  prerr_endline "usage: tracecat validate FILE | tracecat summary [-n N] FILE";
+  exit 2
+
+let with_file path f =
+  match read_file path with
+  | text -> f text
+  | exception Sys_error msg ->
+      prerr_endline ("tracecat: " ^ msg);
+      exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "validate" :: [ path ] ->
+      with_file path (fun text ->
+          match Tracecat_lib.validate text with
+          | Ok events ->
+              let spans =
+                List.length (List.filter (fun e -> e.Tracecat_lib.ph = "X") events)
+              in
+              let instants = List.length events - spans in
+              Printf.printf "%s: OK (%d spans, %d instants)\n" path spans
+                instants;
+              exit 0
+          | Error msg ->
+              Printf.eprintf "%s: INVALID: %s\n" path msg;
+              exit 1)
+  | _ :: "summary" :: rest ->
+      let n, path =
+        match rest with
+        | [ "-n"; n; path ] -> (
+            match int_of_string_opt n with
+            | Some n when n > 0 -> (n, path)
+            | _ -> usage ())
+        | [ path ] -> (15, path)
+        | _ -> usage ()
+      in
+      with_file path (fun text ->
+          match Tracecat_lib.validate text with
+          | Ok events ->
+              print_string (Tracecat_lib.summary ~n events);
+              exit 0
+          | Error msg ->
+              Printf.eprintf "%s: INVALID: %s\n" path msg;
+              exit 1)
+  | _ -> usage ()

@@ -1,0 +1,350 @@
+(** Chrome trace-event file checker: parse, validate, summarize.
+
+    [rustudy --trace-out] writes trace-event JSON; this library (used
+    by the [tracecat] executable and the observability tests) re-reads
+    such files with a small hand-rolled JSON parser — the toolchain has
+    no JSON library — and checks the structural invariants the
+    exporter promises: every event is well-formed, durations are
+    non-negative, and the complete ('X') spans of each thread nest
+    properly (no partial overlap). *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let hex = String.sub s (!pos + 1) 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape"
+              in
+              pos := !pos + 4;
+              (* encode the code point as UTF-8 (surrogates kept as-is:
+                 the exporter never emits them) *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char b
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+          | c -> fail (Printf.sprintf "bad escape \\%C" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elements [])
+        end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  name : string;
+  ph : string;
+  pid : int;
+  tid : int;
+  ts : float;  (** microseconds *)
+  dur : float;  (** microseconds; 0 for instants *)
+}
+
+(** Decode and structurally check one trace file. [Error msg] names the
+    first violated invariant. *)
+let parse_trace (text : string) : (event list, string) result =
+  match parse_json text with
+  | exception Parse_error msg -> Error ("not valid JSON: " ^ msg)
+  | List items ->
+      let decode i item =
+        let str k =
+          match member k item with
+          | Some (Str s) -> Ok s
+          | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+        in
+        let num k =
+          match member k item with
+          | Some (Num f) -> Ok (Some f)
+          | None -> Ok None
+          | Some _ -> Error (Printf.sprintf "event %d: %S not a number" i k)
+        in
+        let ( let* ) = Result.bind in
+        let* name = str "name" in
+        let* ph = str "ph" in
+        let* pid = num "pid" in
+        let* tid = num "tid" in
+        let* ts = num "ts" in
+        let* dur = num "dur" in
+        let req k = function
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "event %d: missing %S" i k)
+        in
+        let* pid = req "pid" pid in
+        let* tid = req "tid" tid in
+        let* ts = req "ts" ts in
+        let* dur =
+          match ph with
+          | "X" -> req "dur" dur
+          | "i" -> Ok 0.
+          | _ -> Error (Printf.sprintf "event %d: unknown phase %S" i ph)
+        in
+        if ts < 0. then Error (Printf.sprintf "event %d: negative ts" i)
+        else if dur < 0. then Error (Printf.sprintf "event %d: negative dur" i)
+        else
+          Ok
+            {
+              name;
+              ph;
+              pid = int_of_float pid;
+              tid = int_of_float tid;
+              ts;
+              dur;
+            }
+      in
+      let rec all i acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: tl -> (
+            match decode i item with
+            | Ok e -> all (i + 1) (e :: acc) tl
+            | Error _ as e -> e)
+      in
+      all 0 [] items
+  | _ -> Error "top-level value is not an array"
+
+(* Exported timestamps carry microseconds with nanosecond decimals, so
+   comparisons tolerate one representable ulp of slack. *)
+let epsilon = 0.002
+
+(** Check that the complete ('X') spans of each (pid, tid) nest
+    properly: sorted by start time, every pair of spans is either
+    disjoint or one contains the other. Partial overlap means the file
+    cannot have come from balanced [with_span] nesting. *)
+let check_nesting (events : event list) : (unit, string) result =
+  let spans = List.filter (fun e -> e.ph = "X") events in
+  let by_thread = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let k = (e.pid, e.tid) in
+      Hashtbl.replace by_thread k
+        (e :: Option.value (Hashtbl.find_opt by_thread k) ~default:[]))
+    spans;
+  let check_thread (pid, tid) es =
+    let es =
+      List.sort
+        (fun a b ->
+          match compare a.ts b.ts with
+          | 0 -> compare (b.ts +. b.dur) (a.ts +. a.dur) (* outermost first *)
+          | c -> c)
+        es
+    in
+    (* stack of enclosing span end-times *)
+    let rec go stack = function
+      | [] -> Ok ()
+      | e :: tl -> (
+          let e_end = e.ts +. e.dur in
+          match stack with
+          | top_end :: rest when e.ts >= top_end -. epsilon ->
+              (* the top span ended before this one starts: pop *)
+              go rest (e :: tl)
+          | top_end :: _ when e_end > top_end +. epsilon ->
+              Error
+                (Printf.sprintf
+                   "thread %d.%d: span %S [%.3f, %.3f] partially overlaps an \
+                    enclosing span ending at %.3f"
+                   pid tid e.name e.ts e_end top_end)
+          | _ -> go (e_end :: stack) tl)
+    in
+    go [] es
+  in
+  Hashtbl.fold
+    (fun k es acc ->
+      match acc with Ok () -> check_thread k es | Error _ -> acc)
+    by_thread (Ok ())
+
+(** Full validation: parse + per-event checks + nesting. *)
+let validate (text : string) : (event list, string) result =
+  match parse_trace text with
+  | Error _ as e -> e
+  | Ok events -> (
+      match check_nesting events with
+      | Ok () -> Ok events
+      | Error msg -> Error msg)
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Top-[n] span names by total duration, rendered as a table (same
+    shape as [Support.Trace.profile_table], but computed from the
+    file). *)
+let summary ?(n = 15) (events : event list) : string =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      if e.ph = "X" then
+        let count, total =
+          Option.value (Hashtbl.find_opt tbl e.name) ~default:(0, 0.)
+        in
+        Hashtbl.replace tbl e.name (count + 1, total +. e.dur))
+    events;
+  let rows = Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) tbl [] in
+  let rows =
+    List.sort
+      (fun (n1, _, t1) (n2, _, t2) ->
+        match compare t2 t1 with 0 -> String.compare n1 n2 | c -> c)
+      rows
+  in
+  let rows = List.filteri (fun i _ -> i < n) rows in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "  %-36s %8s %12s %12s\n" "span" "count" "total ms"
+       "mean ms");
+  List.iter
+    (fun (name, count, total_us) ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-36s %8d %12.3f %12.3f\n" name count
+           (total_us /. 1e3)
+           (total_us /. 1e3 /. float_of_int count)))
+    rows;
+  Buffer.contents b
