@@ -210,25 +210,37 @@ let observability_tests =
 (* Degraded-corpus benches: recovery overhead on malformed input       *)
 (* ------------------------------------------------------------------ *)
 
-(* Frontend-only timings: the recovering parser on pristine sources
-   (its overhead vs the strict parser) and on the fault-injected
-   corpus (the cost of panic-mode recovery itself). *)
-let degraded_tests =
+(* Frontend-only timings: raw lexing throughput, the recovering parser
+   on pristine sources (its overhead vs the strict parser) and on the
+   fault-injected corpus (the cost of panic-mode recovery itself). *)
+let lex_clean_pass () =
+  List.iter
+    (fun (id, src) -> ignore (Rustudy.Lexer.lex ~file:(id ^ ".rs") src))
+    (Lazy.force clean_corpus)
+
+let parse_strict_clean_pass () =
+  List.iter
+    (fun (id, src) -> ignore (Rustudy.parse ~file:(id ^ ".rs") src))
+    (Lazy.force clean_corpus)
+
+let parse_recovering_clean_pass () =
+  List.iter
+    (fun (id, src) -> ignore (Rustudy.parse_recovering ~file:(id ^ ".rs") src))
+    (Lazy.force clean_corpus)
+
+let parse_recovering_mutated_pass () =
+  List.iter
+    (fun (id, src) -> ignore (Rustudy.parse_recovering ~file:(id ^ ".rs") src))
+    (Lazy.force mutated_corpus)
+
+let frontend_tests =
   [
-    Test.make ~name:"parse_strict_clean" (Staged.stage (fun () ->
-        List.iter
-          (fun (id, src) -> ignore (Rustudy.parse ~file:(id ^ ".rs") src))
-          (Lazy.force clean_corpus)));
-    Test.make ~name:"parse_recovering_clean" (Staged.stage (fun () ->
-        List.iter
-          (fun (id, src) ->
-            ignore (Rustudy.parse_recovering ~file:(id ^ ".rs") src))
-          (Lazy.force clean_corpus)));
-    Test.make ~name:"parse_recovering_mutated" (Staged.stage (fun () ->
-        List.iter
-          (fun (id, src) ->
-            ignore (Rustudy.parse_recovering ~file:(id ^ ".rs") src))
-          (Lazy.force mutated_corpus)));
+    Test.make ~name:"lex_clean" (Staged.stage lex_clean_pass);
+    Test.make ~name:"parse_strict_clean" (Staged.stage parse_strict_clean_pass);
+    Test.make ~name:"parse_recovering_clean"
+      (Staged.stage parse_recovering_clean_pass);
+    Test.make ~name:"parse_recovering_mutated"
+      (Staged.stage parse_recovering_mutated_pass);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -317,6 +329,28 @@ let wall ?(reps = 3) f =
     Unix.gettimeofday () -. t0
   in
   List.fold_left min (once ()) (List.init (reps - 1) (fun _ -> once ()))
+
+(* Quick-mode rows for the frontend group. Gating the smoke run on a
+   50 ms bechamel quota proved flaky — one scheduler hiccup threw an
+   OLS estimate off by 6x — so the quick run gates on best-of-5 wall
+   passes instead, which hold within a few percent run to run. Must be
+   called before the other quick phases so the heap is still quiet. *)
+let quick_frontend_rows () =
+  let rows =
+    List.map
+      (fun (name, pass) -> ("frontend/" ^ name, wall ~reps:5 pass *. 1e9))
+      [
+        ("lex_clean", lex_clean_pass);
+        ("parse_strict_clean", parse_strict_clean_pass);
+        ("parse_recovering_clean", parse_recovering_clean_pass);
+        ("parse_recovering_mutated", parse_recovering_mutated_pass);
+      ]
+  in
+  Printf.printf "== frontend (quick, best-of-5 wall) ==\n";
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-36s %10.3f ms/pass\n" name (ns /. 1e6))
+    rows;
+  rows
 
 (* The pre-cache corpus pass: re-lower every entry from source and let
    every detector recompute its own analyses (each legacy [run] builds
@@ -461,6 +495,114 @@ let print_corpus_timings (c : corpus_timings) =
     (c.recovery_mutated_s /. c.recovery_clean_s);
   Printf.printf "  %-36s clean=%d degraded=%d failed=%d (raised=0 by construction)\n"
     "mutant outcomes" c.mutant_clean c.mutant_degraded c.mutant_failed
+
+(* ------------------------------------------------------------------ *)
+(* Frontend throughput (tokens/sec, MB/sec)                            *)
+(* ------------------------------------------------------------------ *)
+
+type frontend_stats = {
+  fe_clean_files : int;
+  fe_clean_bytes : int;
+  fe_clean_tokens : int;
+  fe_mutated_files : int;
+  fe_mutated_bytes : int;
+  fe_mutated_tokens : int;
+  fe_lex_clean_s : float;
+  fe_lex_mutated_s : float;
+  fe_parse_strict_clean_s : float;
+  fe_parse_recovering_mutated_s : float;
+}
+
+(* Parse-only wall timings plus corpus size/token totals, so the
+   recovery overhead can be reported both raw and normalized: the
+   mutant corpus is ~15x the clean corpus by construction (6 mutants
+   per entry, near-full-size each), so the raw mutated/clean ratio is
+   dominated by input size, not by recovery cost. The per-byte and
+   per-token ratios below factor that out. *)
+let frontend_bench () : frontend_stats =
+  let clean = Lazy.force clean_corpus in
+  let mutants = Lazy.force mutated_corpus in
+  let totals corpus =
+    List.fold_left
+      (fun (b, t) (id, src) ->
+        let c = Rustudy.Diag.collector () in
+        let buf = Rustudy.Lexer.lex ~recover:c ~file:(id ^ ".rs") src in
+        (b + String.length src, t + buf.Rustudy.Lexer.n_toks))
+      (0, 0) corpus
+  in
+  let clean_bytes, clean_tokens = totals clean in
+  let mutated_bytes, mutated_tokens = totals mutants in
+  let lex_pass corpus () =
+    List.iter
+      (fun (id, src) ->
+        let c = Rustudy.Diag.collector () in
+        ignore (Rustudy.Lexer.lex ~recover:c ~file:(id ^ ".rs") src))
+      corpus
+  in
+  let fe_lex_clean_s = wall (lex_pass clean) in
+  let fe_lex_mutated_s = wall (lex_pass mutants) in
+  let fe_parse_strict_clean_s =
+    wall (fun () ->
+        List.iter
+          (fun (id, src) -> ignore (Rustudy.parse ~file:(id ^ ".rs") src))
+          clean)
+  in
+  let fe_parse_recovering_mutated_s =
+    wall (fun () ->
+        List.iter
+          (fun (id, src) ->
+            ignore (Rustudy.parse_recovering ~file:(id ^ ".rs") src))
+          mutants)
+  in
+  {
+    fe_clean_files = List.length clean;
+    fe_clean_bytes = clean_bytes;
+    fe_clean_tokens = clean_tokens;
+    fe_mutated_files = List.length mutants;
+    fe_mutated_bytes = mutated_bytes;
+    fe_mutated_tokens = mutated_tokens;
+    fe_lex_clean_s;
+    fe_lex_mutated_s;
+    fe_parse_strict_clean_s;
+    fe_parse_recovering_mutated_s;
+  }
+
+let fe_ratio_per_byte (fe : frontend_stats) =
+  fe.fe_parse_recovering_mutated_s
+  /. float_of_int fe.fe_mutated_bytes
+  /. (fe.fe_parse_strict_clean_s /. float_of_int fe.fe_clean_bytes)
+
+let fe_ratio_per_token (fe : frontend_stats) =
+  fe.fe_parse_recovering_mutated_s
+  /. float_of_int fe.fe_mutated_tokens
+  /. (fe.fe_parse_strict_clean_s /. float_of_int fe.fe_clean_tokens)
+
+let print_frontend (fe : frontend_stats) =
+  Printf.printf "== frontend throughput ==\n";
+  Printf.printf "  %-36s %d files, %d bytes, %d tokens\n" "clean corpus"
+    fe.fe_clean_files fe.fe_clean_bytes fe.fe_clean_tokens;
+  Printf.printf "  %-36s %d files, %d bytes, %d tokens\n" "mutated corpus"
+    fe.fe_mutated_files fe.fe_mutated_bytes fe.fe_mutated_tokens;
+  Printf.printf "  %-36s %10.3f ms  (%.1f MB/s, %.2f Mtok/s)\n" "lex clean"
+    (fe.fe_lex_clean_s *. 1e3)
+    (float_of_int fe.fe_clean_bytes /. 1e6 /. fe.fe_lex_clean_s)
+    (float_of_int fe.fe_clean_tokens /. 1e6 /. fe.fe_lex_clean_s);
+  Printf.printf "  %-36s %10.3f ms  (%.1f MB/s, %.2f Mtok/s)\n" "lex mutated"
+    (fe.fe_lex_mutated_s *. 1e3)
+    (float_of_int fe.fe_mutated_bytes /. 1e6 /. fe.fe_lex_mutated_s)
+    (float_of_int fe.fe_mutated_tokens /. 1e6 /. fe.fe_lex_mutated_s);
+  Printf.printf "  %-36s %10.3f ms\n" "parse strict, clean"
+    (fe.fe_parse_strict_clean_s *. 1e3);
+  Printf.printf "  %-36s %10.3f ms  (%.1fx raw)\n"
+    (Printf.sprintf "parse recovering, %d mutants" fe.fe_mutated_files)
+    (fe.fe_parse_recovering_mutated_s *. 1e3)
+    (fe.fe_parse_recovering_mutated_s /. fe.fe_parse_strict_clean_s);
+  Printf.printf
+    "  %-36s %.2fx per byte, %.2fx per token (mutant corpus is %.1fx the \
+     clean corpus)\n"
+    "recovery overhead, normalized" (fe_ratio_per_byte fe)
+    (fe_ratio_per_token fe)
+    (float_of_int fe.fe_mutated_bytes /. float_of_int fe.fe_clean_bytes)
 
 (* ------------------------------------------------------------------ *)
 (* Supervisor timings and counters                                     *)
@@ -644,6 +786,7 @@ let bench_version = 2
 let current_meta ~replicate () : (string * string) list =
   [
     ("bench_version", string_of_int bench_version);
+    ("cores", string_of_int (Domain.recommended_domain_count ()));
     ("domains", string_of_int (Rustudy.Domain_pool.default_domains ()));
     ("replicate", string_of_int replicate);
     ("fuel_default", string_of_int (Rustudy.Fuel.get ()));
@@ -672,8 +815,17 @@ let warn_meta_mismatch path ~replicate =
           | Some _ -> ())
         (current_meta ~replicate ())
 
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Gated groups: a >25% slowdown in any of these fails the comparison.
+   Other groups are informational only. *)
+let gated_prefixes = [ "detectors/"; "frontend/" ]
+
 (* Prints the per-benchmark speedup table vs [path] and returns false
-   when any detectors/* entry regressed by more than 25%. *)
+   when any gated entry regressed by more than 25%. Rows with no
+   baseline entry (e.g. a group added after the baseline was recorded)
+   are reported as new and never gate. *)
 let compare_against ~replicate path (rows : (string * float) list) : bool =
   let baseline = read_baseline path in
   Printf.printf "\n== compare vs %s ==\n" path;
@@ -681,22 +833,30 @@ let compare_against ~replicate path (rows : (string * float) list) : bool =
   Printf.printf "  %-36s %14s %14s %9s\n" "benchmark" "baseline ns/run"
     "current ns/run" "speedup";
   let regressed = ref [] in
+  let unbaselined = ref [] in
   List.iter
     (fun (name, cur) ->
       match List.assoc_opt name baseline with
-      | None -> ()
+      | None -> unbaselined := name :: !unbaselined
       | Some base ->
-          let gated =
-            String.length name >= 10 && String.sub name 0 10 = "detectors/"
-          in
+          let gated = List.exists (fun p -> has_prefix p name) gated_prefixes in
           let bad = gated && cur > base *. 1.25 in
           if bad then regressed := name :: !regressed;
           Printf.printf "  %-36s %14.1f %14.1f %8.2fx%s\n" name base cur
             (base /. cur)
             (if bad then "  << REGRESSION" else ""))
     rows;
+  (match List.rev !unbaselined with
+  | [] -> ()
+  | l ->
+      Printf.printf
+        "  new since baseline (not gated until the baseline is \
+         regenerated): %s\n"
+        (String.concat ", " l));
   (match List.rev !regressed with
-  | [] -> Printf.printf "  no detectors/* regression > 25%%\n"
+  | [] ->
+      Printf.printf "  no %s regression > 25%%\n"
+        (String.concat " or " (List.map (fun p -> p ^ "*") gated_prefixes))
   | l ->
       Printf.printf "  REGRESSED by > 25%%: %s\n" (String.concat ", " l));
   !regressed = []
@@ -720,7 +880,7 @@ let json_escape s =
   Buffer.contents b
 
 let write_json path (rows : (string * float) list) (c : corpus_timings)
-    ?replicate ~supervisor ~ratio_index ~ratio_copy () =
+    ?replicate ~frontend ~supervisor ~ratio_index ~ratio_copy () =
   let oc = open_out path in
   let field k v = Printf.fprintf oc "    \"%s\": %s" (json_escape k) v in
   output_string oc "{\n  \"meta\": {\n";
@@ -783,6 +943,49 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
       field name v)
     df;
   output_string oc "\n  },\n";
+  (let fe = frontend in
+   output_string oc "  \"frontend\": {\n";
+   let ff =
+     [
+       ("clean_files", string_of_int fe.fe_clean_files);
+       ("clean_bytes", string_of_int fe.fe_clean_bytes);
+       ("clean_tokens", string_of_int fe.fe_clean_tokens);
+       ("mutated_files", string_of_int fe.fe_mutated_files);
+       ("mutated_bytes", string_of_int fe.fe_mutated_bytes);
+       ("mutated_tokens", string_of_int fe.fe_mutated_tokens);
+       ("lex_clean_s", Printf.sprintf "%.6f" fe.fe_lex_clean_s);
+       ("lex_mutated_s", Printf.sprintf "%.6f" fe.fe_lex_mutated_s);
+       ( "lex_clean_tokens_per_sec",
+         Printf.sprintf "%.0f"
+           (float_of_int fe.fe_clean_tokens /. fe.fe_lex_clean_s) );
+       ( "lex_clean_mb_per_sec",
+         Printf.sprintf "%.3f"
+           (float_of_int fe.fe_clean_bytes /. 1e6 /. fe.fe_lex_clean_s) );
+       ( "lex_mutated_tokens_per_sec",
+         Printf.sprintf "%.0f"
+           (float_of_int fe.fe_mutated_tokens /. fe.fe_lex_mutated_s) );
+       ( "lex_mutated_mb_per_sec",
+         Printf.sprintf "%.3f"
+           (float_of_int fe.fe_mutated_bytes /. 1e6 /. fe.fe_lex_mutated_s) );
+       ( "parse_strict_clean_s",
+         Printf.sprintf "%.6f" fe.fe_parse_strict_clean_s );
+       ( "parse_recovering_mutated_s",
+         Printf.sprintf "%.6f" fe.fe_parse_recovering_mutated_s );
+       ( "parse_mutated_over_clean",
+         Printf.sprintf "%.3f"
+           (fe.fe_parse_recovering_mutated_s /. fe.fe_parse_strict_clean_s) );
+       ( "parse_mutated_over_clean_per_byte",
+         Printf.sprintf "%.3f" (fe_ratio_per_byte fe) );
+       ( "parse_mutated_over_clean_per_token",
+         Printf.sprintf "%.3f" (fe_ratio_per_token fe) );
+     ]
+   in
+   List.iteri
+     (fun i (name, v) ->
+       if i > 0 then output_string oc ",\n";
+       field name v)
+     ff;
+   output_string oc "\n  },\n");
   (match replicate with
   | None -> ()
   | Some r ->
@@ -865,7 +1068,10 @@ let () =
     (* smoke mode (wired into dune runtest): exercise the bechamel
        harness on the detector group with a tiny quota plus one cached
        corpus pass, so the bench binary can't bit-rot *)
-    let rows = run_group ~quota:0.05 "detectors" detector_tests in
+    let rows =
+      let frontend_rows = quick_frontend_rows () in
+      frontend_rows @ run_group ~quota:0.05 "detectors" detector_tests
+    in
     Rustudy.Cache.clear_programs ();
     cached_corpus_pass ();
     (* the supervisor machinery must not bit-rot either: the
@@ -877,7 +1083,23 @@ let () =
       qstats.Rustudy.Supervisor.timeouts;
     let ok =
       match compare_file with
-      | Some f -> compare_against ~replicate f rows
+      | Some f ->
+          (* A loaded host shifts every row 20-30% at once, so a failed
+             gate is re-measured before it fails the build: sustained
+             real regressions survive the retries, transient load
+             almost never does. *)
+          let rec attempt retries rows =
+            compare_against ~replicate f rows
+            || retries > 0
+               && begin
+                    Printf.printf
+                      "gate failed; re-measuring (%d retries left)\n" retries;
+                    attempt (retries - 1)
+                      (quick_frontend_rows ()
+                      @ run_group ~quota:0.05 "detectors" detector_tests)
+                  end
+          in
+          attempt 2 rows
       | None -> true
     in
     print_endline "quick smoke OK";
@@ -885,6 +1107,13 @@ let () =
   end
   else begin
     (* correctness context for the ablations, then the timings *)
+    (* Frontend throughput is measured first, on a quiet heap: the later
+       corpus/bechamel phases leave a large major heap behind, which
+       inflates wall timings of allocation-heavy passes by 2-3x and
+       would misreport recovery cost. *)
+    let frontend = frontend_bench () in
+    print_frontend frontend;
+    print_newline ();
     recall_summary ();
     print_newline ();
     let rows =
@@ -893,7 +1122,7 @@ let () =
       @ run_group "observability" observability_tests
       @ run_group "safe-vs-unsafe (4.1)" micro_tests
       @ run_group "ablations" ablation_tests
-      @ run_group "degraded-corpus" degraded_tests
+      @ run_group "frontend" frontend_tests
     in
     let corpus = corpus_bench () in
     print_corpus_timings corpus;
@@ -924,8 +1153,8 @@ let () =
        per-element/memcpy copy ratio = %.2fx\n"
       ratio_index ratio_copy;
     if json then begin
-      write_json "BENCH_results.json" rows corpus ?replicate:rep ~supervisor
-        ~ratio_index ~ratio_copy ();
+      write_json "BENCH_results.json" rows corpus ?replicate:rep ~frontend
+        ~supervisor ~ratio_index ~ratio_copy ();
       print_endline "wrote BENCH_results.json"
     end;
     let ok =

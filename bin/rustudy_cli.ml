@@ -145,8 +145,9 @@ let domains_opt =
     & info [ "domains" ] ~docv:"N"
         ~doc:
           "Size of the worker pool for corpus-wide analysis (default: the \
-           recommended domain count; 1 forces the sequential path). Results \
-           are identical and corpus-ordered for any value.")
+           detected core count minus one, so the coordinating domain keeps \
+           a core; 1 forces the sequential path). Results are identical \
+           and corpus-ordered for any value.")
 
 let check_cmd =
   let keep_going =

@@ -47,9 +47,10 @@ type fb = {
   fn_id : string;
   mutable locals : Mir.local_info list;  (** reversed *)
   mutable n_locals : int;
-  blocks : (int, blockbuf) Hashtbl.t;
+  mutable blocks : blockbuf array;  (** arena; indices < [n_blocks] live *)
   mutable n_blocks : int;
   mutable cur : int;
+  mutable curbuf : blockbuf;  (** [blocks.(cur)], cached for [emit] *)
   mutable gamma : (string * Mir.local) list;
   mutable scopes : scope list;
   mutable frames : frame list;
@@ -69,27 +70,36 @@ type fb = {
       (** rustc's [_0]: holds the return value across the exit drops *)
 }
 
+(* Shared filler for unused arena slots; [new_block] always installs a
+   fresh record before a slot becomes reachable. *)
+let no_block : blockbuf = { bstmts = []; bterm = None; bspan = Span.dummy }
+
 let new_block fb =
   let id = fb.n_blocks in
+  if id = Array.length fb.blocks then begin
+    let a = Array.make (2 * id) no_block in
+    Array.blit fb.blocks 0 a 0 id;
+    fb.blocks <- a
+  end;
+  Array.unsafe_set fb.blocks id { bstmts = []; bterm = None; bspan = Span.dummy };
   fb.n_blocks <- id + 1;
-  Hashtbl.replace fb.blocks id
-    { bstmts = []; bterm = None; bspan = Span.dummy };
   id
 
-let block fb id = Hashtbl.find fb.blocks id
+let block fb id = fb.blocks.(id)
 
 let switch_to fb id =
   fb.cur <- id;
+  fb.curbuf <- fb.blocks.(id);
   fb.terminated <- false
 
 let emit fb ?(span = Span.dummy) kind =
   if not fb.terminated then
-    let b = block fb fb.cur in
+    let b = fb.curbuf in
     b.bstmts <- { Mir.kind; s_span = span; s_unsafe = fb.in_unsafe } :: b.bstmts
 
 let set_term fb ?(span = Span.dummy) term =
   if not fb.terminated then begin
-    let b = block fb fb.cur in
+    let b = fb.curbuf in
     b.bterm <- Some term;
     b.bspan <- span;
     fb.terminated <- true
@@ -1482,9 +1492,10 @@ and lower_fn_raw env config out_bodies unsafe_spans ~fn_id
       fn_id;
       locals = [];
       n_locals = 0;
-      blocks = Hashtbl.create 16;
+      blocks = Array.make 16 no_block;
       n_blocks = 0;
       cur = 0;
+      curbuf = no_block;
       gamma = [];
       scopes = [];
       frames = [];

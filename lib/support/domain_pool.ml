@@ -11,9 +11,11 @@
     after the pool has fully wound down. *)
 
 let default_domains () =
-  (* recommended_domain_count counts the running domain; never spawn
-     more workers than items or cores *)
-  max 1 (Domain.recommended_domain_count ())
+  (* recommended_domain_count counts the running domain, so reserve one
+     slot for it: spawning a worker per core leaves the coordinator
+     competing for a core and used to report parallel sweeps running
+     with a single effective domain. Never below 1. *)
+  max 1 (Domain.recommended_domain_count () - 1)
 
 (** Shared engine behind [try_map]/[map]: applies [f] to every element
     of [items], using up to [domains] domains (default:

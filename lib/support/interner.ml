@@ -1,0 +1,162 @@
+(* Open-addressing hash index over an append-only symbol store.
+
+   The index maps hash -> symbol; strings live once in [strings].
+   Probing is linear with a power-of-two table kept at most half full,
+   so lookups touch one or two cache lines in the common case. Hashing
+   is FNV-1a over the bytes, computed directly on the source buffer in
+   [intern_sub] so the hot lexer path allocates nothing for
+   already-seen identifiers. *)
+
+type symbol = int
+
+type t = {
+  mutable index : int array;  (* symbol + 1; 0 means empty *)
+  mutable mask : int;  (* Array.length index - 1 *)
+  mutable strings : string array;
+  mutable hashes : int array;
+  mutable n : int;
+}
+
+let create ?(capacity = 64) () =
+  let cap =
+    let c = ref 16 in
+    while !c < capacity * 2 do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    index = Array.make cap 0;
+    mask = cap - 1;
+    strings = Array.make (max 16 capacity) "";
+    hashes = Array.make (max 16 capacity) 0;
+    n = 0;
+  }
+
+let count t = t.n
+
+let to_string t sym =
+  if sym < 0 || sym >= t.n then invalid_arg "Interner.to_string";
+  Array.unsafe_get t.strings sym
+
+(* FNV-1a, folded into OCaml's 63-bit int range; [land max_int] keeps
+   the hash non-negative so [h land mask] is a valid slot. *)
+let fnv_offset = 0x1cf035ce5e1f611
+let fnv_prime = 0x100000001b3
+
+let hash_sub (s : string) pos len =
+  let h = ref fnv_offset in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime
+  done;
+  !h land max_int
+
+let hash_string s = hash_sub s 0 (String.length s)
+
+let rehash t =
+  let cap = (t.mask + 1) * 2 in
+  let index = Array.make cap 0 in
+  let mask = cap - 1 in
+  for sym = 0 to t.n - 1 do
+    let h = t.hashes.(sym) in
+    let i = ref (h land mask) in
+    while index.(!i) <> 0 do
+      i := (!i + 1) land mask
+    done;
+    index.(!i) <- sym + 1
+  done;
+  t.index <- index;
+  t.mask <- mask
+
+let grow_store t =
+  let cap = Array.length t.strings * 2 in
+  let strings = Array.make cap "" in
+  let hashes = Array.make cap 0 in
+  Array.blit t.strings 0 strings 0 t.n;
+  Array.blit t.hashes 0 hashes 0 t.n;
+  t.strings <- strings;
+  t.hashes <- hashes
+
+let add t h (s : string) =
+  if t.n = Array.length t.strings then grow_store t;
+  let sym = t.n in
+  t.strings.(sym) <- s;
+  t.hashes.(sym) <- h;
+  t.n <- sym + 1;
+  if 2 * t.n > t.mask then rehash t;
+  sym
+
+(* Compare an interned string against a source substring without
+   copying either side. *)
+let eq_sub (interned : string) (s : string) pos len =
+  String.length interned = len
+  &&
+  let i = ref 0 in
+  while
+    !i < len
+    && Char.equal
+         (String.unsafe_get interned !i)
+         (String.unsafe_get s (pos + !i))
+  do
+    incr i
+  done;
+  !i = len
+
+let intern_sub t s pos len =
+  let h = hash_sub s pos len in
+  let mask = t.mask in
+  let i = ref (h land mask) in
+  let result = ref (-1) in
+  while !result < 0 do
+    let slot = Array.unsafe_get t.index !i in
+    if slot = 0 then begin
+      let sym = add t h (String.sub s pos len) in
+      (* [add] may have rehashed into a fresh index; re-probe there
+         rather than writing into the stale slot *)
+      if t.mask = mask then t.index.(!i) <- sym + 1
+      else begin
+        let m = t.mask in
+        let j = ref (h land m) in
+        while t.index.(!j) <> 0 do
+          j := (!j + 1) land m
+        done;
+        t.index.(!j) <- sym + 1
+      end;
+      result := sym
+    end
+    else begin
+      let sym = slot - 1 in
+      if t.hashes.(sym) = h && eq_sub t.strings.(sym) s pos len then
+        result := sym
+      else i := (!i + 1) land mask
+    end
+  done;
+  !result
+
+let intern t s = intern_sub t s 0 (String.length s)
+
+let intern_buf t b =
+  (* scratch buffers are small and escape-decoded contents usually
+     novel; one [Buffer.contents] copy here is the cold path *)
+  intern t (Buffer.contents b)
+
+let find t s =
+  let len = String.length s in
+  let h = hash_string s in
+  let mask = t.mask in
+  let i = ref (h land mask) in
+  let result = ref None in
+  let stop = ref false in
+  while not !stop do
+    let slot = Array.unsafe_get t.index !i in
+    if slot = 0 then stop := true
+    else begin
+      let sym = slot - 1 in
+      if t.hashes.(sym) = h && eq_sub t.strings.(sym) s 0 len then begin
+        result := Some sym;
+        stop := true
+      end
+      else i := (!i + 1) land mask
+    end
+  done;
+  !result

@@ -1,0 +1,41 @@
+(** Append-only string interner: hashed symbol table mapping strings
+    to dense integer symbols.
+
+    Each distinct string is stored once; symbols are assigned in first
+    insertion order starting at [0], so a table pre-seeded with a fixed
+    vocabulary (e.g. the keyword list) gives those entries known,
+    contiguous symbols. [intern_sub] hashes a substring of a source
+    buffer directly and only copies it out ([String.sub]) on first
+    insertion, so re-lexing the same identifier allocates nothing.
+
+    Not thread-safe: intended to be owned by one lexer/parser pass
+    (one per file keeps parallel corpus sweeps synchronization-free). *)
+
+type t
+
+type symbol = int
+(** Dense handle: [0 <= symbol < count t]. *)
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty table. [capacity] is a hint for the expected number of
+    distinct strings. *)
+
+val intern : t -> string -> symbol
+(** Symbol for [s], inserting it on first sight. *)
+
+val intern_sub : t -> string -> int -> int -> symbol
+(** [intern_sub t s pos len] interns the substring [s.[pos..pos+len-1]]
+    without allocating unless the substring is new to the table. *)
+
+val intern_buf : t -> Buffer.t -> symbol
+(** Interns the current contents of a scratch buffer. *)
+
+val to_string : t -> symbol -> string
+(** The interned string, O(1). The result is shared: callers must not
+    mutate it. @raise Invalid_argument on an out-of-range symbol. *)
+
+val find : t -> string -> symbol option
+(** Lookup without insertion. *)
+
+val count : t -> int
+(** Number of distinct strings interned so far. *)

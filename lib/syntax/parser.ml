@@ -10,27 +10,40 @@ open Support
 module T = Token
 
 type state = {
-  toks : Lexer.spanned array;
+  buf : Lexer.buf;  (** the whole file, lexed up front *)
   mutable idx : int;
   recover : Diag.collector option;
       (** when set, syntax errors synchronize at item/statement
           boundaries and become explicit [E_error]/[I_error] AST nodes
           instead of aborting the parse *)
+  mutable errors_left : int;
+      (** panic-recovery budget: when it runs out, recovery stops
+          resynchronizing and skips to [EOF], bounding the cost of a
+          pathologically corrupted file *)
 }
 
-let make ?recover toks = { toks = Array.of_list toks; idx = 0; recover }
+(* Generous: an order of magnitude above the worst diagnostic count
+   the seeded 1020-mutant suite produces on any single file, so only
+   adversarial inputs ever hit it. *)
+let error_budget = 128
 
-let peek st = st.toks.(st.idx).tok
-let peek_span st = st.toks.(st.idx).span
+let make ?recover (buf : Lexer.buf) =
+  { buf; idx = 0; recover; errors_left = error_budget }
+
+(* [idx] is always within [0, n_toks); [advance] saturates at the
+   final [EOF] token. *)
+let peek st = Array.unsafe_get st.buf.Lexer.toks st.idx
+
+let peek_span st = Lexer.token_span st.buf st.idx
 
 let peek_at st n =
-  let i = min (st.idx + n) (Array.length st.toks - 1) in
-  st.toks.(i).tok
+  let i = min (st.idx + n) (st.buf.Lexer.n_toks - 1) in
+  Array.unsafe_get st.buf.Lexer.toks i
 
 let advance st =
-  if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+  if st.idx < st.buf.Lexer.n_toks - 1 then st.idx <- st.idx + 1
 
-let prev_span st = st.toks.(max 0 (st.idx - 1)).span
+let prev_span st = Lexer.token_span st.buf (max 0 (st.idx - 1))
 
 let err st fmt =
   Diag.fail ~span:(peek_span st) fmt
@@ -55,7 +68,23 @@ let expect_ident st =
       s
   | t -> err st "expected identifier, found '%s'" (T.to_string t)
 
-let span_from st (start : Span.t) = Span.union start (prev_span st)
+(* Node spans are derived from token marks (indices into the token
+   buffer) only when a node is actually built: the span of the mark's
+   token unioned with the span of the last consumed token — the same
+   extent the legacy eager computation produced, without allocating a
+   span per speculative node start. The union is computed directly on
+   byte offsets (token spans are never dummy). *)
+let span_from st (mark : int) =
+  let b = st.buf in
+  let p = if st.idx > 0 then st.idx - 1 else 0 in
+  let s0 = Array.unsafe_get b.Lexer.tok_starts mark in
+  let e0 = Array.unsafe_get b.Lexer.tok_ends mark in
+  let s1 = Array.unsafe_get b.Lexer.tok_starts p in
+  let e1 = Array.unsafe_get b.Lexer.tok_ends p in
+  let s = if s1 < s0 then s1 else s0 in
+  let e = if e1 > e0 then e1 else e0 in
+  Span.make ~file:b.Lexer.file ~start_pos:(Lexer.pos_of_offset b s)
+    ~end_pos:(Lexer.pos_of_offset b e)
 
 (* ------------------------------------------------------------------ *)
 (* Panic-mode synchronization (recovery only)                          *)
@@ -108,6 +137,18 @@ let sync_stmt st =
     | _ -> advance st
   done
 
+(** Bounded panic recovery: once the error budget is exhausted, stop
+    resynchronizing and jump the cursor to [EOF], so a pathologically
+    corrupted file costs O(budget), not O(file size x error count).
+    The give-up diagnostic is emitted exactly once, when the budget
+    first reaches zero. *)
+let give_up st c =
+  if st.errors_left = 0 then
+    Diag.emit c
+      (Diag.error ~code:Diag.Parse_error_code ~span:(peek_span st)
+         "too many syntax errors; giving up on the rest of the file");
+  st.idx <- st.buf.Lexer.n_toks - 1
+
 (* ------------------------------------------------------------------ *)
 (* Paths and generics                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -130,7 +171,7 @@ let path_segment st =
 
 (** Parse [a::b::c] with no generic arguments. *)
 let parse_simple_path st : Ast.path =
-  let start = peek_span st in
+  let start = st.idx in
   let rec go acc =
     let seg = path_segment st in
     if T.equal (peek st) T.COLONCOLON
@@ -192,7 +233,7 @@ let parse_generic_params st : string list =
 (* ------------------------------------------------------------------ *)
 
 let rec parse_ty st : Ast.ty =
-  let start = peek_span st in
+  let start = st.idx in
   let mk t = { Ast.t; tspan = span_from st start } in
   match peek st with
   | T.AMP ->
@@ -293,7 +334,7 @@ and parse_generic_args st : Ast.ty list =
 (* ------------------------------------------------------------------ *)
 
 let rec parse_pat st : Ast.pat =
-  let start = peek_span st in
+  let start = st.idx in
   let mk p = { Ast.p; pspan = span_from st start } in
   match peek st with
   | T.UNDERSCORE ->
@@ -461,7 +502,7 @@ and parse_assign ~no_struct st =
       | None -> lhs)
 
 and parse_range ~no_struct st =
-  let start = peek_span st in
+  let start = st.idx in
   match peek st with
   | T.DOTDOT | T.DOTDOTEQ ->
       let inclusive = T.equal (peek st) T.DOTDOTEQ in
@@ -519,7 +560,7 @@ and parse_cast ~no_struct st =
   !e
 
 and parse_unary ~no_struct st =
-  let start = peek_span st in
+  let start = st.idx in
   let mk e = { Ast.e; espan = span_from st start } in
   match peek st with
   | T.MINUS ->
@@ -631,7 +672,7 @@ and parse_call_args st =
   List.rev !args
 
 and parse_primary ~no_struct st : Ast.expr =
-  let start = peek_span st in
+  let start = st.idx in
   let mk e = { Ast.e; espan = span_from st start } in
   match peek st with
   | T.INT (v, suf) ->
@@ -749,11 +790,11 @@ and parse_closure ~moved st start =
     Ast.e =
       Ast.E_closure
         { Ast.cl_move = moved; cl_params = List.rev !params; cl_body = body };
-    espan = Span.union start (prev_span st);
+    espan = span_from st start;
   }
 
 and parse_if st =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.KW_IF;
   if accept st T.KW_LET then begin
     let pat = parse_pat st in
@@ -763,7 +804,7 @@ and parse_if st =
     let else_ = parse_else st in
     {
       Ast.e = Ast.E_if_let (pat, scrut, then_, else_);
-      espan = Span.union start (prev_span st);
+      espan = span_from st start;
     }
   end
   else begin
@@ -772,7 +813,7 @@ and parse_if st =
     let else_ = parse_else st in
     {
       Ast.e = Ast.E_if (cond, then_, else_);
-      espan = Span.union start (prev_span st);
+      espan = span_from st start;
     }
   end
 
@@ -785,7 +826,7 @@ and parse_else st =
   else None
 
 and parse_while st =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.KW_WHILE;
   if accept st T.KW_LET then begin
     let pat = parse_pat st in
@@ -794,7 +835,7 @@ and parse_while st =
     let body = parse_block st in
     {
       Ast.e = Ast.E_while_let (pat, scrut, body);
-      espan = Span.union start (prev_span st);
+      espan = span_from st start;
     }
   end
   else begin
@@ -802,12 +843,12 @@ and parse_while st =
     let body = parse_block st in
     {
       Ast.e = Ast.E_while (cond, body);
-      espan = Span.union start (prev_span st);
+      espan = span_from st start;
     }
   end
 
 and parse_match st =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.KW_MATCH;
   let scrut = parse_expr ~no_struct:true st in
   expect st T.LBRACE;
@@ -837,7 +878,7 @@ and parse_match st =
   expect st T.RBRACE;
   {
     Ast.e = Ast.E_match (scrut, List.rev !arms);
-    espan = Span.union start (prev_span st);
+    espan = span_from st start;
   }
 
 and parse_path_expr ~no_struct st start =
@@ -927,7 +968,7 @@ and looks_like_struct_lit st =
   | _ -> false
 
 and parse_block st : Ast.block =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.LBRACE;
   let stmts = ref [] in
   let tail = ref None in
@@ -939,7 +980,7 @@ and parse_block st : Ast.block =
         advance st;
         go ()
     | T.KW_LET ->
-        let lstart = peek_span st in
+        let lstart = st.idx in
         advance st;
         let let_pat = parse_pat st in
         let let_ty = if accept st T.COLON then Some (parse_ty st) else None in
@@ -999,11 +1040,12 @@ and parse_block st : Ast.block =
         | () -> ()
         | exception Diag.Parse_error d ->
             Diag.emit c d;
-            let espan = peek_span st in
-            sync_stmt st;
+            let err_mark = st.idx in
+            st.errors_left <- st.errors_left - 1;
+            if st.errors_left <= 0 then give_up st c else sync_stmt st;
             stmts :=
               Ast.S_expr
-                { Ast.e = Ast.E_error; espan = Span.union espan (prev_span st) }
+                { Ast.e = Ast.E_error; espan = span_from st err_mark }
               :: !stmts;
             if
               not (T.equal (peek st) T.RBRACE || T.equal (peek st) T.EOF)
@@ -1090,7 +1132,7 @@ and skip_where_clause st =
   end
 
 and parse_fn ~public ~unsafe_ st : Ast.fn_def =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.KW_FN;
   let fn_name = expect_ident st in
   let fn_generics = parse_generic_params st in
@@ -1116,7 +1158,7 @@ and parse_fn ~public ~unsafe_ st : Ast.fn_def =
   }
 
 and parse_struct ~public:_ st : Ast.struct_def =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.KW_STRUCT;
   let s_name = expect_ident st in
   let s_generics = parse_generic_params st in
@@ -1148,7 +1190,7 @@ and parse_struct ~public:_ st : Ast.struct_def =
   }
 
 and parse_enum st : Ast.enum_def =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.KW_ENUM;
   let e_name = expect_ident st in
   let e_generics = parse_generic_params st in
@@ -1188,7 +1230,7 @@ and parse_enum st : Ast.enum_def =
   }
 
 and parse_impl ~unsafe_ st : Ast.impl_block =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.KW_IMPL;
   let _generics = parse_generic_params st in
   (* Either `impl Ty { ... }` or `impl Trait for Ty { ... }` *)
@@ -1223,7 +1265,7 @@ and parse_impl ~unsafe_ st : Ast.impl_block =
   }
 
 and parse_trait ~unsafe_ st : Ast.trait_def =
-  let start = peek_span st in
+  let start = st.idx in
   expect st T.KW_TRAIT;
   let tr_name = expect_ident st in
   let _generics = parse_generic_params st in
@@ -1253,7 +1295,7 @@ and parse_trait ~unsafe_ st : Ast.trait_def =
   }
 
 and parse_static st : Ast.static_def =
-  let start = peek_span st in
+  let start = st.idx in
   (match peek st with
   | T.KW_STATIC | T.KW_CONST -> advance st
   | t -> err st "expected 'static' or 'const', found '%s'" (T.to_string t));
@@ -1322,11 +1364,11 @@ and parse_item st : Ast.item =
 let parse_crate ~file src : Ast.crate =
   Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
     "frontend.parse" (fun () ->
-      let toks =
+      let buf =
         Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
-          "frontend.lex" (fun () -> Lexer.tokenize ~file src)
+          "frontend.lex" (fun () -> Lexer.lex ~file src)
       in
-      let st = make toks in
+      let st = make buf in
       let items = ref [] in
       while not (T.equal (peek st) T.EOF) do
         items := parse_item st :: !items
@@ -1337,11 +1379,11 @@ let parse_crate_recovering ~file src : Ast.crate * Diag.t list =
   Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
     "frontend.parse" (fun () ->
   let c = Diag.collector () in
-  let toks =
+  let buf =
     Support.Trace.with_span ~cat:"frontend" ~args:[ ("file", file) ]
-      "frontend.lex" (fun () -> Lexer.tokenize ~recover:c ~file src)
+      "frontend.lex" (fun () -> Lexer.lex ~recover:c ~file src)
   in
-  let st = make ~recover:c toks in
+  let st = make ~recover:c buf in
   let items = ref [] in
   while not (T.equal (peek st) T.EOF) do
     let idx0 = st.idx in
@@ -1349,18 +1391,22 @@ let parse_crate_recovering ~file src : Ast.crate * Diag.t list =
     | it -> items := it :: !items
     | exception Diag.Parse_error d ->
         Diag.emit c d;
-        let err_start = peek_span st in
-        (* guarantee progress even when the item failed on its very
-           first token, then resynchronize at the next item boundary *)
-        if st.idx = idx0 then advance st;
-        sync_item st;
-        items := Ast.I_error (Span.union err_start (prev_span st)) :: !items
+        let err_mark = st.idx in
+        st.errors_left <- st.errors_left - 1;
+        if st.errors_left <= 0 then give_up st c
+        else begin
+          (* guarantee progress even when the item failed on its very
+             first token, then resynchronize at the next item boundary *)
+          if st.idx = idx0 then advance st;
+          sync_item st
+        end;
+        items := Ast.I_error (span_from st err_mark) :: !items
   done;
   ({ Ast.items = List.rev !items; crate_file = file }, Diag.diags c))
 
 let parse_expr_string ~file src : Ast.expr =
-  let toks = Lexer.tokenize ~file src in
-  let st = make toks in
+  let buf = Lexer.lex ~file src in
+  let st = make buf in
   let e = try_parse_expr_stmt st in
   if not (T.equal (peek st) T.EOF) then
     err st "trailing tokens after expression";

@@ -87,6 +87,25 @@ type t =
   | UNDERSCORE
   | EOF
 
+(* Keyword vocabulary in a fixed order. The lexer pre-interns these
+   strings into a fresh symbol table, so keyword recognition becomes a
+   bounds check plus an array load on the interned symbol instead of a
+   string match. [keyword_of_string] below must agree with this list. *)
+let keywords =
+  [|
+    ("as", KW_AS); ("break", KW_BREAK); ("const", KW_CONST);
+    ("continue", KW_CONTINUE); ("crate", KW_CRATE); ("dyn", KW_DYN);
+    ("else", KW_ELSE); ("enum", KW_ENUM); ("false", KW_FALSE);
+    ("fn", KW_FN); ("for", KW_FOR); ("if", KW_IF); ("impl", KW_IMPL);
+    ("in", KW_IN); ("let", KW_LET); ("loop", KW_LOOP);
+    ("match", KW_MATCH); ("mod", KW_MOD); ("move", KW_MOVE);
+    ("mut", KW_MUT); ("pub", KW_PUB); ("ref", KW_REF);
+    ("return", KW_RETURN); ("self", KW_SELF); ("Self", KW_SELF_TYPE);
+    ("static", KW_STATIC); ("struct", KW_STRUCT); ("trait", KW_TRAIT);
+    ("true", KW_TRUE); ("unsafe", KW_UNSAFE); ("use", KW_USE);
+    ("where", KW_WHERE); ("while", KW_WHILE);
+  |]
+
 let keyword_of_string = function
   | "as" -> Some KW_AS
   | "break" -> Some KW_BREAK
@@ -208,4 +227,16 @@ let to_string = function
   | UNDERSCORE -> "_"
   | EOF -> "<eof>"
 
-let equal (a : t) (b : t) = a = b
+(* Physical equality first: keyword/punctuation tokens are immediates
+   (and IDENT boxes are memoized per file by the lexer), so the hot
+   parser comparisons never reach polymorphic compare. *)
+let equal (a : t) (b : t) =
+  a == b
+  ||
+  match (a, b) with
+  | IDENT x, IDENT y | LIFETIME x, LIFETIME y | STRING x, STRING y ->
+      String.equal x y
+  | INT (v, sx), INT (w, sy) -> v = w && String.equal sx sy
+  | FLOAT x, FLOAT y -> Float.equal x y
+  | CHAR x, CHAR y -> Char.equal x y
+  | _ -> false

@@ -1,0 +1,99 @@
+(* Properties of the append-only symbol interner the lexer builds on. *)
+
+open QCheck
+module I = Support.Interner
+
+(* identifier-ish strings, plus arbitrary printable junk *)
+let ident_gen =
+  Gen.(
+    let ident_char =
+      oneof
+        [
+          char_range 'a' 'z';
+          char_range 'A' 'Z';
+          char_range '0' '9';
+          return '_';
+        ]
+    in
+    map (fun cs -> String.init (List.length cs) (List.nth cs))
+      (list_size (int_range 1 24) ident_char))
+
+let strings_gen = Gen.(list_size (int_range 0 200) ident_gen)
+let strings_arb = make ~print:Print.(list string) strings_gen
+
+let round_trip =
+  Test.make ~count:200 ~name:"intern/to_string round-trips every string"
+    strings_arb (fun ss ->
+      let t = I.create () in
+      List.for_all (fun s -> String.equal (I.to_string t (I.intern t s)) s) ss)
+
+let dedup =
+  Test.make ~count:200
+    ~name:"equal strings share a symbol; distinct strings never do"
+    strings_arb (fun ss ->
+      let t = I.create () in
+      let syms = List.map (fun s -> (s, I.intern t s)) ss in
+      List.for_all
+        (fun (s1, y1) ->
+          List.for_all
+            (fun (s2, y2) -> String.equal s1 s2 = (y1 = y2))
+            syms)
+        syms
+      && I.count t
+         = List.length (List.sort_uniq String.compare (List.map fst syms)))
+
+let sub_matches_whole =
+  Test.make ~count:200
+    ~name:"intern_sub of a slice equals intern of the copied slice"
+    (pair strings_arb strings_arb)
+    (fun (pre, ss) ->
+      let t = I.create () in
+      (* pre-populate so probing hits occupied slots and rehashes *)
+      List.iter (fun s -> ignore (I.intern t s)) pre;
+      let buf = String.concat "!" ss in
+      let pos = ref 0 in
+      List.for_all
+        (fun s ->
+          let n = String.length s in
+          let sym = I.intern_sub t buf !pos n in
+          pos := !pos + n + 1;
+          sym = I.intern t s)
+        ss)
+
+let find_agrees =
+  Test.make ~count:200 ~name:"find returns interned symbols and only those"
+    (pair strings_arb strings_arb)
+    (fun (ins, probes) ->
+      let t = I.create () in
+      List.iter (fun s -> ignore (I.intern t s)) ins;
+      List.for_all
+        (fun p ->
+          match I.find t p with
+          | Some sym -> String.equal (I.to_string t sym) p
+          | None -> not (List.exists (String.equal p) ins))
+        probes)
+
+(* The lexer shares one interner per domain across files: parsing the
+   same source with a cold and a warm interner must give identical
+   ASTs (symbols are an internal encoding, never semantics). *)
+let independence_across_parses =
+  Alcotest.test_case "parse results are interner-state independent" `Quick
+    (fun () ->
+      List.iter
+        (fun (e : Rustudy.Corpus.entry) ->
+          let src = e.Rustudy.Corpus.source in
+          let a1 = Rustudy.parse ~file:"a.rs" src in
+          let a2 = Rustudy.parse ~file:"a.rs" src in
+          if a1 <> a2 then
+            Alcotest.failf "parse of %s differs between interner states"
+              e.Rustudy.Corpus.id)
+        (let rec take n = function
+           | x :: tl when n > 0 -> x :: take (n - 1) tl
+           | _ -> []
+         in
+         take 20 Rustudy.Corpus.all_bugs))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ round_trip; dedup; sub_matches_whole; find_agrees ]
+  @ [ independence_across_parses ]

@@ -4,6 +4,8 @@ let () =
   Alcotest.run "rustudy"
     [
       ("lexer", T_lexer.suite);
+      ("interner", T_interner.suite);
+      ("frontend", T_frontend.suite);
       ("parser", T_parser.suite);
       ("sema", T_sema.suite);
       ("mir", T_mir.suite);
