@@ -9,7 +9,8 @@
                      copies (distinct file keys; >= 2 domains, chunked)
    --compare FILE    print a per-benchmark speedup table against the
                      ns_per_run section of a previous --json output and
-                     exit non-zero on a >25%% detectors/* regression
+                     exit non-zero on a >25%% regression in a gated row
+                     (the detectors/, frontend/ and server/ prefixes)
    --quick           smoke mode for dune runtest: tiny quota, detector
                      group + one cached corpus pass only *)
 
@@ -669,6 +670,150 @@ let print_supervisor (s : supervisor_timings) =
   line "instant-deadline slice" s.sup_adversarial_stats s.sup_adversarial_s
 
 (* ------------------------------------------------------------------ *)
+(* Analysis server: round-trip latency and load-shedding counters      *)
+(* ------------------------------------------------------------------ *)
+
+type server_timings = {
+  srv_clients : int;
+  srv_requests : int;  (** healthy phase: total round trips measured *)
+  srv_p50_ns : float;
+  srv_p99_ns : float;
+  srv_adv_requests : int;  (** adversarial phase: requests fired *)
+  srv_shed : int;
+  srv_retried : int;
+  srv_timeouts : int;
+}
+
+let bench_source =
+  "fn f(m: Arc<Mutex<u32>>) { let a = m.lock().unwrap(); let b = \
+   m.lock().unwrap(); }"
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Phase A: an in-process daemon at its default tuning, hammered by
+   concurrent clients issuing healthy check requests — the numbers are
+   full round trips (frame encode, dispatch, analysis, frame decode),
+   reported as p50/p99 so tail behaviour is gated, not just the
+   median. *)
+let server_latency_phase () =
+  let clients = 4 and per_client = 64 in
+  let sock = Filename.temp_file "rustudy_bench_lat" ".sock" in
+  let d =
+    Server.Daemon.start (Server.Daemon.default_config ~socket_path:sock)
+  in
+  let lat = Array.make (clients * per_client) 0.0 in
+  let client k =
+    let c = Server.Client.connect_retry sock in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () ->
+        for i = 0 to per_client - 1 do
+          let t0 = Unix.gettimeofday () in
+          ignore
+            (Server.Client.rpc c
+               (Server.Client.check ~id:i ~keep_going:true
+                  ~source:bench_source ~file:"bench.rs" ()));
+          lat.((k * per_client) + i) <- Unix.gettimeofday () -. t0
+        done)
+  in
+  let ts = List.init clients (fun k -> Thread.create client k) in
+  List.iter Thread.join ts;
+  Server.Daemon.stop d;
+  (try Sys.remove sock with Sys_error _ -> ());
+  Array.sort compare lat;
+  let n = Array.length lat in
+  let pct p = lat.(min (n - 1) (int_of_float (float_of_int n *. p))) *. 1e9 in
+  (clients, n, pct 0.50, pct 0.99)
+
+(* Phase B: a deliberately starved daemon (one worker, a two-slot
+   queue, two attempts) under injected faults — first attempts of
+   flaky requests raise, slow requests hold the only worker so the
+   burst overflows the queue, instant deadlines time out. What is
+   measured is that the shedding/retry/timeout machinery engages, and
+   the counters land in the JSON next to the latency rows. *)
+let server_adversarial_phase () =
+  let sock = Filename.temp_file "rustudy_bench_adv" ".sock" in
+  let hook (req : Server.Proto.request) ~attempt =
+    match req.Server.Proto.cmd with
+    | Server.Proto.Check { file; _ } when starts_with "flaky-" file ->
+        if attempt = 1 then failwith "injected first-attempt failure"
+    | Server.Proto.Check { file; _ } when starts_with "slow-" file ->
+        Thread.delay 0.05
+    | _ -> ()
+  in
+  let d =
+    Server.Daemon.start
+      {
+        (Server.Daemon.default_config ~socket_path:sock) with
+        Server.Daemon.workers = 1;
+        queue_cap = 2;
+        retries = 2;
+        before_handle = Some hook;
+      }
+  in
+  let fire file deadline_ms =
+    let c = Server.Client.connect_retry sock in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () ->
+        ignore
+          (Server.Client.rpc c
+             (Server.Client.check ~id:1 ?deadline_ms ~keep_going:true
+                ~source:bench_source ~file ())))
+  in
+  (* 8 concurrent slow requests vs 1 worker and 2 queue slots: the
+     overflow is shed with W0501 *)
+  let burst =
+    List.init 8 (fun i ->
+        Thread.create (fun () -> fire (Printf.sprintf "slow-%d.rs" i) None) ())
+  in
+  List.iter Thread.join burst;
+  for i = 1 to 4 do
+    fire (Printf.sprintf "flaky-%d.rs" i) None
+  done;
+  for i = 1 to 4 do
+    fire (Printf.sprintf "late-%d.rs" i) (Some 0)
+  done;
+  let s = Server.Daemon.stats d in
+  Server.Daemon.stop d;
+  (try Sys.remove sock with Sys_error _ -> ());
+  (16, s.Server.Daemon.shed, s.Server.Daemon.retried,
+   s.Server.Daemon.timeouts)
+
+let server_bench () : server_timings =
+  let srv_clients, srv_requests, srv_p50_ns, srv_p99_ns =
+    server_latency_phase ()
+  in
+  let srv_adv_requests, srv_shed, srv_retried, srv_timeouts =
+    server_adversarial_phase ()
+  in
+  {
+    srv_clients;
+    srv_requests;
+    srv_p50_ns;
+    srv_p99_ns;
+    srv_adv_requests;
+    srv_shed;
+    srv_retried;
+    srv_timeouts;
+  }
+
+let server_rows (s : server_timings) =
+  [ ("server/check_p50", s.srv_p50_ns); ("server/check_p99", s.srv_p99_ns) ]
+
+let print_server (s : server_timings) =
+  Printf.printf "== server (in-process daemon round trips) ==\n";
+  Printf.printf "  %-36s %10.1f us\n"
+    (Printf.sprintf "check p50 (%d clients, %d reqs)" s.srv_clients
+       s.srv_requests)
+    (s.srv_p50_ns /. 1e3);
+  Printf.printf "  %-36s %10.1f us\n" "check p99" (s.srv_p99_ns /. 1e3);
+  Printf.printf
+    "  adversarial: %d requests -> %d shed, %d retried, %d timeouts\n"
+    s.srv_adv_requests s.srv_shed s.srv_retried s.srv_timeouts
+
+(* ------------------------------------------------------------------ *)
 (* Replicated corpus: parallel speedup on an input big enough to       *)
 (* amortize domain spawn (--replicate N)                               *)
 (* ------------------------------------------------------------------ *)
@@ -820,7 +965,7 @@ let has_prefix p s =
 
 (* Gated groups: a >25% slowdown in any of these fails the comparison.
    Other groups are informational only. *)
-let gated_prefixes = [ "detectors/"; "frontend/" ]
+let gated_prefixes = [ "detectors/"; "frontend/"; "server/" ]
 
 (* Prints the per-benchmark speedup table vs [path] and returns false
    when any gated entry regressed by more than 25%. Rows with no
@@ -880,7 +1025,7 @@ let json_escape s =
   Buffer.contents b
 
 let write_json path (rows : (string * float) list) (c : corpus_timings)
-    ?replicate ~frontend ~supervisor ~ratio_index ~ratio_copy () =
+    ?replicate ~frontend ~supervisor ~server ~ratio_index ~ratio_copy () =
   let oc = open_out path in
   let field k v = Printf.fprintf oc "    \"%s\": %s" (json_escape k) v in
   output_string oc "{\n  \"meta\": {\n";
@@ -1036,6 +1181,26 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
        field name v)
      sf;
    output_string oc "\n  },\n");
+  (let s = server in
+   output_string oc "  \"server\": {\n";
+   let vf =
+     [
+       ("clients", string_of_int s.srv_clients);
+       ("requests", string_of_int s.srv_requests);
+       ("check_p50_ns", Printf.sprintf "%.1f" s.srv_p50_ns);
+       ("check_p99_ns", Printf.sprintf "%.1f" s.srv_p99_ns);
+       ("adversarial_requests", string_of_int s.srv_adv_requests);
+       ("shed", string_of_int s.srv_shed);
+       ("retried", string_of_int s.srv_retried);
+       ("timeouts", string_of_int s.srv_timeouts);
+     ]
+   in
+   List.iteri
+     (fun i (name, v) ->
+       if i > 0 then output_string oc ",\n";
+       field name v)
+     vf;
+   output_string oc "\n  },\n");
   output_string oc "  \"section_4_1\": {\n";
   field "checked_over_unchecked_index" (Printf.sprintf "%.3f" ratio_index);
   output_string oc ",\n";
@@ -1128,6 +1293,9 @@ let () =
     print_corpus_timings corpus;
     let supervisor = supervisor_bench () in
     print_supervisor supervisor;
+    let server = server_bench () in
+    print_server server;
+    let rows = rows @ server_rows server in
     let rep = if replicate > 0 then Some (replicate_bench replicate) else None in
     Option.iter print_replicate rep;
     (* the paper's §4.1 claim: report the measured ratios directly *)
@@ -1154,7 +1322,7 @@ let () =
       ratio_index ratio_copy;
     if json then begin
       write_json "BENCH_results.json" rows corpus ?replicate:rep ~frontend
-        ~supervisor ~ratio_index ~ratio_copy ();
+        ~supervisor ~server ~ratio_index ~ratio_copy ();
       print_endline "wrote BENCH_results.json"
     end;
     let ok =

@@ -19,12 +19,18 @@ let read_file path =
   close_in ic;
   s
 
-let exit_of_findings findings =
-  if findings = [] then 0 else 1
-
 let exit_clean = 0
 let exit_degraded = 2
 let exit_fatal = 3
+
+(* Replay a Server.Handlers outcome as this process's observable
+   behaviour. The same record is shipped over the wire by `rustudy
+   serve`, so offline and served runs are byte-identical by
+   construction. *)
+let print_outcome (o : Server.Proto.outcome) =
+  print_string o.Server.Proto.out;
+  prerr_string o.Server.Proto.err;
+  o.Server.Proto.exit_code
 
 let fuel_opt =
   Arg.(
@@ -163,39 +169,13 @@ let check_cmd =
     apply_fuel fuel;
     apply_deadline deadline;
     with_obs obs @@ fun () ->
-    let source = read_file file in
-    let config = config_of_flag statement_tmp in
-    if keep_going then
-      match Rustudy.check_result ~config ~file source with
-      | Error msg ->
-          prerr_endline ("fatal: " ^ msg);
-          exit_fatal
-      | Ok (findings, diags) ->
-          List.iter
-            (fun f -> print_endline (Rustudy.Finding.to_string f))
-            findings;
-          List.iter
-            (fun d -> prerr_endline (Rustudy.Diag.to_string d))
-            diags;
-          if findings = [] && diags = [] then begin
-            print_endline "no issues found";
-            exit_clean
-          end
-          else if diags <> [] then exit_degraded
-          else exit_of_findings findings
-    else
-      match Rustudy.check ~config ~file source with
-      | [] ->
-          print_endline "no issues found";
-          exit_clean
-      | findings ->
-          List.iter
-            (fun f -> print_endline (Rustudy.Finding.to_string f))
-            findings;
-          exit_of_findings findings
-      | exception Rustudy.Parse_error d ->
-          prerr_endline (Rustudy.Diag.to_string d);
-          exit_fatal
+    (* the body lives in Server.Handlers, shared verbatim with the
+       analysis daemon: printing the outcome here is what makes a
+       healthy server response byte-identical to this offline run *)
+    print_outcome
+      (Server.Handlers.check
+         ~config:(config_of_flag statement_tmp)
+         ~file ~keep_going ())
   in
   Cmd.v (Cmd.info "check" ~doc:"Run all bug detectors on a RustLite file")
     Term.(
@@ -247,14 +227,11 @@ let detect_cmd =
     apply_fuel fuel;
     apply_deadline deadline;
     with_obs obs @@ fun () ->
-    if eval then begin
+    if eval then
       (* per-target isolation is always on for corpus commands: a
-         target that fails to analyze lands in [degraded] *)
-      let r = Rustudy.Detector_eval.run ?domains () in
-      print_endline (Rustudy.Detector_eval.render r);
-      if r.Rustudy.Detector_eval.degraded <> [] then exit_degraded
-      else exit_clean
-    end
+         target that fails to analyze lands in [degraded]. The body is
+         shared with the analysis daemon (Server.Handlers). *)
+      print_outcome (Server.Handlers.detect_eval ?domains ())
     else begin
       prerr_endline "detect: pass --eval, or use `rustudy check FILE`";
       exit_fatal
@@ -509,12 +486,132 @@ let study_cmd =
       $ no_keep_going $ fuel_opt $ deadline_opt $ run_deadline $ retries
       $ checkpoint $ resume $ quiet $ obs_term)
 
+(* ---------------- serve -------------------------------------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path to listen on.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains handling requests in parallel.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bound on the admission queue. Requests arriving beyond it \
+             are shed immediately with a structured W0501 rejection \
+             instead of queueing unboundedly.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Largest accepted request frame. Oversized frames get a \
+             structured E0502 error and the connection stays usable.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Attempts per request: a handler that raises is retried with \
+             seeded backoff, then answered with E0501 once the budget is \
+             spent. 1 disables retries.")
+  in
+  let drain_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "Grace period for in-flight requests when draining (SIGTERM \
+             or a shutdown request): work finishing inside it is answered \
+             normally, the rest gets structured W0503/W0504 responses.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Crash-safe request log: completed responses are appended \
+             (fsync'd) and a restarted server replays them byte-identically \
+             instead of recomputing.")
+  in
+  let run socket workers queue_cap max_frame retries drain_ms journal fuel
+      deadline obs =
+    apply_fuel fuel;
+    with_obs obs @@ fun () ->
+    let cfg =
+      {
+        (Server.Daemon.default_config ~socket_path:socket) with
+        Server.Daemon.workers;
+        queue_cap;
+        max_frame;
+        retries;
+        drain_ms;
+        journal;
+        (* --deadline-ms becomes the per-request default budget rather
+           than the process-wide one: requests carrying their own
+           deadline_ms override it *)
+        default_deadline_ms = Option.value ~default:0 deadline;
+      }
+    in
+    match Server.Daemon.start cfg with
+    | exception Failure msg ->
+        prerr_endline ("fatal: " ^ msg);
+        exit_fatal
+    | exception Unix.Unix_error (e, _, _) ->
+        prerr_endline
+          ("fatal: cannot listen on " ^ socket ^ ": " ^ Unix.error_message e);
+        exit_fatal
+    | d ->
+        let on_signal _ = Server.Daemon.request_shutdown d in
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+         with _ -> ());
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+         with _ -> ());
+        Server.Daemon.serve d;
+        let s = Server.Daemon.stats d in
+        Printf.eprintf
+          "serve: %d requests (%d ok, %d errors), %d shed, %d rejected \
+           draining, %d bad frames, %d retried, %d worker deaths, %d \
+           replayed, %d timeouts\n\
+           %!"
+          s.Server.Daemon.requests s.Server.Daemon.ok s.Server.Daemon.errors
+          s.Server.Daemon.shed s.Server.Daemon.rejected_draining
+          s.Server.Daemon.bad_frames s.Server.Daemon.retried
+          s.Server.Daemon.worker_deaths s.Server.Daemon.replayed
+          s.Server.Daemon.timeouts;
+        exit_clean
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon: a crash-safe, load-shedding server \
+          answering check/detect/study requests over a Unix-domain socket \
+          with per-request budgets and graceful drain (protocol in \
+          docs/SERVER.md)")
+    Term.(
+      const run $ socket $ workers $ queue_cap $ max_frame $ retries
+      $ drain_ms $ journal $ fuel_opt $ deadline_opt $ obs_term)
+
 let main =
   let doc =
     "static analysis and empirical-study toolkit reproducing the PLDI'20 \
      study of memory and thread safety in real-world Rust programs"
   in
   Cmd.group (Cmd.info "rustudy" ~version:"1.0.0" ~doc)
-    [ check_cmd; mir_cmd; unsafe_cmd; detect_cmd; study_cmd; lock_scopes_cmd; audit_cmd; lifetimes_cmd ]
+    [ check_cmd; mir_cmd; unsafe_cmd; detect_cmd; study_cmd; serve_cmd; lock_scopes_cmd; audit_cmd; lifetimes_cmd ]
 
 let () = exit (Cmd.eval' main)

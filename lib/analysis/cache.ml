@@ -363,10 +363,10 @@ let load_ctx ?(config = Lower.default_config) ~file source : t =
       let ctx = create (Lower.program_of_source ~config ~file source) in
       install key source ctx
 
-let load_ctx_recovering ?(config = Lower.default_config) ~file source :
-    (t, exn) result =
+let load_ctx_recovering ?(cache = true) ?(config = Lower.default_config) ~file
+    source : (t, exn) result =
   let key = (file, config) in
-  match lookup_cached key source with
+  match (if cache then lookup_cached key source else None) with
   | Some ctx ->
       Atomic.incr prog_hits;
       note_prog "hit";
@@ -376,7 +376,8 @@ let load_ctx_recovering ?(config = Lower.default_config) ~file source :
       note_prog "miss";
       match Lower.program_of_source_recovering ~config ~file source with
       | prog, diags ->
-          Ok (install key source (create ~diags prog))
+          let ctx = create ~diags prog in
+          Ok (if cache then install key source ctx else ctx)
       | exception e ->
           (* a failure past the recovering frontend (or Stack_overflow
              etc.): surface it as a value, cache nothing *)

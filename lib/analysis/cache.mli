@@ -83,11 +83,18 @@ val load_ctx : ?config:Lower.config -> file:string -> string -> t
     diagnostics. *)
 
 val load_ctx_recovering :
-  ?config:Lower.config -> file:string -> string -> (t, exn) result
+  ?cache:bool -> ?config:Lower.config -> file:string -> string ->
+  (t, exn) result
 (** Fault-tolerant [load_ctx]: the frontend runs in recovery mode
     (malformed regions become diagnostics on the context, see {!diags})
     and any exception escaping the rest of the pipeline is captured as
-    [Error]. Never raises. Shares the program cache with [load_ctx]. *)
+    [Error]. Never raises. Shares the program cache with [load_ctx],
+    unless [~cache:false]: then the process-wide cache is neither
+    consulted nor populated, and the caller gets a private context.
+    The analysis server uses this for requests carrying their own
+    deadline or fuel budget — their possibly-degraded analysis memos
+    and incompleteness warnings must not bleed into later requests
+    for the same source. *)
 
 val load : ?config:Lower.config -> file:string -> string -> Mir.program
 (** [program (load_ctx ...)]. *)

@@ -98,9 +98,9 @@ let check ?config ~file source : Finding.finding list =
     regions (the findings then cover only the healthy parts) and any
     other pipeline failure is captured as [Error]. Never raises. The
     diagnostics list is empty iff the source was fully healthy. *)
-let check_result ?config ~file source :
+let check_result ?cache ?config ~file source :
     (Finding.finding list * Diag.t list, string) result =
-  match Cache.load_ctx_recovering ?config ~file source with
+  match Cache.load_ctx_recovering ?cache ?config ~file source with
   | Error e -> Error (Printexc.to_string e)
   | Ok ctx -> (
       match detect_ctx ctx with

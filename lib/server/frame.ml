@@ -1,0 +1,128 @@
+(** Length-prefixed wire framing.
+
+    Every message on the socket is a 4-byte big-endian payload length
+    followed by that many bytes of UTF-8 JSON. The reader distinguishes
+    a clean close (EOF exactly at a frame boundary) from a torn frame
+    (EOF mid-header or mid-payload) and from an oversized frame (length
+    prefix above the reader's cap). Oversized frames can be skimmed —
+    read and discarded — so the stream stays framed and the connection
+    survives the bad message. *)
+
+(* 64 MiB: far above any real request, far below an allocation bomb.
+   Callers pass tighter caps; this is the outermost sanity bound. *)
+let hard_max_len = 64 * 1024 * 1024
+
+type read_error =
+  | Closed  (** EOF at a frame boundary: the peer hung up cleanly. *)
+  | Torn of string
+      (** EOF mid-header or mid-payload: a partial write or a cut
+          connection. The stream is no longer framed. *)
+  | Oversized of int
+      (** Length prefix above the cap (payload NOT consumed). *)
+
+let read_error_to_string = function
+  | Closed -> "connection closed"
+  | Torn what -> Printf.sprintf "torn frame (%s)" what
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+
+(* ---------------- byte sources -------------------------------------- *)
+
+(* A pull-based byte source so the same framing logic serves both live
+   sockets and in-memory fuzz buffers. [read_into buf off len] returns
+   the number of bytes read, 0 on EOF. *)
+type src = { read_into : bytes -> int -> int -> int }
+
+let of_fd fd =
+  {
+    read_into =
+      (fun buf off len ->
+        try Unix.read fd buf off len with
+        | Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0);
+  }
+
+let of_string s =
+  let pos = ref 0 in
+  {
+    read_into =
+      (fun buf off len ->
+        let avail = String.length s - !pos in
+        if avail <= 0 then 0
+        else begin
+          let n = min len avail in
+          Bytes.blit_string s !pos buf off n;
+          pos := !pos + n;
+          n
+        end);
+  }
+
+(* Fill exactly [len] bytes; [`Eof consumed] on short read. *)
+let really_read src buf len =
+  let rec go off =
+    if off >= len then `Ok
+    else
+      let n = src.read_into buf off (len - off) in
+      if n = 0 then `Eof off else go (off + n)
+  in
+  go 0
+
+(* ---------------- encode / write ------------------------------------ *)
+
+let encode (payload : string) : string =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+exception Peer_gone
+(** The peer closed its end mid-write (EPIPE / ECONNRESET). *)
+
+let write_fd fd (payload : string) : unit =
+  let frame = Bytes.unsafe_of_string (encode payload) in
+  let len = Bytes.length frame in
+  let rec go off =
+    if off < len then begin
+      let n =
+        try Unix.write fd frame off (len - off) with
+        | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            raise Peer_gone
+      in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* ---------------- read ---------------------------------------------- *)
+
+let read ?(max_len = hard_max_len) (src : src) : (string, read_error) result =
+  let hdr = Bytes.create 4 in
+  match really_read src hdr 4 with
+  | `Eof 0 -> Error Closed
+  | `Eof _ -> Error (Torn "header")
+  | `Ok ->
+      let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if len < 0 || len > max_len then Error (Oversized (len land max_int))
+      else begin
+        let buf = Bytes.create len in
+        match really_read src buf len with
+        | `Eof _ -> Error (Torn "payload")
+        | `Ok -> Ok (Bytes.to_string buf)
+      end
+
+(* Discard the payload of an oversized frame so the stream stays
+   framed. Refuses to skim absurd lengths (the connection should be
+   dropped instead); returns [false] if the stream tore mid-skim. *)
+let skim_max = 4 * 1024 * 1024
+
+let skim (src : src) (len : int) : bool =
+  if len < 0 || len > skim_max then false
+  else begin
+    let chunk = Bytes.create (min len 65536) in
+    let rec go remaining =
+      if remaining <= 0 then true
+      else
+        let n = src.read_into chunk 0 (min remaining (Bytes.length chunk)) in
+        if n = 0 then false else go (remaining - n)
+    in
+    go len
+  end

@@ -1,0 +1,62 @@
+(** Length-prefixed wire framing: 4-byte big-endian payload length,
+    then that many bytes of UTF-8 JSON.
+
+    The reader distinguishes a clean close (EOF at a frame boundary)
+    from a torn frame (EOF mid-header/mid-payload) and an oversized
+    frame (length prefix above the cap). Oversized frames can be
+    {!skim}med — read and discarded — so the stream stays framed and
+    the connection survives the bad message. *)
+
+val hard_max_len : int
+(** Outermost sanity bound on a frame length (64 MiB). Servers pass
+    tighter caps via [?max_len]. *)
+
+type read_error =
+  | Closed  (** EOF at a frame boundary: the peer hung up cleanly. *)
+  | Torn of string
+      (** EOF mid-header or mid-payload ([what] says which). The
+          stream is no longer framed. *)
+  | Oversized of int
+      (** Length prefix above the cap; the payload has NOT been
+          consumed — {!skim} it or close the connection. *)
+
+val read_error_to_string : read_error -> string
+
+(** {1 Byte sources} *)
+
+type src
+(** A pull-based byte source, so the same framing logic serves live
+    sockets and in-memory fuzz buffers. *)
+
+val of_fd : Unix.file_descr -> src
+(** ECONNRESET reads as EOF (a torn frame), not an exception. *)
+
+val of_string : string -> src
+(** A cursor over an in-memory byte string (fuzzing). *)
+
+(** {1 Encoding} *)
+
+val encode : string -> string
+(** [encode payload] is the full frame: header + payload bytes. *)
+
+exception Peer_gone
+(** Raised by {!write_fd} when the peer closed its end mid-write
+    (EPIPE / ECONNRESET). The process must have [SIGPIPE] ignored. *)
+
+val write_fd : Unix.file_descr -> string -> unit
+(** Write one complete frame, retrying short writes. *)
+
+(** {1 Decoding} *)
+
+val read : ?max_len:int -> src -> (string, read_error) result
+(** Read one frame's payload. [max_len] (default {!hard_max_len})
+    bounds the accepted payload size. *)
+
+val skim_max : int
+(** Largest oversized payload {!skim} will discard (4 MiB); beyond
+    this the connection should be dropped instead. *)
+
+val skim : src -> int -> bool
+(** [skim src len] reads and discards [len] payload bytes so the
+    stream stays framed after an [Oversized] result. [false] if the
+    length is unskimmable or the stream tore mid-skim. *)

@@ -1,0 +1,118 @@
+(** Shared command bodies: the single source of truth for what
+    [rustudy check] / [rustudy detect --eval] / [rustudy study] print
+    and which exit code they pick.
+
+    Both the offline CLI and the analysis server call these, so a
+    healthy server response is byte-identical to the offline run {e by
+    construction} — the CLI prints [outcome.out]/[outcome.err] and
+    exits with [outcome.exit_code]; the server ships the same record
+    over the wire. The byte-identity test in [test/t_server.ml] and
+    the serve smoke tool hold this invariant down. *)
+
+let exit_clean = 0
+let exit_degraded = 2
+let exit_fatal = 3
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    (fun () -> really_input_string ic (in_channel_length ic))
+    ~finally:(fun () -> close_in_noerr ic)
+
+(* print_endline analogue into a buffer. *)
+let line b s =
+  Buffer.add_string b s;
+  Buffer.add_char b '\n'
+
+let outcome out err exit_code =
+  { Proto.out = Buffer.contents out; err = Buffer.contents err; exit_code }
+
+(* ---------------- check --------------------------------------------- *)
+
+let check ?(config = Ir.Lower.default_config) ~file ?source
+    ?(keep_going = false) () : Proto.outcome =
+  let out = Buffer.create 256 in
+  let err = Buffer.create 64 in
+  match (match source with Some s -> s | None -> read_file file) with
+  | exception Sys_error msg ->
+      line err ("fatal: " ^ msg);
+      outcome out err exit_fatal
+  | source ->
+      (* A request running under an ambient budget (the server installs
+         the request's deadline/fuel around this call) may compute
+         degraded analysis results; those must stay private to this
+         request, not enter the process-wide program cache where a
+         later unbudgeted request for the same source would replay the
+         stale W0401/W0402 degradation — or, symmetrically, where a
+         budgeted request would be handed a healthy cached context and
+         never degrade at all. An offline CLI run is a fresh process,
+         so bypassing the cache also preserves byte-identity. *)
+      let budgeted =
+        Support.Deadline.current () <> None
+        || Support.Fuel.domain_budget () <> None
+      in
+      let exit_code =
+        if keep_going then
+          match Rustudy.check_result ~cache:(not budgeted) ~config ~file source with
+          | Error msg ->
+              line err ("fatal: " ^ msg);
+              exit_fatal
+          | Ok (findings, diags) ->
+              List.iter
+                (fun f -> line out (Rustudy.Finding.to_string f))
+                findings;
+              List.iter (fun d -> line err (Rustudy.Diag.to_string d)) diags;
+              if findings = [] && diags = [] then begin
+                line out "no issues found";
+                exit_clean
+              end
+              else if diags <> [] then exit_degraded
+              else 1
+        else
+          match Rustudy.check ~config ~file source with
+          | [] ->
+              line out "no issues found";
+              exit_clean
+          | findings ->
+              List.iter
+                (fun f -> line out (Rustudy.Finding.to_string f))
+                findings;
+              1
+          | exception Rustudy.Parse_error d ->
+              line err (Rustudy.Diag.to_string d);
+              exit_fatal
+      in
+      outcome out err exit_code
+
+(* ---------------- detect --eval -------------------------------------- *)
+
+let detect_eval ?domains () : Proto.outcome =
+  let out = Buffer.create 4096 in
+  let r = Rustudy.Detector_eval.run ?domains () in
+  line out (Rustudy.Detector_eval.render r);
+  let exit_code =
+    if r.Rustudy.Detector_eval.degraded <> [] then exit_degraded else exit_clean
+  in
+  outcome out (Buffer.create 0) exit_code
+
+(* ---------------- study ---------------------------------------------- *)
+
+(* The CLI's default invocation (`rustudy study`, keep-going, not
+   supervised): full report on stdout, degraded summary (if any) on
+   stderr, exit 0/2. *)
+let study ?domains () : Proto.outcome =
+  let out = Buffer.create 8192 in
+  let err = Buffer.create 64 in
+  let report, results = Rustudy.study_report_results ?domains () in
+  line out report;
+  let prov = Rustudy.Classify.provenance_block () in
+  if prov <> "" then Buffer.add_string out prov;
+  let summary = Rustudy.Classify.degraded_summary results in
+  let exit_code =
+    if summary = "" then exit_clean
+    else begin
+      Buffer.add_string err summary;
+      exit_degraded
+    end
+  in
+  outcome out err exit_code

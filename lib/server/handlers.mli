@@ -1,0 +1,24 @@
+(** Shared command bodies: the single source of truth for what
+    [rustudy check] / [rustudy detect --eval] / [rustudy study] print
+    and which exit code they pick. The offline CLI prints the returned
+    {!Proto.outcome}; the analysis server ships the same record over
+    the wire — so healthy server responses are byte-identical to the
+    offline run by construction. *)
+
+val check :
+  ?config:Ir.Lower.config ->
+  file:string ->
+  ?source:string ->
+  ?keep_going:bool ->
+  unit ->
+  Proto.outcome
+(** [rustudy check FILE] (with [--keep-going] when set). When [source]
+    is absent the file is read from disk; an unreadable file yields a
+    fatal outcome rather than an exception. *)
+
+val detect_eval : ?domains:int -> unit -> Proto.outcome
+(** [rustudy detect --eval]. *)
+
+val study : ?domains:int -> unit -> Proto.outcome
+(** [rustudy study] (the default keep-going invocation: full report,
+    degraded summary on stderr, exit 0/2). *)

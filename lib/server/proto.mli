@@ -1,0 +1,42 @@
+(** The request/response protocol spoken over {!Frame}s: one frame =
+    one JSON object (see docs/SERVER.md for the wire grammar). *)
+
+type cmd =
+  | Ping  (** liveness probe; answered without touching a worker *)
+  | Check of { file : string; source : string option; keep_going : bool }
+      (** run all detectors on one file. [source] inline, or read from
+          [file] when absent. *)
+  | Detect  (** the §7 detector evaluation over the target corpus *)
+  | Study  (** the full study report *)
+  | Shutdown  (** begin a graceful drain, then exit *)
+
+type request = {
+  id : Sjson.t;  (** echoed verbatim in the response; any JSON value *)
+  cmd : cmd;
+  deadline_ms : int option;  (** per-request wall-clock budget *)
+  fuel : int option;  (** per-request fixpoint iteration budget *)
+}
+
+val cmd_name : cmd -> string
+
+val parse_request : Sjson.t -> (request, string) result
+
+(** What a handler produced: the offline CLI's observable behaviour,
+    reified. [out]/[err] are the exact bytes the CLI would write, and
+    [exit_code] follows the 0/1/2/3 ladder. *)
+type outcome = { out : string; err : string; exit_code : int }
+
+val status_of_exit : int -> string
+(** ["ok"], ["findings"], ["degraded"], or ["fatal"]. *)
+
+val ok_response : id:Sjson.t -> outcome -> Sjson.t
+
+val error_status : Support.Diag.code -> string
+(** ["rejected"] for the shed/drain W-codes (the request was never
+    attempted — safe to resend later), ["error"] otherwise. *)
+
+val error_response : id:Sjson.t -> code:Support.Diag.code -> string -> Sjson.t
+
+val journal_key : request -> handler_domains:int -> string
+(** Stable digest of everything that determines a request's response
+    bytes, excluding the volatile [id] (patched back in at replay). *)

@@ -35,6 +35,13 @@ let key : int64 option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let current () = Domain.DLS.get key
 
+(* Long-lived processes (the analysis server) call this between
+   requests: whatever ambient deadline a previous request installed —
+   even through a code path that bypassed the [Fun.protect] restore in
+   [with_deadline_ms], e.g. a worker killed mid-request — is cleared,
+   so one request's expiry can never bleed into the next. *)
+let reset () = Domain.DLS.set key None
+
 let with_deadline_ms ms f =
   let abs =
     Int64.add (now_ns ()) (Int64.mul (Int64.of_int (max ms 0)) 1_000_000L)

@@ -29,6 +29,15 @@ val with_default_budget : (unit -> 'a) -> 'a
 val current : unit -> int64 option
 (** The current domain's absolute deadline (monotonic ns), if any. *)
 
+val reset : unit -> unit
+(** Clear the current domain's ambient deadline unconditionally.
+    Long-lived processes (the analysis server) call this at the top of
+    every request so a deadline leaked by a previous request — e.g.
+    through a worker killed mid-request, bypassing the scoped restore
+    of {!with_deadline_ms} — can never bleed into the next one.
+    Tokens already minted keep their captured deadline; only future
+    {!token} calls see the cleared state. *)
+
 val with_deadline_ms : int -> (unit -> 'a) -> 'a
 (** [with_deadline_ms ms f] runs [f] with the current domain's
     deadline set to [now + ms] milliseconds, restoring the previous

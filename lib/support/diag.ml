@@ -21,6 +21,10 @@ type code =
   | Entry_quarantined
   | Run_deadline_skip
   | Entry_failed
+  | Server_overload
+  | Server_bad_frame
+  | Server_worker_lost
+  | Server_draining
   | General
 
 let code_name = function
@@ -40,6 +44,10 @@ let code_name = function
   | Entry_quarantined -> "W0404"
   | Run_deadline_skip -> "W0405"
   | Entry_failed -> "E0501"
+  | Server_overload -> "W0501"
+  | Server_bad_frame -> "E0502"
+  | Server_worker_lost -> "W0503"
+  | Server_draining -> "W0504"
   | General -> "E0000"
 
 (** Every stable code, in declaration order — the golden tests pin the
@@ -62,6 +70,10 @@ let all_codes =
     Entry_quarantined;
     Run_deadline_skip;
     Entry_failed;
+    Server_overload;
+    Server_bad_frame;
+    Server_worker_lost;
+    Server_draining;
     General;
   ]
 

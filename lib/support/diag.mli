@@ -40,6 +40,20 @@ type code =
       (** W0405: the whole-run deadline expired before this entry was
           analyzed *)
   | Entry_failed  (** E0501: a corpus entry failed fatally *)
+  | Server_overload
+      (** W0501: the analysis server shed this request at admission
+          (bounded queue full) instead of queueing it unboundedly *)
+  | Server_bad_frame
+      (** E0502: a wire frame was malformed — oversized, non-UTF-8, or
+          not a valid request — and was rejected with a structured
+          error frame *)
+  | Server_worker_lost
+      (** W0503: a server worker domain died mid-request; the request
+          got a structured error response and the worker was
+          respawned *)
+  | Server_draining
+      (** W0504: the server is draining (SIGTERM or a shutdown
+          request) and rejected new work *)
   | General  (** E0000 *)
 
 val code_name : code -> string

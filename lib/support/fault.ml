@@ -40,9 +40,25 @@ type mutator =
   | Amplify_body
       (** duplicate a random source chunk many times, inflating body
           and constraint-graph sizes (fuel/deadline pressure) *)
+  | Len_huge
+      (** overwrite the 4-byte length prefix of an encoded wire frame
+          with a huge value (oversized-frame attack on the server) *)
+  | Len_zero
+      (** zero the length prefix, desynchronizing the frame stream:
+          the payload bytes are then re-read as the next header *)
+  | Bad_utf8
+      (** splice invalid UTF-8 continuation bytes into the payload *)
 
+(* The source-level mutators (the fault suite and the degraded-corpus
+   bench pin this set at six). *)
 let all_mutators =
   [ Truncate; Delete_span; Flip_bytes; Nest_deep; Amplify_loops; Amplify_body ]
+
+(* The wire-frame mutators: byte-level attacks on encoded
+   length-prefixed frames (torn, garbage, oversized, desynchronized,
+   non-UTF-8). [Nest_deep]/[Amplify_*] are source-shaped and excluded. *)
+let frame_mutators =
+  [ Truncate; Delete_span; Flip_bytes; Len_huge; Len_zero; Bad_utf8 ]
 
 let mutator_name = function
   | Truncate -> "truncate"
@@ -51,6 +67,9 @@ let mutator_name = function
   | Nest_deep -> "nest_deep"
   | Amplify_loops -> "amplify_loops"
   | Amplify_body -> "amplify_body"
+  | Len_huge -> "len_huge"
+  | Len_zero -> "len_zero"
+  | Bad_utf8 -> "bad_utf8"
 
 let truncate r src =
   let n = String.length src in
@@ -131,6 +150,45 @@ let amplify_body r src =
     Buffer.contents buf
   end
 
+(* Overwrite the 4 leading bytes (a frame's big-endian length prefix)
+   with a huge length, so the receiver sees an oversized frame whose
+   advertised payload never arrives in full. *)
+let len_huge r src =
+  if String.length src < 4 then src
+  else begin
+    let b = Bytes.of_string src in
+    Bytes.set b 0 (Char.chr (0x40 lor next_int r 0xC0));
+    Bytes.set b 1 (Char.chr (next_int r 256));
+    Bytes.to_string b
+  end
+
+let len_zero _r src =
+  if String.length src < 4 then src
+  else begin
+    let b = Bytes.of_string src in
+    for i = 0 to 3 do
+      Bytes.set b i '\000'
+    done;
+    Bytes.to_string b
+  end
+
+(* Lone continuation bytes and overlong-encoding starters: every
+   splice is invalid UTF-8 wherever it lands in the payload. *)
+let bad_utf8 r src =
+  let n = String.length src in
+  if n <= 4 then src
+  else begin
+    let b = Bytes.of_string src in
+    let splices = 1 + next_int r 4 in
+    for _ = 1 to splices do
+      let bad = [| '\x80'; '\xBF'; '\xC0'; '\xF8'; '\xFF' |] in
+      Bytes.set b
+        (4 + next_int r (n - 4))
+        bad.(next_int r (Array.length bad))
+    done;
+    Bytes.to_string b
+  end
+
 (** Apply [mutator] to [src] deterministically: the same
     [(seed, mutator, src)] triple always yields the same output. *)
 let mutate ~seed mutator src =
@@ -142,7 +200,17 @@ let mutate ~seed mutator src =
   | Nest_deep -> nest_deep r src
   | Amplify_loops -> amplify_loops r src
   | Amplify_body -> amplify_body r src
+  | Len_huge -> len_huge r src
+  | Len_zero -> len_zero r src
+  | Bad_utf8 -> bad_utf8 r src
 
 (** All mutations of [src] under [seed], with their names. *)
 let mutations ~seed src =
   List.map (fun m -> (mutator_name m, mutate ~seed m src)) all_mutators
+
+(** All wire-frame mutations of an encoded frame under [seed]. The
+    server fault-injection suite feeds these to a live connection and
+    asserts the framing layer answers each with a structured error
+    frame or a clean close — never an escaping exception. *)
+let frame_mutations ~seed frame =
+  List.map (fun m -> (mutator_name m, mutate ~seed m frame)) frame_mutators

@@ -31,10 +31,37 @@ let with_budget n f =
   Fun.protect f ~finally:(fun () ->
       ignore (Atomic.compare_and_set budget applied old))
 
+(* ---------------- per-domain override ------------------------------- *)
+
+(* [with_budget] mutates the process-wide atomic, so two concurrent
+   requests on different domains clobber each other's budgets (the CAS
+   restore only protects against lost [set]s, not against the other
+   request reading the wrong value mid-scope). Long-lived multi-domain
+   processes — the analysis server — scope a request's budget to its
+   worker domain instead: the override shadows the global budget on
+   this domain only and other domains never see it. *)
+let domain_key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let domain_budget () = Domain.DLS.get domain_key
+
+let with_domain_budget n f =
+  let outer = Domain.DLS.get domain_key in
+  Domain.DLS.set domain_key (Some (if n <= 0 then default_budget else n));
+  Fun.protect f ~finally:(fun () -> Domain.DLS.set domain_key outer)
+
+(* Belt-and-braces analogue of [Deadline.reset]: clear any override a
+   previous request leaked past the scoped restore. *)
+let reset_domain () = Domain.DLS.set domain_key None
+
+(** The budget a fresh counter on this domain starts from. *)
+let effective () =
+  match Domain.DLS.get domain_key with Some n -> n | None -> get ()
+
 (** A mutable fuel counter for one analysis run. *)
 type counter = { mutable remaining : int }
 
-let counter ?n () = { remaining = (match n with Some n -> n | None -> get ()) }
+let counter ?n () =
+  { remaining = (match n with Some n -> n | None -> effective ()) }
 
 (** Consume one unit; [false] when the budget is exhausted. *)
 let burn c =

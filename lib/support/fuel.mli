@@ -27,11 +27,36 @@ val with_budget : int -> (unit -> 'a) -> 'a
     back. Intended for test code; concurrent production overrides
     should use {!set} directly. *)
 
+(** {1 Per-domain override}
+
+    {!with_budget} mutates the process-wide atomic, so two concurrent
+    requests on different domains would clobber each other. The
+    analysis server scopes a request's budget to its worker domain
+    instead: the override shadows the global budget on the calling
+    domain only. *)
+
+val with_domain_budget : int -> (unit -> 'a) -> 'a
+(** Run [f] with this domain's fuel budget set to [n] ([<= 0] means
+    {!default_budget}), restoring the previous override afterwards.
+    Other domains are unaffected. *)
+
+val domain_budget : unit -> int option
+(** The calling domain's override, if one is installed. *)
+
+val reset_domain : unit -> unit
+(** Clear the calling domain's override unconditionally — the
+    {!Deadline.reset} analogue, called by the server between requests
+    so a leaked override can never bleed into the next request. *)
+
+val effective : unit -> int
+(** The budget a fresh {!counter} on this domain starts from: the
+    domain override when present, the process-wide budget otherwise. *)
+
 (** {1 Per-run counters} *)
 
 type counter
 (** A mutable fuel counter for one analysis run, initialized from the
-    process-wide budget (or an explicit [n]). *)
+    effective budget (or an explicit [n]). *)
 
 val counter : ?n:int -> unit -> counter
 

@@ -64,6 +64,24 @@ let deadline =
         Deadline.set_default_ms (-5);
         Alcotest.(check int) "disabled" 0 (Deadline.get_default_ms ());
         Deadline.set_default_ms saved);
+    case "reset clears a leaked ambient deadline" (fun () ->
+        (* simulate a worker killed mid-scope: the Fun.protect restore
+           of with_deadline_ms never ran, so the deadline leaks into
+           whatever runs next on this domain. The server's per-request
+           reset is the cure; regression-pin it here. *)
+        Deadline.with_deadline_ms 0 (fun () ->
+            Alcotest.(check bool)
+              "leak visible before reset" true
+              (Deadline.current () <> None);
+            Deadline.reset ();
+            Alcotest.(check bool) "cleared" true (Deadline.current () = None);
+            let t = Deadline.token () in
+            Alcotest.(check bool)
+              "fresh tokens no longer expire" false (Deadline.expired t));
+        (* the scoped restore after reset is harmless: still clear *)
+        Alcotest.(check bool)
+          "no deadline after the scope" true
+          (Deadline.current () = None));
   ]
 
 (* ---------------- fuel CAS restore ---------------------------------- *)
@@ -82,6 +100,38 @@ let fuel =
             Alcotest.(check int) "applied inside" 2222 (Rustudy.Fuel.get ()));
         Alcotest.(check int) "restored after" 3333 (Rustudy.Fuel.get ());
         Rustudy.Fuel.set saved);
+    case "domain-scoped budget shadows the global one locally" (fun () ->
+        let saved = Rustudy.Fuel.get () in
+        Rustudy.Fuel.set 5000;
+        Rustudy.Fuel.with_domain_budget 3 (fun () ->
+            Alcotest.(check int) "override wins here" 3
+              (Rustudy.Fuel.effective ());
+            Alcotest.(check int)
+              "the global budget is untouched" 5000 (Rustudy.Fuel.get ());
+            (* counters start from the effective budget *)
+            let c = Rustudy.Fuel.counter () in
+            Alcotest.(check bool) "burn 1" true (Rustudy.Fuel.burn c);
+            Alcotest.(check bool) "burn 2" true (Rustudy.Fuel.burn c);
+            Alcotest.(check bool) "burn 3" true (Rustudy.Fuel.burn c);
+            Alcotest.(check bool) "exhausted at 3" false (Rustudy.Fuel.burn c);
+            (* other domains never see the override *)
+            let remote =
+              Domain.spawn (fun () -> Rustudy.Fuel.effective ())
+            in
+            Alcotest.(check int) "other domain unaffected" 5000
+              (Domain.join remote));
+        Alcotest.(check int)
+          "override gone after the scope" 5000 (Rustudy.Fuel.effective ());
+        Rustudy.Fuel.set saved);
+    case "reset_domain clears a leaked override" (fun () ->
+        Rustudy.Fuel.with_domain_budget 7 (fun () ->
+            Rustudy.Fuel.reset_domain ();
+            Alcotest.(check bool)
+              "cleared mid-scope" true
+              (Rustudy.Fuel.domain_budget () = None));
+        Alcotest.(check bool)
+          "still clear after the scope" true
+          (Rustudy.Fuel.domain_budget () = None));
   ]
 
 (* ---------------- retry policy -------------------------------------- *)
@@ -208,7 +258,7 @@ let golden_codes =
           [
             "E0101"; "E0102"; "E0103"; "E0104"; "E0105"; "E0106"; "E0107";
             "E0201"; "E0202"; "E0301"; "W0401"; "W0402"; "W0403"; "W0404";
-            "W0405"; "E0501"; "E0000";
+            "W0405"; "E0501"; "W0501"; "E0502"; "W0503"; "W0504"; "E0000";
           ]
           (List.map Rustudy.Diag.code_name Rustudy.Diag.all_codes));
     case "code_of_name inverts code_name" (fun () ->

@@ -19,6 +19,7 @@ let () =
       ("recovery", T_recovery.suite);
       ("fault", T_fault.suite);
       ("supervisor", T_supervisor.suite);
+      ("server", T_server.suite);
       ("properties", T_props.suite);
       ("observability", T_observability.suite);
     ]

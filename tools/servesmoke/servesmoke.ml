@@ -1,0 +1,189 @@
+(* servesmoke: end-to-end smoke test of the analysis daemon, wired
+   into `dune runtest` so the serve path cannot bit-rot.
+
+   Drives the real CLI binary twice:
+
+   1. spawn `rustudy serve` with tracing and metrics exporters, then
+      over its socket: ping, a check request whose response must be
+      byte-identical to the offline `rustudy check` subprocess, a
+      garbage frame (structured E0502, connection stays usable), and
+      a shutdown request — the process must drain and exit 0 with
+      both exporter files written;
+   2. spawn it again and deliver SIGTERM — the drain must also end in
+      exit 0.
+
+   Usage: servesmoke RUSTUDY_CLI TRACE_OUT METRICS_OUT *)
+
+let cli, trace_out, metrics_out =
+  if Array.length Sys.argv <> 4 then begin
+    prerr_endline "usage: servesmoke RUSTUDY_CLI TRACE_OUT METRICS_OUT";
+    exit 2
+  end
+  else (Sys.argv.(1), Sys.argv.(2), Sys.argv.(3))
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("servesmoke: FAIL: " ^ msg);
+      exit 1)
+    fmt
+
+let fresh_socket () =
+  let p = Filename.temp_file "servesmoke" ".sock" in
+  (* leave the placeholder file: the daemon's stale-socket probe
+     replaces anything that doesn't answer a connect *)
+  p
+
+let buggy_source =
+  "fn f(m: Arc<Mutex<u32>>) { let a = m.lock().unwrap(); let b = \
+   m.lock().unwrap(); }"
+
+(* ---------------- subprocess plumbing ------------------------------- *)
+
+let spawn args ~out ~err =
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process args.(0) args dev_null out err
+  in
+  Unix.close dev_null;
+  pid
+
+(* waitpid with a wall-clock bound: a daemon that ignores its shutdown
+   is killed hard and reported, instead of hanging the build *)
+let wait_exit ?(timeout_s = 30.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          fail "server pid %d did not exit within %.0fs" pid timeout_s
+        end
+        else begin
+          Unix.sleepf 0.02;
+          poll ()
+        end
+    | _, Unix.WEXITED c -> c
+    | _, Unix.WSIGNALED s -> fail "server pid %d killed by signal %d" pid s
+    | _, Unix.WSTOPPED _ ->
+        Unix.sleepf 0.02;
+        poll ()
+  in
+  poll ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    (fun () -> really_input_string ic (in_channel_length ic))
+    ~finally:(fun () -> close_in_noerr ic)
+
+(* run a CLI subcommand to completion, capturing stdout/stderr/exit *)
+let run_offline args =
+  let out_f = Filename.temp_file "servesmoke" ".out" in
+  let err_f = Filename.temp_file "servesmoke" ".err" in
+  let out_fd = Unix.openfile out_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let err_fd = Unix.openfile err_f [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let pid = spawn args ~out:out_fd ~err:err_fd in
+  Unix.close out_fd;
+  Unix.close err_fd;
+  let code = wait_exit pid in
+  let r = (read_file out_f, read_file err_f, code) in
+  Sys.remove out_f;
+  Sys.remove err_f;
+  r
+
+let start_server ?(obs = false) sock =
+  let base = [ cli; "serve"; "--socket"; sock; "--workers"; "2" ] in
+  let args =
+    if obs then
+      base @ [ "--trace-out"; trace_out; "--metrics-out"; metrics_out ]
+    else base
+  in
+  let err_fd = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid = spawn (Array.of_list args) ~out:err_fd ~err:err_fd in
+  Unix.close err_fd;
+  pid
+
+(* ---------------- the smoke ----------------------------------------- *)
+
+module Client = Server.Client
+module Sjson = Server.Sjson
+module Frame = Server.Frame
+
+let sfield resp name =
+  match Sjson.str_member name resp with
+  | Some s -> s
+  | None -> fail "response lacks %S: %s" name (Sjson.to_string resp)
+
+let () =
+  (* 1. serve with both exporters, exercised over the socket *)
+  let sock = fresh_socket () in
+  let pid = start_server ~obs:true sock in
+  let c = Client.connect_retry sock in
+  let ping = Client.rpc c (Client.ping ~id:1) in
+  if sfield ping "status" <> "ok" then
+    fail "ping answered %s" (Sjson.to_string ping);
+
+  (* byte-identity: served response vs the offline CLI subprocess *)
+  let rs = Filename.temp_file "servesmoke" ".rs" in
+  let oc = open_out_bin rs in
+  output_string oc buggy_source;
+  close_out oc;
+  let off_out, off_err, off_code =
+    run_offline [| cli; "check"; rs; "--keep-going" |]
+  in
+  let served =
+    Client.rpc c (Client.check ~id:2 ~keep_going:true ~file:rs ())
+  in
+  if sfield served "out" <> off_out then
+    fail "served stdout diverges from offline: %S vs %S"
+      (sfield served "out") off_out;
+  if sfield served "err" <> off_err then
+    fail "served stderr diverges from offline: %S vs %S"
+      (sfield served "err") off_err;
+  (match Sjson.int_member "exit" served with
+  | Some e when e = off_code -> ()
+  | e ->
+      fail "served exit %s vs offline %d"
+        (match e with Some e -> string_of_int e | None -> "<none>")
+        off_code);
+
+  (* a garbage frame gets a structured E0502 and the connection
+     stays usable *)
+  (match Client.roundtrip_raw c (Frame.encode "definitely not json") with
+  | Ok payload ->
+      let resp = Sjson.parse payload in
+      if Sjson.str_member "code" resp <> Some "E0502" then
+        fail "garbage frame answered %s" (Sjson.to_string resp)
+  | Error e -> fail "garbage frame: %s" (Frame.read_error_to_string e));
+  let ping2 = Client.rpc c (Client.ping ~id:3) in
+  if sfield ping2 "status" <> "ok" then
+    fail "connection unusable after garbage frame";
+
+  (* shutdown request: drain, flush exporters, exit 0 *)
+  let bye = Client.rpc c (Client.shutdown ~id:4) in
+  if sfield bye "status" <> "ok" then
+    fail "shutdown answered %s" (Sjson.to_string bye);
+  Client.close c;
+  let code = wait_exit pid in
+  if code <> 0 then fail "shutdown drain exited %d, want 0" code;
+  if not (Sys.file_exists trace_out) then
+    fail "no trace written to %s" trace_out;
+  if not (Sys.file_exists metrics_out) then
+    fail "no metrics written to %s" metrics_out;
+  Sys.remove rs;
+  (try Sys.remove sock with Sys_error _ -> ());
+
+  (* 2. SIGTERM must drain to exit 0 as well *)
+  let sock2 = fresh_socket () in
+  let pid2 = start_server sock2 in
+  let c2 = Client.connect_retry sock2 in
+  let p = Client.rpc c2 (Client.ping ~id:1) in
+  if sfield p "status" <> "ok" then fail "second server ping failed";
+  Client.close c2;
+  Unix.kill pid2 Sys.sigterm;
+  let code2 = wait_exit pid2 in
+  if code2 <> 0 then fail "SIGTERM drain exited %d, want 0" code2;
+  (try Sys.remove sock2 with Sys_error _ -> ());
+  print_endline "servesmoke: OK"
