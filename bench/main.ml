@@ -152,6 +152,37 @@ let micro_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Interprocedural scaling corpus (seeded synthetic programs)          *)
+(* ------------------------------------------------------------------ *)
+
+let scale_seed = 0x5CA1E
+
+(* lowered programs memoised per (shape, size): generation and lowering
+   stay outside every timed region *)
+let scale_tbl : (string * int, Rustudy.Mir.program) Hashtbl.t =
+  Hashtbl.create 8
+
+let scale_program shape n : Rustudy.Mir.program =
+  let key = (Scale_gen.shape_name shape, n) in
+  match Hashtbl.find_opt scale_tbl key with
+  | Some p -> p
+  | None ->
+      let src = Scale_gen.program ~seed:scale_seed ~shape ~n in
+      let p =
+        Rustudy.load ~file:(Printf.sprintf "scale_%s_%d.rs" (fst key) n) src
+      in
+      Hashtbl.add scale_tbl key p;
+      p
+
+(* One interprocedural pass: both summary-carrying detectors over a
+   fresh analysis context (the per-ctx summary-table memo must not
+   carry over between timed runs). *)
+let interproc_pass ~mode program =
+  let ctx = Rustudy.Cache.create program in
+  ignore (Detectors.Double_lock.run_ctx ~mode ctx);
+  ignore (Detectors.Uaf.run_ctx ~mode ctx)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md)                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -168,14 +199,16 @@ let ablation_tests =
         List.concat_map
           (lower_and_detect { Ir.Lower.tmp_lifetime = Ir.Lower.Statement_local })
           (Lazy.force double_lock_sources)));
+    (* measured on the 1k-function synthetic chain, not the tiny corpus
+       programs: there the summary computation was a rounding error and
+       on/off sat within measurement noise, which made the row claim
+       the interprocedural layer was free *)
     Test.make ~name:"ablation_interproc_on" (Staged.stage (fun () ->
-        List.concat_map
-          (Detectors.Double_lock.run ~interprocedural:true)
-          (Lazy.force corpus_programs)));
+        Detectors.Double_lock.run_ctx ~interprocedural:true
+          (Rustudy.Cache.create (scale_program Scale_gen.Chain 1000))));
     Test.make ~name:"ablation_interproc_off" (Staged.stage (fun () ->
-        List.concat_map
-          (Detectors.Double_lock.run ~interprocedural:false)
-          (Lazy.force corpus_programs)));
+        Detectors.Double_lock.run_ctx ~interprocedural:false
+          (Rustudy.Cache.create (scale_program Scale_gen.Chain 1000))));
     Test.make ~name:"ablation_extern_assume_on" (Staged.stage (fun () ->
         List.concat_map
           (Detectors.Uaf.run ~assume_extern_derefs:true)
@@ -353,6 +386,102 @@ let quick_frontend_rows () =
     rows;
   rows
 
+(* Interprocedural scaling rows (summary engine vs legacy replay), wall
+   best-of-N like the quick frontend rows: the big programs make a
+   bechamel quota per row needlessly slow, and the wall passes hold
+   within a few percent. Row names: interproc/<shape>_<n>_<mode>, in
+   ns per pass. [summary_cold] drops the process-wide content-addressed
+   store first; [summary_warm] reuses it (fresh context either way). *)
+let interproc_rows ~shapes ~sizes () =
+  let rows =
+    List.concat_map
+      (fun shape ->
+        List.concat_map
+          (fun n ->
+            let p = scale_program shape n in
+            (* one rep for the big programs: replay on the 10k chain is
+               the slow case these rows exist to demonstrate *)
+            let reps =
+              (* tiny rows are a few ms and wobble on a loaded host;
+                 more samples keep them clear of the 25% gate *)
+              if n >= 10_000 then 1 else if n <= 100 then 7 else 3
+            in
+            let row mode_label f =
+              ( Printf.sprintf "interproc/%s_%d_%s" (Scale_gen.shape_name shape)
+                  n mode_label,
+                wall ~reps f *. 1e9 )
+            in
+            [
+              row "replay" (fun () ->
+                  interproc_pass ~mode:Rustudy.Summary.Replay p);
+              row "summary_cold" (fun () ->
+                  Rustudy.Cache.clear_summaries ();
+                  interproc_pass ~mode:Rustudy.Summary.Summary p);
+              row "summary_warm" (fun () ->
+                  interproc_pass ~mode:Rustudy.Summary.Summary p);
+            ])
+          sizes)
+      shapes
+  in
+  Printf.printf "== interproc (scaling, best-of-N wall) ==\n";
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "  %-36s %10.3f ms/pass\n" name (ns /. 1e6))
+    rows;
+  rows
+
+(* The acceptance gates of the summary layer, checked on the full run:
+   the engine must beat replay >= 3x on the 10k chain, and its
+   per-function cost must stay within 2x from 1k to 10k (i.e. the
+   bottom-up schedule scales near-linearly). Returns false (and prints
+   why) on a violation. *)
+let interproc_asserts (rows : (string * float) list) : bool =
+  let get name = List.assoc_opt ("interproc/" ^ name) rows in
+  let ok = ref true in
+  (match (get "chain_10000_replay", get "chain_10000_summary_cold") with
+  | Some replay, Some summary ->
+      let speedup = replay /. summary in
+      Printf.printf "  interproc gate: summary %.2fx faster than replay @10k\n"
+        speedup;
+      if speedup < 3.0 then begin
+        Printf.printf
+          "  FAILED: summary engine < 3x faster than replay on the 10k chain\n";
+        ok := false
+      end
+  | _ -> ());
+  (match (get "chain_1000_summary_cold", get "chain_10000_summary_cold") with
+  | Some t1k, Some t10k ->
+      let ratio = t10k /. 10_000.0 /. (t1k /. 1_000.0) in
+      Printf.printf "  interproc gate: per-function cost 1k->10k = %.2fx\n"
+        ratio;
+      if ratio > 2.0 then begin
+        Printf.printf
+          "  FAILED: per-function summary cost grew > 2x from 1k to 10k\n";
+        ok := false
+      end
+  | _ -> ());
+  !ok
+
+(* Satellite gate on the repointed ablation rows: on the scaling corpus
+   the interprocedural layer has a real, measurable cost, so on/off
+   within noise means the row is measuring the wrong thing again. *)
+let ablation_divergence_assert (rows : (string * float) list) : bool =
+  match
+    ( List.assoc_opt "ablations/ablation_interproc_on" rows,
+      List.assoc_opt "ablations/ablation_interproc_off" rows )
+  with
+  | Some on, Some off ->
+      let ratio = on /. off in
+      Printf.printf
+        "  ablation gate: interproc on/off = %.2fx on the 1k chain\n" ratio;
+      if ratio < 1.15 then
+        Printf.printf
+          "  FAILED: ablation_interproc_{on,off} within noise (%.2fx) on the \
+           scaling corpus\n"
+          ratio;
+      ratio >= 1.15
+  | _ -> true
+
 (* The pre-cache corpus pass: re-lower every entry from source and let
    every detector recompute its own analyses (each legacy [run] builds
    a private context, so nothing is shared across detectors). *)
@@ -394,6 +523,10 @@ type corpus_timings = {
   parallel_s : float;
   parallel_domains : int;
   parallel_identical : bool;
+  parallel_skipped : bool;
+      (** single-core host: a "parallel" sweep would just measure pool
+          overhead, so the pass is skipped and the JSON rows say
+          "skipped_single_core" instead of a meaningless speedup *)
   recovery_clean_s : float;
       (** fault-tolerant pipeline over the pristine corpus, cold cache *)
   recovery_mutated_s : float;
@@ -428,20 +561,28 @@ let corpus_bench () : corpus_timings =
   let sequential_s =
     wall ~reps:1 (fun () -> seq := Rustudy.analyze_corpus ~domains:1 ())
   in
-  Rustudy.Cache.clear_programs ();
-  let par = ref [] in
-  let parallel_s =
-    wall ~reps:1 (fun () -> par := Rustudy.analyze_corpus ~domains ())
-  in
-  let parallel_identical =
-    List.length !seq = List.length !par
-    && List.for_all2
-         (fun (a : Rustudy.Classify.analysis) (b : Rustudy.Classify.analysis) ->
-           a.Rustudy.Classify.entry.Corpus.id
-           = b.Rustudy.Classify.entry.Corpus.id
-           && List.map Rustudy.Finding.to_string a.Rustudy.Classify.findings
-              = List.map Rustudy.Finding.to_string b.Rustudy.Classify.findings)
-         !seq !par
+  let parallel_skipped = Domain.recommended_domain_count () = 1 in
+  let parallel_s, parallel_identical =
+    if parallel_skipped then (sequential_s, true)
+    else begin
+      Rustudy.Cache.clear_programs ();
+      let par = ref [] in
+      let parallel_s =
+        wall ~reps:1 (fun () -> par := Rustudy.analyze_corpus ~domains ())
+      in
+      let parallel_identical =
+        List.length !seq = List.length !par
+        && List.for_all2
+             (fun (a : Rustudy.Classify.analysis)
+                  (b : Rustudy.Classify.analysis) ->
+               a.Rustudy.Classify.entry.Corpus.id
+               = b.Rustudy.Classify.entry.Corpus.id
+               && List.map Rustudy.Finding.to_string a.Rustudy.Classify.findings
+                  = List.map Rustudy.Finding.to_string b.Rustudy.Classify.findings)
+             !seq !par
+      in
+      (parallel_s, parallel_identical)
+    end
   in
   let clean = Lazy.force clean_corpus in
   let mutants = Lazy.force mutated_corpus in
@@ -463,6 +604,7 @@ let corpus_bench () : corpus_timings =
     parallel_s;
     parallel_domains = domains;
     parallel_identical;
+    parallel_skipped;
     recovery_clean_s;
     recovery_mutated_s;
     mutant_count = List.length mutants;
@@ -483,10 +625,14 @@ let print_corpus_timings (c : corpus_timings) =
     (c.uncached_s /. c.cached_warm_s);
   Printf.printf "  %-36s %10.3f ms\n" "analyze_corpus sequential"
     (c.sequential_s *. 1e3);
-  Printf.printf "  %-36s %10.3f ms  (%.2fx, %d domains, identical=%b)\n"
-    "analyze_corpus parallel" (c.parallel_s *. 1e3)
-    (c.sequential_s /. c.parallel_s)
-    c.parallel_domains c.parallel_identical;
+  if c.parallel_skipped then
+    Printf.printf "  %-36s %10s\n" "analyze_corpus parallel"
+      "skipped (single core)"
+  else
+    Printf.printf "  %-36s %10.3f ms  (%.2fx, %d domains, identical=%b)\n"
+      "analyze_corpus parallel" (c.parallel_s *. 1e3)
+      (c.sequential_s /. c.parallel_s)
+      c.parallel_domains c.parallel_identical;
   Printf.printf "== degraded corpus (fault injection) ==\n";
   Printf.printf "  %-36s %10.3f ms\n" "recovering pipeline, clean corpus"
     (c.recovery_clean_s *. 1e3);
@@ -965,7 +1111,7 @@ let has_prefix p s =
 
 (* Gated groups: a >25% slowdown in any of these fails the comparison.
    Other groups are informational only. *)
-let gated_prefixes = [ "detectors/"; "frontend/"; "server/" ]
+let gated_prefixes = [ "detectors/"; "frontend/"; "server/"; "interproc/" ]
 
 (* Prints the per-benchmark speedup table vs [path] and returns false
    when any gated entry regressed by more than 25%. Rows with no
@@ -1046,29 +1192,39 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
       field name (Printf.sprintf "%.1f" ns))
     rows;
   output_string oc "\n  },\n  \"corpus_seconds\": {\n";
+  (* on a single-core host the parallel rows carry the marker string
+     "skipped_single_core" rather than a meaningless ~1x speedup; the
+     baseline reader only keeps rows that parse as floats, so marker
+     rows are exempt from --compare gating by construction *)
+  let skipped = "\"skipped_single_core\"" in
   let cf =
     [
-      ("uncached", c.uncached_s);
-      ("cached_cold", c.cached_cold_s);
-      ("cached_warm", c.cached_warm_s);
-      ("sequential", c.sequential_s);
-      ("parallel", c.parallel_s);
+      ("uncached", Printf.sprintf "%.6f" c.uncached_s);
+      ("cached_cold", Printf.sprintf "%.6f" c.cached_cold_s);
+      ("cached_warm", Printf.sprintf "%.6f" c.cached_warm_s);
+      ("sequential", Printf.sprintf "%.6f" c.sequential_s);
+      ( "parallel",
+        if c.parallel_skipped then skipped
+        else Printf.sprintf "%.6f" c.parallel_s );
     ]
   in
   List.iteri
     (fun i (name, v) ->
       if i > 0 then output_string oc ",\n";
-      field name (Printf.sprintf "%.6f" v))
+      field name v)
     cf;
   output_string oc ",\n";
   field "parallel_domains" (string_of_int c.parallel_domains);
   output_string oc ",\n";
-  field "parallel_identical" (string_of_bool c.parallel_identical);
+  field "parallel_identical"
+    (if c.parallel_skipped then skipped
+     else string_of_bool c.parallel_identical);
   output_string oc ",\n";
   field "cached_speedup" (Printf.sprintf "%.3f" (c.uncached_s /. c.cached_warm_s));
   output_string oc ",\n";
   field "parallel_speedup"
-    (Printf.sprintf "%.3f" (c.sequential_s /. c.parallel_s));
+    (if c.parallel_skipped then skipped
+     else Printf.sprintf "%.3f" (c.sequential_s /. c.parallel_s));
   output_string oc "\n  },\n  \"degraded_corpus\": {\n";
   let df =
     [
@@ -1233,9 +1389,16 @@ let () =
     (* smoke mode (wired into dune runtest): exercise the bechamel
        harness on the detector group with a tiny quota plus one cached
        corpus pass, so the bench binary can't bit-rot *)
+    let quick_interproc () =
+      interproc_rows
+        ~shapes:[ Scale_gen.Chain; Scale_gen.Scc ]
+        ~sizes:[ 100; 1000 ] ()
+    in
     let rows =
       let frontend_rows = quick_frontend_rows () in
-      frontend_rows @ run_group ~quota:0.05 "detectors" detector_tests
+      frontend_rows
+      @ run_group ~quota:0.05 "detectors" detector_tests
+      @ quick_interproc ()
     in
     Rustudy.Cache.clear_programs ();
     cached_corpus_pass ();
@@ -1261,7 +1424,8 @@ let () =
                       "gate failed; re-measuring (%d retries left)\n" retries;
                     attempt (retries - 1)
                       (quick_frontend_rows ()
-                      @ run_group ~quota:0.05 "detectors" detector_tests)
+                      @ run_group ~quota:0.05 "detectors" detector_tests
+                      @ quick_interproc ())
                   end
           in
           attempt 2 rows
@@ -1288,6 +1452,15 @@ let () =
       @ run_group "safe-vs-unsafe (4.1)" micro_tests
       @ run_group "ablations" ablation_tests
       @ run_group "frontend" frontend_tests
+      @ interproc_rows
+          ~shapes:[ Scale_gen.Chain; Scale_gen.Diamond; Scale_gen.Scc ]
+          ~sizes:[ 100; 1000; 10_000 ] ()
+    in
+    Printf.printf "== interproc gates ==\n";
+    let interproc_ok =
+      let a = interproc_asserts rows in
+      let b = ablation_divergence_assert rows in
+      a && b
     in
     let corpus = corpus_bench () in
     print_corpus_timings corpus;
@@ -1330,5 +1503,5 @@ let () =
       | Some f -> compare_against ~replicate f rows
       | None -> true
     in
-    if not ok then exit 1
+    if not (ok && interproc_ok) then exit 1
   end

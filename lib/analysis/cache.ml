@@ -69,6 +69,9 @@ type t = {
   mutable cg : Callgraph.t option;
   ext_arr : (int, exn option array) Hashtbl.t;
       (** key uid -> per-body slot array *)
+  ext_prog : (int, exn) Hashtbl.t;
+      (** key uid -> program-level memo (e.g. the SCC condensation and
+          per-client summary tables of [Analysis.Summary]) *)
   mutable hit_count : int;
   mutable ext_memo_count : int;
   mutable rev_diags : Support.Diag.t list;
@@ -89,6 +92,7 @@ let create ?(diags = []) (prog : Mir.program) : t =
     storage_arr = Array.make n None;
     cg = None;
     ext_arr = Hashtbl.create 8;
+    ext_prog = Hashtbl.create 8;
     hit_count = 0;
     ext_memo_count = 0;
     rev_diags = List.rev diags;
@@ -286,6 +290,72 @@ let ext (t : t) (key : 'a Ext.key) (body : Mir.body)
         Mutex.unlock t.lock;
         v
   end
+
+let ext_program (t : t) (key : 'a Ext.key) ~(compute : unit -> 'a) : 'a =
+  Mutex.lock t.lock;
+  let hit = Option.bind (Hashtbl.find_opt t.ext_prog key.Ext.uid) key.Ext.project in
+  (match hit with
+  | Some _ -> t.hit_count <- t.hit_count + 1
+  | None -> ());
+  Mutex.unlock t.lock;
+  match hit with
+  | Some v -> v
+  | None ->
+      (* computed outside the lock ([compute] re-enters the context);
+         first insertion wins on a race *)
+      let v = compute () in
+      Mutex.lock t.lock;
+      let v =
+        match
+          Option.bind (Hashtbl.find_opt t.ext_prog key.Ext.uid) key.Ext.project
+        with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.replace t.ext_prog key.Ext.uid (key.Ext.inject v);
+            t.ext_memo_count <- t.ext_memo_count + 1;
+            v
+      in
+      Mutex.unlock t.lock;
+      v
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed summary store                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Process-wide, like the program cache below: a summary is valid for
+   any context whose function has the same content digest, so reloading
+   an edited file recomputes only the functions whose digest (own body
+   or a transitive callee's) changed. Entries are immutable once
+   inserted — the digest pins the value — so first insertion wins. *)
+let sum_tbl : (int * string, exn) Hashtbl.t = Hashtbl.create 256
+let sum_lock = Mutex.create ()
+let sum_hits = Atomic.make 0
+let sum_misses = Atomic.make 0
+
+let summary_find (key : 'a Ext.key) (digest : string) : 'a option =
+  Mutex.lock sum_lock;
+  let e = Hashtbl.find_opt sum_tbl (key.Ext.uid, digest) in
+  Mutex.unlock sum_lock;
+  match Option.bind e key.Ext.project with
+  | Some v ->
+      Atomic.incr sum_hits;
+      Some v
+  | None ->
+      Atomic.incr sum_misses;
+      None
+
+let summary_add (key : 'a Ext.key) (digest : string) (v : 'a) : unit =
+  Mutex.lock sum_lock;
+  if not (Hashtbl.mem sum_tbl (key.Ext.uid, digest)) then
+    Hashtbl.replace sum_tbl (key.Ext.uid, digest) (key.Ext.inject v);
+  Mutex.unlock sum_lock
+
+let summary_cache_counts () = (Atomic.get sum_hits, Atomic.get sum_misses)
+
+let clear_summaries () =
+  Mutex.lock sum_lock;
+  Hashtbl.reset sum_tbl;
+  Mutex.unlock sum_lock
 
 let stats (t : t) : stats =
   let filled arr =

@@ -58,6 +58,34 @@ val ext : t -> 'a Ext.key -> Mir.body -> compute:(Mir.body -> 'a) -> 'a
 (** [ext t key body ~compute] returns the memoised [compute body] for
     this (key, body) pair. *)
 
+val ext_program : t -> 'a Ext.key -> compute:(unit -> 'a) -> 'a
+(** Program-level variant of {!ext}: one memoised slot per key for the
+    whole context ([Analysis.Summary] keeps its SCC condensation and
+    per-client summary tables here). [compute] runs outside the lock
+    and may re-enter the context; on a race the first insertion
+    wins. *)
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed summary store                                     *)
+(* ------------------------------------------------------------------ *)
+
+val summary_find : 'a Ext.key -> string -> 'a option
+(** [summary_find key digest] looks up the process-wide
+    content-addressed summary store. A summary is valid for any context
+    whose function has the same content digest, so re-analysing an
+    edited file recomputes only functions whose digest (own body or a
+    transitive callee's, see [Analysis.Summary]) changed. *)
+
+val summary_add : 'a Ext.key -> string -> 'a -> unit
+(** Insert a finished summary under its content digest. Entries are
+    immutable (the digest pins the value); first insertion wins. *)
+
+val summary_cache_counts : unit -> int * int
+(** Cumulative (hits, misses) of the summary store. *)
+
+val clear_summaries : unit -> unit
+(** Drop every stored summary (tests and cold-path benches). *)
+
 type stats = {
   alias_memos : int;
   pointsto_memos : int;

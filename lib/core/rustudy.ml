@@ -27,6 +27,7 @@ module Typeck = Sema.Typeck
 module Mir = Ir.Mir
 module Lower = Ir.Lower
 module Cache = Analysis.Cache
+module Summary = Analysis.Summary
 module Domain_pool = Support.Domain_pool
 module Fuel = Support.Fuel
 module Fault = Support.Fault

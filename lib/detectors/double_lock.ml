@@ -332,83 +332,135 @@ let exportable (e : summary_entry) =
   | Analysis.Alias.Param _ | Analysis.Alias.Static _ -> true
   | _ -> false
 
+(* The call sites whose callee summaries flow into a body's own
+   summary, in ascending block order (so every recompute rebuilds the
+   entry list in the same order); memoised — the fixpoint rounds
+   revisit the list but never change it (the method-name concatenation
+   in [callee_id] in particular should not be redone per round). *)
+let calls_key : (string * Mir.call) list Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let calls_of (ctx : Analysis.Cache.t) (body : Mir.body) :
+    (string * Mir.call) list =
+  Analysis.Cache.ext ctx calls_key body ~compute:(fun (b : Mir.body) ->
+      List.rev
+        (Array.fold_left
+           (fun acc (blk : Mir.block) ->
+             match blk.Mir.term with
+             | Mir.Call (c, _) -> (
+                 match callee_id c.Mir.callee with
+                 | Some f -> (f, c) :: acc
+                 | None -> acc)
+             | _ -> acc)
+           [] b.Mir.blocks))
+
+(* Bound on one function's summary: entry lists concatenate up the call
+   graph without dedup (distinct spans keep even same-lock entries
+   distinct), so on wide or cyclic graphs the converged lists — not the
+   engine walking them — can grow combinatorially. Every function keeps
+   its first [summary_cap] exportable entries; real programs sit far
+   below it (the whole corpus stays under a handful per function), so
+   the cap only bites on adversarial call graphs. Shared by both
+   interprocedural modes, keeping their findings aligned. *)
+let summary_cap = 32
+
+let rec take k = function
+  | x :: tl when k > 0 -> x :: take (k - 1) tl
+  | _ -> []
+
+(* Recompute one function's summary from its own acquisitions plus its
+   callees' current summaries. Both interprocedural modes — the legacy
+   whole-program fixpoint and the SCC-scheduled engine — share this, so
+   at a converged fixpoint they produce entry lists in the same order
+   and the detection pass reports byte-identical findings. [lookup]
+   returning [None] or [Some []] both mean "callee adds nothing". *)
+let summary_of_body ~(lookup : string -> summary_entry list option)
+    (ctx : Analysis.Cache.t) (body : Mir.body) : summary_entry list =
+  let locks = fst (locks_of ctx body) in
+  let aliases = lazy (Analysis.Cache.aliases ctx body) in
+  let direct =
+    Hashtbl.fold
+      (fun _ a acc ->
+        if a.acq_try then acc
+        else
+          { se_root = a.acq_root; se_kind = a.acq_kind; se_span = a.acq_span }
+          :: acc)
+      locks.acquisitions []
+  in
+  let from_calls =
+    List.fold_left
+      (fun acc (f, c) ->
+        match lookup f with
+        | Some entries when entries <> [] ->
+            List.map (substitute_entry (Lazy.force aliases) c) entries @ acc
+        | _ -> acc)
+      [] (calls_of ctx body)
+  in
+  take summary_cap (List.filter exportable (direct @ from_calls))
+
+(* No acquisition anywhere: every summary is empty, and an absent entry
+   reads the same as an empty one — both modes skip the call-site
+   resolution and the fixpoint entirely. *)
+let lock_free (ctx : Analysis.Cache.t) (bodies : Mir.body list) : bool =
+  List.for_all
+    (fun (b : Mir.body) ->
+      Hashtbl.length (fst (locks_of ctx b)).acquisitions = 0)
+    bodies
+
+(* Replay mode: the legacy whole-program chaotic fixpoint, kept behind
+   [--interproc=replay] for differential testing. Iterates every body
+   per round in [fn_id] order with a global round cap — propagation
+   depth depends on how the iteration order aligns with call direction,
+   which is what the summary engine's bottom-up schedule fixes. *)
 let compute_summaries (ctx : Analysis.Cache.t) : summaries =
   let tbl : summaries = Hashtbl.create 16 in
   let bodies = Mir.body_list (Analysis.Cache.program ctx) in
-  let locks_by_body =
-    List.map (fun (b : Mir.body) -> (b, fst (locks_of ctx b))) bodies
-  in
-  if
-    (* no acquisition anywhere: every summary is empty, and an absent
-       entry reads the same as an empty one — skip the call-site
-       resolution and the fixpoint rounds entirely *)
-    List.for_all
-      (fun (_, (l : body_locks)) -> Hashtbl.length l.acquisitions = 0)
-      locks_by_body
-  then tbl
+  if lock_free ctx bodies then tbl
   else begin
-  (* per body, resolve the aliases/locks/call-site list once — the
-     rounds below revisit them but never change them (the method-name
-     concatenation in [callee_id] in particular should not be redone
-     per round) *)
-  let cached =
-    List.map
-      (fun ((b : Mir.body), locks) ->
-        let calls =
-          (* ascending block order, so the fold below rebuilds the
-             summary list in the same order as the per-round walk did *)
-          List.rev
-            (Array.fold_left
-               (fun acc (blk : Mir.block) ->
-                 match blk.Mir.term with
-                 | Mir.Call (c, _) -> (
-                     match callee_id c.Mir.callee with
-                     | Some f -> (f, c) :: acc
-                     | None -> acc)
-                 | _ -> acc)
-               [] b.Mir.blocks)
-        in
-        (b, lazy (Analysis.Cache.aliases ctx b), locks, calls))
-      locks_by_body
-  in
-  List.iter (fun ((b : Mir.body), _, _, _) -> Hashtbl.replace tbl b.Mir.fn_id [])
-    cached;
-  let changed = ref true in
-  let rounds = ref 0 in
-  while !changed && !rounds < 5 do
-    incr rounds;
-    changed := false;
     List.iter
-      (fun ((b : Mir.body), aliases, locks, calls) ->
-        let direct =
-          Hashtbl.fold
-            (fun _ a acc ->
-              if a.acq_try then acc
-              else
-                { se_root = a.acq_root; se_kind = a.acq_kind; se_span = a.acq_span }
-                :: acc)
-            locks.acquisitions []
-        in
-        let from_calls =
-          List.fold_left
-            (fun acc (f, c) ->
-              match Hashtbl.find_opt tbl f with
-              | Some entries when entries <> [] ->
-                  List.map (substitute_entry (Lazy.force aliases) c) entries
-                  @ acc
-              | _ -> acc)
-            [] calls
-        in
-        let all = List.filter exportable (direct @ from_calls) in
-        let cur = Hashtbl.find tbl b.Mir.fn_id in
-        if List.length all <> List.length cur then begin
-          Hashtbl.replace tbl b.Mir.fn_id all;
-          changed := true
-        end)
-      cached
-  done;
-  tbl
+      (fun (b : Mir.body) -> Hashtbl.replace tbl b.Mir.fn_id [])
+      bodies;
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds < 5 do
+      incr rounds;
+      changed := false;
+      List.iter
+        (fun (b : Mir.body) ->
+          let all = summary_of_body ~lookup:(Hashtbl.find_opt tbl) ctx b in
+          let cur = Hashtbl.find tbl b.Mir.fn_id in
+          if List.length all <> List.length cur then begin
+            Hashtbl.replace tbl b.Mir.fn_id all;
+            changed := true
+          end)
+        bodies
+    done;
+    tbl
   end
+
+(* Summary mode: the SCC-scheduled bottom-up engine. *)
+let summary_skey : summary_entry list array Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let summary_tbl_key : summaries Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let summary_client ctx : summary_entry list Analysis.Summary.client =
+  {
+    Analysis.Summary.name = "double_lock";
+    params = "";
+    skey = summary_skey;
+    (* the replay fixpoint detects change by length; a converged list
+       can only differ in length, so the engine matches it *)
+    equal = (fun a b -> List.length a = List.length b);
+    compute = (fun ~lookup body -> summary_of_body ~lookup ctx body);
+  }
+
+let engine_summaries ?domains (ctx : Analysis.Cache.t) : summaries =
+  Analysis.Cache.ext_program ctx summary_tbl_key ~compute:(fun () ->
+      let bodies = Mir.body_list (Analysis.Cache.program ctx) in
+      if lock_free ctx bodies then Hashtbl.create 1
+      else Analysis.Summary.compute ?domains ctx (summary_client ctx))
 
 (* ------------------------------------------------------------------ *)
 (* Detection                                                           *)
@@ -488,6 +540,8 @@ let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
           | Some f -> (
               match Hashtbl.find_opt summaries f with
               | Some entries ->
+                  if entries <> [] then
+                    Analysis.Summary.note_instantiated "double_lock";
                   List.iter
                     (fun e ->
                       let e = substitute_entry (Lazy.force aliases) c e in
@@ -519,18 +573,24 @@ let check_body (ctx : Analysis.Cache.t) (summaries : summaries)
 
 (** Run the double-lock detector with a shared analysis context.
     [interprocedural:false] ablates the cross-function summaries
-    (intraprocedural double locks are still found). *)
-let run_ctx ?(interprocedural = true) (ctx : Analysis.Cache.t) :
+    (intraprocedural double locks are still found); [?mode] picks the
+    summary engine vs the legacy replay fixpoint (defaults to
+    [Analysis.Summary.default_mode ()]). *)
+let run_ctx ?(interprocedural = true) ?mode (ctx : Analysis.Cache.t) :
     Report.finding list =
   let summaries =
-    if interprocedural then compute_summaries ctx else Hashtbl.create 1
+    if not interprocedural then Hashtbl.create 1
+    else
+      match Analysis.Summary.resolve_mode mode with
+      | Analysis.Summary.Summary -> engine_summaries ctx
+      | Analysis.Summary.Replay -> compute_summaries ctx
   in
   List.concat_map (check_body ctx summaries)
     (Mir.body_list (Analysis.Cache.program ctx))
 
 (** Run the double-lock detector over a whole program. *)
-let run ?interprocedural (program : Mir.program) : Report.finding list =
-  run_ctx ?interprocedural (Analysis.Cache.create program)
+let run ?interprocedural ?mode (program : Mir.program) : Report.finding list =
+  run_ctx ?interprocedural ?mode (Analysis.Cache.create program)
 
 (** Exposed for the lock-order detector: per-body acquisition-order
     pairs (held root, newly acquired root) with spans. *)

@@ -47,12 +47,23 @@ val locks_of :
     through the analysis context with the lock-order and atomicity
     detectors. *)
 
-val run_ctx : ?interprocedural:bool -> Analysis.Cache.t -> Report.finding list
+val run_ctx :
+  ?interprocedural:bool ->
+  ?mode:Analysis.Summary.mode ->
+  Analysis.Cache.t ->
+  Report.finding list
 (** Run the detector with a shared analysis context.
     [interprocedural:false] (default [true]) ablates the cross-function
-    summaries. *)
+    summaries; [?mode] (default [Analysis.Summary.default_mode ()])
+    picks the SCC-scheduled summary engine vs the legacy whole-program
+    replay fixpoint — their findings agree at convergence, and the
+    differential suite holds them byte-identical over the corpus. *)
 
-val run : ?interprocedural:bool -> Mir.program -> Report.finding list
+val run :
+  ?interprocedural:bool ->
+  ?mode:Analysis.Summary.mode ->
+  Mir.program ->
+  Report.finding list
 (** Run the detector (private context). *)
 
 val order_pairs :

@@ -140,45 +140,108 @@ let direct_derefs ?(assume_extern_derefs = true)
     body.Mir.blocks;
   (!direct, !oblig)
 
+(* Memoised [direct_derefs], one slot per extern-assumption flag (the
+   ablation bench runs both settings over one context). Aliases are
+   forced only when the body actually dereferences something (or passes
+   raw pointers to FFI) — most bodies never pay for alias resolution
+   here. *)
+let derefs_key_extern : (IntSet.t * (string * int * int) list) Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let derefs_key_no_extern :
+    (IntSet.t * (string * int * int) list) Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let derefs_of ~assume_extern_derefs (ctx : Analysis.Cache.t) (body : Mir.body)
+    : IntSet.t * (string * int * int) list =
+  let key = if assume_extern_derefs then derefs_key_extern else derefs_key_no_extern in
+  Analysis.Cache.ext ctx key body ~compute:(fun (b : Mir.body) ->
+      direct_derefs ~assume_extern_derefs (lazy (Analysis.Cache.aliases ctx b)) b)
+
+(* Recompute one function's deref-parameter set from its direct derefs
+   plus its callees' current summaries. Shared by the legacy replay
+   fixpoint and the SCC-scheduled engine: the transfer is monotone with
+   a unique least fixpoint, so both modes converge to the same sets.
+   [lookup] returning [None] means "no parameter dereferenced" (bottom),
+   matching the replay table's membership test. *)
+let summary_of_body ~assume_extern_derefs
+    ~(lookup : string -> IntSet.t option) (ctx : Analysis.Cache.t)
+    (body : Mir.body) : IntSet.t =
+  let direct, oblig = derefs_of ~assume_extern_derefs ctx body in
+  List.fold_left
+    (fun acc (callee, ai, pi) ->
+      match lookup callee with
+      | Some cs when IntSet.mem ai cs -> IntSet.add pi acc
+      | _ -> acc)
+    direct oblig
+
+(* Replay mode: the legacy whole-program fixpoint, kept behind
+   [--interproc=replay] for differential testing. *)
 let compute_summaries ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
     : summaries =
   let tbl : summaries = Hashtbl.create 16 in
-  let per_body =
-    List.map
-      (fun b ->
-        (* aliases are forced only when the body actually dereferences
-           something (or passes raw pointers to FFI) — most bodies never
-           pay for alias resolution here *)
-        ( b,
-          direct_derefs ~assume_extern_derefs
-            (lazy (Analysis.Cache.aliases ctx b))
-            b ))
-      (Mir.body_list (Analysis.Cache.program ctx))
-  in
+  let bodies = Mir.body_list (Analysis.Cache.program ctx) in
   List.iter
-    (fun ((b : Mir.body), (direct, _)) -> Hashtbl.replace tbl b.Mir.fn_id direct)
-    per_body;
+    (fun (b : Mir.body) ->
+      Hashtbl.replace tbl b.Mir.fn_id
+        (fst (derefs_of ~assume_extern_derefs ctx b)))
+    bodies;
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
-      (fun ((b : Mir.body), (_, oblig)) ->
+      (fun (b : Mir.body) ->
         let cur = Hashtbl.find tbl b.Mir.fn_id in
         let next =
-          List.fold_left
-            (fun acc (callee, ai, pi) ->
-              match Hashtbl.find_opt tbl callee with
-              | Some cs when IntSet.mem ai cs -> IntSet.add pi acc
-              | _ -> acc)
-            cur oblig
+          summary_of_body ~assume_extern_derefs
+            ~lookup:(Hashtbl.find_opt tbl) ctx b
         in
         if not (IntSet.equal cur next) then begin
           Hashtbl.replace tbl b.Mir.fn_id next;
           changed := true
         end)
-      per_body
+      bodies
   done;
   tbl
+
+(* Summary mode: the SCC-scheduled bottom-up engine, one store slot per
+   extern-assumption flag (the flag changes the summaries, so it is
+   both a distinct typed key and part of the content address). *)
+let summary_skey_extern : IntSet.t array Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let summary_skey_no_extern : IntSet.t array Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let summary_tbl_key_extern : summaries Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let summary_tbl_key_no_extern : summaries Analysis.Cache.Ext.key =
+  Analysis.Cache.Ext.create ()
+
+let summary_client ~assume_extern_derefs ctx : IntSet.t Analysis.Summary.client
+    =
+  {
+    Analysis.Summary.name = "uaf";
+    params = Printf.sprintf "extern_derefs=%b" assume_extern_derefs;
+    skey =
+      (if assume_extern_derefs then summary_skey_extern
+       else summary_skey_no_extern);
+    equal = IntSet.equal;
+    compute =
+      (fun ~lookup body ->
+        summary_of_body ~assume_extern_derefs ~lookup ctx body);
+  }
+
+let engine_summaries ?domains ~assume_extern_derefs (ctx : Analysis.Cache.t) :
+    summaries =
+  let tbl_key =
+    if assume_extern_derefs then summary_tbl_key_extern
+    else summary_tbl_key_no_extern
+  in
+  Analysis.Cache.ext_program ctx tbl_key ~compute:(fun () ->
+      Analysis.Summary.compute ?domains ctx
+        (summary_client ~assume_extern_derefs ctx))
 
 (* ------------------------------------------------------------------ *)
 (* The detector                                                        *)
@@ -192,12 +255,16 @@ let callee_derefs_arg ?(assume_extern_derefs = true) (summaries : summaries)
       assume_extern_derefs && Sema.Ty.is_raw_ptr arg_ty
   | Mir.Fn f | Mir.ClosureCall f -> (
       match Hashtbl.find_opt summaries f with
-      | Some s -> IntSet.mem ai s
-      | None -> false)
+      | Some s when IntSet.mem ai s ->
+          Analysis.Summary.note_instantiated "uaf";
+          true
+      | _ -> false)
   | Mir.Method (h, m) -> (
       match Hashtbl.find_opt summaries (h ^ "::" ^ m) with
-      | Some s -> IntSet.mem ai s
-      | None -> false)
+      | Some s when IntSet.mem ai s ->
+          Analysis.Summary.note_instantiated "uaf";
+          true
+      | _ -> false)
   | Mir.Builtin _ -> false
 
 let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
@@ -443,14 +510,22 @@ let check_body ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t)
   !findings
   end
 
-(** Run the use-after-free detector with a shared analysis context. *)
-let run_ctx ?(assume_extern_derefs = true) (ctx : Analysis.Cache.t) :
+(** Run the use-after-free detector with a shared analysis context.
+    [?mode] picks the SCC-scheduled summary engine vs the legacy replay
+    fixpoint (defaults to [Analysis.Summary.default_mode ()]); both
+    converge to the same least fixpoint, so the findings agree. *)
+let run_ctx ?(assume_extern_derefs = true) ?mode (ctx : Analysis.Cache.t) :
     Report.finding list =
-  let summaries = compute_summaries ~assume_extern_derefs ctx in
+  let summaries =
+    match Analysis.Summary.resolve_mode mode with
+    | Analysis.Summary.Summary -> engine_summaries ~assume_extern_derefs ctx
+    | Analysis.Summary.Replay -> compute_summaries ~assume_extern_derefs ctx
+  in
   List.concat_map
     (check_body ~assume_extern_derefs ctx summaries)
     (Mir.body_list (Analysis.Cache.program ctx))
 
 (** Run the use-after-free detector over a whole program. *)
-let run ?assume_extern_derefs (program : Mir.program) : Report.finding list =
-  run_ctx ?assume_extern_derefs (Analysis.Cache.create program)
+let run ?assume_extern_derefs ?mode (program : Mir.program) :
+    Report.finding list =
+  run_ctx ?assume_extern_derefs ?mode (Analysis.Cache.create program)

@@ -30,8 +30,18 @@ val check_body :
 (** Run the detector on one body with precomputed summaries. *)
 
 val run_ctx :
-  ?assume_extern_derefs:bool -> Analysis.Cache.t -> Report.finding list
-(** Run the detector through a shared analysis context. *)
+  ?assume_extern_derefs:bool ->
+  ?mode:Analysis.Summary.mode ->
+  Analysis.Cache.t ->
+  Report.finding list
+(** Run the detector through a shared analysis context. [?mode]
+    (default [Analysis.Summary.default_mode ()]) picks the
+    SCC-scheduled summary engine vs the legacy whole-program replay
+    fixpoint; both converge to the same least fixpoint. *)
 
-val run : ?assume_extern_derefs:bool -> Mir.program -> Report.finding list
+val run :
+  ?assume_extern_derefs:bool ->
+  ?mode:Analysis.Summary.mode ->
+  Mir.program ->
+  Report.finding list
 (** Run the detector over every body of a program (private context). *)

@@ -251,6 +251,8 @@ let tracked_counters =
     Support.Metrics.counter ?labels ~help:"(see registering module)" name
   in
   let a = c ~labels:[ "analysis" ] "rustudy_analysis_runs_total" in
+  let sc = c ~labels:[ "analysis" ] "rustudy_summary_computed_total" in
+  let sh = c ~labels:[ "analysis" ] "rustudy_summary_cache_hits_total" in
   [
     ("pointsto_runs", c "rustudy_pointsto_runs_total", None);
     ("pointsto_passes", c "rustudy_pointsto_passes_total", None);
@@ -259,6 +261,10 @@ let tracked_counters =
     ("alias_runs", a, Some [ "alias" ]);
     ("liveness_runs", a, Some [ "liveness" ]);
     ("callgraph_runs", a, Some [ "callgraph" ]);
+    ("summary_dlock", sc, Some [ "double_lock" ]);
+    ("summary_uaf", sc, Some [ "uaf" ]);
+    ("summary_hits_dlock", sh, Some [ "double_lock" ]);
+    ("summary_hits_uaf", sh, Some [ "uaf" ]);
   ]
 
 let sample_domain_counters () =

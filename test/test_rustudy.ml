@@ -22,4 +22,5 @@ let () =
       ("server", T_server.suite);
       ("properties", T_props.suite);
       ("observability", T_observability.suite);
+      ("summary", T_summary.suite);
     ]
