@@ -386,6 +386,61 @@ let quick_frontend_rows () =
     rows;
   rows
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic oracle: interpreter throughput + differential sweep         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fuel-bounded tight loop: every run executes exactly [fuel] MIR
+   steps, so wall/steps is raw interpreter throughput with no
+   program-dependent early exit. *)
+let oracle_loop_program =
+  lazy
+    (Rustudy.load ~file:"oracle_loop.rs"
+       "fn main() { let mut i = 0; loop { i = i + 1; } }")
+
+let oracle_interp_fuel = 100_000
+
+let oracle_interp_pass () =
+  Rustudy.Oracle.run ~fuel:oracle_interp_fuel ~deadline_ms:60_000 ~schedules:1
+    (Lazy.force oracle_loop_program)
+
+(* The differential confusion counters (detectors vs oracle over the
+   corpus and every seeded fault mutant) that land in the JSON. *)
+let oracle_counters = lazy (Rustudy.Oracle_eval.run ~mutants:true ())
+
+let oracle_total f (r : Rustudy.Oracle_eval.result) =
+  List.fold_left (fun acc (_, row) -> acc + f row) 0 r.Rustudy.Oracle_eval.rows
+
+(* Wall-based rows like the quick frontend ones: the sweep is one
+   deterministic pass, a bechamel quota would mostly re-measure it. *)
+let oracle_rows () =
+  let interp_ns = wall ~reps:5 (fun () -> oracle_interp_pass ()) *. 1e9 in
+  let steps = (oracle_interp_pass ()).Rustudy.Oracle.steps in
+  let sweep_ns =
+    wall ~reps:3 (fun () -> Rustudy.Oracle_eval.run ~domains:1 ()) *. 1e9
+  in
+  Printf.printf "== oracle (budgeted interpreter, best-of-N wall) ==\n";
+  Printf.printf "  %-36s %10.3f ms/run  (%.2f Msteps/s)\n" "oracle/interp_loop"
+    (interp_ns /. 1e6)
+    (float_of_int steps /. interp_ns *. 1e3);
+  Printf.printf "  %-36s %10.3f ms/pass\n" "oracle/corpus_sweep"
+    (sweep_ns /. 1e6);
+  [ ("oracle/interp_loop", interp_ns); ("oracle/corpus_sweep", sweep_ns) ]
+
+let print_oracle_counters () =
+  let r = Lazy.force oracle_counters in
+  Printf.printf
+    "oracle differential: %d programs + %d mutants (%d degraded, %d escaped); \
+     agree+=%d agree-=%d static-only=%d dynamic-only=%d inconclusive=%d\n"
+    r.Rustudy.Oracle_eval.programs r.Rustudy.Oracle_eval.mutants
+    (List.length r.Rustudy.Oracle_eval.degraded)
+    r.Rustudy.Oracle_eval.escaped
+    (oracle_total (fun w -> w.Rustudy.Oracle_eval.agree_pos) r)
+    (oracle_total (fun w -> w.Rustudy.Oracle_eval.agree_neg) r)
+    (oracle_total (fun w -> w.Rustudy.Oracle_eval.static_only) r)
+    (oracle_total (fun w -> w.Rustudy.Oracle_eval.dynamic_only) r)
+    (oracle_total (fun w -> w.Rustudy.Oracle_eval.inconclusive) r)
+
 (* Interprocedural scaling rows (summary engine vs legacy replay), wall
    best-of-N like the quick frontend rows: the big programs make a
    bechamel quota per row needlessly slow, and the wall passes hold
@@ -1111,7 +1166,8 @@ let has_prefix p s =
 
 (* Gated groups: a >25% slowdown in any of these fails the comparison.
    Other groups are informational only. *)
-let gated_prefixes = [ "detectors/"; "frontend/"; "server/"; "interproc/" ]
+let gated_prefixes =
+  [ "detectors/"; "frontend/"; "server/"; "interproc/"; "oracle/" ]
 
 (* Prints the per-benchmark speedup table vs [path] and returns false
    when any gated entry regressed by more than 25%. Rows with no
@@ -1171,7 +1227,8 @@ let json_escape s =
   Buffer.contents b
 
 let write_json path (rows : (string * float) list) (c : corpus_timings)
-    ?replicate ~frontend ~supervisor ~server ~ratio_index ~ratio_copy () =
+    ?replicate ~frontend ~supervisor ~server ~oracle ~ratio_index ~ratio_copy
+    () =
   let oc = open_out path in
   let field k v = Printf.fprintf oc "    \"%s\": %s" (json_escape k) v in
   output_string oc "{\n  \"meta\": {\n";
@@ -1357,6 +1414,46 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
        field name v)
      vf;
    output_string oc "\n  },\n");
+  (let o : Rustudy.Oracle_eval.result = oracle in
+   output_string oc "  \"oracle\": {\n";
+   let of_ =
+     [
+       ("programs", string_of_int o.Rustudy.Oracle_eval.programs);
+       ("mutants", string_of_int o.Rustudy.Oracle_eval.mutants);
+       ("degraded", string_of_int (List.length o.Rustudy.Oracle_eval.degraded));
+       ("escaped", string_of_int o.Rustudy.Oracle_eval.escaped);
+       ( "agree_pos",
+         string_of_int
+           (oracle_total (fun w -> w.Rustudy.Oracle_eval.agree_pos) o) );
+       ( "agree_neg",
+         string_of_int
+           (oracle_total (fun w -> w.Rustudy.Oracle_eval.agree_neg) o) );
+       ( "static_only",
+         string_of_int
+           (oracle_total (fun w -> w.Rustudy.Oracle_eval.static_only) o) );
+       ( "dynamic_only",
+         string_of_int
+           (oracle_total (fun w -> w.Rustudy.Oracle_eval.dynamic_only) o) );
+       ( "inconclusive",
+         string_of_int
+           (oracle_total (fun w -> w.Rustudy.Oracle_eval.inconclusive) o) );
+     ]
+     @ List.concat_map
+         (fun (cls, w) ->
+           [
+             ( cls ^ "_agree_pos",
+               string_of_int w.Rustudy.Oracle_eval.agree_pos );
+             ( cls ^ "_dynamic_only",
+               string_of_int w.Rustudy.Oracle_eval.dynamic_only );
+           ])
+         o.Rustudy.Oracle_eval.rows
+   in
+   List.iteri
+     (fun i (name, v) ->
+       if i > 0 then output_string oc ",\n";
+       field name v)
+     of_;
+   output_string oc "\n  },\n");
   output_string oc "  \"section_4_1\": {\n";
   field "checked_over_unchecked_index" (Printf.sprintf "%.3f" ratio_index);
   output_string oc ",\n";
@@ -1399,7 +1496,9 @@ let () =
       frontend_rows
       @ run_group ~quota:0.05 "detectors" detector_tests
       @ quick_interproc ()
+      @ oracle_rows ()
     in
+    print_oracle_counters ();
     Rustudy.Cache.clear_programs ();
     cached_corpus_pass ();
     (* the supervisor machinery must not bit-rot either: the
@@ -1425,7 +1524,8 @@ let () =
                     attempt (retries - 1)
                       (quick_frontend_rows ()
                       @ run_group ~quota:0.05 "detectors" detector_tests
-                      @ quick_interproc ())
+                      @ quick_interproc ()
+                      @ oracle_rows ())
                   end
           in
           attempt 2 rows
@@ -1455,7 +1555,9 @@ let () =
       @ interproc_rows
           ~shapes:[ Scale_gen.Chain; Scale_gen.Diamond; Scale_gen.Scc ]
           ~sizes:[ 100; 1000; 10_000 ] ()
+      @ oracle_rows ()
     in
+    print_oracle_counters ();
     Printf.printf "== interproc gates ==\n";
     let interproc_ok =
       let a = interproc_asserts rows in
@@ -1495,7 +1597,9 @@ let () =
       ratio_index ratio_copy;
     if json then begin
       write_json "BENCH_results.json" rows corpus ?replicate:rep ~frontend
-        ~supervisor ~server ~ratio_index ~ratio_copy ();
+        ~supervisor ~server
+        ~oracle:(Lazy.force oracle_counters)
+        ~ratio_index ~ratio_copy ();
       print_endline "wrote BENCH_results.json"
     end;
     let ok =

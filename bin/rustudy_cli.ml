@@ -4,6 +4,7 @@
     - [rustudy mir FILE]       dump the MIR of a RustLite file
     - [rustudy unsafe FILE]    scan a file for unsafe usages
     - [rustudy detect --eval]  run the §7 detector evaluation
+    - [rustudy oracle ...]     run the dynamic oracle (differentially with --eval)
     - [rustudy study ...]      regenerate the paper's tables and figures
 
     Exit codes form a ladder: 0 = clean, 1 = findings reported,
@@ -264,6 +265,118 @@ let detect_cmd =
     Term.(
       const run $ eval_flag $ domains_opt $ fuel_opt $ deadline_opt
       $ interproc_opt $ obs_term)
+
+(* ---------------- oracle ------------------------------------------ *)
+
+let oracle_cmd =
+  let file_pos =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "RustLite file to interpret. Omit it (with $(b,--eval)) to run \
+             the corpus-wide differential sweep instead.")
+  in
+  let eval_flag =
+    Arg.(
+      value & flag
+      & info [ "eval" ]
+          ~doc:
+            "Run the differential oracle-vs-detector evaluation over the \
+             bundled corpus and print the per-class confusion table.")
+  in
+  let mutants_flag =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:
+            "With $(b,--eval): also sweep every seeded fault mutant of the \
+             corpus (the 1020 recovery mutants plus the trap-aiming \
+             mutants).")
+  in
+  let ofuel_opt =
+    Arg.(
+      value
+      & opt int Rustudy.Oracle.default_fuel
+      & info [ "fuel" ] ~docv:"STEPS"
+          ~doc:
+            "Interpreter step budget per schedule. Exhausting it degrades \
+             the verdict to inconclusive (W0602) instead of running \
+             forever.")
+  in
+  let odeadline_opt =
+    Arg.(
+      value
+      & opt int Rustudy.Oracle.default_deadline_ms
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget per schedule in milliseconds; hitting it \
+             degrades the verdict to inconclusive (W0603).")
+  in
+  let schedules_opt =
+    Arg.(
+      value
+      & opt int Rustudy.Oracle.default_schedules
+      & info [ "schedules" ] ~docv:"K"
+          ~doc:
+            "Bound on explored thread interleavings. Schedule 0 is the \
+             deterministic round-robin; the rest draw preemptions from the \
+             seed. Single-threaded programs always run exactly once.")
+  in
+  let seed_opt =
+    Arg.(
+      value
+      & opt int Rustudy.Oracle.default_seed
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Seed for schedule exploration. The same seed and budgets \
+             reproduce byte-identical verdicts.")
+  in
+  let run file eval mutants fuel deadline_ms schedules seed domains obs =
+    with_obs obs @@ fun () ->
+    match (file, eval) with
+    | None, false ->
+        prerr_endline "oracle: pass FILE, or --eval for the corpus sweep";
+        exit_fatal
+    | None, true ->
+        let r =
+          Rustudy.Oracle_eval.run ?domains ~mutants ~fuel ~deadline_ms
+            ~schedules ~seed ()
+        in
+        print_string (Rustudy.Oracle_eval.render r);
+        if r.Rustudy.Oracle_eval.escaped > 0 then exit_fatal
+        else if r.Rustudy.Oracle_eval.degraded <> [] then exit_degraded
+        else exit_clean
+    | Some file, _ ->
+        let source = read_file file in
+        let prog = Rustudy.load ~file source in
+        let r = Rustudy.Oracle.run ~fuel ~deadline_ms ~schedules ~seed prog in
+        print_string (Rustudy.Oracle.render r);
+        List.iter
+          (fun (d : Rustudy.Diag.t) ->
+            Printf.eprintf "%s: %s\n"
+              (Rustudy.Diag.code_name d.Rustudy.Diag.code)
+              d.Rustudy.Diag.message)
+          r.Rustudy.Oracle.diags;
+        let trap = ref false and inconclusive = ref false in
+        List.iter
+          (fun (_, v) ->
+            match v with
+            | Rustudy.Oracle.Trap _ -> trap := true
+            | Rustudy.Oracle.Inconclusive _ -> inconclusive := true
+            | Rustudy.Oracle.Clean -> ())
+          r.Rustudy.Oracle.verdicts;
+        if !trap then 1 else if !inconclusive then exit_degraded else exit_clean
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:
+         "Execute a program (or the corpus) under the budgeted MIR \
+          interpreter and report dynamic bug-class verdicts")
+    Term.(
+      const run $ file_pos $ eval_flag $ mutants_flag $ ofuel_opt
+      $ odeadline_opt $ schedules_opt $ seed_opt $ domains_opt $ obs_term)
 
 (* ---------------- lock-scopes -------------------------------------- *)
 
@@ -636,6 +749,6 @@ let main =
      study of memory and thread safety in real-world Rust programs"
   in
   Cmd.group (Cmd.info "rustudy" ~version:"1.0.0" ~doc)
-    [ check_cmd; mir_cmd; unsafe_cmd; detect_cmd; study_cmd; serve_cmd; lock_scopes_cmd; audit_cmd; lifetimes_cmd ]
+    [ check_cmd; mir_cmd; unsafe_cmd; detect_cmd; oracle_cmd; study_cmd; serve_cmd; lock_scopes_cmd; audit_cmd; lifetimes_cmd ]
 
 let () = exit (Cmd.eval' main)

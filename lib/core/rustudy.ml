@@ -48,6 +48,9 @@ module Classify = Study.Classify
 module Tables = Study.Tables
 module Figures = Study.Figures
 module Detector_eval = Study.Detector_eval
+module Machine = Interp.Machine
+module Oracle = Interp.Oracle
+module Oracle_eval = Study.Oracle_eval
 
 exception Parse_error = Support.Diag.Parse_error
 
@@ -133,6 +136,7 @@ let assemble_report ?domains analyses =
       Study.Figures.figure1 ();
       Study.Figures.figure2 ();
       Study.Detector_eval.render (Study.Detector_eval.run ?domains ());
+      Study.Oracle_eval.render (Study.Oracle_eval.run ?domains ());
     ]
 
 (** The full study report: every table and figure of the paper. *)

@@ -1,0 +1,94 @@
+(** The allocation table: every heap cell the interpreted program ever
+    owns, tracked live/freed/uninit with a generation counter.
+
+    Slots are recycled through a free list on purpose: reuse is what
+    makes stale pointers *numerically valid* again, and the generation
+    tag is what still catches them — a read through an old-generation
+    pointer is a use-after-free even though the slot is live for its
+    new owner. *)
+
+type 'v state =
+  | Uninit  (** allocated, never written (e.g. [alloc] without init) *)
+  | Init of 'v
+  | Freed
+
+type 'v cell = { mutable st : 'v state; mutable gen : int }
+
+type 'v t = {
+  mutable cells : 'v cell array;
+  mutable n : int;  (** slots ever used *)
+  mutable free_list : int list;  (** freed slots awaiting reuse *)
+  mutable live : int;
+  mutable total_allocs : int;
+}
+
+let create () =
+  { cells = [||]; n = 0; free_list = []; live = 0; total_allocs = 0 }
+
+let ensure t cap =
+  if cap > Array.length t.cells then begin
+    let bigger =
+      Array.init
+        (max 16 (2 * cap))
+        (fun i ->
+          if i < t.n then t.cells.(i) else { st = Freed; gen = 0 })
+    in
+    t.cells <- bigger
+  end
+
+(** Allocate a cell, preferring a recycled slot (bumping its
+    generation). Returns [(slot, gen)] — the provenance tag. *)
+let alloc t st =
+  t.total_allocs <- t.total_allocs + 1;
+  t.live <- t.live + 1;
+  match t.free_list with
+  | slot :: rest ->
+      t.free_list <- rest;
+      let c = t.cells.(slot) in
+      c.gen <- c.gen + 1;
+      c.st <- st;
+      (slot, c.gen)
+  | [] ->
+      let slot = t.n in
+      ensure t (slot + 1);
+      t.cells.(slot) <- { st; gen = 0 };
+      t.n <- slot + 1;
+      (slot, 0)
+
+type 'v read = Rok of 'v | Runinit | Rfreed | Rstale
+
+let read t ~slot ~gen =
+  if slot < 0 || slot >= t.n then Rfreed
+  else
+    let c = t.cells.(slot) in
+    if c.gen <> gen then Rstale
+    else match c.st with Uninit -> Runinit | Freed -> Rfreed | Init v -> Rok v
+
+let write t ~slot ~gen v =
+  if slot < 0 || slot >= t.n then `Freed
+  else
+    let c = t.cells.(slot) in
+    if c.gen <> gen then `Stale
+    else
+      match c.st with
+      | Freed -> `Freed
+      | Uninit | Init _ ->
+          c.st <- Init v;
+          `Ok
+
+let free t ~slot ~gen =
+  if slot < 0 || slot >= t.n then `Double
+  else
+    let c = t.cells.(slot) in
+    if c.gen <> gen then `Stale
+    else
+      match c.st with
+      | Freed -> `Double
+      | Uninit | Init _ ->
+          c.st <- Freed;
+          t.free_list <- slot :: t.free_list;
+          t.live <- t.live - 1;
+          `Ok
+
+let live t = t.live
+let total_allocs t = t.total_allocs

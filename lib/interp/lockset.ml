@@ -1,0 +1,125 @@
+(** Runtime lock state: one table entry per [Mutex]/[RwLock] the
+    interpreted program creates, plus the per-thread lockset the
+    double-lock trap is defined over.
+
+    A thread acquiring a lock it already holds is a *self-deadlock* in
+    Rust ([std::sync::Mutex] is not reentrant) — the [`Self] result is
+    what the machine turns into an [E0601] double-lock trap. Contended
+    acquisitions ([`Busy]) park the thread instead; the scheduler
+    retries them and reports a cross-thread deadlock if nothing can
+    ever run again. *)
+
+type mode = Excl | Shared
+
+type 'v lock = {
+  mutable excl : int option;  (** tid of the exclusive holder *)
+  mutable readers : int list;  (** tids of shared holders (multiset) *)
+  mutable inner : 'v;  (** the guarded value *)
+}
+
+type cond = { mutable waiting : int list; mutable notified : int list }
+
+type 'v t = {
+  mutable locks : 'v lock option array;
+  mutable n : int;
+  conds : (int, cond) Hashtbl.t;
+  mutable next_cond : int;
+}
+
+let create () =
+  { locks = [||]; n = 0; conds = Hashtbl.create 7; next_cond = 0 }
+
+let get t id =
+  if id < 0 || id >= t.n then None
+  else t.locks.(id)
+
+let new_lock t inner =
+  if t.n >= Array.length t.locks then begin
+    let bigger = Array.make (max 8 (2 * (t.n + 1))) None in
+    Array.blit t.locks 0 bigger 0 t.n;
+    t.locks <- bigger
+  end;
+  let id = t.n in
+  t.locks.(id) <- Some { excl = None; readers = []; inner };
+  t.n <- id + 1;
+  id
+
+(** Attempt to acquire lock [id] for thread [tid]. [`Self] means the
+    calling thread already holds it (the double-lock trap); [`Busy]
+    means another thread does (park and retry). *)
+let acquire t id ~tid mode =
+  match get t id with
+  | None -> `Busy
+  | Some l -> (
+      match (l.excl, mode) with
+      | Some holder, _ when holder = tid -> `Self
+      | Some _, _ -> `Busy
+      | None, Excl ->
+          if List.mem tid l.readers then `Self
+          else if l.readers <> [] then `Busy
+          else begin
+            l.excl <- Some tid;
+            `Ok
+          end
+      | None, Shared ->
+          (* shared readers stack freely, including re-entrant reads
+             by the same thread: read-read is not a deadlock *)
+          l.readers <- tid :: l.readers;
+          `Ok)
+
+let release t id ~tid mode =
+  match get t id with
+  | None -> ()
+  | Some l -> (
+      match mode with
+      | Excl -> if l.excl = Some tid then l.excl <- None
+      | Shared ->
+          let rec drop_one = function
+            | [] -> []
+            | x :: rest -> if x = tid then rest else x :: drop_one rest
+          in
+          l.readers <- drop_one l.readers)
+
+let inner t id = Option.map (fun l -> l.inner) (get t id)
+
+let set_inner t id v =
+  match get t id with None -> () | Some l -> l.inner <- v
+
+(* ---------------- condvars ---------------------------------------- *)
+
+let new_cond t =
+  let id = t.next_cond in
+  t.next_cond <- id + 1;
+  Hashtbl.replace t.conds id { waiting = []; notified = [] };
+  id
+
+let cond t id =
+  match Hashtbl.find_opt t.conds id with
+  | Some c -> c
+  | None ->
+      let c = { waiting = []; notified = [] } in
+      Hashtbl.replace t.conds id c;
+      c
+
+let cond_wait t id ~tid =
+  let c = cond t id in
+  c.waiting <- c.waiting @ [ tid ]
+
+let cond_notify_one t id =
+  let c = cond t id in
+  match c.waiting with
+  | [] -> ()
+  | w :: rest ->
+      c.waiting <- rest;
+      c.notified <- c.notified @ [ w ]
+
+let cond_notify_all t id =
+  let c = cond t id in
+  c.notified <- c.notified @ c.waiting;
+  c.waiting <- []
+
+let cond_notified t id ~tid = List.mem tid (cond t id).notified
+
+let cond_consume t id ~tid =
+  let c = cond t id in
+  c.notified <- List.filter (fun x -> x <> tid) c.notified

@@ -1,0 +1,1520 @@
+(** The MIR-lite abstract machine: executes lowered bodies directly,
+    with tagged pointer provenance ({!Provenance}), an allocation table
+    ({!Heap}), per-thread locksets ({!Lockset}) and a bounded seeded
+    scheduler ({!Sched}).
+
+    Memory and thread-safety violations manifest as structured *traps*
+    ([E0601]) instead of crashes; constructs the machine cannot model
+    (FFI, exotic pointer arithmetic) taint the run with an explicit
+    *unsupported* marker so the verdict degrades to inconclusive
+    ([W0604]) rather than claiming a clean execution. Every step polls
+    the fuel and deadline budgets ([W0602]/[W0603]). *)
+
+open Support
+module Mir = Ir.Mir
+module P = Provenance
+
+(* ---------------- trap taxonomy ------------------------------------ *)
+
+type trap_class =
+  | Uaf
+  | Double_free
+  | Invalid_free
+  | Uninit_read
+  | Null_deref
+  | Double_lock
+
+let all_classes =
+  [ Uaf; Double_free; Invalid_free; Uninit_read; Null_deref; Double_lock ]
+
+let class_name = function
+  | Uaf -> "uaf"
+  | Double_free -> "double_free"
+  | Invalid_free -> "invalid_free"
+  | Uninit_read -> "uninit_read"
+  | Null_deref -> "null_deref"
+  | Double_lock -> "double_lock"
+
+type trap = {
+  tr_class : trap_class;
+  tr_fn : string;  (** function executing when the trap fired *)
+  tr_span : Span.t;  (** source span of the trapping statement *)
+  tr_msg : string;
+}
+
+exception Trap_exn of trap
+exception Panic_exn of string
+
+(* ---------------- values ------------------------------------------- *)
+
+type value =
+  | Vunit
+  | Vbool of bool
+  | Vint of int
+  | Vfloat of float
+  | Vstr of string
+  | Vfn of string
+  | Vclosure of string * value array  (** body id, captures *)
+  | Vstruct of string * (string * value) array
+  | Vtuple of value array
+  | Vvariant of string * string * value array  (** enum, variant, fields *)
+  | Vvec of value array
+  | Vptr of P.ptr  (** references and raw pointers *)
+  | Vbox of P.ptr  (** owning heap pointer: drop frees *)
+  | Vshared of P.ptr
+      (** non-owning interior cell ([RefCell]/[Cell]/atomics/[Vec]
+          storage); drop is a no-op (shared, possibly [Rc]'d) *)
+  | Vmutex of int
+  | Vguard of int * Lockset.mode  (** lock guard: drop releases *)
+  | Vcond of int
+  | Vsender of int
+  | Vreceiver of int
+  | Vthread of int
+  | Vuninit  (** never-written storage: reading it is a trap *)
+  | Vmoved  (** moved-from storage: reads havoc, drops are skipped *)
+  | Vdropped  (** dropped storage: reading it is a use-after-free *)
+  | Vhavoc  (** unknown value (unsupported construct) *)
+
+type slot = { mutable v : value }
+
+(* ---------------- frames and threads ------------------------------- *)
+
+type frame = {
+  f_uid : int;
+  body : Mir.body;
+  stmts : Mir.stmt array array;  (** per-block statement arrays *)
+  slots : slot array;
+  gens : int array;  (** per-local storage generation *)
+  mutable bb : int;
+  mutable ip : int;  (** next statement index; past the end = terminator *)
+  ret : ret_info option;  (** [None] for a thread's bottom frame *)
+}
+
+and ret_info = { r_caller : frame; r_dest : Mir.place; r_succ : int }
+
+type pending =
+  | Plock of int * Lockset.mode * Mir.call * int
+  | Pjoin of int * Mir.call * int
+  | Precv of int * Mir.call * int
+  | Pwait of int * int * value * Mir.call * int
+      (** condvar id, lock id, guard value to return, call, succ *)
+
+type status = Runnable | Blocked | Finished
+
+type thread = {
+  tid : int;
+  mutable stack : frame list;  (** top frame first *)
+  mutable status : status;
+  mutable pending : pending option;
+  mutable panicked : bool;
+  mutable result : value;
+}
+
+(* ---------------- machine ------------------------------------------ *)
+
+type t = {
+  prog : Mir.program;
+  heap : value Heap.t;
+  locks : value Lockset.t;
+  mutable threads : thread list;  (** in tid order *)
+  frames : (int, frame) Hashtbl.t;  (** live frames by uid *)
+  statics : (string, slot) Hashtbl.t;  (** shared storage for statics *)
+  chans : (int, value Queue.t) Hashtbl.t;
+  stmt_memo : (string, Mir.stmt array array) Hashtbl.t;
+  mutable next_uid : int;
+  mutable next_tid : int;
+  mutable next_chan : int;
+  mutable gen_counter : int;
+  mutable steps : int;
+  mutable spawned : int;
+  mutable unsupported : string list;  (** newest first, deduped *)
+  mutable cur_fn : string;
+  mutable cur_span : Span.t;
+}
+
+type outcome =
+  | Done of bool  (** completed; [true] = a thread panicked on the way *)
+  | Trapped of trap
+  | Fuel_out
+  | Deadline_out
+  | Deadlocked of bool  (** [true] = some thread was parked on a lock *)
+
+type run_result = {
+  outcome : outcome;
+  steps : int;
+  spawned : int;
+  unsupported : string list;  (** sorted, deduped *)
+}
+
+let trap (m : t) cls fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Trap_exn
+           { tr_class = cls; tr_fn = m.cur_fn; tr_span = m.cur_span; tr_msg = msg }))
+    fmt
+
+let flag (m : t) why = if not (List.mem why m.unsupported) then m.unsupported <- why :: m.unsupported
+
+let fresh_gen (m : t) =
+  m.gen_counter <- m.gen_counter + 1;
+  m.gen_counter
+
+(* ---------------- statics ------------------------------------------ *)
+
+let rec default_of_ty ?(depth = 0) (m : t) (ty : Sema.Ty.t) : value =
+  let recur t = default_of_ty ~depth:(depth + 1) m t in
+  if depth > 6 then Vhavoc
+  else
+    match ty with
+    | Sema.Ty.Prim Sema.Ty.Unit -> Vunit
+    | Sema.Ty.Prim Sema.Ty.Bool -> Vbool false
+    | Sema.Ty.Prim Sema.Ty.F64 -> Vfloat 0.
+    | Sema.Ty.Prim Sema.Ty.Str -> Vstr ""
+    | Sema.Ty.Prim _ -> Vint 0
+    | Sema.Ty.Ref (_, inner) | Sema.Ty.Ptr (_, inner) ->
+        (* angelic synthesis: point at a fresh live cell holding a
+           synthesized inner value, so reads through it are observed
+           rather than degrading *)
+        let slot, gen = Heap.alloc m.heap (Heap.Init (recur inner)) in
+        Vptr (P.heap slot gen)
+    | Sema.Ty.Tuple ts -> Vtuple (Array.of_list (List.map recur ts))
+    | Sema.Ty.Named (("Mutex" | "RwLock"), args) ->
+        let inner = match args with a :: _ -> recur a | [] -> Vint 0 in
+        Vmutex (Lockset.new_lock m.locks inner)
+    | Sema.Ty.Named ("Condvar", _) -> Vcond (Lockset.new_cond m.locks)
+    | Sema.Ty.Named (n, args)
+      when String.length n >= 6 && String.sub n 0 6 = "Atomic" ->
+        let inner = match args with a :: _ -> recur a | [] -> Vint 0 in
+        let slot, gen = Heap.alloc m.heap (Heap.Init inner) in
+        Vshared (P.heap slot gen)
+    | Sema.Ty.Named (("Arc" | "Rc"), [ a ]) -> recur a
+    | Sema.Ty.Named ("Box", [ a ]) ->
+        let slot, gen = Heap.alloc m.heap (Heap.Init (recur a)) in
+        Vbox (P.heap slot gen)
+    | Sema.Ty.Named (("Vec" | "VecDeque"), args) ->
+        (* one synthesized element, so indexing in library code under
+           test is observable instead of degrading on emptiness *)
+        let elem = match args with a :: _ -> recur a | [] -> Vint 0 in
+        let slot, gen = Heap.alloc m.heap (Heap.Init (Vvec [| elem |])) in
+        Vshared (P.heap slot gen)
+    | Sema.Ty.Named (("RefCell" | "Cell" | "UnsafeCell"), [ a ]) ->
+        let slot, gen = Heap.alloc m.heap (Heap.Init (recur a)) in
+        Vshared (P.heap slot gen)
+    | Sema.Ty.Named ("String", _) -> Vstr ""
+    | Sema.Ty.Named ("Option", args) ->
+        Vvariant
+          ( "Option",
+            "Some",
+            [| (match args with a :: _ -> recur a | [] -> Vint 0) |] )
+    | Sema.Ty.Named ("Result", args) ->
+        Vvariant
+          ( "Result",
+            "Ok",
+            [| (match args with a :: _ -> recur a | [] -> Vint 0) |] )
+    | Sema.Ty.Named (n, _) -> (
+        match Sema.Env.find_struct m.prog.Mir.prog_env n with
+        | Some sd ->
+            Vstruct
+              ( n,
+                Array.of_list
+                  (List.map
+                     (fun (f : Syntax.Ast.field_def) ->
+                       ( f.Syntax.Ast.field_name,
+                         recur
+                           (Sema.Env.ty_of_ast m.prog.Mir.prog_env
+                              f.Syntax.Ast.field_ty) ))
+                     sd.Syntax.Ast.s_fields) )
+        | None -> (
+            match Sema.Env.find_enum m.prog.Mir.prog_env n with
+            | Some ed -> (
+                match ed.Syntax.Ast.e_variants with
+                | v :: _ ->
+                    Vvariant
+                      ( n,
+                        v.Syntax.Ast.v_name,
+                        Array.of_list
+                          (List.map
+                             (fun t ->
+                               recur (Sema.Env.ty_of_ast m.prog.Mir.prog_env t))
+                             v.Syntax.Ast.v_args) )
+                | [] -> Vhavoc)
+            | None -> Vhavoc))
+    | _ -> Vhavoc
+
+(* ---------------- frame construction ------------------------------- *)
+
+let stmt_arrays (m : t) (body : Mir.body) =
+  match Hashtbl.find_opt m.stmt_memo body.Mir.fn_id with
+  | Some a -> a
+  | None ->
+      let a =
+        Array.map (fun (b : Mir.block) -> Array.of_list b.Mir.stmts) body.Mir.blocks
+      in
+      Hashtbl.replace m.stmt_memo body.Mir.fn_id a;
+      a
+
+let push_frame (m : t) th (body : Mir.body) (args : value list) ~(ret : ret_info option) =
+  let uid = m.next_uid in
+  m.next_uid <- uid + 1;
+  let nlocals = Array.length body.Mir.locals in
+  let slots = Array.init nlocals (fun _ -> { v = Vuninit }) in
+  let gens = Array.init nlocals (fun _ -> fresh_gen m) in
+  (* statics share one slot record machine-wide *)
+  Array.iteri
+    (fun i (info : Mir.local_info) ->
+      match info.Mir.l_name with
+      | Some n when String.length n > 7 && String.sub n 0 7 = "static:" -> (
+          match Hashtbl.find_opt m.statics n with
+          | Some s -> slots.(i) <- s
+          | None ->
+              let s = { v = default_of_ty m info.Mir.l_ty } in
+              Hashtbl.replace m.statics n s;
+              slots.(i) <- s)
+      | _ -> ())
+    body.Mir.locals;
+  List.iteri (fun i v -> if i < nlocals then slots.(i).v <- v) args;
+  let fr =
+    { f_uid = uid; body; stmts = stmt_arrays m body; slots; gens; bb = 0; ip = 0; ret }
+  in
+  Hashtbl.replace m.frames uid fr;
+  th.stack <- fr :: th.stack;
+  fr
+
+let spawn_thread (m : t) (body : Mir.body) (args : value list) =
+  let tid = m.next_tid in
+  m.next_tid <- tid + 1;
+  let th =
+    {
+      tid;
+      stack = [];
+      status = Runnable;
+      pending = None;
+      panicked = false;
+      result = Vunit;
+    }
+  in
+  ignore (push_frame m th body args ~ret:None);
+  m.threads <- m.threads @ [ th ];
+  th
+
+(* ---------------- locations ---------------------------------------- *)
+
+type loc = { l_target : P.target; l_path : Mir.proj list; l_off : int }
+
+let loc_of_ptr (p : P.ptr) rest =
+  { l_target = p.P.target; l_path = p.P.path @ rest; l_off = p.P.off }
+
+let ptr_of_loc (l : loc) : P.ptr =
+  { P.target = l.l_target; P.path = l.l_path; P.off = l.l_off }
+
+(* Walk a value along a projection path (reads). Unknown shapes havoc
+   rather than trap: shape mismatches are type-system territory, the
+   machine only traps on memory-state violations. *)
+let rec get_path (m : t) (v : value) (path : Mir.proj list) : value =
+  match path with
+  | [] -> v
+  | pr :: rest -> (
+      match v with
+      | Vuninit -> trap m Uninit_read "read of uninitialized storage"
+      | Vdropped -> trap m Uaf "projection into dropped storage"
+      | Vmoved | Vhavoc -> Vhavoc
+      | _ -> (
+          match (pr, v) with
+          | Mir.Field f, Vstruct (_, fields) -> (
+              match Array.find_opt (fun (n, _) -> String.equal n f) fields with
+              | Some (_, fv) -> get_path m fv rest
+              | None -> Vhavoc)
+          | Mir.Field f, (Vtuple vs | Vvariant (_, _, vs) | Vclosure (_, vs)) -> (
+              match int_of_string_opt f with
+              | Some i when i >= 0 && i < Array.length vs ->
+                  get_path m vs.(i) rest
+              | _ -> Vhavoc)
+          | Mir.Index, Vvec vs ->
+              if Array.length vs = 0 then begin
+                flag m "index into empty vec";
+                Vhavoc
+              end
+              else get_path m vs.(0) rest
+          | Mir.Downcast vn, Vvariant (_, vn', fields) ->
+              if String.equal vn vn' then get_path m (Vtuple fields) rest
+              else Vhavoc
+          | _, (Vptr p | Vbox p | Vshared p) ->
+              (* auto-deref: [v[i]]/[v.f] on a pointer-shaped value
+                 projects into its target *)
+              get_path m (read_loc m (loc_of_ptr p [])) path
+          | _ ->
+              flag m "projection through unmodeled value";
+              Vhavoc))
+
+(* Rebuild [v] with the sub-value at [path] replaced by [nv]. *)
+and set_path (m : t) (v : value) (path : Mir.proj list) (nv : value) : value =
+  match path with
+  | [] -> nv
+  | pr :: rest -> (
+      match (pr, v) with
+      | Mir.Field f, Vstruct (s, fields) ->
+          let fields = Array.copy fields in
+          Array.iteri
+            (fun i (n, fv) ->
+              if String.equal n f then fields.(i) <- (n, set_path m fv rest nv))
+            fields;
+          Vstruct (s, fields)
+      | Mir.Field f, Vtuple vs -> (
+          match int_of_string_opt f with
+          | Some i when i >= 0 && i < Array.length vs ->
+              let vs = Array.copy vs in
+              vs.(i) <- set_path m vs.(i) rest nv;
+              Vtuple vs
+          | _ -> v)
+      | Mir.Field f, Vvariant (e, vn, vs) -> (
+          match int_of_string_opt f with
+          | Some i when i >= 0 && i < Array.length vs ->
+              let vs = Array.copy vs in
+              vs.(i) <- set_path m vs.(i) rest nv;
+              Vvariant (e, vn, vs)
+          | _ -> v)
+      | Mir.Index, Vvec vs ->
+          if Array.length vs = 0 then v
+          else begin
+            let vs = Array.copy vs in
+            vs.(0) <- set_path m vs.(0) rest nv;
+            Vvec vs
+          end
+      | Mir.Downcast vn, Vvariant (e, vn', fields) when String.equal vn vn' ->
+          (match set_path m (Vtuple fields) rest nv with
+          | Vtuple fields' -> Vvariant (e, vn', fields')
+          | _ -> v)
+      | _, (Vptr p | Vbox p | Vshared p) ->
+          write_loc m (loc_of_ptr p (pr :: rest)) nv;
+          v
+      | _, (Vuninit | Vmoved | Vdropped) ->
+          trap m Uninit_read "write through projection into uninitialized storage"
+      | _ ->
+          flag m "write through unmodeled projection";
+          v)
+
+(* Read the raw root value behind a location's target (no path yet). *)
+and read_root (m : t) (l : loc) : value =
+  match l.l_target with
+  | P.Null -> trap m Null_deref "dereference of null pointer"
+  | P.Opaque why ->
+      flag m ("deref of opaque pointer: " ^ why);
+      Vhavoc
+  | P.Heap (slot, gen) -> (
+      match Heap.read m.heap ~slot ~gen with
+      | Heap.Rok v -> v
+      | Heap.Runinit -> trap m Uninit_read "read of uninitialized heap allocation"
+      | Heap.Rfreed -> trap m Uaf "use of freed heap allocation #%d" slot
+      | Heap.Rstale ->
+          trap m Uaf "use of stale pointer into recycled heap slot #%d" slot)
+  | P.Stack (uid, local, gen) -> (
+      match Hashtbl.find_opt m.frames uid with
+      | None -> trap m Uaf "use of pointer into a dead stack frame"
+      | Some fr ->
+          if local < 0 || local >= Array.length fr.slots then Vhavoc
+          else if fr.gens.(local) <> gen then
+            trap m Uaf "use of pointer into out-of-scope stack storage _%d" local
+          else (
+            match fr.slots.(local).v with
+            | Vuninit -> trap m Uninit_read "read of uninitialized local _%d" local
+            | Vdropped -> trap m Uaf "use of dropped local _%d" local
+            | Vmoved -> Vhavoc
+            | v -> v))
+  | P.Lockcell id -> (
+      match Lockset.inner m.locks id with
+      | Some v -> v
+      | None ->
+          flag m "deref of unknown lock interior";
+          Vhavoc)
+
+and read_loc (m : t) (l : loc) : value =
+  if l.l_off <> 0 then begin
+    flag m "read through offset pointer";
+    Vhavoc
+  end
+  else get_path m (read_root m l) l.l_path
+
+and write_loc (m : t) (l : loc) (nv : value) : unit =
+  if l.l_off <> 0 then flag m "write through offset pointer"
+  else
+    match l.l_target with
+    | P.Null -> trap m Null_deref "write through null pointer"
+    | P.Opaque why -> flag m ("write through opaque pointer: " ^ why)
+    | P.Heap (slot, gen) ->
+        let root =
+          if l.l_path = [] then nv
+          else
+            match Heap.read m.heap ~slot ~gen with
+            | Heap.Rok v -> set_path m v l.l_path nv
+            | Heap.Runinit ->
+                trap m Uninit_read "write into field of uninitialized allocation"
+            | Heap.Rfreed -> trap m Uaf "write into freed heap allocation #%d" slot
+            | Heap.Rstale ->
+                trap m Uaf "write through stale pointer into recycled slot #%d" slot
+        in
+        (match Heap.write m.heap ~slot ~gen root with
+        | `Ok -> ()
+        | `Freed -> trap m Uaf "write into freed heap allocation #%d" slot
+        | `Stale ->
+            trap m Uaf "write through stale pointer into recycled slot #%d" slot)
+    | P.Stack (uid, local, gen) -> (
+        match Hashtbl.find_opt m.frames uid with
+        | None -> trap m Uaf "write through pointer into a dead stack frame"
+        | Some fr ->
+            if local < 0 || local >= Array.length fr.slots then ()
+            else if fr.gens.(local) <> gen then
+              trap m Uaf "write through pointer into out-of-scope storage _%d" local
+            else
+              let s = fr.slots.(local) in
+              if l.l_path = [] then s.v <- nv
+              else
+                (match s.v with
+                | Vuninit | Vmoved | Vdropped ->
+                    trap m Uninit_read
+                      "write into projection of uninitialized local _%d" local
+                | v -> s.v <- set_path m v l.l_path nv))
+    | P.Lockcell id ->
+        let root =
+          if l.l_path = [] then nv
+          else
+            match Lockset.inner m.locks id with
+            | Some v -> set_path m v l.l_path nv
+            | None -> nv
+        in
+        Lockset.set_inner m.locks id root
+
+(* Resolve a place in [fr] to a location, reading through derefs. *)
+let resolve_place (m : t) (fr : frame) (pl : Mir.place) : loc =
+  let start =
+    {
+      l_target = P.Stack (fr.f_uid, pl.Mir.base, fr.gens.(pl.Mir.base));
+      l_path = [];
+      l_off = 0;
+    }
+  in
+  List.fold_left
+    (fun l (pr : Mir.proj) ->
+      match pr with
+      | Mir.Deref -> (
+          match read_loc m l with
+          | Vptr p | Vbox p | Vshared p -> loc_of_ptr p []
+          | Vguard (id, _) -> { l_target = P.Lockcell id; l_path = []; l_off = 0 }
+          | Vmutex id -> { l_target = P.Lockcell id; l_path = []; l_off = 0 }
+          | Vuninit -> trap m Uninit_read "deref of uninitialized pointer"
+          | Vdropped -> trap m Uaf "deref through dropped storage"
+          | _ ->
+              flag m "deref of non-pointer value";
+              { l_target = P.Opaque "non-pointer deref"; l_path = []; l_off = 0 })
+      | pr -> { l with l_path = l.l_path @ [ pr ] })
+    start pl.Mir.proj
+
+let read_place (m : t) fr (pl : Mir.place) : value =
+  if pl.Mir.proj = [] then (
+    match fr.slots.(pl.Mir.base).v with
+    | Vuninit -> trap m Uninit_read "read of uninitialized local _%d" pl.Mir.base
+    | Vdropped -> trap m Uaf "use of dropped value _%d" pl.Mir.base
+    | Vmoved -> Vhavoc
+    | v -> v)
+  else read_loc m (resolve_place m fr pl)
+
+let write_place (m : t) fr (pl : Mir.place) (v : value) : unit =
+  if pl.Mir.proj = [] then fr.slots.(pl.Mir.base).v <- v
+  else write_loc m (resolve_place m fr pl) v
+
+(* ---------------- operands and rvalues ----------------------------- *)
+
+let const_value = function
+  | Mir.Cint n -> Vint n
+  | Mir.Cbool b -> Vbool b
+  | Mir.Cstr s -> Vstr s
+  | Mir.Cfloat f -> Vfloat f
+  | Mir.Cunit -> Vunit
+  | Mir.Cfn f -> Vfn f
+
+let eval_operand (m : t) fr (op : Mir.operand) : value =
+  match op with
+  | Mir.Const c -> const_value c
+  | Mir.Copy pl -> read_place m fr pl
+  | Mir.Move pl ->
+      let v = read_place m fr pl in
+      if pl.Mir.proj = [] then fr.slots.(pl.Mir.base).v <- Vmoved;
+      v
+
+let as_int = function
+  | Vint n -> Some n
+  | Vbool b -> Some (if b then 1 else 0)
+  | _ -> None
+
+let variant_index env enum variant =
+  match (enum, variant) with
+  | "Option", "None" -> 0
+  | "Option", "Some" -> 1
+  | "Result", "Ok" -> 0
+  | "Result", "Err" -> 1
+  | _ -> (
+      match Sema.Env.find_enum env enum with
+      | Some ed ->
+          let rec idx i = function
+            | [] -> -1
+            | (v : Syntax.Ast.variant_def) :: rest ->
+                if String.equal v.Syntax.Ast.v_name variant then i
+                else idx (i + 1) rest
+          in
+          idx 0 ed.Syntax.Ast.e_variants
+      | None -> -1)
+
+let eval_binop (m : t) (op : Mir.binop) (a : value) (b : value) : value =
+  let open Syntax.Ast in
+  match (a, b) with
+  | Vint x, Vint y -> (
+      match op with
+      | Add -> Vint (x + y)
+      | Sub -> Vint (x - y)
+      | Mul -> Vint (x * y)
+      | Div -> if y = 0 then raise (Panic_exn "divide by zero") else Vint (x / y)
+      | Rem -> if y = 0 then raise (Panic_exn "divide by zero") else Vint (x mod y)
+      | BitXor -> Vint (x lxor y)
+      | BitAnd -> Vint (x land y)
+      | BitOr -> Vint (x lor y)
+      | Shl -> Vint (x lsl (y land 62))
+      | Eq -> Vbool (x = y)
+      | Ne -> Vbool (x <> y)
+      | Lt -> Vbool (x < y)
+      | Le -> Vbool (x <= y)
+      | Gt -> Vbool (x > y)
+      | Ge -> Vbool (x >= y)
+      | And -> Vbool (x <> 0 && y <> 0)
+      | Or -> Vbool (x <> 0 || y <> 0))
+  | Vbool x, Vbool y -> (
+      match op with
+      | And -> Vbool (x && y)
+      | Or -> Vbool (x || y)
+      | Eq -> Vbool (x = y)
+      | Ne -> Vbool (x <> y)
+      | BitAnd -> Vbool (x && y)
+      | BitOr -> Vbool (x || y)
+      | BitXor -> Vbool (x <> y)
+      | _ -> Vhavoc)
+  | Vfloat x, Vfloat y -> (
+      match op with
+      | Add -> Vfloat (x +. y)
+      | Sub -> Vfloat (x -. y)
+      | Mul -> Vfloat (x *. y)
+      | Div -> Vfloat (x /. y)
+      | Eq -> Vbool (x = y)
+      | Ne -> Vbool (x <> y)
+      | Lt -> Vbool (x < y)
+      | Le -> Vbool (x <= y)
+      | Gt -> Vbool (x > y)
+      | Ge -> Vbool (x >= y)
+      | _ -> Vhavoc)
+  | Vstr x, Vstr y -> (
+      match op with
+      | Add -> Vstr (x ^ y)
+      | Eq -> Vbool (String.equal x y)
+      | Ne -> Vbool (not (String.equal x y))
+      | _ -> Vhavoc)
+  | Vptr p, Vptr q -> (
+      match op with
+      | Eq -> Vbool (p = q)
+      | Ne -> Vbool (p <> q)
+      | _ -> Vhavoc)
+  | _ ->
+      ignore m;
+      Vhavoc
+
+let eval_unop (op : Mir.unop) (v : value) : value =
+  match (op, v) with
+  | Syntax.Ast.Neg, Vint n -> Vint (-n)
+  | Syntax.Ast.Neg, Vfloat f -> Vfloat (-.f)
+  | Syntax.Ast.Not, Vbool b -> Vbool (not b)
+  | Syntax.Ast.Not, Vint n -> Vint (lnot n)
+  | _ -> Vhavoc
+
+let eval_rvalue (m : t) fr (rv : Mir.rvalue) : value =
+  match rv with
+  | Mir.Use op -> eval_operand m fr op
+  | Mir.Ref (_, pl) | Mir.AddrOf (_, pl) ->
+      if pl.Mir.proj = [] then
+        Vptr (P.stack fr.f_uid pl.Mir.base fr.gens.(pl.Mir.base))
+      else Vptr (ptr_of_loc (resolve_place m fr pl))
+  | Mir.BinaryOp (op, a, b) ->
+      eval_binop m op (eval_operand m fr a) (eval_operand m fr b)
+  | Mir.UnaryOp (op, a) -> eval_unop op (eval_operand m fr a)
+  | Mir.Aggregate (kind, ops) -> (
+      let vals = List.map (eval_operand m fr) ops in
+      match kind with
+      | Mir.Agg_tuple -> Vtuple (Array.of_list vals)
+      | Mir.Agg_struct s ->
+          let names =
+            match Sema.Env.find_struct (m.prog).Mir.prog_env s with
+            | Some sd ->
+                List.map (fun (f : Syntax.Ast.field_def) -> f.Syntax.Ast.field_name)
+                  sd.Syntax.Ast.s_fields
+            | None -> []
+          in
+          let arr =
+            List.mapi
+              (fun i v ->
+                let n =
+                  match List.nth_opt names i with
+                  | Some n -> n
+                  | None -> string_of_int i
+                in
+                (n, v))
+              vals
+          in
+          Vstruct (s, Array.of_list arr)
+      | Mir.Agg_variant (e, vn) -> Vvariant (e, vn, Array.of_list vals)
+      | Mir.Agg_closure id -> Vclosure (id, Array.of_list vals)
+      | Mir.Agg_vec ->
+          let slot, gen = Heap.alloc m.heap (Heap.Init (Vvec (Array.of_list vals))) in
+          Vshared (P.heap slot gen))
+  | Mir.Cast (op, ty) -> (
+      let v = eval_operand m fr op in
+      match (v, ty) with
+      | Vint 0, Sema.Ty.Ptr _ -> Vptr P.null
+      | Vint _, Sema.Ty.Ptr _ -> Vptr (P.opaque "int-to-pointer cast")
+      | v, _ -> v)
+  | Mir.Discriminant pl -> (
+      match read_place m fr pl with
+      | Vvariant (e, vn, _) ->
+          let i = variant_index (m.prog).Mir.prog_env e vn in
+          if i < 0 then Vhavoc else Vint i
+      | Vbool b -> Vint (if b then 1 else 0)
+      | Vint n -> Vint n
+      | _ -> Vhavoc)
+  | Mir.Alloc _ ->
+      let slot, gen = Heap.alloc m.heap Heap.Uninit in
+      Vptr (P.heap slot gen)
+
+(* ---------------- drop semantics ----------------------------------- *)
+
+let rec drop_value (m : t) ~tid ~depth (v : value) : unit =
+  if depth > 64 then ()
+  else
+    match v with
+    | Vbox p -> (
+        (* free the owned allocation (contents dropped first) *)
+        match p.P.target with
+        | P.Heap (slot, gen) ->
+            (match Heap.read m.heap ~slot ~gen with
+            | Heap.Rok inner -> drop_value m ~tid ~depth:(depth + 1) inner
+            | _ -> ());
+            (match Heap.free m.heap ~slot ~gen with
+            | `Ok -> ()
+            | `Double -> trap m Double_free "double free of heap allocation #%d" slot
+            | `Stale ->
+                trap m Double_free
+                  "free through stale pointer into recycled slot #%d" slot)
+        | P.Null -> trap m Invalid_free "drop of box holding a null pointer"
+        | P.Stack _ ->
+            trap m Invalid_free "drop of box pointing into stack storage"
+        | P.Opaque _ | P.Lockcell _ -> flag m "drop of unmodeled box")
+    | Vguard (id, mode) -> Lockset.release m.locks id ~tid mode
+    | Vmutex id -> (
+        match Lockset.inner m.locks id with
+        | Some inner -> drop_value m ~tid ~depth:(depth + 1) inner
+        | None -> ())
+    | Vstruct (_, fields) ->
+        Array.iter (fun (_, fv) -> drop_value m ~tid ~depth:(depth + 1) fv) fields
+    | Vtuple vs | Vvariant (_, _, vs) | Vclosure (_, vs) ->
+        Array.iter (drop_value m ~tid ~depth:(depth + 1)) vs
+    | Vvec vs -> Array.iter (drop_value m ~tid ~depth:(depth + 1)) vs
+    | _ -> ()
+
+(* ---------------- helpers for builtins ----------------------------- *)
+
+let rec chase (m : t) ~depth (v : value) : value =
+  if depth > 4 then v
+  else
+    match v with
+    | Vptr p -> chase m ~depth:(depth + 1) (read_loc m (loc_of_ptr p []))
+    | v -> v
+
+let lock_id_of (m : t) v =
+  match chase m ~depth:0 v with Vmutex id -> Some id | _ -> None
+
+let cell_ptr_of (m : t) v =
+  match v with
+  | Vshared p -> Some p
+  | Vptr p -> (
+      match read_loc m (loc_of_ptr p []) with
+      | Vshared q -> Some q
+      | _ -> Some p)
+  | Vbox p -> Some p
+  | _ -> None
+
+let ok v = Vvariant ("Result", "Ok", [| v |])
+let err v = Vvariant ("Result", "Err", [| v |])
+let some v = Vvariant ("Option", "Some", [| v |])
+let none = Vvariant ("Option", "None", [||])
+
+let is_macro name =
+  let n = String.length name in
+  n > 0 && name.[n - 1] = '!'
+
+(* ---------------- stepping ----------------------------------------- *)
+
+(* Write the call's destination in the caller and advance past it. *)
+let complete_call (m : t) fr (c : Mir.call) succ (v : value) =
+  write_place m fr c.Mir.dest v;
+  fr.bb <- succ;
+  fr.ip <- 0
+
+let pop_frame (m : t) th =
+  match th.stack with
+  | [] -> ()
+  | fr :: rest ->
+      Hashtbl.remove m.frames fr.f_uid;
+      th.stack <- rest
+
+let finish_thread (m : t) th ~panicked (v : value) =
+  List.iter (fun (fr : frame) -> Hashtbl.remove m.frames fr.f_uid) th.stack;
+  th.stack <- [];
+  th.status <- Finished;
+  th.panicked <- panicked;
+  th.result <- v
+
+let do_return (m : t) th (v : value) =
+  match th.stack with
+  | [] -> ()
+  | fr :: _ -> (
+      pop_frame m th;
+      match fr.ret with
+      | None -> finish_thread m th ~panicked:false v
+      | Some { r_caller; r_dest; r_succ } ->
+          write_place m r_caller r_dest v;
+          r_caller.bb <- r_succ;
+          r_caller.ip <- 0)
+
+(* Dispatch a call to a user body: closure captures come first. *)
+let enter_body (m : t) th (body : Mir.body) (args : value list) (c : Mir.call) succ =
+  match th.stack with
+  | [] -> ()
+  | caller :: _ ->
+      let ret = Some { r_caller = caller; r_dest = c.Mir.dest; r_succ = succ } in
+      ignore (push_frame m th body args ~ret)
+
+let find_method_body (m : t) head name =
+  match Mir.find_body m.prog (head ^ "::" ^ name) with
+  | Some b -> Some b
+  | None -> Mir.find_body m.prog name
+
+(* Big builtin dispatch. [args] are already evaluated. *)
+let rec exec_builtin (m : t) th fr (b : Mir.builtin) (args : value list) (c : Mir.call) succ =
+  let tid = th.tid in
+  let arg i = match List.nth_opt args i with Some v -> v | None -> Vhavoc in
+  let ret v = complete_call m fr c succ v in
+  let havoc why =
+    flag m why;
+    ret Vhavoc
+  in
+  let acquire_or_block mode id =
+    match Lockset.acquire m.locks id ~tid mode with
+    | `Ok -> ret (ok (Vguard (id, mode)))
+    | `Self ->
+        trap m Double_lock
+          "thread %d acquired lock #%d it already holds (self-deadlock)" tid id
+    | `Busy ->
+        th.pending <- Some (Plock (id, mode, c, succ));
+        th.status <- Blocked
+  in
+  let try_acquire mode id =
+    match Lockset.acquire m.locks id ~tid mode with
+    | `Ok -> ret (ok (Vguard (id, mode)))
+    | `Self ->
+        trap m Double_lock
+          "thread %d try-locked lock #%d it already holds" tid id
+    | `Busy -> ret (err Vunit)
+  in
+  match b with
+  | Mir.MutexLock -> (
+      match lock_id_of m (arg 0) with
+      | Some id -> acquire_or_block Lockset.Excl id
+      | None -> havoc "lock of unmodeled mutex")
+  | Mir.RwWrite -> (
+      match lock_id_of m (arg 0) with
+      | Some id -> acquire_or_block Lockset.Excl id
+      | None -> havoc "write-lock of unmodeled rwlock")
+  | Mir.RwRead -> (
+      match lock_id_of m (arg 0) with
+      | Some id -> acquire_or_block Lockset.Shared id
+      | None -> havoc "read-lock of unmodeled rwlock")
+  | Mir.MutexTryLock | Mir.RwTryWrite -> (
+      match lock_id_of m (arg 0) with
+      | Some id -> try_acquire Lockset.Excl id
+      | None -> havoc "try-lock of unmodeled mutex")
+  | Mir.RwTryRead -> (
+      match lock_id_of m (arg 0) with
+      | Some id -> try_acquire Lockset.Shared id
+      | None -> havoc "try-read of unmodeled rwlock")
+  | Mir.ResultUnwrap | Mir.OptionUnwrap -> (
+      match arg 0 with
+      | Vvariant (_, ("Ok" | "Some"), fields) ->
+          ret (if Array.length fields > 0 then fields.(0) else Vunit)
+      | Vvariant (_, "Err", _) -> raise (Panic_exn "unwrap of Err")
+      | Vvariant (_, "None", _) -> raise (Panic_exn "unwrap of None")
+      | v -> ret v (* already unwrapped / unknown: lenient *))
+  | Mir.PtrRead -> (
+      match arg 0 with
+      | Vptr p | Vbox p | Vshared p -> ret (read_loc m (loc_of_ptr p []))
+      | Vuninit -> trap m Uninit_read "ptr::read of uninitialized pointer"
+      | _ -> havoc "ptr::read of unmodeled pointer")
+  | Mir.PtrWrite -> (
+      match arg 0 with
+      | Vptr p | Vbox p | Vshared p ->
+          write_loc m (loc_of_ptr p []) (arg 1);
+          ret Vunit
+      | Vuninit -> trap m Uninit_read "ptr::write through uninitialized pointer"
+      | _ -> havoc "ptr::write through unmodeled pointer")
+  | Mir.PtrCopy -> (
+      match (arg 0, arg 1) with
+      | (Vptr src | Vbox src | Vshared src), (Vptr dst | Vbox dst | Vshared dst)
+        ->
+          let v = read_loc m (loc_of_ptr src []) in
+          write_loc m (loc_of_ptr dst []) v;
+          ret Vunit
+      | _ -> havoc "ptr::copy of unmodeled pointers")
+  | Mir.PtrOffset -> (
+      match arg 0 with
+      | Vptr p ->
+          let d = match as_int (arg 1) with Some n -> n | None -> 1 in
+          ret (Vptr { p with P.off = p.P.off + d })
+      | _ -> havoc "offset of unmodeled pointer")
+  | Mir.PtrNull -> ret (Vptr P.null)
+  | Mir.MemDrop ->
+      (* mark whole-local operands dropped so later uses trap *)
+      (match c.Mir.args with
+      | (Mir.Copy pl | Mir.Move pl) :: _ when pl.Mir.proj = [] ->
+          fr.slots.(pl.Mir.base).v <- Vdropped
+      | _ -> ());
+      drop_value m ~tid ~depth:0 (arg 0);
+      ret Vunit
+  | Mir.MemForget -> ret Vunit
+  | Mir.MemReplace -> (
+      match arg 0 with
+      | Vptr p | Vbox p | Vshared p ->
+          let l = loc_of_ptr p [] in
+          let old = read_loc m l in
+          write_loc m l (arg 1);
+          ret old
+      | _ -> havoc "mem::replace through unmodeled pointer")
+  | Mir.MemSwap -> (
+      match (arg 0, arg 1) with
+      | (Vptr pa | Vbox pa | Vshared pa), (Vptr pb | Vbox pb | Vshared pb) ->
+          let la = loc_of_ptr pa [] and lb = loc_of_ptr pb [] in
+          let va = read_loc m la and vb = read_loc m lb in
+          write_loc m la vb;
+          write_loc m lb va;
+          ret Vunit
+      | _ -> havoc "mem::swap of unmodeled pointers")
+  | Mir.MemTransmute -> ret (arg 0)
+  | Mir.MemUninit -> ret Vuninit
+  | Mir.SizeOf -> ret (Vint 8)
+  | Mir.HeapAlloc ->
+      let slot, gen = Heap.alloc m.heap Heap.Uninit in
+      ret (Vptr (P.heap slot gen))
+  | Mir.HeapDealloc -> (
+      match arg 0 with
+      | Vptr p | Vbox p | Vshared p -> (
+          match p.P.target with
+          | P.Heap (slot, gen) when p.P.path = [] && p.P.off = 0 -> (
+              match Heap.free m.heap ~slot ~gen with
+              | `Ok -> ret Vunit
+              | `Double ->
+                  trap m Double_free "double free of heap allocation #%d" slot
+              | `Stale ->
+                  trap m Double_free
+                    "free through stale pointer into recycled slot #%d" slot)
+          | P.Heap _ ->
+              trap m Invalid_free
+                "free of interior pointer (not the allocation start)"
+          | P.Null -> trap m Invalid_free "free of null pointer"
+          | P.Stack _ -> trap m Invalid_free "free of pointer into stack storage"
+          | P.Lockcell _ -> trap m Invalid_free "free of lock interior"
+          | P.Opaque _ -> havoc "free of opaque pointer")
+      | Vuninit -> trap m Uninit_read "free of uninitialized pointer"
+      | _ -> trap m Invalid_free "free of a non-pointer value")
+  | Mir.ThreadSpawn -> (
+      match arg 0 with
+      | Vclosure (id, caps) -> (
+          match Mir.find_body m.prog id with
+          | Some body ->
+              m.spawned <- m.spawned + 1;
+              let th' = spawn_thread m body (Array.to_list caps) in
+              ret (Vthread th'.tid)
+          | None -> havoc "spawn of unknown closure body")
+      | Vfn name -> (
+          match Mir.find_body m.prog name with
+          | Some body ->
+              m.spawned <- m.spawned + 1;
+              let th' = spawn_thread m body [] in
+              ret (Vthread th'.tid)
+          | None -> havoc "spawn of unknown function")
+      | _ -> havoc "spawn of unmodeled callable")
+  | Mir.ThreadJoin -> (
+      match chase m ~depth:0 (arg 0) with
+      | Vthread t -> (
+          match List.find_opt (fun th' -> th'.tid = t) m.threads with
+          | Some th' when th'.status = Finished -> ret (ok th'.result)
+          | Some _ ->
+              th.pending <- Some (Pjoin (t, c, succ));
+              th.status <- Blocked
+          | None -> havoc "join of unknown thread")
+      | _ -> havoc "join of unmodeled handle")
+  | Mir.ThreadSleep -> ret Vunit
+  | Mir.CondvarWait -> (
+      let cv = match chase m ~depth:0 (arg 0) with Vcond id -> Some id | _ -> None in
+      match (cv, arg 1) with
+      | Some cv, Vguard (lk, mode) ->
+          Lockset.release m.locks lk ~tid mode;
+          Lockset.cond_wait m.locks cv ~tid;
+          th.pending <- Some (Pwait (cv, lk, Vguard (lk, mode), c, succ));
+          th.status <- Blocked
+      | _ -> havoc "condvar wait without modeled guard")
+  | Mir.CondvarNotifyOne -> (
+      match chase m ~depth:0 (arg 0) with
+      | Vcond id ->
+          Lockset.cond_notify_one m.locks id;
+          ret Vunit
+      | _ -> havoc "notify of unmodeled condvar")
+  | Mir.CondvarNotifyAll -> (
+      match chase m ~depth:0 (arg 0) with
+      | Vcond id ->
+          Lockset.cond_notify_all m.locks id;
+          ret Vunit
+      | _ -> havoc "notify of unmodeled condvar")
+  | Mir.ChannelNew | Mir.SyncChannelNew ->
+      let id = m.next_chan in
+      m.next_chan <- id + 1;
+      Hashtbl.replace m.chans id (Queue.create ());
+      ret (Vtuple [| Vsender id; Vreceiver id |])
+  | Mir.ChannelSend -> (
+      match chase m ~depth:0 (arg 0) with
+      | Vsender id ->
+          (match Hashtbl.find_opt m.chans id with
+          | Some q -> Queue.push (arg 1) q
+          | None -> ());
+          ret (ok Vunit)
+      | _ -> havoc "send on unmodeled channel")
+  | Mir.ChannelRecv -> (
+      match chase m ~depth:0 (arg 0) with
+      | Vreceiver id -> (
+          match Hashtbl.find_opt m.chans id with
+          | Some q when not (Queue.is_empty q) -> ret (ok (Queue.pop q))
+          | Some _ ->
+              th.pending <- Some (Precv (id, c, succ));
+              th.status <- Blocked
+          | None -> havoc "recv on unknown channel")
+      | _ -> havoc "recv on unmodeled channel")
+  | Mir.ChannelTryRecv -> (
+      match chase m ~depth:0 (arg 0) with
+      | Vreceiver id -> (
+          match Hashtbl.find_opt m.chans id with
+          | Some q when not (Queue.is_empty q) -> ret (ok (Queue.pop q))
+          | _ -> ret (err Vunit))
+      | _ -> havoc "try_recv on unmodeled channel")
+  | Mir.AtomicLoad -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> ret (read_loc m (loc_of_ptr p []))
+      | None -> havoc "load of unmodeled atomic")
+  | Mir.AtomicStore -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p ->
+          write_loc m (loc_of_ptr p []) (arg 1);
+          ret Vunit
+      | None -> havoc "store of unmodeled atomic")
+  | Mir.AtomicSwap -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p ->
+          let l = loc_of_ptr p [] in
+          let old = read_loc m l in
+          write_loc m l (arg 1);
+          ret old
+      | None -> havoc "swap of unmodeled atomic")
+  | Mir.AtomicCas -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p ->
+          let l = loc_of_ptr p [] in
+          let old = read_loc m l in
+          (if old = arg 1 then write_loc m l (arg 2));
+          ret (ok old)
+      | None -> havoc "cas of unmodeled atomic")
+  | Mir.AtomicFetch -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> (
+          let l = loc_of_ptr p [] in
+          let old = read_loc m l in
+          match (as_int old, as_int (arg 1)) with
+          | Some x, Some d ->
+              write_loc m l (Vint (x + d));
+              ret (Vint x)
+          | _ ->
+              flag m "fetch-op on non-integer atomic";
+              ret old)
+      | None -> havoc "fetch-op of unmodeled atomic")
+  | Mir.CtorNew head -> (
+      match head with
+      | "Box" ->
+          let slot, gen = Heap.alloc m.heap (Heap.Init (arg 0)) in
+          ret (Vbox (P.heap slot gen))
+      | "Arc" | "Rc" -> ret (arg 0)
+      | "Mutex" | "RwLock" -> ret (Vmutex (Lockset.new_lock m.locks (arg 0)))
+      | "Condvar" -> ret (Vcond (Lockset.new_cond m.locks))
+      | "RefCell" | "Cell" | "UnsafeCell" ->
+          let slot, gen = Heap.alloc m.heap (Heap.Init (arg 0)) in
+          ret (Vshared (P.heap slot gen))
+      | _ when String.length head >= 6 && String.sub head 0 6 = "Atomic" ->
+          let init = match args with [] -> Vint 0 | a :: _ -> a in
+          let slot, gen = Heap.alloc m.heap (Heap.Init init) in
+          ret (Vshared (P.heap slot gen))
+      | "Once" ->
+          let slot, gen = Heap.alloc m.heap (Heap.Init (Vbool false)) in
+          ret (Vshared (P.heap slot gen))
+      | "Vec" | "VecDeque" ->
+          let slot, gen = Heap.alloc m.heap (Heap.Init (Vvec [||])) in
+          ret (Vshared (P.heap slot gen))
+      | "String" -> ret (match args with Vstr s :: _ -> Vstr s | _ -> Vstr "")
+      | _ -> havoc ("construction of unmodeled type " ^ head))
+  | Mir.IntoRaw -> (
+      match arg 0 with
+      | Vbox p | Vshared p | Vptr p -> ret (Vptr p)
+      | _ -> havoc "into_raw of unmodeled value")
+  | Mir.FromRaw -> (
+      match arg 0 with
+      | Vptr p | Vbox p -> ret (Vbox p)
+      | Vuninit -> trap m Uninit_read "from_raw of uninitialized pointer"
+      | _ -> havoc "from_raw of unmodeled value")
+  | Mir.VecFromRawParts -> havoc "Vec::from_raw_parts is not modeled"
+  | Mir.RefCellBorrow | Mir.RefCellBorrowMut -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> ret (Vptr p)
+      | None -> havoc "borrow of unmodeled cell")
+  | Mir.CellGet -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> ret (read_loc m (loc_of_ptr p []))
+      | None -> havoc "get of unmodeled cell")
+  | Mir.CellSet -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p ->
+          write_loc m (loc_of_ptr p []) (arg 1);
+          ret Vunit
+      | None -> havoc "set of unmodeled cell")
+  | Mir.UnsafeCellGet -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> ret (Vptr p)
+      | None -> havoc "get of unmodeled UnsafeCell")
+  | Mir.OnceCallOnce -> (
+      match (cell_ptr_of m (arg 0), arg 1) with
+      | Some p, Vclosure (id, caps) -> (
+          let l = loc_of_ptr p [] in
+          match read_loc m l with
+          | Vbool true -> ret Vunit
+          | _ -> (
+              write_loc m l (Vbool true);
+              match Mir.find_body m.prog id with
+              | Some body -> enter_body m th body (Array.to_list caps) c succ
+              | None -> havoc "call_once of unknown closure"))
+      | _ -> havoc "call_once on unmodeled Once")
+  | Mir.VecPush -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> (
+          let l = loc_of_ptr p [] in
+          match read_loc m l with
+          | Vvec vs ->
+              write_loc m l (Vvec (Array.append vs [| arg 1 |]));
+              ret Vunit
+          | _ -> havoc "push on unmodeled vec")
+      | None -> havoc "push on unmodeled vec")
+  | Mir.VecPop -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> (
+          let l = loc_of_ptr p [] in
+          match read_loc m l with
+          | Vvec vs when Array.length vs > 0 ->
+              let n = Array.length vs in
+              write_loc m l (Vvec (Array.sub vs 0 (n - 1)));
+              ret (some vs.(n - 1))
+          | Vvec _ -> ret none
+          | _ -> havoc "pop on unmodeled vec")
+      | None -> havoc "pop on unmodeled vec")
+  | Mir.VecGet -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> (
+          match read_loc m (loc_of_ptr p []) with
+          | Vvec vs -> (
+              match as_int (arg 1) with
+              | Some i when i >= 0 && i < Array.length vs -> ret (some vs.(i))
+              | Some _ -> ret none
+              | None -> if Array.length vs > 0 then ret (some vs.(0)) else ret none)
+          | _ -> havoc "get on unmodeled vec")
+      | None -> havoc "get on unmodeled vec")
+  | Mir.VecGetUnchecked -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> (
+          match read_loc m (loc_of_ptr p []) with
+          | Vvec vs -> (
+              match as_int (arg 1) with
+              | Some i when i >= 0 && i < Array.length vs ->
+                  (match vs.(i) with
+                  | Vuninit ->
+                      trap m Uninit_read
+                        "get_unchecked read of uninitialized element %d" i
+                  | v -> ret v)
+              | _ -> havoc "get_unchecked out of bounds")
+          | _ -> havoc "get_unchecked on unmodeled vec")
+      | None -> havoc "get_unchecked on unmodeled vec")
+  | Mir.VecSetLen -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> (
+          let l = loc_of_ptr p [] in
+          match (read_loc m l, as_int (arg 1)) with
+          | Vvec vs, Some n when n >= 0 ->
+              let cur = Array.length vs in
+              if n <= cur then write_loc m l (Vvec (Array.sub vs 0 n))
+              else
+                (* exposing uninitialized capacity: the classic
+                   set_len footgun — reads of the tail now trap *)
+                write_loc m l
+                  (Vvec (Array.append vs (Array.make (n - cur) Vuninit)));
+              ret Vunit
+          | _ -> havoc "set_len on unmodeled vec")
+      | None -> havoc "set_len on unmodeled vec")
+  | Mir.VecAsPtr -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> ret (Vptr { p with P.path = p.P.path @ [ Mir.Index ] })
+      | None -> havoc "as_ptr on unmodeled vec")
+  | Mir.VecLen -> (
+      match cell_ptr_of m (arg 0) with
+      | Some p -> (
+          match read_loc m (loc_of_ptr p []) with
+          | Vvec vs -> ret (Vint (Array.length vs))
+          | Vstr s -> ret (Vint (String.length s))
+          | _ -> havoc "len of unmodeled vec")
+      | None -> (
+          match arg 0 with
+          | Vstr s -> ret (Vint (String.length s))
+          | _ -> havoc "len of unmodeled value"))
+  | Mir.CloneFn -> (
+      match arg 0 with
+      | Vbox p ->
+          (* Box clone duplicates the allocation *)
+          let v = read_loc m (loc_of_ptr p []) in
+          let slot, gen = Heap.alloc m.heap (Heap.Init v) in
+          ret (Vbox (P.heap slot gen))
+      | v -> ret v (* Arc/Rc/plain clones share or copy structurally *))
+  | Mir.StrFromUtf8Unchecked -> ret (arg 0)
+  | Mir.OptionCtor "Some" -> ret (some (arg 0))
+  | Mir.OptionCtor "None" -> ret none
+  | Mir.OptionCtor "Ok" -> ret (ok (arg 0))
+  | Mir.OptionCtor "Err" -> ret (err (arg 0))
+  | Mir.OptionCtor other -> ret (Vvariant ("Option", other, [| arg 0 |]))
+  | Mir.VariantCtor (e, vn) -> ret (Vvariant (e, vn, Array.of_list args))
+  | Mir.Extern ("Arc::clone" | "Rc::clone") -> (
+      (* sharing handle: the clone *is* the same inner value here *)
+      match args with
+      | Vptr p :: _ -> ret (read_loc m (loc_of_ptr p []))
+      | v :: _ -> ret v
+      | [] -> ret Vhavoc)
+  | Mir.Extern name -> (
+      (* dynamic re-dispatch: when lowering lost the receiver type
+         (e.g. through [Arc::clone]'s unknown return), the machine
+         still knows the runtime value shape *)
+      let shape = match args with a :: _ -> chase m ~depth:0 a | [] -> Vunit in
+      let redispatch b = exec_builtin m th fr b args c succ in
+      match (name, shape) with
+      | "lock", Vmutex _ -> redispatch Mir.MutexLock
+      | "try_lock", Vmutex _ -> redispatch Mir.MutexTryLock
+      | "read", Vmutex _ -> redispatch Mir.RwRead
+      | "write", Vmutex _ -> redispatch Mir.RwWrite
+      | ("unwrap" | "expect"), Vvariant ("Result", _, _) ->
+          redispatch Mir.ResultUnwrap
+      | ("unwrap" | "expect"), Vvariant ("Option", _, _) ->
+          redispatch Mir.OptionUnwrap
+      | "join", Vthread _ -> redispatch Mir.ThreadJoin
+      | "send", Vsender _ -> redispatch Mir.ChannelSend
+      | "recv", Vreceiver _ -> redispatch Mir.ChannelRecv
+      | "wait", Vcond _ -> redispatch Mir.CondvarWait
+      | "notify_one", Vcond _ -> redispatch Mir.CondvarNotifyOne
+      | "notify_all", Vcond _ -> redispatch Mir.CondvarNotifyAll
+      | "clone", _ -> redispatch Mir.CloneFn
+      | "push", Vshared _ -> redispatch Mir.VecPush
+      | "pop", Vshared _ -> redispatch Mir.VecPop
+      | ("borrow" | "borrow_mut"), Vshared _ -> redispatch Mir.RefCellBorrow
+      | _ ->
+          if is_macro name then ret Vunit (* println!/assert!: benign *)
+          else havoc ("extern call " ^ name))
+  | Mir.Pure name -> (
+      match (name, args) with
+      | ("is_null" | "Ptr::is_null"), Vptr p :: _ ->
+          ret (Vbool (p.P.target = P.Null))
+      | "len", Vstr s :: _ -> ret (Vint (String.length s))
+      | "is_empty", Vstr s :: _ -> ret (Vbool (String.length s = 0))
+      | _, _ -> (
+          match cell_ptr_of m (arg 0) with
+          | Some p -> (
+              match read_loc m (loc_of_ptr p []) with
+              | Vvec vs when String.equal name "len" -> ret (Vint (Array.length vs))
+              | Vvec vs when String.equal name "is_empty" ->
+                  ret (Vbool (Array.length vs = 0))
+              | _ -> ret Vhavoc)
+          | None -> ret Vhavoc))
+
+let exec_call (m : t) th fr (c : Mir.call) succ =
+  let args = List.map (eval_operand m fr) c.Mir.args in
+  match c.Mir.callee with
+  | Mir.Builtin b -> exec_builtin m th fr b args c succ
+  | Mir.Fn name -> (
+      match Mir.find_body m.prog name with
+      | Some body -> enter_body m th body args c succ
+      | None ->
+          flag m ("call of undefined function " ^ name);
+          complete_call m fr c succ Vhavoc)
+  | Mir.Method (head, name) -> (
+      match find_method_body m head name with
+      | Some body -> enter_body m th body args c succ
+      | None ->
+          flag m ("call of unresolved method " ^ head ^ "::" ^ name);
+          complete_call m fr c succ Vhavoc)
+  | Mir.ClosureCall id -> (
+      match Mir.find_body m.prog id with
+      | Some body -> (
+          (* the closure value is the first argument; its captures are
+             the body's leading locals, the call args follow *)
+          match args with
+          | Vclosure (_, caps) :: rest ->
+              enter_body m th body (Array.to_list caps @ rest) c succ
+          | _ :: rest -> enter_body m th body rest c succ
+          | [] -> enter_body m th body [] c succ)
+      | None ->
+          flag m ("call of unknown closure " ^ id);
+          complete_call m fr c succ Vhavoc)
+
+(* Lowering elides scope-end [drop]s for locals whose type it never
+   learned (e.g. inside closures), so [StorageDead] is the last chance
+   to release lock guards parked in the slot. Copies of a guard may
+   release more than once; {!Lockset.release} ignores non-holders, so
+   only boxes (which would double-free) must not be touched here. *)
+let rec release_guards (m : t) ~tid ~depth (v : value) =
+  if depth <= 4 then
+    match v with
+    | Vguard (id, mode) -> Lockset.release m.locks id ~tid mode
+    | Vtuple vs | Vclosure (_, vs) | Vvariant (_, _, vs) ->
+        Array.iter (release_guards m ~tid ~depth:(depth + 1)) vs
+    | Vstruct (_, fields) ->
+        Array.iter (fun (_, fv) -> release_guards m ~tid ~depth:(depth + 1) fv) fields
+    | _ -> ()
+
+let exec_stmt (m : t) th fr (st : Mir.stmt) =
+  m.cur_span <- st.Mir.s_span;
+  match st.Mir.kind with
+  | Mir.Nop -> ()
+  | Mir.Assign (pl, rv) ->
+      let v = eval_rvalue m fr rv in
+      write_place m fr pl v
+  | Mir.StorageLive l ->
+      fr.gens.(l) <- fresh_gen m;
+      if not (Hashtbl.mem m.statics (match fr.body.Mir.locals.(l).Mir.l_name with Some n -> n | None -> "")) then
+        fr.slots.(l).v <- Vuninit
+  | Mir.StorageDead l ->
+      fr.gens.(l) <- fresh_gen m;
+      (match fr.body.Mir.locals.(l).Mir.l_name with
+      | Some n when Hashtbl.mem m.statics n -> ()
+      | _ ->
+          release_guards m ~tid:th.tid ~depth:0 fr.slots.(l).v;
+          fr.slots.(l).v <- Vdropped)
+  | Mir.Drop pl ->
+      let v =
+        if pl.Mir.proj = [] then fr.slots.(pl.Mir.base).v
+        else
+          try read_loc m (resolve_place m fr pl) with Trap_exn _ -> Vhavoc
+      in
+      (match v with
+      | Vdropped ->
+          (* scope-end drops are elided for explicitly-dropped locals,
+             so a Drop reaching dropped storage is a second drop(x) *)
+          trap m Double_free "double drop of local _%d" pl.Mir.base
+      | Vmoved | Vuninit -> () (* nothing to drop *)
+      | v ->
+          drop_value m ~tid:th.tid ~depth:0 v;
+          if pl.Mir.proj = [] then fr.slots.(pl.Mir.base).v <- Vdropped)
+
+let exec_terminator (m : t) th fr (blk : Mir.block) =
+  m.cur_span <- blk.Mir.t_span;
+  match blk.Mir.term with
+  | Mir.Goto b ->
+      fr.bb <- b;
+      fr.ip <- 0
+  | Mir.SwitchInt (op, cases, default) -> (
+      let v = eval_operand m fr op in
+      let target =
+        match as_int v with
+        | Some n -> (
+            match List.assoc_opt n cases with Some t -> t | None -> default)
+        | None ->
+            flag m "branch on unknown condition";
+            default
+      in
+      fr.bb <- target;
+      fr.ip <- 0)
+  | Mir.Call (c, succ) -> exec_call m th fr c succ
+  | Mir.Return op ->
+      let v =
+        match op with Some op -> eval_operand m fr op | None -> Vunit
+      in
+      do_return m th v
+  | Mir.Unreachable -> raise (Panic_exn "entered unreachable code")
+  | Mir.Abort msg -> raise (Panic_exn msg)
+
+(* Execute one step (statement or terminator) of [th]'s top frame. *)
+let step (m : t) th =
+  m.steps <- m.steps + 1;
+  match th.stack with
+  | [] -> finish_thread m th ~panicked:false Vunit
+  | fr :: _ ->
+      m.cur_fn <- fr.body.Mir.fn_id;
+      if fr.bb < 0 || fr.bb >= Array.length fr.body.Mir.blocks then
+        finish_thread m th ~panicked:true Vunit
+      else begin
+        let stmts = fr.stmts.(fr.bb) in
+        if fr.ip < Array.length stmts then begin
+          let st = stmts.(fr.ip) in
+          fr.ip <- fr.ip + 1;
+          exec_stmt m th fr st
+        end
+        else exec_terminator m th fr fr.body.Mir.blocks.(fr.bb)
+      end
+
+(* ---------------- unblocking --------------------------------------- *)
+
+let try_unblock (m : t) th =
+  match th.pending with
+  | None -> ()
+  | Some p -> (
+      let complete v c succ =
+        th.pending <- None;
+        th.status <- Runnable;
+        match th.stack with
+        | fr :: _ -> complete_call m fr c succ v
+        | [] -> ()
+      in
+      match p with
+      | Plock (id, mode, c, succ) -> (
+          match Lockset.acquire m.locks id ~tid:th.tid mode with
+          | `Ok -> complete (ok (Vguard (id, mode))) c succ
+          | `Self | `Busy -> ())
+      | Pjoin (t, c, succ) -> (
+          match List.find_opt (fun th' -> th'.tid = t) m.threads with
+          | Some th' when th'.status = Finished -> complete (ok th'.result) c succ
+          | _ -> ())
+      | Precv (id, c, succ) -> (
+          match Hashtbl.find_opt m.chans id with
+          | Some q when not (Queue.is_empty q) -> complete (ok (Queue.pop q)) c succ
+          | _ -> ())
+      | Pwait (cv, lk, guard, c, succ) ->
+          if Lockset.cond_notified m.locks cv ~tid:th.tid then (
+            match Lockset.acquire m.locks lk ~tid:th.tid Lockset.Excl with
+            | `Ok ->
+                Lockset.cond_consume m.locks cv ~tid:th.tid;
+                complete guard c succ
+            | `Self | `Busy -> ()))
+
+(* ---------------- the run loop ------------------------------------- *)
+
+let create (prog : Mir.program) : t =
+  {
+    prog;
+    heap = Heap.create ();
+    locks = Lockset.create ();
+    threads = [];
+    frames = Hashtbl.create 32;
+    statics = Hashtbl.create 7;
+    chans = Hashtbl.create 7;
+    stmt_memo = Hashtbl.create 16;
+    next_uid = 0;
+    next_tid = 0;
+    next_chan = 0;
+    gen_counter = 0;
+    steps = 0;
+    spawned = 0;
+    unsupported = [];
+    cur_fn = "";
+    cur_span = Span.dummy;
+  }
+
+let result_of (m : t) outcome =
+  {
+    outcome;
+    steps = m.steps;
+    spawned = m.spawned;
+    unsupported = List.sort_uniq String.compare m.unsupported;
+  }
+
+(** Run [prog] from [entry] under one schedule. [max_steps] is the
+    step/fuel budget ([Fuel_out] past it); the ambient
+    [Support.Deadline] is polled every step ([Deadline_out]). *)
+let run ?(entry = "main") ~max_steps ~(sched : Sched.t) (prog : Mir.program) :
+    run_result =
+  let m = create prog in
+  match Mir.find_body prog entry with
+  | None ->
+      flag m ("no entry function " ^ entry);
+      result_of m (Done false)
+  | Some body ->
+      let argv =
+        List.init body.Mir.arg_count (fun i ->
+            default_of_ty m body.Mir.locals.(i).Mir.l_ty)
+      in
+      let main = spawn_thread m body argv in
+      let tok = Deadline.token () in
+      let any_panic () = List.exists (fun th -> th.panicked) m.threads in
+      let rec loop cur quantum =
+        if m.steps >= max_steps then result_of m Fuel_out
+        else if Deadline.expired tok then result_of m Deadline_out
+        else begin
+          List.iter
+            (fun th -> if th.status = Blocked then try_unblock m th)
+            m.threads;
+          if main.status = Finished then result_of m (Done (any_panic ()))
+          else
+            let runnable =
+              List.filter (fun th -> th.status = Runnable) m.threads
+            in
+            match runnable with
+            | [] ->
+                let on_lock =
+                  List.exists
+                    (fun th ->
+                      match th.pending with
+                      | Some (Plock _) -> true
+                      | _ -> false)
+                    m.threads
+                in
+                if List.exists (fun th -> th.status = Blocked) m.threads then
+                  result_of m (Deadlocked on_lock)
+                else result_of m (Done (any_panic ()))
+            | _ ->
+                let th, quantum =
+                  match cur with
+                  | Some t
+                    when quantum > 0
+                         && List.exists (fun th -> th.tid = t) runnable ->
+                      (List.find (fun th -> th.tid = t) runnable, quantum)
+                  | _ ->
+                      let i = Sched.pick sched (List.length runnable) in
+                      (List.nth runnable i, Sched.quantum sched)
+                in
+                (try step m th with
+                | Panic_exn msg ->
+                    ignore msg;
+                    finish_thread m th ~panicked:true Vunit);
+                loop (Some th.tid) (quantum - 1)
+        end
+      in
+      (try loop None 0 with
+      | Trap_exn t -> result_of m (Trapped t)
+      | Stack_overflow ->
+          flag m "interpreter stack overflow (deep recursion)";
+          result_of m (Done true))

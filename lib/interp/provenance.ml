@@ -1,0 +1,48 @@
+(** Tagged pointer provenance.
+
+    Every pointer value the interpreter manufactures remembers *where*
+    it points — which allocation, which stack slot — and *which
+    generation* of that storage it was minted against. Storage
+    generations bump on every reuse (a heap slot recycled off the free
+    list, a stack local re-entering scope via [StorageLive]), so a
+    pointer that is numerically plausible but refers to freed or
+    recycled storage still identifies itself as stale and traps,
+    exactly the Miri discipline the ROADMAP asks for. *)
+
+type target =
+  | Null  (** the literal null pointer ([0 as *const T], [ptr::null]) *)
+  | Opaque of string
+      (** a pointer the machine cannot model (FFI result, exotic
+          aliasing); dereferencing degrades to an inconclusive verdict
+          rather than guessing *)
+  | Heap of int * int  (** heap allocation: table slot, generation *)
+  | Stack of int * int * int
+      (** stack storage: frame uid, local index, storage generation *)
+  | Lockcell of int  (** the interior cell guarded by lock [id] *)
+
+type ptr = {
+  target : target;
+  path : Ir.Mir.proj list;
+      (** projection path from the storage root (field/index steps
+          accumulated by [&x.f]-style borrows) *)
+  off : int;  (** displacement accumulated by [ptr::offset] *)
+}
+
+let make target = { target; path = []; off = 0 }
+let null = make Null
+let opaque why = make (Opaque why)
+let heap slot gen = make (Heap (slot, gen))
+let stack uid local gen = make (Stack (uid, local, gen))
+let lockcell id = make (Lockcell id)
+
+let describe p =
+  let base =
+    match p.target with
+    | Null -> "null"
+    | Opaque why -> "opaque pointer (" ^ why ^ ")"
+    | Heap (slot, gen) -> Printf.sprintf "heap allocation #%d (gen %d)" slot gen
+    | Stack (uid, local, gen) ->
+        Printf.sprintf "stack slot _%d of frame #%d (gen %d)" local uid gen
+    | Lockcell id -> Printf.sprintf "lock #%d interior" id
+  in
+  if p.off <> 0 then Printf.sprintf "%s%+d" base p.off else base

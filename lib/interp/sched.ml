@@ -1,0 +1,27 @@
+(** Bounded seeded schedule exploration.
+
+    Schedule 0 is the canonical cooperative round-robin: the current
+    thread runs until it blocks or finishes, then the lowest-tid
+    runnable thread takes over — fully deterministic and closest to a
+    lightly loaded OS scheduler. Schedules 1..K-1 draw preemption
+    points and thread choices from a splitmix64 stream keyed on
+    [(seed, index)], so the same seed always replays the same
+    interleavings — the property the determinism tests pin. *)
+
+type t = { r : Support.Fault.rng option }
+
+let make ~seed ~index =
+  if index = 0 then { r = None }
+  else { r = Some (Support.Fault.rng ((seed * 1_000_003) + index)) }
+
+(** Choose among [n] runnable threads (by position in tid order). *)
+let pick t n =
+  match t.r with
+  | None -> 0
+  | Some r -> if n <= 1 then 0 else Support.Fault.next_int r n
+
+(** Steps the chosen thread may run before the next preemption. *)
+let quantum t =
+  match t.r with
+  | None -> max_int
+  | Some r -> 1 + Support.Fault.next_int r 11

@@ -1,0 +1,44 @@
+(** Differential validation of the static detectors against the
+    dynamic oracle: every (program, bug-class) pair classified as
+    agreement, static-only, dynamic-only, or inconclusive. *)
+
+type row = {
+  agree_pos : int;  (** detector fired and the oracle trapped *)
+  agree_neg : int;  (** neither fired, on a fully-observed clean run *)
+  static_only : int;  (** detector fired, oracle ran clean *)
+  dynamic_only : int;  (** oracle trapped, no detector finding *)
+  inconclusive : int;  (** oracle degraded: no dynamic ground truth *)
+}
+
+type result = {
+  rows : (string * row) list;
+      (** one confusion row per bug class, in
+          {!Interp.Machine.all_classes} order *)
+  programs : int;  (** corpus entries swept *)
+  mutants : int;  (** mutant programs swept *)
+  degraded : string list;  (** ids whose static analysis failed to load *)
+  escaped : int;  (** exceptions that escaped per-target isolation;
+                      the invariant tests pin this to zero *)
+}
+
+val kind_of_class : Interp.Machine.trap_class -> Detectors.Report.kind
+(** The detector kind a dynamic trap class validates against. *)
+
+val run :
+  ?domains:int ->
+  ?mutants:bool ->
+  ?fuel:int ->
+  ?deadline_ms:int ->
+  ?schedules:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** Sweep the corpus — plus, with [~mutants:true], every seeded fault
+    mutant (the 1020 recovery mutants and the trap-aiming mutants) —
+    through the detector suite and the oracle. Deterministic for fixed
+    inputs, budgets and seed regardless of [domains]; never raises:
+    per-target failures degrade, and the ambient fuel/deadline budgets
+    are restored after every target. *)
+
+val render : result -> string
+(** Deterministic fixed-width confusion table. *)

@@ -25,6 +25,10 @@ type code =
   | Server_bad_frame
   | Server_worker_lost
   | Server_draining
+  | Oracle_trap
+  | Oracle_fuel
+  | Oracle_deadline
+  | Oracle_unsupported
   | General
 
 let code_name = function
@@ -48,6 +52,10 @@ let code_name = function
   | Server_bad_frame -> "E0502"
   | Server_worker_lost -> "W0503"
   | Server_draining -> "W0504"
+  | Oracle_trap -> "E0601"
+  | Oracle_fuel -> "W0602"
+  | Oracle_deadline -> "W0603"
+  | Oracle_unsupported -> "W0604"
   | General -> "E0000"
 
 (** Every stable code, in declaration order — the golden tests pin the
@@ -74,6 +82,10 @@ let all_codes =
     Server_bad_frame;
     Server_worker_lost;
     Server_draining;
+    Oracle_trap;
+    Oracle_fuel;
+    Oracle_deadline;
+    Oracle_unsupported;
     General;
   ]
 

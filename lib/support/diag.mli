@@ -54,6 +54,20 @@ type code =
   | Server_draining
       (** W0504: the server is draining (SIGTERM or a shutdown
           request) and rejected new work *)
+  | Oracle_trap
+      (** E0601: the dynamic oracle manifested a memory/thread-safety
+          fault (UAF, double-free, invalid-free, uninit-read,
+          null-deref, double-lock) as a structured trap *)
+  | Oracle_fuel
+      (** W0602: an oracle execution exhausted its step/fuel budget
+          before completing — verdict degrades to inconclusive *)
+  | Oracle_deadline
+      (** W0603: an oracle execution hit its wall-clock deadline —
+          verdict degrades to inconclusive *)
+  | Oracle_unsupported
+      (** W0604: the oracle met an unsupported or extern construct and
+          degraded to an explicit inconclusive verdict instead of
+          guessing *)
   | General  (** E0000 *)
 
 val code_name : code -> string

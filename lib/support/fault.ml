@@ -48,6 +48,13 @@ type mutator =
           the payload bytes are then re-read as the next header *)
   | Bad_utf8
       (** splice invalid UTF-8 continuation bytes into the payload *)
+  | Inject_free
+      (** drop a let-bound value early, before a later live use — mints
+          a known-positive use-after-free input for the dynamic oracle *)
+  | Inject_lock
+      (** duplicate a lock acquisition on the same receiver in the same
+          scope — mints a known-positive double-lock input for the
+          dynamic oracle *)
 
 (* The source-level mutators (the fault suite and the degraded-corpus
    bench pin this set at six). *)
@@ -60,6 +67,12 @@ let all_mutators =
 let frame_mutators =
   [ Truncate; Delete_span; Flip_bytes; Len_huge; Len_zero; Bad_utf8 ]
 
+(* The trap-aiming mutators: semantics-level edits that keep the source
+   parseable but plant a latent fault the dynamic oracle should
+   manifest. Kept out of [all_mutators] so the recovery sweeps (pinned
+   at six source mutators) are unchanged. *)
+let trap_mutators = [ Inject_free; Inject_lock ]
+
 let mutator_name = function
   | Truncate -> "truncate"
   | Delete_span -> "delete_span"
@@ -70,6 +83,8 @@ let mutator_name = function
   | Len_huge -> "len_huge"
   | Len_zero -> "len_zero"
   | Bad_utf8 -> "bad_utf8"
+  | Inject_free -> "inject_free"
+  | Inject_lock -> "inject_lock"
 
 let truncate r src =
   let n = String.length src in
@@ -189,6 +204,109 @@ let bad_utf8 r src =
     Bytes.to_string b
   end
 
+(* ---------------- trap-aiming mutators ----------------------------- *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* Whole-word occurrence of [name] at or after [from]. *)
+let rec find_use src name from =
+  let n = String.length src in
+  let ln = String.length name in
+  if ln = 0 || from >= n then None
+  else
+    match String.index_from_opt src from name.[0] with
+    | None -> None
+    | Some i when i + ln > n -> None
+    | Some i ->
+        let before_ok = i = 0 || not (is_ident_char src.[i - 1]) in
+        let after_ok = i + ln >= n || not (is_ident_char src.[i + ln]) in
+        if before_ok && after_ok && String.sub src i ln = name then Some i
+        else find_use src name (i + 1)
+
+(* Scan a [let] / [let mut] binder name starting right after the
+   keyword; returns [(name, pos_after_name)] or [None]. *)
+let binder_name src pos =
+  let n = String.length src in
+  let pos = if pos + 4 <= n && String.sub src pos 4 = "mut " then pos + 4 else pos in
+  let stop = ref pos in
+  while !stop < n && is_ident_char src.[!stop] do incr stop done;
+  if !stop = pos then None else Some (String.sub src pos (!stop - pos), !stop)
+
+(* [Inject_free]: pick a [let NAME = ...;] binding whose NAME is used
+   again later, and insert [drop(NAME);] immediately after the binding
+   statement. The program still parses; the later use is now a
+   use-after-drop the oracle manifests as a UAF trap (and the static
+   UAF detector sees the same early drop). *)
+let inject_free r src =
+  let n = String.length src in
+  let candidates = ref [] in
+  let i = ref 0 in
+  while !i + 4 < n do
+    let at_kw =
+      String.sub src !i 4 = "let "
+      && (!i = 0 || not (is_ident_char src.[!i - 1]))
+    in
+    (if at_kw then
+       match binder_name src (!i + 4) with
+       | Some (name, after) -> (
+           match String.index_from_opt src after ';' with
+           | Some semi when semi + 1 < n -> (
+               match find_use src name (semi + 1) with
+               | Some _ -> candidates := (name, semi) :: !candidates
+               | None -> ())
+           | _ -> ())
+       | None -> ());
+    incr i
+  done;
+  match List.rev !candidates with
+  | [] -> src
+  | cs ->
+      let name, semi = List.nth cs (next_int r (List.length cs)) in
+      String.sub src 0 (semi + 1)
+      ^ Printf.sprintf " drop(%s);" name
+      ^ String.sub src (semi + 1) (n - semi - 1)
+
+(* [Inject_lock]: find a [.lock()] call, recover the receiver
+   identifier, and prepend a duplicate guard-holding acquisition
+   [let __fault_g = RECV.lock().unwrap();] at the start of the
+   enclosing statement — a self-deadlock the oracle's per-thread
+   lockset reports as a double-lock trap. *)
+let inject_lock r src =
+  let n = String.length src in
+  let pat = ".lock()" in
+  let pn = String.length pat in
+  let candidates = ref [] in
+  let i = ref 0 in
+  while !i + pn <= n do
+    (if String.sub src !i pn = pat && !i > 0 && is_ident_char src.[!i - 1] then begin
+       let start = ref (!i - 1) in
+       while !start > 0 && is_ident_char src.[!start - 1] do decr start done;
+       let recv = String.sub src !start (!i - !start) in
+       (* insertion point: just after the previous ';', '{' or '}' *)
+       let ins = ref !start in
+       while
+         !ins > 0 && src.[!ins - 1] <> ';' && src.[!ins - 1] <> '{'
+         && src.[!ins - 1] <> '}'
+       do
+         decr ins
+       done;
+       if not (String.equal recv "__fault_g") then
+         candidates := (recv, !ins) :: !candidates
+     end);
+    incr i
+  done;
+  match List.rev !candidates with
+  | [] -> src
+  | cs ->
+      let recv, ins = List.nth cs (next_int r (List.length cs)) in
+      String.sub src 0 ins
+      ^ Printf.sprintf "\n    let __fault_g = %s.lock().unwrap();\n" recv
+      ^ String.sub src ins (n - ins)
+
 (** Apply [mutator] to [src] deterministically: the same
     [(seed, mutator, src)] triple always yields the same output. *)
 let mutate ~seed mutator src =
@@ -203,6 +321,8 @@ let mutate ~seed mutator src =
   | Len_huge -> len_huge r src
   | Len_zero -> len_zero r src
   | Bad_utf8 -> bad_utf8 r src
+  | Inject_free -> inject_free r src
+  | Inject_lock -> inject_lock r src
 
 (** All mutations of [src] under [seed], with their names. *)
 let mutations ~seed src =
@@ -214,3 +334,13 @@ let mutations ~seed src =
     frame or a clean close — never an escaping exception. *)
 let frame_mutations ~seed frame =
   List.map (fun m -> (mutator_name m, mutate ~seed m frame)) frame_mutators
+
+(** All trap-aiming mutations of [src] under [seed]. A mutator that
+    finds no applicable site is dropped (it would have returned the
+    source unchanged): every returned mutant is a real injection. *)
+let trap_mutations ~seed src =
+  List.filter_map
+    (fun m ->
+      let mutated = mutate ~seed m src in
+      if mutated = src then None else Some (mutator_name m, mutated))
+    trap_mutators

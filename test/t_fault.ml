@@ -26,6 +26,35 @@ let determinism =
     case "all six mutators are exercised" (fun () ->
         Alcotest.(check int) "mutator count" 6
           (List.length Fault.all_mutators));
+    case "both trap-aiming mutators are exercised" (fun () ->
+        Alcotest.(check int) "trap mutator count" 2
+          (List.length Fault.trap_mutators));
+    case "trap mutators are deterministic in (seed, source)" (fun () ->
+        List.iter
+          (fun (e : Rustudy.Corpus.entry) ->
+            let a = Fault.trap_mutations ~seed e.Rustudy.Corpus.source in
+            let b = Fault.trap_mutations ~seed e.Rustudy.Corpus.source in
+            Alcotest.(check (list (pair string string)))
+              e.Rustudy.Corpus.id a b)
+          Rustudy.Corpus.all_bugs);
+    case "inapplicable trap mutants are filtered, applicable ones differ"
+      (fun () ->
+        (* trap_mutations only returns sources the mutator actually
+           changed; an unchanged clone would dilute the differential
+           sweep with duplicate programs *)
+        let total = ref 0 in
+        List.iter
+          (fun (e : Rustudy.Corpus.entry) ->
+            List.iter
+              (fun (name, src) ->
+                incr total;
+                if src = e.Rustudy.Corpus.source then
+                  Alcotest.failf "%s/%s returned the source unchanged"
+                    e.Rustudy.Corpus.id name)
+              (Fault.trap_mutations ~seed e.Rustudy.Corpus.source))
+          Rustudy.Corpus.all_bugs;
+        Alcotest.(check bool) "some corpus entries admit injection" true
+          (!total > 0));
   ]
 
 (* ---------------- the harness property ------------------------------ *)

@@ -274,6 +274,45 @@ let tracecat_rejects =
             {\"name\":\"c\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":6.0,\"dur\":4.0}\n\
             ]"))
 
+(* ---------------- oracle spans and counters -------------------------- *)
+
+let oracle_smoke =
+  case "oracle spans validate under tracecat; counters land" (fun () ->
+      with_tracing (fun () ->
+          with_metrics (fun () ->
+              Support.Metrics.reset ();
+              Support.Trace.reset ();
+              let prog =
+                Rustudy.load ~file:"t_obs_oracle.rs"
+                  "fn main() { let b = Box::new(1); drop(b); let x = *b; \
+                   println!(\"{}\", x); }"
+              in
+              ignore (Rustudy.Oracle.run prog);
+              let names =
+                List.map
+                  (fun (a : Support.Trace.agg) -> a.Support.Trace.agg_name)
+                  (Support.Trace.aggregates ())
+              in
+              Alcotest.(check bool) "oracle.exec span" true
+                (List.mem "oracle.exec" names);
+              Alcotest.(check bool) "oracle.schedule span" true
+                (List.mem "oracle.schedule" names);
+              (match Tracecat_lib.validate (Support.Trace.export_chrome ()) with
+              | Ok _ -> ()
+              | Error msg ->
+                  Alcotest.fail ("tracecat rejected the oracle trace: " ^ msg));
+              let prom = Support.Metrics.export_prometheus () in
+              let has needle =
+                let re = Str.regexp_string needle in
+                match Str.search_forward re prom 0 with
+                | _ -> true
+                | exception Not_found -> false
+              in
+              Alcotest.(check bool) "runs counter" true
+                (has "rustudy_oracle_runs_total");
+              Alcotest.(check bool) "uaf trap counter" true
+                (has "rustudy_oracle_traps_total{class=\"uaf\"}"))))
+
 (* ---------------- span aggregates / profile -------------------------- *)
 
 let profile_aggregates =
@@ -318,5 +357,6 @@ let suite =
     findings_unchanged;
     tracecat_accepts;
     tracecat_rejects;
+    oracle_smoke;
     profile_aggregates;
   ]

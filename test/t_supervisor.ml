@@ -258,7 +258,8 @@ let golden_codes =
           [
             "E0101"; "E0102"; "E0103"; "E0104"; "E0105"; "E0106"; "E0107";
             "E0201"; "E0202"; "E0301"; "W0401"; "W0402"; "W0403"; "W0404";
-            "W0405"; "E0501"; "W0501"; "E0502"; "W0503"; "W0504"; "E0000";
+            "W0405"; "E0501"; "W0501"; "E0502"; "W0503"; "W0504"; "E0601";
+            "W0602"; "W0603"; "W0604"; "E0000";
           ]
           (List.map Rustudy.Diag.code_name Rustudy.Diag.all_codes));
     case "code_of_name inverts code_name" (fun () ->

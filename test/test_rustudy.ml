@@ -23,4 +23,5 @@ let () =
       ("properties", T_props.suite);
       ("observability", T_observability.suite);
       ("summary", T_summary.suite);
+      ("oracle", T_oracle.suite);
     ]
