@@ -877,8 +877,12 @@ let print_supervisor (s : supervisor_timings) =
 type server_timings = {
   srv_clients : int;
   srv_requests : int;  (** healthy phase: total round trips measured *)
-  srv_p50_ns : float;
+  srv_p50_ns : float;  (** flight recorder on (the production default) *)
   srv_p99_ns : float;
+  srv_flight_off_p50_ns : float;
+      (** same phase with the recorder off: the delta is the always-on
+          cost the recorder must keep negligible *)
+  srv_stats_rtt_ns : float;  (** p50 of inline [stats] admin round trips *)
   srv_adv_requests : int;  (** adversarial phase: requests fired *)
   srv_shed : int;
   srv_retried : int;
@@ -897,8 +901,9 @@ let starts_with p s =
    full round trips (frame encode, dispatch, analysis, frame decode),
    reported as p50/p99 so tail behaviour is gated, not just the
    median. *)
-let server_latency_phase () =
+let server_latency_phase ?(flight = true) () =
   let clients = 4 and per_client = 64 in
+  if flight then Support.Flight.enable () else Support.Flight.disable ();
   let sock = Filename.temp_file "rustudy_bench_lat" ".sock" in
   let d =
     Server.Daemon.start (Server.Daemon.default_config ~socket_path:sock)
@@ -922,10 +927,34 @@ let server_latency_phase () =
   List.iter Thread.join ts;
   Server.Daemon.stop d;
   (try Sys.remove sock with Sys_error _ -> ());
+  Support.Flight.enable ();
   Array.sort compare lat;
   let n = Array.length lat in
   let pct p = lat.(min (n - 1) (int_of_float (float_of_int n *. p))) *. 1e9 in
   (clients, n, pct 0.50, pct 0.99)
+
+(* Phase A': the inline admin path — [stats] round trips never touch
+   the worker pool, so their latency is pure accept-path dispatch. *)
+let server_stats_phase () =
+  let rounds = 256 in
+  let sock = Filename.temp_file "rustudy_bench_adm" ".sock" in
+  let d =
+    Server.Daemon.start (Server.Daemon.default_config ~socket_path:sock)
+  in
+  let lat = Array.make rounds 0.0 in
+  let c = Server.Client.connect_retry sock in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      for i = 0 to rounds - 1 do
+        let t0 = Unix.gettimeofday () in
+        ignore (Server.Client.rpc c (Server.Client.stats ~id:i));
+        lat.(i) <- Unix.gettimeofday () -. t0
+      done);
+  Server.Daemon.stop d;
+  (try Sys.remove sock with Sys_error _ -> ());
+  Array.sort compare lat;
+  lat.(rounds / 2) *. 1e9
 
 (* Phase B: a deliberately starved daemon (one worker, a two-slot
    queue, two attempts) under injected faults — first attempts of
@@ -986,6 +1015,8 @@ let server_bench () : server_timings =
   let srv_clients, srv_requests, srv_p50_ns, srv_p99_ns =
     server_latency_phase ()
   in
+  let _, _, srv_flight_off_p50_ns, _ = server_latency_phase ~flight:false () in
+  let srv_stats_rtt_ns = server_stats_phase () in
   let srv_adv_requests, srv_shed, srv_retried, srv_timeouts =
     server_adversarial_phase ()
   in
@@ -994,6 +1025,8 @@ let server_bench () : server_timings =
     srv_requests;
     srv_p50_ns;
     srv_p99_ns;
+    srv_flight_off_p50_ns;
+    srv_stats_rtt_ns;
     srv_adv_requests;
     srv_shed;
     srv_retried;
@@ -1001,7 +1034,12 @@ let server_bench () : server_timings =
   }
 
 let server_rows (s : server_timings) =
-  [ ("server/check_p50", s.srv_p50_ns); ("server/check_p99", s.srv_p99_ns) ]
+  [
+    ("server/check_p50", s.srv_p50_ns);
+    ("server/check_p99", s.srv_p99_ns);
+    ("server/check_p50_flight_off", s.srv_flight_off_p50_ns);
+    ("server/stats_rtt", s.srv_stats_rtt_ns);
+  ]
 
 let print_server (s : server_timings) =
   Printf.printf "== server (in-process daemon round trips) ==\n";
@@ -1010,6 +1048,14 @@ let print_server (s : server_timings) =
        s.srv_requests)
     (s.srv_p50_ns /. 1e3);
   Printf.printf "  %-36s %10.1f us\n" "check p99" (s.srv_p99_ns /. 1e3);
+  Printf.printf "  %-36s %10.1f us (%+.1f%% vs flight off)\n"
+    "check p50, flight recorder off"
+    (s.srv_flight_off_p50_ns /. 1e3)
+    ((s.srv_p50_ns -. s.srv_flight_off_p50_ns)
+    /. Float.max 1.0 s.srv_flight_off_p50_ns
+    *. 100.0);
+  Printf.printf "  %-36s %10.1f us\n" "stats admin rtt p50"
+    (s.srv_stats_rtt_ns /. 1e3);
   Printf.printf
     "  adversarial: %d requests -> %d shed, %d retried, %d timeouts\n"
     s.srv_adv_requests s.srv_shed s.srv_retried s.srv_timeouts
@@ -1402,6 +1448,8 @@ let write_json path (rows : (string * float) list) (c : corpus_timings)
        ("requests", string_of_int s.srv_requests);
        ("check_p50_ns", Printf.sprintf "%.1f" s.srv_p50_ns);
        ("check_p99_ns", Printf.sprintf "%.1f" s.srv_p99_ns);
+       ("check_p50_flight_off_ns", Printf.sprintf "%.1f" s.srv_flight_off_p50_ns);
+       ("stats_rtt_ns", Printf.sprintf "%.1f" s.srv_stats_rtt_ns);
        ("adversarial_requests", string_of_int s.srv_adv_requests);
        ("shed", string_of_int s.srv_shed);
        ("retried", string_of_int s.srv_retried);

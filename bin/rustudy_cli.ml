@@ -84,6 +84,7 @@ let apply_interproc mode = Option.iter Rustudy.Summary.set_default_mode mode
 type obs = {
   trace_out : string option;
   metrics_out : string option;
+  flight_out : string option;
   profile : bool;
 }
 
@@ -109,6 +110,17 @@ let obs_term =
              snapshot to $(docv) on exit: JSON when $(docv) ends in .json, \
              Prometheus text format otherwise.")
   in
+  let flight_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the flight-recorder black box (JSONL, the most recent \
+             structured events per domain) to $(docv) on exit — including \
+             fatal exits — and on SIGQUIT while running. The recorder \
+             itself is always on; this only sets where the dump lands.")
+  in
   let profile =
     Arg.(
       value & flag
@@ -118,34 +130,59 @@ let obs_term =
              summary (count, total, mean) to stderr on exit.")
   in
   Term.(
-    const (fun trace_out metrics_out profile ->
-        { trace_out; metrics_out; profile })
-    $ trace_out $ metrics_out $ profile)
+    const (fun trace_out metrics_out flight_out profile ->
+        { trace_out; metrics_out; flight_out; profile })
+    $ trace_out $ metrics_out $ flight_out $ profile)
 
+(* Write-then-rename: the periodic metrics flusher and the exit-path
+   flush can race on the same path, and a reader (or the crash hook)
+   must never see a torn export. *)
 let write_file path s =
-  let oc = open_out_bin path in
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
   output_string oc s;
-  close_out oc
+  close_out oc;
+  Sys.rename tmp path
+
+let flush_metrics path =
+  write_file path
+    (if Filename.check_suffix path ".json" then Rustudy.Metrics.export_json ()
+     else Rustudy.Metrics.export_prometheus ())
 
 (* Enable the requested sinks, run the command body, then flush the
-   exports. The exports run even when the body chose a nonzero exit
-   code, but not when it raised: a fatal crash leaves no half-written
-   observability files behind. *)
+   exports. The exports run on every exit: nonzero exit codes
+   (degraded runs still produce their telemetry) and uncaught
+   exceptions alike — the crash hook writes the flight-recorder black
+   box plus final trace/metrics snapshots before the exception
+   resumes, so a fatal crash leaves postmortem evidence instead of
+   silence. *)
 let with_obs (obs : obs) (f : unit -> int) : int =
   if obs.trace_out <> None || obs.profile then Rustudy.Trace.enable ();
   if obs.metrics_out <> None || obs.profile then Rustudy.Metrics.enable ();
-  let code = f () in
-  Option.iter
-    (fun p -> write_file p (Rustudy.Trace.export_chrome ()))
-    obs.trace_out;
-  Option.iter
-    (fun p ->
-      write_file p
-        (if Filename.check_suffix p ".json" then Rustudy.Metrics.export_json ()
-         else Rustudy.Metrics.export_prometheus ()))
-    obs.metrics_out;
-  if obs.profile then prerr_string (Rustudy.Trace.profile_table ());
-  code
+  (match obs.flight_out with
+  | Some p ->
+      Rustudy.Flight.set_blackbox (Some p);
+      Rustudy.Flight.install_sigquit ()
+  | None -> ());
+  let flush () =
+    Option.iter
+      (fun p -> write_file p (Rustudy.Trace.export_chrome ()))
+      obs.trace_out;
+    Option.iter flush_metrics obs.metrics_out;
+    ignore (Rustudy.Flight.write_blackbox ())
+  in
+  match f () with
+  | code ->
+      flush ();
+      if obs.profile then prerr_string (Rustudy.Trace.profile_table ());
+      code
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (* [crash] records the event and writes the black box itself, so
+         the flight dump survives even if an exporter below throws *)
+      Rustudy.Flight.crash ~reason:(Printexc.to_string e) ();
+      (try flush () with _ -> ());
+      Printexc.raise_with_backtrace e bt
 
 (* ---------------- check ------------------------------------------- *)
 
@@ -685,8 +722,27 @@ let serve_cmd =
              (fsync'd) and a restarted server replays them byte-identically \
              instead of recomputing.")
   in
-  let run socket workers queue_cap max_frame retries drain_ms journal fuel
-      deadline obs =
+  let metrics_every_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics-every-ms" ] ~docv:"MS"
+          ~doc:
+            "Flush a metrics snapshot to the --metrics-out path every \
+             $(docv) milliseconds while serving, not just on exit — live \
+             scrape material for dashboards. 0 (default) disables the \
+             periodic flush.")
+  in
+  let access_log_cap =
+    Arg.(
+      value & opt int 1024
+      & info [ "access-log-cap" ] ~docv:"N"
+          ~doc:
+            "Lines retained in the in-memory structured access log served \
+             by the flight admin op; beyond it the oldest lines are \
+             dropped and counted.")
+  in
+  let run socket workers queue_cap max_frame retries drain_ms journal
+      metrics_every_ms access_log_cap fuel deadline obs =
     apply_fuel fuel;
     with_obs obs @@ fun () ->
     let cfg =
@@ -698,6 +754,7 @@ let serve_cmd =
         retries;
         drain_ms;
         journal;
+        access_log_cap;
         (* --deadline-ms becomes the per-request default budget rather
            than the process-wide one: requests carrying their own
            deadline_ms override it *)
@@ -718,6 +775,25 @@ let serve_cmd =
          with _ -> ());
         (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
          with _ -> ());
+        (* a live daemon can also be asked for its black box without
+           dying: SIGQUIT dumps and keeps serving *)
+        (match obs.flight_out with
+        | Some _ -> ()
+        | None -> Rustudy.Flight.install_sigquit ());
+        (match (metrics_every_ms, obs.metrics_out) with
+        | ms, Some path when ms > 0 ->
+            ignore
+              (Thread.create
+                 (fun () ->
+                   while not (Server.Daemon.stopped d) do
+                     Thread.delay (float_of_int ms /. 1000.0);
+                     try flush_metrics path with _ -> ()
+                   done)
+                 ())
+        | ms, None when ms > 0 ->
+            prerr_endline
+              "serve: --metrics-every-ms needs --metrics-out; ignoring"
+        | _ -> ());
         Server.Daemon.serve d;
         let s = Server.Daemon.stats d in
         Printf.eprintf
@@ -741,7 +817,47 @@ let serve_cmd =
           docs/SERVER.md)")
     Term.(
       const run $ socket $ workers $ queue_cap $ max_frame $ retries
-      $ drain_ms $ journal $ fuel_opt $ deadline_opt $ obs_term)
+      $ drain_ms $ journal $ metrics_every_ms $ access_log_cap $ fuel_opt
+      $ deadline_opt $ obs_term)
+
+let top_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the daemon to watch.")
+  in
+  let interval_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Polling interval (minimum 50).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Poll once, print, and exit — for scripts and smoke tests.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object per poll instead of the refreshing \
+             screen.")
+  in
+  let run socket interval_ms once json =
+    Server.Top.run ~socket ~interval_ms ~once ~json ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Watch a live daemon: polls the stats/metrics admin ops and \
+          renders qps, shed/retry/timeout rates, p50/p99 latency, queue \
+          and worker occupancy, and the heaviest spans")
+    Term.(const run $ socket $ interval_ms $ once $ json)
 
 let main =
   let doc =
@@ -749,6 +865,6 @@ let main =
      study of memory and thread safety in real-world Rust programs"
   in
   Cmd.group (Cmd.info "rustudy" ~version:"1.0.0" ~doc)
-    [ check_cmd; mir_cmd; unsafe_cmd; detect_cmd; oracle_cmd; study_cmd; serve_cmd; lock_scopes_cmd; audit_cmd; lifetimes_cmd ]
+    [ check_cmd; mir_cmd; unsafe_cmd; detect_cmd; oracle_cmd; study_cmd; serve_cmd; top_cmd; lock_scopes_cmd; audit_cmd; lifetimes_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -37,6 +37,7 @@ module Supervisor = Support.Supervisor
 module Journal = Support.Journal
 module Metrics = Support.Metrics
 module Trace = Support.Trace
+module Flight = Support.Flight
 module Finding = Detectors.Report
 module Detect = Detectors.All
 module Unsafe_scan = Detectors.Unsafe_scan

@@ -41,6 +41,16 @@ let base ~id ~cmd ?deadline_ms ?fuel fields =
 let ping ~id = base ~id ~cmd:"ping" []
 let shutdown ~id = base ~id ~cmd:"shutdown" []
 
+(* Admin ops: answered by the accept path, safe against a saturated
+   worker pool. *)
+let stats ~id = base ~id ~cmd:"stats" []
+let health ~id = base ~id ~cmd:"health" []
+
+let metrics ~id ?(format = "json") () =
+  base ~id ~cmd:"metrics" [ ("format", Sjson.Str format) ]
+
+let flight ~id = base ~id ~cmd:"flight" []
+
 let check ~id ?deadline_ms ?fuel ?source ?(keep_going = false) ~file () =
   base ~id ~cmd:"check" ?deadline_ms ?fuel
     ([ ("file", Sjson.Str file) ]

@@ -18,6 +18,19 @@ val close : t -> unit
 val ping : id:int -> Sjson.t
 val shutdown : id:int -> Sjson.t
 
+val stats : id:int -> Sjson.t
+(** Live daemon counters + queue/worker gauges; answered inline. *)
+
+val health : id:int -> Sjson.t
+(** State, pid, protocol version, uptime, workers; answered inline. *)
+
+val metrics : id:int -> ?format:string -> unit -> Sjson.t
+(** A {!Support.Metrics} snapshot; [format] is ["json"] (default) or
+    ["prometheus"]. *)
+
+val flight : id:int -> Sjson.t
+(** The {!Support.Flight} black box + the bounded access log. *)
+
 val check :
   id:int ->
   ?deadline_ms:int ->

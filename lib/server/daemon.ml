@@ -45,6 +45,9 @@ type config = {
   retry_base_ms : float;  (** backoff before attempt 2 *)
   drain_ms : int;  (** drain grace for in-flight work, milliseconds *)
   journal : string option;  (** crash-safe request log *)
+  access_log_cap : int;
+      (** bounded in-memory access log, one structured line per
+          request; beyond it the oldest lines are dropped (counted) *)
   handler_domains : int;
       (** parallelism handed to corpus handlers. Kept at 1 so worker
           domains never nest pools; analysis results are
@@ -64,6 +67,7 @@ let default_config ~socket_path =
     retry_base_ms = 5.0;
     drain_ms = 5_000;
     journal = None;
+    access_log_cap = 1024;
     handler_domains = 1;
     before_handle = None;
   }
@@ -130,11 +134,15 @@ type cell = {
 
 let new_cell () = { cm = Mutex.create (); cc = Condition.create (); value = None }
 
-let fill (c : cell) (v : Sjson.t) : bool =
+(* [before] runs only for the winning fill, before the waiter can
+   wake: accounting done there (stats, access log, flight events) is
+   visible by the time the client sees the response. *)
+let fill ?(before = fun () -> ()) (c : cell) (v : Sjson.t) : bool =
   Mutex.lock c.cm;
   let filled =
     match c.value with
     | None ->
+        before ();
         c.value <- Some v;
         Condition.broadcast c.cc;
         true
@@ -160,11 +168,26 @@ let take (c : cell) : Sjson.t =
 
 type state = Running | Draining | Stopped
 
-type job = { job_id : int; req : Proto.request; cell : cell }
+type job = {
+  job_id : int;
+  req_id : int;  (** the server request id, threaded end-to-end *)
+  admitted_ns : int64;  (** queue-wait accounting *)
+  req : Proto.request;
+  cell : cell;
+}
 
 type t = {
   cfg : config;
+  started_ns : int64;
   listen_fd : Unix.file_descr;
+  req_ids : int Atomic.t;  (** server request ids, minted at admission *)
+  (* bounded access log: a ring of structured per-request lines, under
+     its own lock so connection threads never contend with admission *)
+  access_m : Mutex.t;
+  access_buf : Sjson.t option array;
+  mutable access_start : int;
+  mutable access_len : int;
+  mutable access_dropped : int;
   (* admission queue + lifecycle, all under [qm] *)
   qm : Mutex.t;
   q_nonempty : Condition.t;
@@ -219,6 +242,68 @@ let stats t =
 
 let now_ns = Support.Deadline.now_ns
 
+let uptime_ms t =
+  Int64.to_int (Int64.div (Int64.sub (now_ns ()) t.started_ns) 1_000_000L)
+
+(* ---------------- access log ----------------------------------------- *)
+
+(* One structured line per answered request. [queue_ns] is the time
+   spent waiting for a worker (0 for inline ops), [attempts] the
+   handler attempts consumed (0 when no handler ran), [wall_ns] the
+   admission-to-response wall time, [bytes] the rendered response
+   size. *)
+let access_line ~req_id ~(id : Sjson.t) ~op ~queue_ns ~attempts
+    ~(resp : Sjson.t) ~wall_ns : Sjson.t =
+  let num n = Sjson.Num (float_of_int n) in
+  let num64 n = Sjson.Num (Int64.to_float n) in
+  Sjson.Obj
+    [
+      ("req", num req_id);
+      ("id", id);
+      ("op", Sjson.Str op);
+      ("queue_ns", num64 queue_ns);
+      ("attempts", num attempts);
+      ( "status",
+        Sjson.Str (Option.value ~default:"?" (Sjson.str_member "status" resp))
+      );
+      ("code", Sjson.Str (Option.value ~default:"" (Sjson.str_member "code" resp)));
+      ("wall_ns", num64 wall_ns);
+      ("bytes", num (String.length (Sjson.to_string resp)));
+    ]
+
+let log_access t ~req_id ~id ~op ~queue_ns ~attempts ~resp ~wall_ns : unit =
+  let line = access_line ~req_id ~id ~op ~queue_ns ~attempts ~resp ~wall_ns in
+  Mutex.lock t.access_m;
+  let cap = Array.length t.access_buf in
+  if t.access_len < cap then begin
+    t.access_buf.((t.access_start + t.access_len) mod cap) <- Some line;
+    t.access_len <- t.access_len + 1
+  end
+  else begin
+    t.access_buf.(t.access_start) <- Some line;
+    t.access_start <- (t.access_start + 1) mod cap;
+    t.access_dropped <- t.access_dropped + 1
+  end;
+  Mutex.unlock t.access_m
+
+let access_log t : Sjson.t list =
+  Mutex.lock t.access_m;
+  let cap = Array.length t.access_buf in
+  let out = ref [] in
+  for i = t.access_len - 1 downto 0 do
+    match t.access_buf.((t.access_start + i) mod cap) with
+    | Some l -> out := l :: !out
+    | None -> ()
+  done;
+  Mutex.unlock t.access_m;
+  !out
+
+let access_dropped t : int =
+  Mutex.lock t.access_m;
+  let d = t.access_dropped in
+  Mutex.unlock t.access_m;
+  d
+
 (* ---------------- journal keys & replay ------------------------------ *)
 
 (* File-path checks without an inline source are keyed by the file's
@@ -255,12 +340,17 @@ let replay_lookup t key : Sjson.t option =
   | Some p -> (
       match Sjson.parse_result p with Ok v -> Some v | Error _ -> None)
 
-let journal_store t (req : Proto.request) (o : Proto.outcome) : unit =
+let journal_store t ~req_id (req : Proto.request) (o : Proto.outcome) : unit =
   match t.jr with
   | None -> ()
   | Some j -> (
       let key = journal_key_of t req in
-      let payload = Sjson.to_string (Proto.ok_response ~id:Sjson.Null o) in
+      (* the record is stamped with the request id that computed it;
+         like [id], it is volatile and patched at replay time, so the
+         journal key stays purely semantic *)
+      let payload =
+        Sjson.to_string (Proto.ok_response ~req:req_id ~id:Sjson.Null o)
+      in
       (* the journal's own lock makes this domain-safe; the only racy
          window is an append straddling a timed-out drain's close, and
          that must degrade to "not journalled", not to a crash *)
@@ -270,7 +360,8 @@ let journal_store t (req : Proto.request) (o : Proto.outcome) : unit =
 
 let run_handler t (req : Proto.request) : Proto.outcome =
   match req.cmd with
-  | Proto.Ping | Proto.Shutdown ->
+  | Proto.Ping | Proto.Shutdown | Proto.Stats | Proto.Health
+  | Proto.Metrics_snapshot _ | Proto.Flight_dump ->
       (* answered inline by the connection thread; never queued *)
       { Proto.out = ""; err = ""; exit_code = 0 }
   | Proto.Check { file; source; keep_going } ->
@@ -278,9 +369,16 @@ let run_handler t (req : Proto.request) : Proto.outcome =
   | Proto.Detect -> Handlers.detect_eval ~domains:t.cfg.handler_domains ()
   | Proto.Study -> Handlers.study ~domains:t.cfg.handler_domains ()
 
-let run_attempt t (req : Proto.request) ~attempt ~(timed_out : bool ref) :
-    Proto.outcome =
+let run_attempt t (req : Proto.request) ~req_id ~attempt
+    ~(timed_out : bool ref) : Proto.outcome =
   (match t.cfg.before_handle with Some h -> h req ~attempt | None -> ());
+  Support.Flight.record "req.attempt"
+    ~fields:
+      [
+        ("req", string_of_int req_id);
+        ("cmd", Proto.cmd_name req.Proto.cmd);
+        ("attempt", string_of_int attempt);
+      ];
   let with_dl f =
     (* an explicit per-request deadline always installs (0 forces an
        already-expired one — deterministic timeouts for tests and the
@@ -300,7 +398,14 @@ let run_attempt t (req : Proto.request) ~attempt ~(timed_out : bool ref) :
   (* spans are recorded here on the worker domain, never on the shared
      connection threads: every worker owns its trace track, so spans
      nest properly per track and `tracecat validate` stays green *)
-  Support.Trace.with_span "server.request" (fun () ->
+  Support.Trace.with_span "server.request"
+    ~args:
+      [
+        ("req", string_of_int req_id);
+        ("cmd", Proto.cmd_name req.Proto.cmd);
+        ("attempt", string_of_int attempt);
+      ]
+    (fun () ->
       with_dl (fun () ->
           with_fuel (fun () ->
               let o = run_handler t req in
@@ -313,6 +418,7 @@ let run_attempt t (req : Proto.request) ~attempt ~(timed_out : bool ref) :
 
 let handle_job t (job : job) : unit =
   let req = job.req in
+  let req_id = job.req_id in
   (* cross-request hygiene: whatever the previous request on this
      domain leaked — a deadline that escaped its scope via a killed
      worker, a fuel override — dies here, not in this request *)
@@ -321,6 +427,7 @@ let handle_job t (job : job) : unit =
   let timed_out = ref false in
   let attempts = ref 0 in
   let t0 = now_ns () in
+  let queue_ns = Int64.max 0L (Int64.sub t0 job.admitted_ns) in
   let policy =
     {
       Support.Retry.default with
@@ -332,7 +439,7 @@ let handle_job t (job : job) : unit =
     Support.Retry.run policy ~key:(Proto.cmd_name req.Proto.cmd)
       (fun ~attempt ->
         attempts := attempt;
-        match run_attempt t req ~attempt ~timed_out with
+        match run_attempt t req ~req_id ~attempt ~timed_out with
         | o -> Ok o
         | exception Kill_worker -> raise Kill_worker
         | exception e -> Error (Printexc.to_string e))
@@ -341,21 +448,43 @@ let handle_job t (job : job) : unit =
     ignore (Atomic.fetch_and_add t.s_retried (!attempts - 1));
     Support.Metrics.incr m_retries ~by:(float_of_int (!attempts - 1))
   end;
-  if !timed_out then ignore (Atomic.fetch_and_add t.s_timeouts 1);
+  if !timed_out then begin
+    ignore (Atomic.fetch_and_add t.s_timeouts 1);
+    Support.Flight.record "req.deadline_hit"
+      ~fields:[ ("req", string_of_int req_id) ]
+  end;
   let ms = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e6 in
   Support.Metrics.observe m_request_ms ~labels:[ Proto.cmd_name req.Proto.cmd ] ms;
+  let finish resp ~stat =
+    let before () =
+      ignore (Atomic.fetch_and_add stat 1);
+      let wall_ns = Int64.max 0L (Int64.sub (now_ns ()) job.admitted_ns) in
+      log_access t ~req_id ~id:req.Proto.id ~op:(Proto.cmd_name req.Proto.cmd)
+        ~queue_ns ~attempts:!attempts ~resp ~wall_ns;
+      Support.Flight.record "req.finish"
+        ~fields:
+          [
+            ("req", string_of_int req_id);
+            ( "status",
+              Option.value ~default:"?" (Sjson.str_member "status" resp) );
+            ("attempts", string_of_int !attempts);
+          ]
+    in
+    ignore (fill ~before job.cell resp)
+  in
   match result with
   | Ok outcome ->
-      journal_store t req outcome;
-      if fill job.cell (Proto.ok_response ~id:req.Proto.id outcome) then
-        ignore (Atomic.fetch_and_add t.s_ok 1)
+      journal_store t ~req_id req outcome;
+      finish (Proto.ok_response ~req:req_id ~id:req.Proto.id outcome)
+        ~stat:t.s_ok
   | Error msgs ->
       let last = match List.rev msgs with m :: _ -> m | [] -> "failed" in
-      let resp =
-        Proto.error_response ~id:req.Proto.id ~code:Support.Diag.Entry_failed
-          (Printf.sprintf "handler failed after %d attempts: %s" !attempts last)
-      in
-      if fill job.cell resp then ignore (Atomic.fetch_and_add t.s_errors 1)
+      finish
+        (Proto.error_response ~req:req_id ~id:req.Proto.id
+           ~code:Support.Diag.Entry_failed
+           (Printf.sprintf "handler failed after %d attempts: %s" !attempts
+              last))
+        ~stat:t.s_errors
 
 (* ---------------- workers -------------------------------------------- *)
 
@@ -385,9 +514,20 @@ let finish_inflight t (job : job) =
   Hashtbl.remove t.inflight_jobs job.job_id;
   Mutex.unlock t.qm
 
-let lost_response (req : Proto.request) =
-  Proto.error_response ~id:req.Proto.id ~code:Support.Diag.Server_worker_lost
-    "worker lost mid-request (respawned)"
+let lost_response (job : job) =
+  Proto.error_response ~req:job.req_id ~id:job.req.Proto.id
+    ~code:Support.Diag.Server_worker_lost "worker lost mid-request (respawned)"
+
+let fill_lost t (job : job) =
+  let resp = lost_response job in
+  let before () =
+    ignore (Atomic.fetch_and_add t.s_errors 1);
+    let wall_ns = Int64.max 0L (Int64.sub (now_ns ()) job.admitted_ns) in
+    log_access t ~req_id:job.req_id ~id:job.req.Proto.id
+      ~op:(Proto.cmd_name job.req.Proto.cmd) ~queue_ns:0L ~attempts:0 ~resp
+      ~wall_ns
+  in
+  ignore (fill ~before job.cell resp)
 
 let rec worker_loop t =
   match pop t with
@@ -399,8 +539,7 @@ let rec worker_loop t =
           (* backstop: if [handle_job] escaped (Kill_worker, or any
              bug), the caller still gets a structured W0503 instead of
              a hung connection. No-op when the cell is already filled. *)
-          if fill job.cell (lost_response job.req) then
-            ignore (Atomic.fetch_and_add t.s_errors 1);
+          fill_lost t job;
           finish_inflight t job);
       worker_loop t
 
@@ -413,6 +552,7 @@ let rec spawn_worker t =
     if died then begin
       ignore (Atomic.fetch_and_add t.s_worker_deaths 1);
       Support.Metrics.incr m_worker_deaths;
+      Support.Flight.record "worker.death";
       Mutex.lock t.qm;
       let respawn = t.state <> Stopped in
       Mutex.unlock t.qm;
@@ -427,7 +567,8 @@ let rec spawn_worker t =
 
 let incr_bad t =
   ignore (Atomic.fetch_and_add t.s_bad_frames 1);
-  Support.Metrics.incr m_bad_frames
+  Support.Metrics.incr m_bad_frames;
+  Support.Flight.record "frame.bad"
 
 let send _t fd ~cmd (resp : Sjson.t) : unit =
   let status =
@@ -436,25 +577,159 @@ let send _t fd ~cmd (resp : Sjson.t) : unit =
   Support.Metrics.incr m_requests ~labels:[ cmd; status ];
   Frame.write_fd fd (Sjson.to_string resp)
 
-let bad_frame_response ~id msg =
-  Proto.error_response ~id ~code:Support.Diag.Server_bad_frame msg
+(* ---------------- admin ops ------------------------------------------ *)
+
+(* Stats / Health / Metrics_snapshot / Flight_dump are answered right
+   here on the connection thread, like Ping: introspecting a saturated
+   server must not queue behind the saturation it is trying to
+   observe. *)
+
+let num n = Sjson.Num (float_of_int n)
+
+let state_name = function
+  | Running -> "running"
+  | Draining -> "draining"
+  | Stopped -> "stopped"
+
+let queue_snapshot t =
+  Mutex.lock t.qm;
+  let q_len = t.q_len and inflight = t.inflight and state = t.state in
+  Mutex.unlock t.qm;
+  (q_len, inflight, state)
+
+let admin_head ~req ~(id : Sjson.t) rest : Sjson.t =
+  Sjson.Obj
+    ((("id", id) :: ("req", num req) :: ("status", Sjson.Str "ok") :: rest))
+
+let stats_response t ~req ~id : Sjson.t =
+  let s = stats t in
+  let q_len, inflight, state = queue_snapshot t in
+  admin_head ~req ~id
+    [
+      ( "stats",
+        Sjson.Obj
+          [
+            ("state", Sjson.Str (state_name state));
+            ("uptime_ms", num (uptime_ms t));
+            ("requests", num s.requests);
+            ("ok", num s.ok);
+            ("errors", num s.errors);
+            ("shed", num s.shed);
+            ("rejected_draining", num s.rejected_draining);
+            ("bad_frames", num s.bad_frames);
+            ("retried", num s.retried);
+            ("worker_deaths", num s.worker_deaths);
+            ("replayed", num s.replayed);
+            ("timeouts", num s.timeouts);
+            ("queue_len", num q_len);
+            ("queue_cap", num t.cfg.queue_cap);
+            ("inflight", num inflight);
+            ("workers", num t.cfg.workers);
+            ("workers_live", num (Atomic.get t.live_workers));
+            ("access_dropped", num (access_dropped t));
+            ("flight_events", num (Support.Flight.events_total ()));
+            ("flight_dropped", num (Support.Flight.dropped_total ()));
+          ] );
+    ]
+
+let health_response t ~req ~id : Sjson.t =
+  let q_len, inflight, state = queue_snapshot t in
+  admin_head ~req ~id
+    [
+      ( "health",
+        Sjson.Obj
+          [
+            ("state", Sjson.Str (state_name state));
+            ("pid", num (Unix.getpid ()));
+            ("proto", num Proto.version);
+            ("uptime_ms", num (uptime_ms t));
+            ("workers", num t.cfg.workers);
+            ("workers_live", num (Atomic.get t.live_workers));
+            ("queue_len", num q_len);
+            ("queue_cap", num t.cfg.queue_cap);
+            ("inflight", num inflight);
+          ] );
+    ]
+
+let metrics_response ~req ~id ~format : Sjson.t =
+  let enabled = ("metrics_enabled", Sjson.Bool (Support.Metrics.enabled ())) in
+  match format with
+  | "prometheus" ->
+      admin_head ~req ~id
+        [
+          ("format", Sjson.Str "prometheus");
+          enabled;
+          ("text", Sjson.Str (Support.Metrics.export_prometheus ()));
+        ]
+  | _ ->
+      let families =
+        match Sjson.parse_result (Support.Metrics.export_json ()) with
+        | Ok v -> Option.value ~default:(Sjson.List []) (Sjson.member "metrics" v)
+        | Error _ -> Sjson.List []
+      in
+      admin_head ~req ~id
+        [ ("format", Sjson.Str "json"); enabled; ("metrics", families) ]
+
+let flight_response t ~req ~id : Sjson.t =
+  admin_head ~req ~id
+    [
+      ("flight", Sjson.Str (Support.Flight.dump_jsonl ()));
+      ("flight_events", num (Support.Flight.events_total ()));
+      ("flight_dropped", num (Support.Flight.dropped_total ()));
+      ("access_log", Sjson.List (access_log t));
+      ("access_dropped", num (access_dropped t));
+    ]
+
+(* The enriched liveness probe: still outcome-shaped (status/exit/
+   out/err, so pre-v2 clients keep working) plus the identity fields a
+   health prober needs to spot a stale or restarted daemon. *)
+let ping_response t ~req ~(id : Sjson.t) : Sjson.t =
+  Sjson.Obj
+    [
+      ("id", id);
+      ("req", num req);
+      ("status", Sjson.Str "ok");
+      ("exit", num 0);
+      ("out", Sjson.Str "");
+      ("err", Sjson.Str "");
+      ("pid", num (Unix.getpid ()));
+      ("uptime_ms", num (uptime_ms t));
+      ("proto", num Proto.version);
+      ("workers", num t.cfg.workers);
+      ("workers_live", num (Atomic.get t.live_workers));
+    ]
 
 (* Admission: replay, reject (draining), shed (queue full), or queue
    and block on the cell. Exactly one response in every path. *)
 let dispatch t fd (req : Proto.request) : unit =
   let cmd = Proto.cmd_name req.Proto.cmd in
+  let req_id = Atomic.fetch_and_add t.req_ids 1 in
+  let admitted = now_ns () in
+  Support.Flight.record "req.admit"
+    ~fields:[ ("req", string_of_int req_id); ("cmd", cmd) ];
+  (* answer on this connection thread, count, and access-log; every
+     path that never reaches a worker funnels through here *)
+  let inline ?(stat = t.s_ok) resp =
+    ignore (Atomic.fetch_and_add stat 1);
+    (* log before sending: by the time the client holds the response,
+       its access-log line is already queryable *)
+    let wall_ns = Int64.max 0L (Int64.sub (now_ns ()) admitted) in
+    log_access t ~req_id ~id:req.Proto.id ~op:cmd ~queue_ns:0L ~attempts:0
+      ~resp ~wall_ns;
+    send t fd ~cmd resp
+  in
   match req.Proto.cmd with
-  | Proto.Ping ->
-      ignore (Atomic.fetch_and_add t.s_ok 1);
-      send t fd ~cmd
-        (Proto.ok_response ~id:req.Proto.id
-           { Proto.out = ""; err = ""; exit_code = 0 })
+  | Proto.Ping -> inline (ping_response t ~req:req_id ~id:req.Proto.id)
+  | Proto.Stats -> inline (stats_response t ~req:req_id ~id:req.Proto.id)
+  | Proto.Health -> inline (health_response t ~req:req_id ~id:req.Proto.id)
+  | Proto.Metrics_snapshot { format } ->
+      inline (metrics_response ~req:req_id ~id:req.Proto.id ~format)
+  | Proto.Flight_dump -> inline (flight_response t ~req:req_id ~id:req.Proto.id)
   | Proto.Shutdown ->
-      ignore (Atomic.fetch_and_add t.s_ok 1);
       (* answer first: once the flag is set the drain may sever this
          very connection *)
-      send t fd ~cmd
-        (Proto.ok_response ~id:req.Proto.id
+      inline
+        (Proto.ok_response ~req:req_id ~id:req.Proto.id
            { Proto.out = ""; err = ""; exit_code = 0 });
       Atomic.set t.stop_requested true
   | Proto.Check _ | Proto.Detect | Proto.Study -> (
@@ -463,29 +738,38 @@ let dispatch t fd (req : Proto.request) : unit =
       | Some resp ->
           ignore (Atomic.fetch_and_add t.s_replayed 1);
           Support.Metrics.incr m_replayed;
-          ignore (Atomic.fetch_and_add t.s_ok 1);
-          send t fd ~cmd (Sjson.set_member "id" req.Proto.id resp)
+          Support.Flight.record "req.replay"
+            ~fields:[ ("req", string_of_int req_id) ];
+          (* patch the two volatile fields back in: the journalled
+             bytes are id- and req-independent by construction *)
+          inline
+            (Sjson.set_member "req" (num req_id)
+               (Sjson.set_member "id" req.Proto.id resp))
       | None ->
           Mutex.lock t.qm;
           if t.state <> Running then begin
             Mutex.unlock t.qm;
-            ignore (Atomic.fetch_and_add t.s_rejected_draining 1);
-            send t fd ~cmd
-              (Proto.error_response ~id:req.Proto.id
+            Support.Flight.record "req.reject_draining"
+              ~fields:[ ("req", string_of_int req_id) ];
+            inline ~stat:t.s_rejected_draining
+              (Proto.error_response ~req:req_id ~id:req.Proto.id
                  ~code:Support.Diag.Server_draining "server is draining")
           end
           else if t.q_len >= t.cfg.queue_cap then begin
             Mutex.unlock t.qm;
-            ignore (Atomic.fetch_and_add t.s_shed 1);
             Support.Metrics.incr m_shed;
-            send t fd ~cmd
-              (Proto.error_response ~id:req.Proto.id
+            Support.Flight.record "req.shed"
+              ~fields:[ ("req", string_of_int req_id); ("cmd", cmd) ];
+            inline ~stat:t.s_shed
+              (Proto.error_response ~req:req_id ~id:req.Proto.id
                  ~code:Support.Diag.Server_overload "rejected: overloaded")
           end
           else begin
             let job =
               {
                 job_id = Atomic.fetch_and_add t.job_ids 1;
+                req_id;
+                admitted_ns = admitted;
                 req;
                 cell = new_cell ();
               }
@@ -496,6 +780,19 @@ let dispatch t fd (req : Proto.request) : unit =
             Mutex.unlock t.qm;
             send t fd ~cmd (take job.cell)
           end)
+
+(* Unparseable traffic still gets a request id: the E0502 response,
+   its access-log line and the flight event all share it, so even
+   garbage is traceable. *)
+let answer_bad t fd ~(id : Sjson.t) msg : unit =
+  let req_id = Atomic.fetch_and_add t.req_ids 1 in
+  let t0 = now_ns () in
+  let resp =
+    Proto.error_response ~req:req_id ~id ~code:Support.Diag.Server_bad_frame msg
+  in
+  log_access t ~req_id ~id ~op:"?" ~queue_ns:0L ~attempts:0 ~resp
+    ~wall_ns:(Int64.max 0L (Int64.sub (now_ns ()) t0));
+  send t fd ~cmd:"?" resp
 
 let conn_loop t fd =
   let src = Frame.of_fd fd in
@@ -508,26 +805,23 @@ let conn_loop t fd =
         incr_bad t
     | Error (Frame.Oversized n) ->
         incr_bad t;
-        let resp =
-          bad_frame_response ~id:Sjson.Null
-            (Printf.sprintf "oversized frame: %d bytes (max %d)" n
-               t.cfg.max_frame)
+        let msg =
+          Printf.sprintf "oversized frame: %d bytes (max %d)" n t.cfg.max_frame
         in
         if Frame.skim src n then begin
           (* payload discarded: the stream is framed again, so answer
              and keep the connection *)
-          send t fd ~cmd:"?" resp;
+          answer_bad t fd ~id:Sjson.Null msg;
           loop ()
         end
         else
           (* unskimmable length: answer, then drop the connection *)
-          send t fd ~cmd:"?" resp
+          answer_bad t fd ~id:Sjson.Null msg
     | Ok payload -> (
         match Sjson.parse_result payload with
         | Error msg ->
             incr_bad t;
-            send t fd ~cmd:"?"
-              (bad_frame_response ~id:Sjson.Null ("malformed request: " ^ msg));
+            answer_bad t fd ~id:Sjson.Null ("malformed request: " ^ msg);
             loop ()
         | Ok json -> (
             match Proto.parse_request json with
@@ -536,7 +830,7 @@ let conn_loop t fd =
                 let id =
                   Option.value ~default:Sjson.Null (Sjson.member "id" json)
                 in
-                send t fd ~cmd:"?" (bad_frame_response ~id msg);
+                answer_bad t fd ~id msg;
                 loop ()
             | Ok req ->
                 ignore (Atomic.fetch_and_add t.s_requests 1);
@@ -625,7 +919,14 @@ let start (cfg : config) : t =
   let t =
     {
       cfg;
+      started_ns = now_ns ();
       listen_fd;
+      req_ids = Atomic.make 1;
+      access_m = Mutex.create ();
+      access_buf = Array.make (max 16 cfg.access_log_cap) None;
+      access_start = 0;
+      access_len = 0;
+      access_dropped = 0;
       qm = Mutex.create ();
       q_nonempty = Condition.create ();
       queue = Queue.create ();
@@ -656,6 +957,12 @@ let start (cfg : config) : t =
       s_timeouts = Atomic.make 0;
     }
   in
+  Support.Flight.record "server.start"
+    ~fields:
+      [
+        ("socket", cfg.socket_path);
+        ("workers", string_of_int (max 1 cfg.workers));
+      ];
   for _ = 1 to max 1 cfg.workers do
     spawn_worker t
   done;
@@ -678,6 +985,7 @@ let stop (t : t) : unit =
       Thread.delay 0.005
     done
   else begin
+    Support.Flight.record "server.drain";
     (* 1. stop accepting. A blocked accept(2) is not reliably woken by
        closing the fd from another thread, so poke it with a dummy
        connection that the Draining check immediately refuses. *)
@@ -710,12 +1018,21 @@ let stop (t : t) : unit =
     Mutex.unlock t.qm;
     List.iter
       (fun (job : job) ->
-        if
-          fill job.cell
-            (Proto.error_response ~id:job.req.Proto.id
-               ~code:Support.Diag.Server_draining
-               "server shut down before this request started")
-        then ignore (Atomic.fetch_and_add t.s_rejected_draining 1))
+        let resp =
+          Proto.error_response ~req:job.req_id ~id:job.req.Proto.id
+            ~code:Support.Diag.Server_draining
+            "server shut down before this request started"
+        in
+        let before () =
+          ignore (Atomic.fetch_and_add t.s_rejected_draining 1);
+          let wall_ns =
+            Int64.max 0L (Int64.sub (now_ns ()) job.admitted_ns)
+          in
+          log_access t ~req_id:job.req_id ~id:job.req.Proto.id
+            ~op:(Proto.cmd_name job.req.Proto.cmd) ~queue_ns:wall_ns
+            ~attempts:0 ~resp ~wall_ns
+        in
+        ignore (fill ~before job.cell resp))
       leftovers;
     (* 4. bounded wait for worker domains to exit, then deadline-kill
        whatever overstayed: fill its cell (W0503) so the client is
@@ -732,11 +1049,7 @@ let stop (t : t) : unit =
       Mutex.unlock t.qm;
       l
     in
-    List.iter
-      (fun (job : job) ->
-        if fill job.cell (lost_response job.req) then
-          ignore (Atomic.fetch_and_add t.s_errors 1))
-      overstayed;
+    List.iter (fun (job : job) -> fill_lost t job) overstayed;
     (* 5. let connection threads flush their final responses, then
        sever the sockets (shutdown(2) wakes a blocked reader where a
        bare close would not) *)
@@ -750,6 +1063,7 @@ let stop (t : t) : unit =
     (match t.jr with
     | Some j -> ( try Support.Journal.close j with _ -> ())
     | None -> ());
+    Support.Flight.record "server.stop";
     Atomic.set t.stopped_flag true
   end
 

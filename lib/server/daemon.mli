@@ -30,6 +30,10 @@ type config = {
   retry_base_ms : float;  (** backoff before attempt 2 *)
   drain_ms : int;  (** drain grace for in-flight work, milliseconds *)
   journal : string option;  (** crash-safe request log *)
+  access_log_cap : int;
+      (** bounded in-memory access log (one structured line per
+          request); beyond it the oldest lines are dropped, counted.
+          Clamped to a minimum of 16 lines *)
   handler_domains : int;
       (** parallelism handed to corpus handlers (keep 1: workers never
           nest pools; results are domain-count-invariant anyway) *)
@@ -39,7 +43,7 @@ type config = {
 
 val default_config : socket_path:string -> config
 (** 2 workers, queue 64, 8 MiB frames, 3 attempts, 5 s drain, no
-    journal, no default deadline. *)
+    journal, no default deadline, 1024 access-log lines. *)
 
 type stats = {
   requests : int;  (** well-formed requests received *)
@@ -83,3 +87,15 @@ val wait : t -> unit
 
 val stats : t -> stats
 val socket_path : t -> string
+
+val uptime_ms : t -> int
+(** Milliseconds since {!start}, on the monotonic clock. *)
+
+val access_log : t -> Sjson.t list
+(** The bounded access log, oldest first: one object per answered
+    request — [req] (server request id), [id] (client id, echoed),
+    [op], [queue_ns], [attempts], [status], [code], [wall_ns],
+    [bytes]. At most [access_log_cap] lines are retained. *)
+
+val access_dropped : t -> int
+(** Access-log lines lost to the ring bound since startup. *)

@@ -7,12 +7,20 @@
     error-shaped (a stable diagnostic code from [Support.Diag] plus a
     message). See docs/SERVER.md for the wire grammar. *)
 
+(* Bumped when the wire protocol grows ops or response fields; echoed
+   by [ping] / [health] so probes can detect daemon/client skew. *)
+let version = 2
+
 type cmd =
   | Ping
   | Check of { file : string; source : string option; keep_going : bool }
   | Detect
   | Study
   | Shutdown
+  | Stats
+  | Health
+  | Metrics_snapshot of { format : string }
+  | Flight_dump
 
 type request = {
   id : Sjson.t;  (** echoed verbatim in the response; any JSON value *)
@@ -27,6 +35,10 @@ let cmd_name = function
   | Detect -> "detect"
   | Study -> "study"
   | Shutdown -> "shutdown"
+  | Stats -> "stats"
+  | Health -> "health"
+  | Metrics_snapshot _ -> "metrics"
+  | Flight_dump -> "flight"
 
 (* ---------------- request parsing ----------------------------------- *)
 
@@ -53,6 +65,16 @@ let parse_request (v : Sjson.t) : (request, string) result =
       | Some "detect" -> finish Detect
       | Some "study" -> finish Study
       | Some "shutdown" -> finish Shutdown
+      | Some "stats" -> finish Stats
+      | Some "health" -> finish Health
+      | Some "metrics" -> (
+          match
+            Option.value ~default:"json" (Sjson.str_member "format" v)
+          with
+          | ("json" | "prometheus") as format ->
+              finish (Metrics_snapshot { format })
+          | other -> Error (Printf.sprintf "unknown metrics format %S" other))
+      | Some "flight" -> finish Flight_dump
       | Some other -> Error (Printf.sprintf "unknown cmd %S" other))
   | _ -> Error "request frame is not a JSON object"
 
@@ -69,15 +91,21 @@ let status_of_exit = function
   | 2 -> "degraded"
   | _ -> "fatal"
 
-let ok_response ~(id : Sjson.t) (o : outcome) : Sjson.t =
+(* The server request id: generated at admission, echoed in every
+   response right after the client's [id], stamped on spans, the
+   access log, and the journal record — the one key that joins a
+   response to every piece of telemetry it produced. *)
+let req_field req = ("req", Sjson.Num (float_of_int req))
+
+let ok_response ?req ~(id : Sjson.t) (o : outcome) : Sjson.t =
   Sjson.Obj
-    [
-      ("id", id);
-      ("status", Sjson.Str (status_of_exit o.exit_code));
-      ("exit", Sjson.Num (float_of_int o.exit_code));
-      ("out", Sjson.Str o.out);
-      ("err", Sjson.Str o.err);
-    ]
+    ((("id", id) :: (match req with None -> [] | Some r -> [ req_field r ]))
+    @ [
+        ("status", Sjson.Str (status_of_exit o.exit_code));
+        ("exit", Sjson.Num (float_of_int o.exit_code));
+        ("out", Sjson.Str o.out);
+        ("err", Sjson.Str o.err);
+      ])
 
 (* W-codes (shed, draining) are rejections — the request was never
    attempted and is safe to resend elsewhere/later. E-codes are
@@ -88,15 +116,15 @@ let error_status (code : Support.Diag.code) =
   | Support.Diag.Server_overload | Support.Diag.Server_draining -> "rejected"
   | _ -> "error"
 
-let error_response ~(id : Sjson.t) ~(code : Support.Diag.code) (msg : string) :
-    Sjson.t =
+let error_response ?req ~(id : Sjson.t) ~(code : Support.Diag.code)
+    (msg : string) : Sjson.t =
   Sjson.Obj
-    [
-      ("id", id);
-      ("status", Sjson.Str (error_status code));
-      ("code", Sjson.Str (Support.Diag.code_name code));
-      ("msg", Sjson.Str msg);
-    ]
+    ((("id", id) :: (match req with None -> [] | Some r -> [ req_field r ]))
+    @ [
+        ("status", Sjson.Str (error_status code));
+        ("code", Sjson.Str (Support.Diag.code_name code));
+        ("msg", Sjson.Str msg);
+      ])
 
 (* ---------------- journal keys --------------------------------------- *)
 
@@ -119,7 +147,8 @@ let journal_key (r : request) ~(handler_domains : int) : string =
       add file;
       add (match source with None -> "<file>" | Some s -> s);
       add (string_of_bool keep_going)
-  | Ping | Detect | Study | Shutdown -> ());
+  | Metrics_snapshot { format } -> add format
+  | Ping | Detect | Study | Shutdown | Stats | Health | Flight_dump -> ());
   add (match r.deadline_ms with None -> "-" | Some n -> string_of_int n);
   add (match r.fuel with None -> "-" | Some n -> string_of_int n);
   add (string_of_int handler_domains);

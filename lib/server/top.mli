@@ -1,0 +1,23 @@
+(** [rustudy top]: live daemon introspection over the admin ops
+    ([stats] + [metrics]), rendered as a refreshing terminal screen or
+    one JSON object per poll. *)
+
+val run :
+  socket:string -> interval_ms:int -> once:bool -> json:bool -> unit -> int
+(** Poll the daemon at [socket] every [interval_ms] (min 50) until it
+    goes away, deriving qps, shed/retry/timeout rates and p50/p99
+    request latency from consecutive polls (window rates; since-start
+    on the first poll). With [~once:true] a single poll is emitted and
+    the exit code is 0. With [~json:true] each poll prints one JSON
+    object instead of the screen. Exit codes: 0 normally (including a
+    watched daemon draining away), 1 when a [--once] poll loses the
+    server mid-conversation, 3 when nothing is listening. *)
+
+(**/**)
+
+(* Exposed for the unit tests: the percentile estimator over decoded
+   histogram buckets. *)
+
+type hist = { h_count : int; h_sum : float; h_buckets : (float * int) list }
+
+val percentile : hist -> float -> float option

@@ -1,0 +1,217 @@
+(** Always-on flight recorder into per-domain ring buffers; see
+    flight.mli. *)
+
+let enabled_flag = Atomic.make true
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
+
+(* The flight clock is Trace's clock: the monotonic deadline clock by
+   default, the injected clock when a test installs one — so flight
+   dumps are as deterministic as trace exports under injection. *)
+let now_ns () = Trace.now_ns ()
+
+(* ------------------------------------------------------------------ *)
+(* Shards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  f_ts : int64;  (** ns *)
+  f_kind : string;
+  f_fields : (string * string) list;
+}
+
+type shard = {
+  dom : int;
+  mutable buf : event option array;  (** ring *)
+  mutable start : int;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 8192
+let ring_capacity = Atomic.make default_capacity
+
+let registry_lock = Mutex.create ()
+let shards : shard list ref = ref [] (* newest first *)
+let next_dom = Atomic.make 0
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          dom = Atomic.fetch_and_add next_dom 1;
+          buf = Array.make (Atomic.get ring_capacity) None;
+          start = 0;
+          len = 0;
+          dropped = 0;
+        }
+      in
+      Mutex.lock registry_lock;
+      shards := s :: !shards;
+      Mutex.unlock registry_lock;
+      s)
+
+let my_shard () = Domain.DLS.get shard_key
+
+let set_ring_capacity n =
+  let n = max 16 n in
+  Atomic.set ring_capacity n;
+  (* the calling domain owns its shard, so resizing it in place is
+     race-free; other domains' rings keep their capacity *)
+  let s = my_shard () in
+  s.buf <- Array.make n None;
+  s.start <- 0;
+  s.len <- 0;
+  s.dropped <- 0
+
+let push (s : shard) (ev : event) =
+  let cap = Array.length s.buf in
+  if s.len < cap then begin
+    s.buf.((s.start + s.len) mod cap) <- Some ev;
+    s.len <- s.len + 1
+  end
+  else begin
+    s.buf.(s.start) <- Some ev;
+    s.start <- (s.start + 1) mod cap;
+    s.dropped <- s.dropped + 1
+  end
+
+let record ?(fields = []) kind =
+  if Atomic.get enabled_flag then
+    push (my_shard ()) { f_ts = now_ns (); f_kind = kind; f_fields = fields }
+
+let snapshot_shards () =
+  Mutex.lock registry_lock;
+  let shs = !shards in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a : shard) b -> compare a.dom b.dom) shs
+
+let events_total () =
+  List.fold_left (fun acc (s : shard) -> acc + s.len) 0 (snapshot_shards ())
+
+let dropped_total () =
+  List.fold_left (fun acc (s : shard) -> acc + s.dropped) 0 (snapshot_shards ())
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun (s : shard) ->
+      Array.fill s.buf 0 (Array.length s.buf) None;
+      s.start <- 0;
+      s.len <- 0;
+      s.dropped <- 0)
+    !shards;
+  Mutex.unlock registry_lock
+
+(* ------------------------------------------------------------------ *)
+(* Dump                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let shard_events (s : shard) : event list =
+  let cap = Array.length s.buf in
+  let out = ref [] in
+  for i = s.len - 1 downto 0 do
+    match s.buf.((s.start + i) mod cap) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  !out
+
+let event_line (dom : int) (ev : event) : string =
+  let b = Buffer.create 96 in
+  Printf.bprintf b "{\"ts\":%Ld,\"dom\":%d,\"kind\":\"%s\"" ev.f_ts dom
+    (json_escape ev.f_kind);
+  List.iter
+    (fun (k, v) ->
+      Printf.bprintf b ",\"%s\":\"%s\"" (json_escape k) (json_escape v))
+    ev.f_fields;
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let dump_jsonl () : string =
+  let shs = snapshot_shards () in
+  let events =
+    List.concat_map
+      (fun (s : shard) ->
+        List.map (fun ev -> (s.dom, ev)) (shard_events s))
+      shs
+  in
+  (* stable sort: ties on ts keep per-shard recording order *)
+  let events =
+    List.stable_sort
+      (fun (da, (a : event)) (db, b) ->
+        match Int64.compare a.f_ts b.f_ts with
+        | 0 -> compare da db
+        | c -> c)
+      events
+  in
+  let n = List.length events in
+  let dropped =
+    List.fold_left (fun acc (s : shard) -> acc + s.dropped) 0 shs
+  in
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\"kind\":\"flight.meta\",\"version\":1,\"pid\":%d,\"events\":%d,\"dropped\":%d}\n"
+    (Unix.getpid ()) n dropped;
+  List.iter
+    (fun (dom, ev) ->
+      Buffer.add_string b (event_line dom ev);
+      Buffer.add_char b '\n')
+    events;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Black box                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let blackbox : string option Atomic.t = Atomic.make None
+let set_blackbox p = Atomic.set blackbox p
+let blackbox_path () = Atomic.get blackbox
+
+(* write-then-rename so a reader never sees a torn dump, even when the
+   writer is a signal handler racing the main program *)
+let write_file path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let write_blackbox () =
+  match Atomic.get blackbox with
+  | None -> None
+  | Some path -> (
+      match write_file path (dump_jsonl ()) with
+      | () -> Some path
+      | exception _ -> None)
+
+let crash ?(reason = "") () =
+  if Atomic.get enabled_flag then
+    record ~fields:(if reason = "" then [] else [ ("reason", reason) ]) "crash";
+  ignore (write_blackbox ())
+
+let install_sigquit () =
+  match
+    Sys.set_signal Sys.sigquit
+      (Sys.Signal_handle
+         (fun _ ->
+           record "sigquit";
+           ignore (write_blackbox ())))
+  with
+  | () -> ()
+  | exception _ -> ()

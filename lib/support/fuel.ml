@@ -58,14 +58,25 @@ let effective () =
   match Domain.DLS.get domain_key with Some n -> n | None -> get ()
 
 (** A mutable fuel counter for one analysis run. *)
-type counter = { mutable remaining : int }
+type counter = { mutable remaining : int; mutable reported : bool }
 
 let counter ?n () =
-  { remaining = (match n with Some n -> n | None -> effective ()) }
+  {
+    remaining = (match n with Some n -> n | None -> effective ());
+    reported = false;
+  }
 
 (** Consume one unit; [false] when the budget is exhausted. *)
 let burn c =
-  if c.remaining <= 0 then false
+  if c.remaining <= 0 then begin
+    (* one flight event per counter, at the moment the loop first hits
+       the wall — not per denied burn, which would flood the ring *)
+    if not c.reported then begin
+      c.reported <- true;
+      Flight.record "fuel.exhausted"
+    end;
+    false
+  end
   else begin
     c.remaining <- c.remaining - 1;
     true

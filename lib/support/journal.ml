@@ -96,6 +96,8 @@ let m_appends =
 (** Append one record and fsync. Safe to call from several domains. *)
 let append (t : t) ~key (payload : string) : unit =
   if Metrics.enabled () then Metrics.incr m_appends;
+  Flight.record "journal.append"
+    ~fields:[ ("key", key); ("bytes", string_of_int (String.length payload)) ];
   let k = escape key and p = escape payload in
   let line = Printf.sprintf "J1\t%s\t%s\t%s\n" (checksum k p) k p in
   Mutex.lock t.lock;

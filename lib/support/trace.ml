@@ -125,6 +125,12 @@ let instant ?(cat = "app") ?(args = []) name =
       { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_ts = now_ns ();
         ev_dur = 0L; ev_args = args }
 
+let dropped_total () =
+  Mutex.lock registry_lock;
+  let shs = !shards in
+  Mutex.unlock registry_lock;
+  List.fold_left (fun acc (s : shard) -> acc + s.dropped) 0 shs
+
 let reset () =
   Mutex.lock registry_lock;
   List.iter

@@ -54,6 +54,11 @@ val set_ring_capacity : int -> unit
     counted, and the export emits one [trace_dropped] instant per
     affected domain. Default 32768. *)
 
+val dropped_total : unit -> int
+(** Events lost to ring wrap across all domains since the last
+    {!reset} — the sum of the per-shard counts behind the exported
+    [trace_dropped] instants. *)
+
 (** {1 Export} *)
 
 val export_chrome : unit -> string

@@ -348,6 +348,30 @@ let profile_aggregates =
              | _ -> true
              | exception Not_found -> false)))
 
+let ring_drop_accounting =
+  case "trace ring overflow is accounted exactly" (fun () ->
+      with_tracing (fun () ->
+          Support.Trace.reset ();
+          (* capacity changes bind at shard creation: record on a fresh
+             domain so its ring is born with the small capacity *)
+          Support.Trace.set_ring_capacity 32;
+          Fun.protect
+            ~finally:(fun () -> Support.Trace.set_ring_capacity 32768)
+            (fun () ->
+              Domain.join
+                (Domain.spawn (fun () ->
+                     for i = 1 to 50 do
+                       Support.Trace.instant
+                         ~args:[ ("i", string_of_int i) ]
+                         "t_obs.flood"
+                     done));
+              Alcotest.(check int)
+                "50 instants into a 32-slot ring drop exactly 18" 18
+                (Support.Trace.dropped_total ()));
+          Support.Trace.reset ();
+          Alcotest.(check int) "reset zeroes the drop counter" 0
+            (Support.Trace.dropped_total ())))
+
 let suite =
   [
     disabled_noop;
@@ -359,4 +383,5 @@ let suite =
     tracecat_rejects;
     oracle_smoke;
     profile_aggregates;
+    ring_drop_accounting;
   ]

@@ -687,6 +687,257 @@ let lifecycle_cases =
         try Sys.remove sock with _ -> ());
   ]
 
+(* ---------------- admin introspection ops ----------------------------- *)
+
+let ifield resp key = Option.value ~default:(-1) (Sjson.int_member key resp)
+
+let admin_cases =
+  [
+    case "stats answers inline with live counters and gauges" (fun () ->
+        with_server @@ fun d ->
+        let _ =
+          rpc_once d (Client.check ~id:1 ~source:buggy_src ~file:"t.rs" ())
+        in
+        let resp = rpc_once d (Client.stats ~id:2) in
+        Alcotest.(check string) "status" "ok" (status resp);
+        Alcotest.(check bool) "id echoed" true (ifield resp "id" = 2);
+        let s =
+          Option.value ~default:(Sjson.Obj []) (Sjson.member "stats" resp)
+        in
+        Alcotest.(check string) "state" "running" (sfield s "state");
+        Alcotest.(check bool) "requests counted" true (ifield s "requests" >= 2);
+        Alcotest.(check int) "queue_cap" 64 (ifield s "queue_cap");
+        Alcotest.(check int) "workers" 2 (ifield s "workers");
+        Alcotest.(check int) "workers_live" 2 (ifield s "workers_live");
+        Alcotest.(check bool) "uptime" true (ifield s "uptime_ms" >= 0);
+        Alcotest.(check bool)
+          "flight events flowing" true
+          (ifield s "flight_events" >= 1));
+    case "health reports pid, protocol version, worker liveness" (fun () ->
+        with_server @@ fun d ->
+        let resp = rpc_once d (Client.health ~id:3) in
+        Alcotest.(check string) "status" "ok" (status resp);
+        let h =
+          Option.value ~default:(Sjson.Obj []) (Sjson.member "health" resp)
+        in
+        Alcotest.(check int) "pid (in-process daemon)" (Unix.getpid ())
+          (ifield h "pid");
+        Alcotest.(check int) "proto" Proto.version (ifield h "proto");
+        Alcotest.(check string) "state" "running" (sfield h "state");
+        Alcotest.(check int) "workers_live" 2 (ifield h "workers_live"));
+    case "enriched ping: uptime, pid, proto, workers" (fun () ->
+        with_server @@ fun d ->
+        let resp = rpc_once d (Client.ping ~id:4) in
+        Alcotest.(check string) "status" "ok" (status resp);
+        Alcotest.(check int) "pid" (Unix.getpid ()) (ifield resp "pid");
+        Alcotest.(check int) "proto" Proto.version (ifield resp "proto");
+        Alcotest.(check int) "workers" 2 (ifield resp "workers");
+        Alcotest.(check bool) "uptime" true (ifield resp "uptime_ms" >= 0));
+    case "metrics op: json and prometheus formats, bad format E0502"
+      (fun () ->
+        let was = Support.Metrics.enabled () in
+        Support.Metrics.enable ();
+        Fun.protect
+          ~finally:(fun () -> if not was then Support.Metrics.disable ())
+        @@ fun () ->
+        with_server @@ fun d ->
+        let _ =
+          rpc_once d (Client.check ~id:1 ~source:clean_src ~file:"t.rs" ())
+        in
+        let j = rpc_once d (Client.metrics ~id:2 ()) in
+        Alcotest.(check string) "json status" "ok" (status j);
+        Alcotest.(check bool)
+          "metrics_enabled" true
+          (Sjson.bool_member "metrics_enabled" j = Some true);
+        (match Sjson.member "metrics" j with
+        | Some (Sjson.List fams) ->
+            Alcotest.(check bool)
+              "server families exported" true
+              (List.exists
+                 (fun f ->
+                   match Sjson.str_member "name" f with
+                   | Some n ->
+                       String.length n >= 15
+                       && String.sub n 0 15 = "rustudy_server_"
+                   | None -> false)
+                 fams)
+        | _ -> Alcotest.fail "metrics member missing or not a list");
+        let p = rpc_once d (Client.metrics ~id:3 ~format:"prometheus" ()) in
+        let text = sfield p "text" in
+        Alcotest.(check bool)
+          "prometheus text exposition" true
+          (try
+             ignore (Str.search_forward (Str.regexp_string "rustudy_") text 0);
+             true
+           with Not_found -> false);
+        let bad = rpc_once d (Client.metrics ~id:4 ~format:"xml" ()) in
+        Alcotest.(check string) "bad format rejected" "E0502" (code bad));
+    case "admin ops bypass a saturated worker pool" (fun () ->
+        with_server ~tune:(fun c ->
+            {
+              c with
+              Daemon.workers = 1;
+              before_handle = Some (hook_sleep_on "slow.rs" 0.5);
+            })
+        @@ fun d ->
+        let slow =
+          Thread.create
+            (fun () ->
+              ignore
+                (rpc_once d
+                   (Client.check ~id:1 ~source:clean_src ~file:"slow.rs" ())))
+            ()
+        in
+        Thread.delay 0.1;
+        (* the sole worker is asleep; stats must still answer fast *)
+        let t0 = Unix.gettimeofday () in
+        let resp = rpc_once d (Client.stats ~id:2) in
+        let dt = Unix.gettimeofday () -. t0 in
+        Alcotest.(check string) "answered" "ok" (status resp);
+        Alcotest.(check bool)
+          (Printf.sprintf "inline, not queued (%.3fs)" dt)
+          true (dt < 0.35);
+        let s =
+          Option.value ~default:(Sjson.Obj []) (Sjson.member "stats" resp)
+        in
+        Alcotest.(check int) "the slow request shows inflight" 1
+          (ifield s "inflight");
+        Thread.join slow);
+  ]
+
+(* ---------------- request ids, access log, flight op ------------------ *)
+
+let reqid_cases =
+  [
+    case "request id is echoed and traceable through the access log"
+      (fun () ->
+        with_server @@ fun d ->
+        let resp =
+          rpc_once d (Client.check ~id:41 ~source:buggy_src ~file:"t.rs" ())
+        in
+        let req = ifield resp "req" in
+        Alcotest.(check bool) "response carries req id" true (req >= 1);
+        let line =
+          List.find_opt
+            (fun l -> Sjson.int_member "req" l = Some req)
+            (Daemon.access_log d)
+        in
+        match line with
+        | None -> Alcotest.fail "no access-log line for the request id"
+        | Some l ->
+            Alcotest.(check string) "op" "check" (sfield l "op");
+            Alcotest.(check bool) "client id" true (ifield l "id" = 41);
+            Alcotest.(check string) "outcome" "findings" (sfield l "status");
+            Alcotest.(check int) "attempts" 1 (ifield l "attempts");
+            Alcotest.(check bool) "wall clocked" true (ifield l "wall_ns" >= 0);
+            Alcotest.(check bool)
+              "queue wait clocked" true
+              (ifield l "queue_ns" >= 0);
+            Alcotest.(check bool) "bytes counted" true (ifield l "bytes" > 0));
+    case "request ids are distinct and monotone across a connection"
+      (fun () ->
+        with_server @@ fun d ->
+        let c = Client.connect (Daemon.socket_path d) in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let r1 = ifield (Client.rpc c (Client.ping ~id:1)) "req" in
+        let r2 = ifield (Client.rpc c (Client.ping ~id:2)) "req" in
+        Alcotest.(check bool) "minted" true (r1 >= 1);
+        Alcotest.(check bool) "monotone" true (r2 > r1));
+    case "flight op returns the black box and the access log" (fun () ->
+        with_server @@ fun d ->
+        let _ = rpc_once d (Client.ping ~id:1) in
+        let resp = rpc_once d (Client.flight ~id:2) in
+        Alcotest.(check string) "status" "ok" (status resp);
+        let dump = sfield resp "flight" in
+        Alcotest.(check bool)
+          "dump has the meta header" true
+          (try
+             ignore
+               (Str.search_forward
+                  (Str.regexp_string "\"kind\":\"flight.meta\"")
+                  dump 0);
+             true
+           with Not_found -> false);
+        match Sjson.member "access_log" resp with
+        | Some (Sjson.List (_ :: _)) -> ()
+        | _ -> Alcotest.fail "access_log missing or empty");
+    case "access log is bounded with exact drop accounting" (fun () ->
+        (* 16 is the smallest ring the daemon will build *)
+        with_server ~tune:(fun c -> { c with Daemon.access_log_cap = 16 })
+        @@ fun d ->
+        let c = Client.connect (Daemon.socket_path d) in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        for i = 1 to 36 do
+          ignore (Client.rpc c (Client.ping ~id:i))
+        done;
+        Alcotest.(check int) "ring holds the cap" 16
+          (List.length (Daemon.access_log d));
+        Alcotest.(check int) "drops counted exactly" 20 (Daemon.access_dropped d);
+        (* the survivors are the newest lines *)
+        Alcotest.(check (list int))
+          "newest window, oldest first"
+          (List.init 16 (fun k -> 21 + k))
+          (List.filter_map
+             (fun l -> Sjson.int_member "id" l)
+             (Daemon.access_log d)));
+    case "10k-request hammer keeps both rings bounded" (fun () ->
+        with_server @@ fun d ->
+        let c = Client.connect (Daemon.socket_path d) in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let n = 10_000 in
+        for i = 1 to n do
+          ignore (Client.rpc c (Client.ping ~id:i))
+        done;
+        Alcotest.(check int) "all requests served" n
+          ((Daemon.stats d).Daemon.requests);
+        Alcotest.(check int) "access log capped at the default" 1024
+          (List.length (Daemon.access_log d));
+        Alcotest.(check int) "access drops exact" (n - 1024)
+          (Daemon.access_dropped d);
+        (* flight rings overwrite instead of growing: far fewer events
+           buffered than were recorded (admit + finish per request) *)
+        Alcotest.(check bool)
+          "flight ring bounded" true
+          (Support.Flight.events_total () <= 8192 * 4);
+        Alcotest.(check bool)
+          "flight drops accounted" true
+          (Support.Flight.dropped_total () > 0));
+  ]
+
+(* ---------------- top's percentile estimator -------------------------- *)
+
+let top_cases =
+  let hist count buckets =
+    {
+      Server.Top.h_count = count;
+      h_sum = 0.0;
+      h_buckets = buckets;
+    }
+  in
+  [
+    case "percentile interpolates inside the owning bucket" (fun () ->
+        let h = hist 100 [ (1.0, 10); (10.0, 90); (infinity, 100) ] in
+        (match Server.Top.percentile h 0.50 with
+        | Some p ->
+            Alcotest.(check (float 1e-9)) "p50" 5.5 p
+        | None -> Alcotest.fail "p50 missing");
+        (* q landing in the first bucket interpolates from zero *)
+        match Server.Top.percentile h 0.05 with
+        | Some p -> Alcotest.(check (float 1e-9)) "p5" 0.5 p
+        | None -> Alcotest.fail "p5 missing");
+    case "percentile in the +Inf bucket degrades to the last bound"
+      (fun () ->
+        let h = hist 100 [ (1.0, 10); (10.0, 90); (infinity, 100) ] in
+        match Server.Top.percentile h 0.99 with
+        | Some p -> Alcotest.(check (float 1e-9)) "p99" 10.0 p
+        | None -> Alcotest.fail "p99 missing");
+    case "percentile of an empty histogram is None" (fun () ->
+        Alcotest.(check bool)
+          "None" true
+          (Server.Top.percentile (hist 0 []) 0.5 = None));
+  ]
+
 let suite =
   sjson_cases @ roundtrip_cases @ budget_cases @ fault_cases
-  @ adversarial_cases @ lifecycle_cases
+  @ adversarial_cases @ lifecycle_cases @ admin_cases @ reqid_cases
+  @ top_cases

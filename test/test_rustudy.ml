@@ -22,6 +22,7 @@ let () =
       ("server", T_server.suite);
       ("properties", T_props.suite);
       ("observability", T_observability.suite);
+      ("flight", T_flight.suite);
       ("summary", T_summary.suite);
       ("oracle", T_oracle.suite);
     ]

@@ -3,23 +3,26 @@
 
    Drives the real CLI binary twice:
 
-   1. spawn `rustudy serve` with tracing and metrics exporters, then
-      over its socket: ping, a check request whose response must be
-      byte-identical to the offline `rustudy check` subprocess, a
-      garbage frame (structured E0502, connection stays usable), and
-      a shutdown request — the process must drain and exit 0 with
-      both exporter files written;
+   1. spawn `rustudy serve` with tracing, metrics and flight-recorder
+      exporters, then over its socket: an enriched ping, the
+      stats/health/metrics/flight admin ops, a check request whose
+      response must be byte-identical to the offline `rustudy check`
+      subprocess, `rustudy top --once --json` as a subprocess, a
+      garbage frame (structured E0502, connection stays usable), a
+      SIGQUIT (black box dumped, process keeps serving), and a
+      shutdown request — the process must drain and exit 0 with all
+      exporter files written;
    2. spawn it again and deliver SIGTERM — the drain must also end in
       exit 0.
 
-   Usage: servesmoke RUSTUDY_CLI TRACE_OUT METRICS_OUT *)
+   Usage: servesmoke RUSTUDY_CLI TRACE_OUT METRICS_OUT FLIGHT_OUT *)
 
-let cli, trace_out, metrics_out =
-  if Array.length Sys.argv <> 4 then begin
-    prerr_endline "usage: servesmoke RUSTUDY_CLI TRACE_OUT METRICS_OUT";
+let cli, trace_out, metrics_out, flight_out =
+  if Array.length Sys.argv <> 5 then begin
+    prerr_endline "usage: servesmoke RUSTUDY_CLI TRACE_OUT METRICS_OUT FLIGHT_OUT";
     exit 2
   end
-  else (Sys.argv.(1), Sys.argv.(2), Sys.argv.(3))
+  else (Sys.argv.(1), Sys.argv.(2), Sys.argv.(3), Sys.argv.(4))
 
 let fail fmt =
   Printf.ksprintf
@@ -97,7 +100,11 @@ let start_server ?(obs = false) sock =
   let base = [ cli; "serve"; "--socket"; sock; "--workers"; "2" ] in
   let args =
     if obs then
-      base @ [ "--trace-out"; trace_out; "--metrics-out"; metrics_out ]
+      base
+      @ [
+          "--trace-out"; trace_out; "--metrics-out"; metrics_out;
+          "--flight-out"; flight_out;
+        ]
     else base
   in
   let err_fd = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
@@ -116,14 +123,65 @@ let sfield resp name =
   | Some s -> s
   | None -> fail "response lacks %S: %s" name (Sjson.to_string resp)
 
+let ifield resp name =
+  match Sjson.int_member name resp with
+  | Some v -> v
+  | None -> fail "response lacks int %S: %s" name (Sjson.to_string resp)
+
 let () =
-  (* 1. serve with both exporters, exercised over the socket *)
+  (* 1. serve with all exporters, exercised over the socket *)
   let sock = fresh_socket () in
+  (try Sys.remove flight_out with Sys_error _ -> ());
   let pid = start_server ~obs:true sock in
   let c = Client.connect_retry sock in
   let ping = Client.rpc c (Client.ping ~id:1) in
   if sfield ping "status" <> "ok" then
     fail "ping answered %s" (Sjson.to_string ping);
+
+  (* the enriched ping identifies the process and the protocol *)
+  if ifield ping "pid" <> pid then
+    fail "ping pid %d, server pid %d" (ifield ping "pid") pid;
+  if ifield ping "proto" < 2 then fail "ping proto < 2";
+  if ifield ping "workers" <> 2 then fail "ping workers <> 2";
+  if ifield ping "uptime_ms" < 0 then fail "ping uptime negative";
+
+  (* admin ops answer inline with a coherent view of the daemon *)
+  let stats = Client.rpc c (Client.stats ~id:2) in
+  let sobj =
+    match Sjson.member "stats" stats with
+    | Some o -> o
+    | None -> fail "stats response lacks a stats object"
+  in
+  if sfield sobj "state" <> "running" then fail "stats state not running";
+  if ifield sobj "workers_live" <> 2 then fail "stats workers_live <> 2";
+  if ifield sobj "requests" < 2 then fail "stats lost requests";
+  let health = Client.rpc c (Client.health ~id:3) in
+  let hobj =
+    match Sjson.member "health" health with
+    | Some o -> o
+    | None -> fail "health response lacks a health object"
+  in
+  if ifield hobj "pid" <> pid then fail "health pid mismatch";
+  let m = Client.rpc c (Client.metrics ~id:4 ()) in
+  (match Sjson.member "metrics" m with
+  | Some (Sjson.List _) -> ()
+  | _ -> fail "metrics op returned no families: %s" (Sjson.to_string m));
+  let fl = Client.rpc c (Client.flight ~id:5) in
+  let dump = sfield fl "flight" in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  if not (contains dump "flight.meta") then
+    fail "flight dump lacks its meta header";
+  if not (contains dump "server.start") then
+    fail "flight dump lacks the server.start event";
+
+  (* every response carries the server-minted request id *)
+  if ifield ping "req" < 1 then fail "ping lacks a request id";
+  if ifield fl "req" <= ifield ping "req" then
+    fail "request ids not monotone across requests";
 
   (* byte-identity: served response vs the offline CLI subprocess *)
   let rs = Filename.temp_file "servesmoke" ".rs" in
@@ -161,6 +219,36 @@ let () =
   if sfield ping2 "status" <> "ok" then
     fail "connection unusable after garbage frame";
 
+  (* `rustudy top --once --json` against the live daemon *)
+  let top_out, top_err, top_code =
+    run_offline [| cli; "top"; "--socket"; sock; "--once"; "--json" |]
+  in
+  if top_code <> 0 then fail "top --once exited %d: %s" top_code top_err;
+  let top_json =
+    match Sjson.parse_result (String.trim top_out) with
+    | Ok v -> v
+    | Error m -> fail "top --json emitted unparseable output (%s): %S" m top_out
+  in
+  if sfield top_json "state" <> "running" then
+    fail "top reports state %s" (sfield top_json "state");
+  (match Sjson.member "stats" top_json with
+  | Some _ -> ()
+  | None -> fail "top json lacks the stats object");
+
+  (* SIGQUIT: black box on disk, process keeps serving *)
+  Unix.kill pid Sys.sigquit;
+  let rec await_bb n =
+    if Sys.file_exists flight_out then ()
+    else if n <= 0 then fail "no black box at %s after SIGQUIT" flight_out
+    else begin
+      Unix.sleepf 0.02;
+      await_bb (n - 1)
+    end
+  in
+  await_bb 250;
+  let ping3 = Client.rpc c (Client.ping ~id:6) in
+  if sfield ping3 "status" <> "ok" then fail "server died on SIGQUIT";
+
   (* shutdown request: drain, flush exporters, exit 0 *)
   let bye = Client.rpc c (Client.shutdown ~id:4) in
   if sfield bye "status" <> "ok" then
@@ -172,6 +260,8 @@ let () =
     fail "no trace written to %s" trace_out;
   if not (Sys.file_exists metrics_out) then
     fail "no metrics written to %s" metrics_out;
+  if not (Sys.file_exists flight_out) then
+    fail "no flight black box written to %s" flight_out;
   Sys.remove rs;
   (try Sys.remove sock with Sys_error _ -> ());
 
